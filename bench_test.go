@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper (and the
+// DESIGN.md ablations) as testing.B benchmarks. Each iteration executes the
+// corresponding experiment end to end on a trimmed configuration (one seed,
+// 300 simulated seconds) so `go test -bench=.` finishes in minutes; the
+// full-fidelity regeneration (Table 1 parameters, 900 s, multiple seeds) is
+// `go run ./cmd/experiments -exp paper -seeds 5`.
+//
+// Custom metrics reported per bench make the reproduced shape visible right
+// in the benchmark output: CH change counts for the two algorithms at the
+// sweep's endpoint and the headline gain percentage.
+package mobic_test
+
+import (
+	"testing"
+
+	"mobic"
+	"mobic/internal/experiment"
+	"mobic/internal/simnet"
+)
+
+// benchRunner trims experiment cells so a bench iteration is seconds, not
+// minutes, while exercising the identical code path as cmd/experiments.
+func benchRunner() experiment.Runner {
+	return experiment.Runner{
+		Seeds:    1,
+		BaseSeed: 1,
+		Mutate:   func(cfg *simnet.Config) { cfg.Duration = 300 },
+	}
+}
+
+// reportEndpointGain attaches the last-X-point values of the first two
+// series plus MOBIC's relative gain, so `-bench` output shows the
+// reproduced result.
+func reportEndpointGain(b *testing.B, res *experiment.Result) {
+	b.Helper()
+	if len(res.Series) < 2 || len(res.X) == 0 {
+		return
+	}
+	last := len(res.X) - 1
+	base := res.Series[0].Y[last]
+	ours := res.Series[1].Y[last]
+	b.ReportMetric(base, "baseline_CH")
+	b.ReportMetric(ours, "mobic_CH")
+	if base > 0 {
+		b.ReportMetric(100*(1-ours/base), "gain_%")
+	}
+}
+
+func runExperimentBench(b *testing.B, run func(experiment.Runner) (*experiment.Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportEndpointGain(b, last)
+}
+
+// BenchmarkTable1Scenario regenerates Table 1 (parameter echo plus one full
+// materialization of the base scenario config per iteration).
+func BenchmarkTable1Scenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table1(experiment.Runner{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ClusterheadChanges regenerates Figure 3: CH changes vs Tx on
+// the 670x670 m scenario, Lowest-ID(LCC) vs MOBIC.
+func BenchmarkFig3ClusterheadChanges(b *testing.B) {
+	runExperimentBench(b, experiment.Fig3)
+}
+
+// BenchmarkFig4ClusterCount regenerates Figure 4: number of clusters vs Tx.
+func BenchmarkFig4ClusterCount(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig4(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	// Figure 4's shape check: clusters at the smallest and largest Tx.
+	if len(last.Series) > 0 {
+		b.ReportMetric(last.Series[0].Y[0], "clusters_tx10")
+		b.ReportMetric(last.Series[0].Y[len(last.X)-1], "clusters_tx250")
+	}
+}
+
+// BenchmarkFig5SparseDensity regenerates Figure 5: CH changes vs Tx on the
+// sparser 1000x1000 m scenario.
+func BenchmarkFig5SparseDensity(b *testing.B) {
+	runExperimentBench(b, experiment.Fig5)
+}
+
+// BenchmarkFig6aMobilityPT0 regenerates Figure 6(a): CH changes vs MaxSpeed
+// at Tx 250 m, PT = 0.
+func BenchmarkFig6aMobilityPT0(b *testing.B) {
+	runExperimentBench(b, experiment.Fig6a)
+}
+
+// BenchmarkFig6bMobilityPT30 regenerates Figure 6(b): PT = 30 s.
+func BenchmarkFig6bMobilityPT30(b *testing.B) {
+	runExperimentBench(b, experiment.Fig6b)
+}
+
+// BenchmarkAblationCCI regenerates A1: the CCI ablation.
+func BenchmarkAblationCCI(b *testing.B) {
+	runExperimentBench(b, experiment.AblateCCI)
+}
+
+// BenchmarkAblationLCC regenerates A2: aggressive Lowest-ID vs LCC.
+func BenchmarkAblationLCC(b *testing.B) {
+	runExperimentBench(b, experiment.AblateLCC)
+}
+
+// BenchmarkAblationHistory regenerates A3: EWMA history smoothing.
+func BenchmarkAblationHistory(b *testing.B) {
+	runExperimentBench(b, experiment.AblateHistory)
+}
+
+// BenchmarkAdaptiveBI regenerates A4: mobility-adaptive beacon intervals.
+func BenchmarkAdaptiveBI(b *testing.B) {
+	runExperimentBench(b, experiment.AdaptiveBIExp)
+}
+
+// BenchmarkMaxConnectivity regenerates A6: the max-degree baseline.
+func BenchmarkMaxConnectivity(b *testing.B) {
+	runExperimentBench(b, experiment.MaxDegree)
+}
+
+// BenchmarkPropagationSensitivity regenerates A7: channel-model sensitivity.
+func BenchmarkPropagationSensitivity(b *testing.B) {
+	runExperimentBench(b, experiment.Propagation)
+}
+
+// BenchmarkLossRobustness regenerates A8: hello-loss robustness.
+func BenchmarkLossRobustness(b *testing.B) {
+	runExperimentBench(b, experiment.Loss)
+}
+
+// BenchmarkClusterFlooding regenerates A9: flat vs cluster-based flooding.
+func BenchmarkClusterFlooding(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Flooding(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Series) >= 2 {
+		lastX := len(last.X) - 1
+		b.ReportMetric(last.Series[0].Y[lastX], "flat_tx")
+		b.ReportMetric(last.Series[1].Y[lastX], "cluster_tx")
+	}
+}
+
+// BenchmarkRouteLifetime regenerates A10: backbone route lifetime and
+// discovery cost over LCC vs MOBIC clusters.
+func BenchmarkRouteLifetime(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Routes(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Series) >= 2 {
+		lastX := len(last.X) - 1
+		b.ReportMetric(last.Series[0].Y[lastX], "lcc_route_life_s")
+		b.ReportMetric(last.Series[1].Y[lastX], "mobic_route_life_s")
+	}
+}
+
+// BenchmarkCBRPRouting regenerates A11: the CBRP-lite routing protocol over
+// LCC vs MOBIC clusters.
+func BenchmarkCBRPRouting(b *testing.B) {
+	b.ReportAllocs()
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.CBRP(benchRunner())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if len(last.Series) >= 2 {
+		lastX := len(last.X) - 1
+		b.ReportMetric(last.Series[0].Y[lastX], "lcc_pdr_%")
+		b.ReportMetric(last.Series[1].Y[lastX], "mobic_pdr_%")
+	}
+}
+
+// BenchmarkOracleMetric regenerates A12: RxPr metric vs GPS oracle.
+func BenchmarkOracleMetric(b *testing.B) {
+	runExperimentBench(b, experiment.Oracle)
+}
+
+// BenchmarkMACCollisions regenerates A13: beacon-collision sensitivity.
+func BenchmarkMACCollisions(b *testing.B) {
+	runExperimentBench(b, experiment.MAC)
+}
+
+// BenchmarkScenarioHighway measures the Section 5 highway scenario (A5).
+func BenchmarkScenarioHighway(b *testing.B) {
+	s := mobic.Scenario{
+		Nodes:    40,
+		Width:    3000,
+		Duration: 300,
+		TxRange:  250,
+		Seed:     7,
+		Mobility: mobic.MobilitySpec{
+			Model: "highway", Lanes: 4, MinSpeed: 20, MaxSpeed: 33, SpeedJitter: 0.1,
+		},
+	}
+	b.ReportAllocs()
+	var lcc, mob int
+	for i := 0; i < b.N; i++ {
+		byAlg, err := mobic.Compare(s, "lcc", "mobic")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lcc = byAlg["lcc"].ClusterheadChanges
+		mob = byAlg["mobic"].ClusterheadChanges
+	}
+	b.ReportMetric(float64(lcc), "lcc_CH")
+	b.ReportMetric(float64(mob), "mobic_CH")
+}
+
+// BenchmarkScenarioConference measures the Section 5 conference scenario (A5).
+func BenchmarkScenarioConference(b *testing.B) {
+	s := mobic.Scenario{
+		Nodes:    60,
+		Width:    60,
+		Height:   60,
+		Duration: 300,
+		TxRange:  15,
+		Seed:     11,
+		Mobility: mobic.MobilitySpec{
+			Model: "conference", MaxSpeed: 1.2, Pause: 45, WandererFraction: 0.25,
+		},
+	}
+	b.ReportAllocs()
+	var lcc, mob int
+	for i := 0; i < b.N; i++ {
+		byAlg, err := mobic.Compare(s, "lcc", "mobic")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lcc = byAlg["lcc"].ClusterheadChanges
+		mob = byAlg["mobic"].ClusterheadChanges
+	}
+	b.ReportMetric(float64(lcc), "lcc_CH")
+	b.ReportMetric(float64(mob), "mobic_CH")
+}
+
+// BenchmarkSingleRun measures one full 900 s Table 1 run — the unit of work
+// every sweep is built from.
+func BenchmarkSingleRun(b *testing.B) {
+	s := mobic.PaperScenario(250)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seed = uint64(i + 1)
+		if _, err := mobic.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalability measures simulator throughput at 4x the paper's node
+// count, exercising the spatial index.
+func BenchmarkScalability200Nodes(b *testing.B) {
+	s := mobic.Scenario{
+		Nodes:    200,
+		Width:    1340, // same density as the paper's 670 m / 50 nodes
+		Duration: 300,
+		TxRange:  250,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Seed = uint64(i + 1)
+		if _, err := mobic.Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

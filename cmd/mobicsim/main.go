@@ -1,0 +1,237 @@
+// Command mobicsim runs a single MANET clustering scenario and prints its
+// stability metrics — the smallest useful entry point into the library.
+//
+// Examples:
+//
+//	mobicsim -alg mobic -tx 250
+//	mobicsim -compare lcc,mobic -tx 250 -seed 3
+//	mobicsim -mobility highway -width 3000 -maxspeed 30 -tx 150 -inspect
+//	mobicsim -alg mobic -tx 150 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mobic"
+	"mobic/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mobicsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mobicsim", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 50, "number of nodes")
+		width      = fs.Float64("width", 670, "area width in meters")
+		height     = fs.Float64("height", 0, "area height in meters (0 = square)")
+		duration   = fs.Float64("duration", 900, "simulated seconds")
+		seed       = fs.Uint64("seed", 1, "scenario seed")
+		alg        = fs.String("alg", "mobic", "clustering algorithm ("+strings.Join(mobic.Algorithms(), ", ")+")")
+		compare    = fs.String("compare", "", "comma-separated algorithms to compare on one scenario")
+		tx         = fs.Float64("tx", 250, "transmission range in meters")
+		bi         = fs.Float64("bi", 0, "broadcast interval (0 = default 2 s)")
+		tp         = fs.Float64("tp", 0, "timeout period (0 = default 3 s)")
+		cci        = fs.Float64("cci", 0, "cluster contention interval (0 = default 4 s)")
+		warmup     = fs.Float64("warmup", 0, "metrics warm-up seconds")
+		model      = fs.String("mobility", "waypoint", "mobility model (waypoint, static, walk, gauss-markov, rpgm, manhattan, highway, conference)")
+		maxSpeed   = fs.Float64("maxspeed", 20, "maximum node speed (m/s)")
+		minSpeed   = fs.Float64("minspeed", 0, "minimum node speed (m/s)")
+		pause      = fs.Float64("pause", 0, "waypoint pause time (s)")
+		prop       = fs.String("prop", "tworay", "propagation model (tworay, freespace, shadowing)")
+		loss       = fs.Float64("loss", 0, "uniform hello loss rate [0, 1)")
+		asJSON     = fs.Bool("json", false, "emit JSON instead of text")
+		inspect    = fs.Bool("inspect", false, "print final per-node state")
+		showMap    = fs.Bool("map", false, "draw the final cluster structure as an ASCII map")
+		configPath = fs.String("config", "", "load the scenario from a JSON file (overrides scenario flags)")
+		savePath   = fs.String("saveconfig", "", "write the flag-built scenario to a JSON file and exit")
+		movement   = fs.String("movement", "", "load node movement from a CMU/ns-2 setdest scenario file")
+		saveMove   = fs.String("savemovement", "", "write the generated movement as an ns-2 setdest file and exit")
+		traceFile  = fs.String("tracefile", "", "write a structured event trace to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := mobic.Scenario{
+		Nodes:              *n,
+		Width:              *width,
+		Height:             *height,
+		Duration:           *duration,
+		Seed:               *seed,
+		Algorithm:          *alg,
+		TxRange:            *tx,
+		BroadcastInterval:  *bi,
+		TimeoutPeriod:      *tp,
+		ContentionInterval: *cci,
+		Warmup:             *warmup,
+		Propagation:        propName(*prop),
+		LossRate:           *loss,
+		Mobility: mobic.MobilitySpec{
+			Model:    *model,
+			MinSpeed: *minSpeed,
+			MaxSpeed: *maxSpeed,
+			Pause:    *pause,
+		},
+	}
+
+	if *movement != "" {
+		s.MovementFile = *movement
+	}
+	if *traceFile != "" {
+		s.TraceFile = *traceFile
+	}
+	if *saveMove != "" {
+		if err := mobic.ExportMovement(s, *saveMove); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *saveMove)
+		return nil
+	}
+	if *savePath != "" {
+		if err := mobic.SaveScenario(*savePath, s); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *savePath)
+		return nil
+	}
+	if *configPath != "" {
+		loaded, err := mobic.LoadScenario(*configPath)
+		if err != nil {
+			return err
+		}
+		s = loaded
+	}
+
+	if *compare != "" {
+		names := strings.Split(*compare, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		byAlg, err := mobic.Compare(s, names...)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(byAlg)
+		}
+		printComparison(out, byAlg)
+		return nil
+	}
+
+	if *inspect || *showMap {
+		res, nodes, err := mobic.Inspect(s)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(struct {
+				Result *mobic.Result
+				Nodes  []mobic.NodeInfo
+			}{res, nodes})
+		}
+		printResult(out, res)
+		if *inspect {
+			printNodes(out, nodes)
+		}
+		if *showMap {
+			h := *height
+			if h == 0 {
+				h = *width
+			}
+			fmt.Fprintln(out)
+			fmt.Fprint(out, clusterMap(nodes, *width, h))
+		}
+		return nil
+	}
+
+	res, err := mobic.Run(s)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	printResult(out, res)
+	return nil
+}
+
+// propName maps the flag's default to the library's default spelling.
+func propName(p string) string {
+	if p == "tworay" {
+		return "" // library default
+	}
+	return p
+}
+
+func printResult(out io.Writer, r *mobic.Result) {
+	fmt.Fprintf(out, "algorithm             %s\n", r.Algorithm)
+	fmt.Fprintf(out, "clusterhead changes   %d (acquisitions %d)\n", r.ClusterheadChanges, r.ClusterheadAcquisitions)
+	fmt.Fprintf(out, "membership changes    %d\n", r.MembershipChanges)
+	fmt.Fprintf(out, "avg clusters          %.2f\n", r.AvgClusters)
+	fmt.Fprintf(out, "avg gateways          %.2f\n", r.AvgGateways)
+	fmt.Fprintf(out, "avg cluster size      %.2f\n", r.AvgClusterSize)
+	fmt.Fprintf(out, "mean CH residence     %.1f s\n", r.MeanResidenceSeconds)
+	fmt.Fprintf(out, "final clusterheads    %d\n", r.FinalClusterheads)
+	fmt.Fprintf(out, "hello traffic         %d sent, %d delivered, %d dropped\n",
+		r.Broadcasts, r.Deliveries, r.Drops)
+}
+
+func printComparison(out io.Writer, byAlg map[string]*mobic.Result) {
+	names := make([]string, 0, len(byAlg))
+	for name := range byAlg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-14s %12s %12s %12s %14s\n",
+		"algorithm", "CH changes", "memberships", "avg clusters", "CH tenure (s)")
+	for _, name := range names {
+		r := byAlg[name]
+		fmt.Fprintf(out, "%-14s %12d %12d %12.2f %14.1f\n",
+			name, r.ClusterheadChanges, r.MembershipChanges, r.AvgClusters, r.MeanResidenceSeconds)
+	}
+}
+
+// clusterMap renders the final cluster structure with internal/viz.
+func clusterMap(nodes []mobic.NodeInfo, width, height float64) string {
+	mapped := make([]viz.MapNode, len(nodes))
+	for i, n := range nodes {
+		mapped[i] = viz.MapNode{
+			X:       n.X,
+			Y:       n.Y,
+			Head:    n.Head,
+			IsHead:  n.Role == "head",
+			Gateway: n.Gateway,
+		}
+	}
+	return viz.ClusterMap(mapped, width, height, 72, 24)
+}
+
+func printNodes(out io.Writer, nodes []mobic.NodeInfo) {
+	fmt.Fprintf(out, "\n%4s %9s %9s %-10s %5s %10s %8s\n",
+		"id", "x", "y", "role", "head", "M", "gateway")
+	for _, n := range nodes {
+		gw := ""
+		if n.Gateway {
+			gw = "yes"
+		}
+		fmt.Fprintf(out, "%4d %9.1f %9.1f %-10s %5d %10.3f %8s\n",
+			n.ID, n.X, n.Y, n.Role, n.Head, n.M, gw)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs keep CLI tests quick.
+func fastArgs(extra ...string) []string {
+	return append([]string{"-n", "12", "-duration", "60", "-tx", "150"}, extra...)
+}
+
+func TestRunTextOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(fastArgs(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"algorithm", "mobic", "clusterhead changes", "hello traffic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run(fastArgs("-json"), &b); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, b.String())
+	}
+	if decoded["Algorithm"] != "mobic" {
+		t.Errorf("Algorithm = %v", decoded["Algorithm"])
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var b strings.Builder
+	if err := run(fastArgs("-compare", "lcc, mobic"), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "lcc") || !strings.Contains(out, "mobic") {
+		t.Errorf("comparison missing algorithms:\n%s", out)
+	}
+}
+
+func TestRunInspectAndMap(t *testing.T) {
+	var b strings.Builder
+	if err := run(fastArgs("-inspect", "-map"), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "role") {
+		t.Errorf("inspect table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "heads A-Z") {
+		t.Errorf("map missing:\n%s", out)
+	}
+}
+
+func TestRunBadAlgorithm(t *testing.T) {
+	var b strings.Builder
+	if err := run(fastArgs("-alg", "nonsense"), &b); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestSaveAndLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+
+	var b strings.Builder
+	if err := run(fastArgs("-saveconfig", path), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("saveconfig output: %q", b.String())
+	}
+
+	b.Reset()
+	if err := run([]string{"-config", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "clusterhead changes") {
+		t.Errorf("config-driven run output:\n%s", b.String())
+	}
+}
+
+func TestLoadConfigMissing(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "/no/such/file.json"}, &b); err == nil {
+		t.Error("missing config should error")
+	}
+}

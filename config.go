@@ -1,0 +1,187 @@
+package mobic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"mobic/internal/mobility"
+	"mobic/internal/sim"
+)
+
+// scenarioFile is the on-disk JSON schema for a Scenario. Field names are
+// stable and lowercase; zero values fall back to Table 1 defaults exactly
+// like the in-memory Scenario.
+type scenarioFile struct {
+	Nodes              int          `json:"nodes,omitempty"`
+	Width              float64      `json:"width,omitempty"`
+	Height             float64      `json:"height,omitempty"`
+	Duration           float64      `json:"duration,omitempty"`
+	Seed               uint64       `json:"seed,omitempty"`
+	Algorithm          string       `json:"algorithm,omitempty"`
+	TxRange            float64      `json:"tx_range"`
+	Mobility           mobilityFile `json:"mobility,omitempty"`
+	BroadcastInterval  float64      `json:"broadcast_interval,omitempty"`
+	TimeoutPeriod      float64      `json:"timeout_period,omitempty"`
+	ContentionInterval float64      `json:"contention_interval,omitempty"`
+	Warmup             float64      `json:"warmup,omitempty"`
+	Propagation        string       `json:"propagation,omitempty"`
+	LossRate           float64      `json:"loss_rate,omitempty"`
+	MovementFile       string       `json:"movement_file,omitempty"`
+}
+
+type mobilityFile struct {
+	Model            string  `json:"model,omitempty"`
+	MinSpeed         float64 `json:"min_speed,omitempty"`
+	MaxSpeed         float64 `json:"max_speed,omitempty"`
+	Pause            float64 `json:"pause,omitempty"`
+	Groups           int     `json:"groups,omitempty"`
+	GroupRadius      float64 `json:"group_radius,omitempty"`
+	LocalJitter      float64 `json:"local_jitter,omitempty"`
+	Lanes            int     `json:"lanes,omitempty"`
+	LaneWidth        float64 `json:"lane_width,omitempty"`
+	SpeedJitter      float64 `json:"speed_jitter,omitempty"`
+	Bidirectional    bool    `json:"bidirectional,omitempty"`
+	WandererFraction float64 `json:"wanderer_fraction,omitempty"`
+	Blocks           int     `json:"blocks,omitempty"`
+	TurnProb         float64 `json:"turn_prob,omitempty"`
+	SteadyState      bool    `json:"steady_state,omitempty"`
+}
+
+func toFile(s Scenario) scenarioFile {
+	return scenarioFile{
+		Nodes:              s.Nodes,
+		Width:              s.Width,
+		Height:             s.Height,
+		Duration:           s.Duration,
+		Seed:               s.Seed,
+		Algorithm:          s.Algorithm,
+		TxRange:            s.TxRange,
+		BroadcastInterval:  s.BroadcastInterval,
+		TimeoutPeriod:      s.TimeoutPeriod,
+		ContentionInterval: s.ContentionInterval,
+		Warmup:             s.Warmup,
+		Propagation:        s.Propagation,
+		LossRate:           s.LossRate,
+		MovementFile:       s.MovementFile,
+		Mobility: mobilityFile{
+			Model:            s.Mobility.Model,
+			MinSpeed:         s.Mobility.MinSpeed,
+			MaxSpeed:         s.Mobility.MaxSpeed,
+			Pause:            s.Mobility.Pause,
+			Groups:           s.Mobility.Groups,
+			GroupRadius:      s.Mobility.GroupRadius,
+			LocalJitter:      s.Mobility.LocalJitter,
+			Lanes:            s.Mobility.Lanes,
+			LaneWidth:        s.Mobility.LaneWidth,
+			SpeedJitter:      s.Mobility.SpeedJitter,
+			Bidirectional:    s.Mobility.Bidirectional,
+			WandererFraction: s.Mobility.WandererFraction,
+			Blocks:           s.Mobility.Blocks,
+			TurnProb:         s.Mobility.TurnProb,
+			SteadyState:      s.Mobility.SteadyState,
+		},
+	}
+}
+
+func fromFile(f scenarioFile) Scenario {
+	return Scenario{
+		Nodes:              f.Nodes,
+		Width:              f.Width,
+		Height:             f.Height,
+		Duration:           f.Duration,
+		Seed:               f.Seed,
+		Algorithm:          f.Algorithm,
+		TxRange:            f.TxRange,
+		BroadcastInterval:  f.BroadcastInterval,
+		TimeoutPeriod:      f.TimeoutPeriod,
+		ContentionInterval: f.ContentionInterval,
+		Warmup:             f.Warmup,
+		Propagation:        f.Propagation,
+		LossRate:           f.LossRate,
+		MovementFile:       f.MovementFile,
+		Mobility: MobilitySpec{
+			Model:            f.Mobility.Model,
+			MinSpeed:         f.Mobility.MinSpeed,
+			MaxSpeed:         f.Mobility.MaxSpeed,
+			Pause:            f.Mobility.Pause,
+			Groups:           f.Mobility.Groups,
+			GroupRadius:      f.Mobility.GroupRadius,
+			LocalJitter:      f.Mobility.LocalJitter,
+			Lanes:            f.Mobility.Lanes,
+			LaneWidth:        f.Mobility.LaneWidth,
+			SpeedJitter:      f.Mobility.SpeedJitter,
+			Bidirectional:    f.Mobility.Bidirectional,
+			WandererFraction: f.Mobility.WandererFraction,
+			Blocks:           f.Mobility.Blocks,
+			TurnProb:         f.Mobility.TurnProb,
+			SteadyState:      f.Mobility.SteadyState,
+		},
+	}
+}
+
+// MarshalScenario encodes a scenario as indented JSON.
+func MarshalScenario(s Scenario) ([]byte, error) {
+	return json.MarshalIndent(toFile(s), "", "  ")
+}
+
+// UnmarshalScenario decodes a scenario from JSON, rejecting unknown fields
+// so typos in hand-written configs fail loudly instead of silently taking
+// defaults.
+func UnmarshalScenario(data []byte) (Scenario, error) {
+	var f scenarioFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return Scenario{}, fmt.Errorf("mobic: parsing scenario: %w", err)
+	}
+	return fromFile(f), nil
+}
+
+// ExportMovement generates the scenario's node movement and writes it as a
+// CMU/ns-2 `setdest` movement file, so scenarios built here can drive other
+// simulators (and be archived alongside results).
+func ExportMovement(s Scenario, path string) error {
+	cfg, err := s.config()
+	if err != nil {
+		return err
+	}
+	trs, err := cfg.Mobility.Generate(cfg.N, cfg.Duration, sim.NewStreams(cfg.Seed))
+	if err != nil {
+		return fmt.Errorf("mobic: generating movement: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mobic: creating movement file: %w", err)
+	}
+	err = mobility.WriteNS2(f, trs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("mobic: writing movement file: %w", err)
+	}
+	return nil
+}
+
+// LoadScenario reads a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("mobic: reading scenario: %w", err)
+	}
+	return UnmarshalScenario(data)
+}
+
+// SaveScenario writes a scenario JSON file.
+func SaveScenario(path string, s Scenario) error {
+	data, err := MarshalScenario(s)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("mobic: writing scenario: %w", err)
+	}
+	return nil
+}

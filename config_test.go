@@ -1,0 +1,217 @@
+package mobic
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s := Scenario{
+		Nodes:              30,
+		Width:              1000,
+		Height:             500,
+		Duration:           300,
+		Seed:               9,
+		Algorithm:          "mobic",
+		TxRange:            175,
+		BroadcastInterval:  1.5,
+		TimeoutPeriod:      4,
+		ContentionInterval: 6,
+		Warmup:             30,
+		Propagation:        "freespace",
+		LossRate:           0.1,
+		Mobility: MobilitySpec{
+			Model:            "rpgm",
+			MinSpeed:         1,
+			MaxSpeed:         12,
+			Pause:            5,
+			Groups:           3,
+			GroupRadius:      60,
+			LocalJitter:      4,
+			Lanes:            2,
+			LaneWidth:        4,
+			SpeedJitter:      0.2,
+			Bidirectional:    true,
+			WandererFraction: 0.3,
+			Blocks:           6,
+			TurnProb:         0.2,
+			SteadyState:      true,
+		},
+	}
+	data, err := MarshalScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestUnmarshalScenarioRejectsUnknownFields(t *testing.T) {
+	_, err := UnmarshalScenario([]byte(`{"tx_range": 100, "txrange": 200}`))
+	if err == nil {
+		t.Error("unknown field should be rejected")
+	}
+}
+
+func TestUnmarshalScenarioRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalScenario([]byte(`{not json`)); err == nil {
+		t.Error("invalid JSON should error")
+	}
+}
+
+func TestLoadSaveScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	s := PaperScenario(150)
+	s.Mobility.Model = "highway"
+	if err := SaveScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Errorf("load mismatch: %+v vs %+v", got, s)
+	}
+}
+
+func TestLoadScenarioMissingFile(t *testing.T) {
+	if _, err := LoadScenario("/nonexistent/scenario.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestMarshalScenarioOmitsDefaults(t *testing.T) {
+	data, err := MarshalScenario(Scenario{TxRange: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if strings.Contains(out, "loss_rate") || strings.Contains(out, "warmup") {
+		t.Errorf("zero fields should be omitted:\n%s", out)
+	}
+	if !strings.Contains(out, `"tx_range": 100`) {
+		t.Errorf("tx_range must always be present:\n%s", out)
+	}
+}
+
+func TestExportAndReplayMovement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "movement.tcl")
+	s := PaperScenario(150)
+	s.Nodes = 10
+	s.Duration = 60
+	if err := ExportMovement(s, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the exported movement must reproduce the original run
+	// exactly (same hello jitter seed, same positions).
+	orig, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := s
+	replay.MovementFile = path
+	replayed, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.ClusterheadChanges != replayed.ClusterheadChanges ||
+		orig.Deliveries != replayed.Deliveries {
+		t.Errorf("replay differs: %+v vs %+v", orig, replayed)
+	}
+}
+
+func TestMovementFileNodeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "movement.tcl")
+	s := PaperScenario(150)
+	s.Nodes = 10
+	s.Duration = 60
+	if err := ExportMovement(s, path); err != nil {
+		t.Fatal(err)
+	}
+	bad := s
+	bad.MovementFile = path
+	bad.Nodes = 20 // file has 10
+	if _, err := Run(bad); err == nil {
+		t.Error("node-count mismatch should error")
+	}
+}
+
+func TestMovementFileMissing(t *testing.T) {
+	s := PaperScenario(150)
+	s.MovementFile = "/no/such/movement.tcl"
+	if _, err := Run(s); err == nil {
+		t.Error("missing movement file should error")
+	}
+}
+
+func TestScenarioJSONCarriesMovementFile(t *testing.T) {
+	s := PaperScenario(100)
+	s.MovementFile = "trace.tcl"
+	data, err := MarshalScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MovementFile != "trace.tcl" {
+		t.Errorf("MovementFile lost in round trip: %+v", got)
+	}
+}
+
+func TestShippedScenarioFilesLoadAndRun(t *testing.T) {
+	files, err := filepath.Glob("examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected shipped scenario files, found %v", files)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Trim for test speed; the file's structure is what matters.
+			s.Duration = 30
+			if s.Nodes > 20 {
+				s.Nodes = 20
+			}
+			if _, err := Run(s); err != nil {
+				t.Errorf("scenario %s failed: %v", path, err)
+			}
+		})
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	s := PaperScenario(150)
+	s.Nodes = 12
+	s.Duration = 60
+	if err := SaveScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(loaded); err != nil {
+		t.Fatalf("loaded scenario failed to run: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+// Package mobic is a stdlib-only Go reproduction of "A Mobility Based
+// Metric for Clustering in Mobile Ad Hoc Networks" (P. Basu, N. Khan,
+// T.D.C. Little — ICDCS 2001 Workshops).
+//
+// The library contains a complete discrete-event MANET simulator (mobility
+// models, radio propagation, hello beaconing with neighbor timeouts) and
+// five distributed 2-hop clustering algorithms on top of it:
+//
+//   - MOBIC, the paper's contribution: clusterheads are the nodes with the
+//     lowest aggregate local mobility, measured purely from the ratio of
+//     received powers of successive hello packets — no GPS, no velocity
+//     knowledge.
+//   - Lowest-ID and LCC ("least clusterhead change"), the baselines.
+//   - Max-connectivity (highest degree) and DCA (generic weights).
+//
+// # Quick start
+//
+//	res, err := mobic.Run(mobic.PaperScenario(250))
+//	if err != nil { ... }
+//	fmt.Println(res.ClusterheadChanges)
+//
+// Compare algorithms on an identical scenario (same seed, same movement):
+//
+//	byAlg, err := mobic.Compare(mobic.PaperScenario(250), "lcc", "mobic")
+//
+// The full evaluation harness that regenerates every table and figure of
+// the paper lives in cmd/experiments; per-package simulation building
+// blocks live under internal/ (see DESIGN.md for the system inventory).
+package mobic

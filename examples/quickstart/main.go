@@ -1,0 +1,38 @@
+// Quickstart: reproduce the paper's headline claim in one screenful.
+//
+// Runs the paper's Figure 3 workload (50 nodes, 670x670 m, random waypoint
+// at up to 20 m/s) at Tx = 250 m under the Lowest-ID (LCC) baseline and
+// MOBIC, on the *same* node movement, and reports the reduction in
+// clusterhead changes (the paper reports up to 33%).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobic"
+)
+
+func main() {
+	scenario := mobic.PaperScenario(250) // Table 1 defaults, Tx = 250 m
+
+	byAlg, err := mobic.Compare(scenario, "lcc", "mobic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcc, mob := byAlg["lcc"], byAlg["mobic"]
+
+	fmt.Println("MOBIC quickstart — paper Figure 3 at Tx = 250 m")
+	fmt.Println()
+	fmt.Printf("%-22s %12s %12s\n", "", "lowest-id", "mobic")
+	fmt.Printf("%-22s %12d %12d\n", "clusterhead changes", lcc.ClusterheadChanges, mob.ClusterheadChanges)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "avg clusters", lcc.AvgClusters, mob.AvgClusters)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "CH tenure (s)", lcc.MeanResidenceSeconds, mob.MeanResidenceSeconds)
+	fmt.Println()
+
+	gain := 100 * (1 - float64(mob.ClusterheadChanges)/float64(lcc.ClusterheadChanges))
+	fmt.Printf("MOBIC reduces clusterhead changes by %.0f%% (paper: up to 33%%).\n", gain)
+	fmt.Println("Both runs used identical node movement; only the election weight differs.")
+}

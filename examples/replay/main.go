@@ -1,0 +1,64 @@
+// Replay: drive the simulator from artifact files, the workflow a
+// measurement study would use — a JSON scenario plus a CMU/ns-2 `setdest`
+// movement file, so the exact same movement can be replayed under different
+// algorithms (or exported to ns-2 itself).
+//
+//	go run ./examples/replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mobic"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "mobic-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("cleanup: %v", err)
+		}
+	}()
+
+	// 1. Build a scenario and archive both its config and its exact node
+	// movement.
+	scenario := mobic.PaperScenario(200)
+	scenario.Duration = 300
+	configPath := filepath.Join(dir, "scenario.json")
+	movementPath := filepath.Join(dir, "movement.tcl")
+	if err := mobic.SaveScenario(configPath, scenario); err != nil {
+		log.Fatal(err)
+	}
+	if err := mobic.ExportMovement(scenario, movementPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("archived", configPath)
+	fmt.Println("archived", movementPath, "(ns-2 setdest format)")
+
+	// 2. Reload the scenario and replay the archived movement under every
+	// algorithm — identical topology dynamics, different elections.
+	loaded, err := mobic.LoadScenario(configPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded.MovementFile = movementPath
+
+	fmt.Printf("\n%-18s %12s %14s %14s\n", "algorithm", "CH changes", "avg clusters", "CH tenure (s)")
+	for _, alg := range []string{"lowest-id", "lcc", "mobic", "mobic-pairhistory"} {
+		s := loaded
+		s.Algorithm = alg
+		res, err := mobic.Run(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12d %14.1f %14.1f\n",
+			alg, res.ClusterheadChanges, res.AvgClusters, res.MeanResidenceSeconds)
+	}
+	fmt.Println("\nEvery row replayed the byte-identical movement file.")
+}

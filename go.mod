@@ -1,0 +1,3 @@
+module mobic
+
+go 1.22

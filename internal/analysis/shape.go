@@ -1,0 +1,144 @@
+// Package analysis provides curve-shape primitives used to check the
+// paper's qualitative claims programmatically: peak location, monotonicity,
+// series crossovers and relative gains. The experiment harness's "claims"
+// experiment turns EXPERIMENTS.md's checklist into executable assertions.
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrMismatch is returned when paired series have different lengths.
+var ErrMismatch = errors.New("analysis: series length mismatch")
+
+// PeakIndex returns the index of the maximum of ys (first one on ties) and
+// false for an empty slice.
+func PeakIndex(ys []float64) (int, bool) {
+	if len(ys) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i, y := range ys {
+		if y > ys[best] {
+			best = i
+		}
+	}
+	return best, true
+}
+
+// IsUnimodal reports whether ys rises to a single peak and then falls,
+// tolerating wobbles up to tol (relative to the peak value). Monotone
+// series count as unimodal with the peak at an end.
+func IsUnimodal(ys []float64, tol float64) bool {
+	peak, ok := PeakIndex(ys)
+	if !ok {
+		return false
+	}
+	slack := tol * ys[peak]
+	for i := 1; i <= peak; i++ {
+		if ys[i] < ys[i-1]-slack {
+			return false
+		}
+	}
+	for i := peak + 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]+slack {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonIncreasing reports whether ys never rises by more than tol (relative
+// to the running level).
+func IsNonIncreasing(ys []float64, tol float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]*(1+tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonDecreasing reports whether ys never falls by more than tol.
+func IsNonDecreasing(ys []float64, tol float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]*(1-tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelGain returns (base-other)/base: the fractional improvement of `other`
+// over `base` for lower-is-better metrics. Zero base gives 0.
+func RelGain(base, other float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - other) / base
+}
+
+// MaxRelGain returns the largest pointwise RelGain of b over a, and the x
+// index where it occurs.
+func MaxRelGain(a, b []float64) (gain float64, at int, err error) {
+	if len(a) != len(b) {
+		return 0, 0, ErrMismatch
+	}
+	gain = math.Inf(-1)
+	for i := range a {
+		if g := RelGain(a[i], b[i]); g > gain {
+			gain, at = g, i
+		}
+	}
+	if math.IsInf(gain, -1) {
+		return 0, 0, errors.New("analysis: empty series")
+	}
+	return gain, at, nil
+}
+
+// CrossoverX returns the interpolated x at which series b first drops below
+// series a for good (i.e., the last sign change of b-a from >= 0 to < 0),
+// or false when b is below a everywhere or above a everywhere.
+//
+// Intended for the paper's "MOBIC starts to outperform Lowest-ID at Tx ≈
+// ..." claims, where a is the baseline and b the challenger (lower wins).
+func CrossoverX(xs, a, b []float64) (float64, bool) {
+	if len(xs) != len(a) || len(xs) != len(b) || len(xs) == 0 {
+		return 0, false
+	}
+	lastCross := -1
+	for i := 1; i < len(xs); i++ {
+		prevDiff := b[i-1] - a[i-1]
+		currDiff := b[i] - a[i]
+		if prevDiff >= 0 && currDiff < 0 {
+			lastCross = i
+		}
+	}
+	if lastCross < 0 {
+		return 0, false
+	}
+	i := lastCross
+	prevDiff := b[i-1] - a[i-1]
+	currDiff := b[i] - a[i]
+	span := prevDiff - currDiff
+	if span <= 0 {
+		return xs[i], true
+	}
+	frac := prevDiff / span
+	return xs[i-1] + frac*(xs[i]-xs[i-1]), true
+}
+
+// AllBelow reports whether b is below a at every point (lower-is-better
+// dominance), within a tolerance fraction of a.
+func AllBelow(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if b[i] > a[i]*(1+tol) {
+			return false
+		}
+	}
+	return true
+}

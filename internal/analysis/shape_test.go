@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeakIndex(t *testing.T) {
+	tests := []struct {
+		name string
+		ys   []float64
+		want int
+		ok   bool
+	}{
+		{name: "empty", ys: nil, ok: false},
+		{name: "single", ys: []float64{5}, want: 0, ok: true},
+		{name: "middle", ys: []float64{1, 5, 2}, want: 1, ok: true},
+		{name: "first on tie", ys: []float64{5, 5, 2}, want: 0, ok: true},
+		{name: "end", ys: []float64{1, 2, 3}, want: 2, ok: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := PeakIndex(tt.ys)
+			if ok != tt.ok || (ok && got != tt.want) {
+				t.Errorf("PeakIndex = %d, %v; want %d, %v", got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+func TestIsUnimodal(t *testing.T) {
+	tests := []struct {
+		name string
+		ys   []float64
+		tol  float64
+		want bool
+	}{
+		{name: "clean peak", ys: []float64{1, 3, 5, 4, 2}, want: true},
+		{name: "monotone up", ys: []float64{1, 2, 3}, want: true},
+		{name: "monotone down", ys: []float64{3, 2, 1}, want: true},
+		{name: "valley", ys: []float64{5, 1, 5}, want: false},
+		{name: "wobble within tol", ys: []float64{1, 5, 4.9, 4.95, 3}, tol: 0.05, want: true},
+		{name: "wobble beyond tol", ys: []float64{1, 5, 3, 4.5, 2}, tol: 0.05, want: false},
+		{name: "empty", ys: nil, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsUnimodal(tt.ys, tt.tol); got != tt.want {
+				t.Errorf("IsUnimodal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	if !IsNonIncreasing([]float64{5, 4, 4, 1}, 0) {
+		t.Error("strictly falling should pass")
+	}
+	if IsNonIncreasing([]float64{5, 6, 4}, 0.01) {
+		t.Error("20% rise should fail at 1% tol")
+	}
+	if !IsNonIncreasing([]float64{5, 5.1, 4}, 0.05) {
+		t.Error("2% rise should pass at 5% tol")
+	}
+	if !IsNonDecreasing([]float64{1, 2, 2, 5}, 0) {
+		t.Error("rising should pass")
+	}
+	if IsNonDecreasing([]float64{5, 2}, 0.1) {
+		t.Error("60% fall should fail")
+	}
+}
+
+func TestRelGain(t *testing.T) {
+	if got := RelGain(100, 67); math.Abs(got-0.33) > 1e-9 {
+		t.Errorf("RelGain = %v, want 0.33", got)
+	}
+	if got := RelGain(0, 5); got != 0 {
+		t.Errorf("zero base = %v, want 0", got)
+	}
+	if got := RelGain(100, 120); got != -0.2 {
+		t.Errorf("regression = %v, want -0.2", got)
+	}
+}
+
+func TestMaxRelGain(t *testing.T) {
+	gain, at, err := MaxRelGain([]float64{100, 200, 300}, []float64{90, 100, 280})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 1 || math.Abs(gain-0.5) > 1e-9 {
+		t.Errorf("MaxRelGain = %v at %d, want 0.5 at 1", gain, at)
+	}
+	if _, _, err := MaxRelGain([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := MaxRelGain(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestCrossoverX(t *testing.T) {
+	xs := []float64{0, 10, 20, 30}
+	a := []float64{10, 10, 10, 10}
+
+	// b crosses below a between x=10 and x=20, exactly midway.
+	b := []float64{12, 11, 9, 8}
+	x, ok := CrossoverX(xs, a, b)
+	if !ok {
+		t.Fatal("crossover not found")
+	}
+	if math.Abs(x-15) > 1e-9 {
+		t.Errorf("crossover at %v, want 15", x)
+	}
+
+	// b below everywhere: no crossover.
+	if _, ok := CrossoverX(xs, a, []float64{1, 1, 1, 1}); ok {
+		t.Error("always-below should report no crossover")
+	}
+	// b above everywhere.
+	if _, ok := CrossoverX(xs, a, []float64{20, 20, 20, 20}); ok {
+		t.Error("always-above should report no crossover")
+	}
+	// Multiple crossings: last one wins.
+	b2 := []float64{9, 12, 8, 7}
+	x, ok = CrossoverX(xs, a, b2)
+	if !ok || x < 10 || x > 20 {
+		t.Errorf("multi-cross: got %v, %v; want in (10,20)", x, ok)
+	}
+	// Mismatched lengths.
+	if _, ok := CrossoverX(xs, a, []float64{1}); ok {
+		t.Error("length mismatch should report false")
+	}
+}
+
+func TestAllBelow(t *testing.T) {
+	a := []float64{10, 20, 30}
+	if !AllBelow(a, []float64{9, 19, 29}, 0) {
+		t.Error("strictly below should pass")
+	}
+	if AllBelow(a, []float64{9, 25, 29}, 0.1) {
+		t.Error("25 > 20*1.1 should fail")
+	}
+	if !AllBelow(a, []float64{10.5, 19, 29}, 0.1) {
+		t.Error("within tolerance should pass")
+	}
+	if AllBelow(a, []float64{1, 2}, 0) {
+		t.Error("length mismatch should fail")
+	}
+}

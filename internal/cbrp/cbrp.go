@@ -1,0 +1,439 @@
+// Package cbrp implements a CBRP-lite cluster-based routing protocol on top
+// of the clustered MANET — the integration the paper names as its next step
+// ("A cluster-based routing protocol like CBRP that runs on top of the
+// Lowest-ID scheme can also run on top of MOBIC with minimum changes",
+// Section 3.2, and the Section 5 future work).
+//
+// The protocol is deliberately a *lite* CBRP: source routing with
+// backbone-constrained route discovery.
+//
+//   - Route request (RREQ): one-hop broadcasts, re-forwarded only by
+//     backbone nodes — clusterheads, undecided nodes, and members that hear
+//     two or more clusterheads (gateways). Each RREQ records the path it
+//     took; duplicates are suppressed per (source, request id).
+//   - Route reply (RREP): unicast hop-by-hop along the reversed recorded
+//     path back to the source, which installs the route.
+//   - Data: unicast hop-by-hop along the installed source route. A
+//     forwarding failure (next hop out of range) sends a route error (RERR)
+//     back along the traversed prefix; the source invalidates the route and
+//     rediscovers on the next data packet.
+//
+// Because the backbone is the cluster structure, the protocol's delivery
+// ratio and control overhead directly reflect cluster stability — which is
+// exactly what the paper argues MOBIC improves.
+package cbrp
+
+import (
+	"fmt"
+
+	"mobic/internal/cluster"
+	"mobic/internal/simnet"
+)
+
+// Config parameterizes the protocol and its synthetic workload.
+type Config struct {
+	// Flows is the number of concurrent (source, destination) data flows.
+	Flows int
+	// DataInterval is the per-flow data packet period in seconds.
+	DataInterval float64
+	// StartAt delays the first data packet so clusters can form.
+	StartAt float64
+	// RouteTTL invalidates installed routes after this many seconds.
+	RouteTTL float64
+	// MaxPathLen drops RREQs whose recorded path exceeds this many nodes.
+	MaxPathLen int
+	// FlatFlooding disables the backbone restriction: every node forwards
+	// RREQs (the DSR-style baseline for overhead comparison).
+	FlatFlooding bool
+	// LocalRepair enables CBRP's route-salvage behaviour: a forwarder
+	// whose next hop has become unreachable splices one of its current
+	// neighbors into the source route instead of dropping the packet.
+	LocalRepair bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Flows <= 0 {
+		c.Flows = 10
+	}
+	if c.DataInterval <= 0 {
+		c.DataInterval = 4
+	}
+	if c.StartAt <= 0 {
+		c.StartAt = 20
+	}
+	if c.RouteTTL <= 0 {
+		c.RouteTTL = 30
+	}
+	if c.MaxPathLen <= 0 {
+		c.MaxPathLen = 16
+	}
+	return c
+}
+
+// packet kinds carried as simnet.Payload.
+type rreq struct {
+	id   uint64
+	src  int32
+	dst  int32
+	path []int32 // nodes traversed, src first
+}
+
+type rrep struct {
+	src    int32
+	dst    int32
+	path   []int32 // full route src..dst
+	hopIdx int     // index of the node currently holding the packet
+}
+
+type dataPkt struct {
+	src    int32
+	dst    int32
+	seq    uint64
+	path   []int32
+	hopIdx int
+	sentAt float64
+}
+
+type rerr struct {
+	src    int32
+	path   []int32 // prefix the data packet had traversed, src first
+	hopIdx int     // index of the node currently holding the packet
+}
+
+// flow is one synthetic traffic pair.
+type flow struct {
+	src, dst int32
+	nextSeq  uint64
+}
+
+// route is an installed source route.
+type route struct {
+	path      []int32
+	expiresAt float64
+}
+
+// Stats aggregates protocol outcomes for one run.
+type Stats struct {
+	// DataSent and DataDelivered count data packets end to end.
+	DataSent, DataDelivered uint64
+	// RREQTx, RREPTx, RERRTx and DataTx count per-hop transmissions.
+	RREQTx, RREPTx, RERRTx, DataTx uint64
+	// Discoveries counts completed route discoveries; DiscoveryLatency is
+	// their cumulative latency in seconds.
+	Discoveries      uint64
+	DiscoveryLatency float64
+	// RouteBreaks counts forwarding failures on installed routes.
+	RouteBreaks uint64
+	// Repairs counts packets salvaged by local repair after a break.
+	Repairs uint64
+	// HopsSum accumulates delivered packets' hop counts.
+	HopsSum uint64
+}
+
+// DeliveryRatio returns delivered/sent (0 when nothing was sent).
+func (s Stats) DeliveryRatio() float64 {
+	if s.DataSent == 0 {
+		return 0
+	}
+	return float64(s.DataDelivered) / float64(s.DataSent)
+}
+
+// ControlTx returns the total control-plane transmissions.
+func (s Stats) ControlTx() uint64 { return s.RREQTx + s.RREPTx + s.RERRTx }
+
+// MeanDiscoveryLatency returns the average route discovery time in seconds.
+func (s Stats) MeanDiscoveryLatency() float64 {
+	if s.Discoveries == 0 {
+		return 0
+	}
+	return s.DiscoveryLatency / float64(s.Discoveries)
+}
+
+// MeanHops returns the average delivered-path length in hops.
+func (s Stats) MeanHops() float64 {
+	if s.DataDelivered == 0 {
+		return 0
+	}
+	return float64(s.HopsSum) / float64(s.DataDelivered)
+}
+
+// Protocol is the CBRP-lite app. Create with New, pass in
+// simnet.Config.Apps, and read Stats() after the run.
+type Protocol struct {
+	cfg Config
+	api simnet.AppAPI
+
+	flows      []flow
+	routes     map[int32]map[int32]*route // src -> dst -> route
+	seenRREQ   map[string]bool
+	pendingReq map[pairKey]float64 // (src,dst) -> earliest request time
+	nextReqID  uint64
+	stats      Stats
+}
+
+// pairKey identifies a (source, destination) pair.
+type pairKey struct {
+	src, dst int32
+}
+
+// New returns a protocol instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:        cfg.withDefaults(),
+		routes:     make(map[int32]map[int32]*route),
+		seenRREQ:   make(map[string]bool),
+		pendingReq: make(map[pairKey]float64),
+	}
+}
+
+// Name implements simnet.App.
+func (p *Protocol) Name() string { return "cbrp" }
+
+// Stats returns the accumulated protocol statistics.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// Start implements simnet.App: set up flows and the data schedule.
+func (p *Protocol) Start(api simnet.AppAPI) {
+	p.api = api
+	n := api.NodeCount()
+	for i := 0; i < p.cfg.Flows; i++ {
+		src := int32(api.Rand() * float64(n))
+		dst := int32(api.Rand() * float64(n))
+		if src == dst {
+			dst = (dst + 1) % int32(n)
+		}
+		p.flows = append(p.flows, flow{src: src, dst: dst})
+	}
+	for fi := range p.flows {
+		fi := fi
+		// Stagger flows across one interval.
+		offset := p.cfg.StartAt + api.Rand()*p.cfg.DataInterval
+		_ = api.After(offset, func(now float64) { p.flowTick(fi, now) })
+	}
+}
+
+// flowTick emits one data packet for the flow and reschedules itself.
+func (p *Protocol) flowTick(fi int, now float64) {
+	f := &p.flows[fi]
+	p.stats.DataSent++
+	if r := p.liveRoute(f.src, f.dst, now); r != nil {
+		p.sendData(f, r, now)
+	} else {
+		p.discover(f.src, f.dst, now)
+		// The packet that triggered discovery is lost (no send buffer in
+		// the lite protocol) — counted as sent, not delivered.
+	}
+	_ = p.api.After(p.cfg.DataInterval, func(t float64) { p.flowTick(fi, t) })
+}
+
+// liveRoute returns the installed unexpired route, or nil.
+func (p *Protocol) liveRoute(src, dst int32, now float64) *route {
+	r := p.routes[src][dst]
+	if r == nil || now >= r.expiresAt {
+		return nil
+	}
+	return r
+}
+
+// installRoute records a discovered route at the source.
+func (p *Protocol) installRoute(src, dst int32, path []int32, now float64) {
+	if p.routes[src] == nil {
+		p.routes[src] = make(map[int32]*route)
+	}
+	p.routes[src][dst] = &route{path: path, expiresAt: now + p.cfg.RouteTTL}
+}
+
+// invalidateRoute drops the installed route.
+func (p *Protocol) invalidateRoute(src, dst int32) {
+	delete(p.routes[src], dst)
+}
+
+func reqKey(src int32, id uint64) string { return fmt.Sprintf("%d/%d", src, id) }
+
+// discover floods an RREQ from src.
+func (p *Protocol) discover(src, dst int32, now float64) {
+	p.nextReqID++
+	req := rreq{id: p.nextReqID, src: src, dst: dst, path: []int32{src}}
+	p.seenRREQ[reqKey(src, req.id)] = true
+	// Latency is measured per attempt: a reply closes the *latest*
+	// request, so a failed flood followed by a successful one does not
+	// charge the dead time in between to discovery latency.
+	p.pendingReq[pairKey{src, dst}] = now
+	p.stats.RREQTx++
+	p.api.Broadcast(src, req)
+}
+
+// forwards reports whether node id relays RREQs: the cluster backbone, or
+// everyone under flat flooding.
+func (p *Protocol) forwards(id int32) bool {
+	if p.cfg.FlatFlooding {
+		return true
+	}
+	switch p.api.Role(id) {
+	case cluster.RoleHead, cluster.RoleUndecided:
+		return true
+	default:
+		return len(p.api.AudibleHeads(id)) >= 2
+	}
+}
+
+// OnBroadcast implements simnet.App: RREQ handling.
+func (p *Protocol) OnBroadcast(now float64, from, at int32, payload simnet.Payload) {
+	req, ok := payload.(rreq)
+	if !ok {
+		return
+	}
+	if containsNode(req.path, at) {
+		return // loop
+	}
+	key := fmt.Sprintf("%s@%d", reqKey(req.src, req.id), at)
+	if p.seenRREQ[key] {
+		return // duplicate at this node
+	}
+	p.seenRREQ[key] = true
+
+	path := append(append([]int32(nil), req.path...), at)
+	if at == req.dst {
+		// Destination: reply along the reversed path.
+		rep := rrep{src: req.src, dst: req.dst, path: path, hopIdx: len(path) - 1}
+		p.forwardRREP(rep, now)
+		return
+	}
+	if len(path) >= p.cfg.MaxPathLen {
+		return
+	}
+	if !p.forwards(at) {
+		return
+	}
+	p.stats.RREQTx++
+	p.api.Broadcast(at, rreq{id: req.id, src: req.src, dst: req.dst, path: path})
+}
+
+// forwardRREP moves the reply one hop toward the source.
+func (p *Protocol) forwardRREP(rep rrep, now float64) {
+	if rep.hopIdx == 0 {
+		// Arrived at the source: install and close the pending discovery.
+		p.installRoute(rep.src, rep.dst, rep.path, now)
+		if t0, ok := p.pendingReq[pairKey{rep.src, rep.dst}]; ok {
+			p.stats.Discoveries++
+			p.stats.DiscoveryLatency += now - t0
+			delete(p.pendingReq, pairKey{rep.src, rep.dst})
+		}
+		return
+	}
+	holder := rep.path[rep.hopIdx]
+	next := rep.path[rep.hopIdx-1]
+	p.stats.RREPTx++
+	if p.api.Unicast(holder, next, rrep{src: rep.src, dst: rep.dst, path: rep.path, hopIdx: rep.hopIdx - 1}) {
+		return
+	}
+	// Reverse path broke already; the source will simply re-discover.
+}
+
+// OnUnicast implements simnet.App: RREP, data and RERR forwarding.
+func (p *Protocol) OnUnicast(now float64, from, at int32, payload simnet.Payload) {
+	switch pkt := payload.(type) {
+	case rrep:
+		p.forwardRREP(pkt, now)
+	case dataPkt:
+		p.forwardData(pkt, now)
+	case rerr:
+		p.forwardRERR(pkt, now)
+	}
+}
+
+// sendData launches a data packet along the installed route.
+func (p *Protocol) sendData(f *flow, r *route, now float64) {
+	f.nextSeq++
+	pkt := dataPkt{src: f.src, dst: f.dst, seq: f.nextSeq, path: r.path, hopIdx: 0, sentAt: now}
+	p.forwardData(pkt, now)
+}
+
+// forwardData moves the packet one hop along its source route.
+func (p *Protocol) forwardData(pkt dataPkt, now float64) {
+	at := pkt.path[pkt.hopIdx]
+	if at == pkt.dst {
+		p.stats.DataDelivered++
+		p.stats.HopsSum += uint64(len(pkt.path) - 1)
+		return
+	}
+	next := pkt.path[pkt.hopIdx+1]
+	p.stats.DataTx++
+	if p.api.Unicast(at, next, dataPkt{
+		src: pkt.src, dst: pkt.dst, seq: pkt.seq,
+		path: pkt.path, hopIdx: pkt.hopIdx + 1, sentAt: pkt.sentAt,
+	}) {
+		return
+	}
+	// Link broke.
+	p.stats.RouteBreaks++
+	if p.cfg.LocalRepair && p.tryLocalRepair(pkt, at, next) {
+		p.stats.Repairs++
+		return
+	}
+	// Unsalvageable: send a route error back along the traversed prefix.
+	e := rerr{src: pkt.src, path: pkt.path[:pkt.hopIdx+1], hopIdx: pkt.hopIdx}
+	p.forwardRERR(e, now)
+	// The destination of the broken flow:
+	p.invalidateOnBreak(pkt.src, pkt.dst, at)
+}
+
+// tryLocalRepair splices a current neighbor of the stuck forwarder into the
+// source route, hoping it can still reach the lost next hop (CBRP's local
+// repair, one level deep). Returns true when the packet was handed off.
+func (p *Protocol) tryLocalRepair(pkt dataPkt, at, next int32) bool {
+	for _, nb := range p.api.Neighbors(at) {
+		if nb == next || containsNode(pkt.path, nb) {
+			continue
+		}
+		spliced := make([]int32, 0, len(pkt.path)+1)
+		spliced = append(spliced, pkt.path[:pkt.hopIdx+1]...)
+		spliced = append(spliced, nb)
+		spliced = append(spliced, pkt.path[pkt.hopIdx+1:]...)
+		p.stats.DataTx++
+		if p.api.Unicast(at, nb, dataPkt{
+			src: pkt.src, dst: pkt.dst, seq: pkt.seq,
+			path: spliced, hopIdx: pkt.hopIdx + 1, sentAt: pkt.sentAt,
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateOnBreak drops the route at the source immediately if the break
+// happened at the source itself (no RERR needed).
+func (p *Protocol) invalidateOnBreak(src, dst, at int32) {
+	if at == src {
+		p.invalidateRoute(src, dst)
+	}
+}
+
+// forwardRERR moves the error back toward the source; on arrival the source
+// invalidates every route through the broken node pair (lite: all routes
+// from this source).
+func (p *Protocol) forwardRERR(e rerr, now float64) {
+	if e.hopIdx == 0 {
+		// At the source: drop all its routes (lite semantics: the exact
+		// broken link is not carried, and rediscovery is cheap).
+		delete(p.routes, e.src)
+		return
+	}
+	holder := e.path[e.hopIdx]
+	next := e.path[e.hopIdx-1]
+	p.stats.RERRTx++
+	if !p.api.Unicast(holder, next, rerr{src: e.src, path: e.path, hopIdx: e.hopIdx - 1}) {
+		// Reverse path broke too; the source's route will age out via TTL.
+		return
+	}
+}
+
+func containsNode(path []int32, id int32) bool {
+	for _, v := range path {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package cbrp
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+	"mobic/internal/simnet"
+)
+
+func runWithProtocol(t *testing.T, cfg Config, netMut func(*simnet.Config)) *Protocol {
+	t.Helper()
+	p := New(cfg)
+	area := geom.Square(670)
+	scfg := simnet.Config{
+		N:         40,
+		Area:      area,
+		Duration:  300,
+		Seed:      5,
+		Algorithm: cluster.MOBIC,
+		Mobility:  &mobility.RandomWaypoint{Area: area, MaxSpeed: 10},
+		TxRange:   250,
+		Apps:      []simnet.App{p},
+	}
+	if netMut != nil {
+		netMut(&scfg)
+	}
+	net, err := simnet.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Flows <= 0 || c.DataInterval <= 0 || c.RouteTTL <= 0 || c.MaxPathLen <= 0 || c.StartAt <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestProtocolDeliversData(t *testing.T) {
+	p := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, nil)
+	s := p.Stats()
+	if s.DataSent == 0 {
+		t.Fatal("no data sent")
+	}
+	if s.DataDelivered == 0 {
+		t.Fatal("no data delivered")
+	}
+	if s.Discoveries == 0 {
+		t.Error("no route discoveries completed")
+	}
+	if ratio := s.DeliveryRatio(); ratio < 0.3 {
+		t.Errorf("delivery ratio = %.2f, expected a mostly-connected 250 m network to deliver", ratio)
+	}
+	if s.MeanHops() < 1 {
+		t.Errorf("MeanHops = %v, want >= 1", s.MeanHops())
+	}
+	if s.MeanDiscoveryLatency() <= 0 {
+		t.Errorf("discovery latency = %v, want positive (hop delay)", s.MeanDiscoveryLatency())
+	}
+}
+
+func TestProtocolDeterminism(t *testing.T) {
+	a := runWithProtocol(t, Config{Flows: 6}, nil).Stats()
+	b := runWithProtocol(t, Config{Flows: 6}, nil).Stats()
+	if a != b {
+		t.Errorf("same seed gave different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFlatFloodingCostsMoreControl(t *testing.T) {
+	backbone := runWithProtocol(t, Config{Flows: 8}, nil).Stats()
+	flat := runWithProtocol(t, Config{Flows: 8, FlatFlooding: true}, nil).Stats()
+	if flat.RREQTx <= backbone.RREQTx {
+		t.Errorf("flat flooding RREQ tx (%d) should exceed backbone (%d)",
+			flat.RREQTx, backbone.RREQTx)
+	}
+	// Both should deliver comparably on a well-connected topology.
+	if backbone.DeliveryRatio() < flat.DeliveryRatio()-0.25 {
+		t.Errorf("backbone PDR %.2f far below flat %.2f",
+			backbone.DeliveryRatio(), flat.DeliveryRatio())
+	}
+}
+
+func TestRouteBreaksTriggerRediscovery(t *testing.T) {
+	// High speed forces route breaks within the run.
+	p := runWithProtocol(t, Config{Flows: 8, DataInterval: 3, RouteTTL: 300}, func(c *simnet.Config) {
+		c.Mobility = &mobility.RandomWaypoint{Area: c.Area, MaxSpeed: 30}
+		c.TxRange = 150
+	})
+	s := p.Stats()
+	if s.RouteBreaks == 0 {
+		t.Error("expected route breaks at 30 m/s with Tx 150")
+	}
+	if s.Discoveries < 2 {
+		t.Errorf("expected rediscoveries after breaks, got %d", s.Discoveries)
+	}
+}
+
+func TestLocalRepairSalvagesPackets(t *testing.T) {
+	base := Config{Flows: 10, DataInterval: 3, RouteTTL: 60}
+	highMobility := func(c *simnet.Config) {
+		c.Mobility = &mobility.RandomWaypoint{Area: c.Area, MaxSpeed: 30}
+		c.TxRange = 150
+	}
+	plain := runWithProtocol(t, base, highMobility).Stats()
+	repairCfg := base
+	repairCfg.LocalRepair = true
+	repaired := runWithProtocol(t, repairCfg, highMobility).Stats()
+
+	if plain.Repairs != 0 {
+		t.Error("repairs counted with LocalRepair off")
+	}
+	if repaired.Repairs == 0 {
+		t.Fatal("no repairs performed in a high-break scenario")
+	}
+	if repaired.DeliveryRatio() <= plain.DeliveryRatio() {
+		t.Errorf("local repair should raise PDR: %.3f vs %.3f",
+			repaired.DeliveryRatio(), plain.DeliveryRatio())
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.DeliveryRatio() != 0 || s.MeanHops() != 0 || s.MeanDiscoveryLatency() != 0 {
+		t.Error("zero stats should return zeros, not NaN")
+	}
+	s = Stats{
+		DataSent: 10, DataDelivered: 5, HopsSum: 15,
+		RREQTx: 3, RREPTx: 2, RERRTx: 1,
+		Discoveries: 2, DiscoveryLatency: 1.0,
+	}
+	if s.DeliveryRatio() != 0.5 {
+		t.Errorf("DeliveryRatio = %v", s.DeliveryRatio())
+	}
+	if s.MeanHops() != 3 {
+		t.Errorf("MeanHops = %v", s.MeanHops())
+	}
+	if s.ControlTx() != 6 {
+		t.Errorf("ControlTx = %v", s.ControlTx())
+	}
+	if s.MeanDiscoveryLatency() != 0.5 {
+		t.Errorf("MeanDiscoveryLatency = %v", s.MeanDiscoveryLatency())
+	}
+}
+
+func TestStaticNetworkHighDelivery(t *testing.T) {
+	p := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, func(c *simnet.Config) {
+		c.Mobility = &mobility.Static{Area: c.Area}
+	})
+	s := p.Stats()
+	if s.DataSent == 0 {
+		t.Fatal("no data sent")
+	}
+	// On a static, mostly-connected topology, nearly everything after the
+	// first (discovery-triggering) packet per flow should arrive.
+	if ratio := s.DeliveryRatio(); ratio < 0.7 {
+		t.Errorf("static delivery ratio = %.2f, want >= 0.7", ratio)
+	}
+	if s.RouteBreaks != 0 {
+		t.Errorf("static topology had %d route breaks", s.RouteBreaks)
+	}
+}

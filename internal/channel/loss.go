@@ -1,0 +1,120 @@
+// Package channel models packet-level delivery impairments on top of the
+// propagation model. The paper's metric "only considers transmissions that
+// are successfully received by the MAC layer"; these loss models let the
+// test suite and the A8 ablation inject MAC-level failures and verify the
+// metric and the clustering remain robust.
+package channel
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// LossModel decides whether a packet from tx to rx at simulated time now is
+// lost even though the signal was strong enough.
+type LossModel interface {
+	// Name identifies the model in configs and traces.
+	Name() string
+	// Drops reports whether the packet is lost.
+	Drops(tx, rx int32, now float64) bool
+}
+
+// NoLoss delivers everything (the paper's setting).
+type NoLoss struct{}
+
+// Name implements LossModel.
+func (NoLoss) Name() string { return "none" }
+
+// Drops implements LossModel.
+func (NoLoss) Drops(int32, int32, float64) bool { return false }
+
+// UniformLoss drops each packet independently with probability P.
+type UniformLoss struct {
+	// P is the drop probability in [0, 1].
+	P float64
+	// Rng drives the Bernoulli draws.
+	Rng *rand.Rand
+}
+
+// NewUniformLoss validates p and returns a uniform loss model.
+func NewUniformLoss(p float64, rng *rand.Rand) (*UniformLoss, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("channel: loss probability %g outside [0,1]", p)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("channel: uniform loss needs an rng")
+	}
+	return &UniformLoss{P: p, Rng: rng}, nil
+}
+
+// Name implements LossModel.
+func (u *UniformLoss) Name() string { return "uniform" }
+
+// Drops implements LossModel.
+func (u *UniformLoss) Drops(int32, int32, float64) bool {
+	return u.Rng.Float64() < u.P
+}
+
+// linkKey identifies a directed link for per-link state.
+type linkKey struct {
+	tx, rx int32
+}
+
+// GilbertElliott is a two-state (good/bad) burst loss model per directed
+// link: in the good state packets survive, in the bad state they drop with
+// high probability; state flips with the configured transition
+// probabilities at each packet.
+type GilbertElliott struct {
+	// PGoodToBad is the per-packet probability of entering a burst.
+	PGoodToBad float64
+	// PBadToGood is the per-packet probability of a burst ending.
+	PBadToGood float64
+	// PDropBad is the drop probability inside a burst.
+	PDropBad float64
+	// Rng drives all draws.
+	Rng *rand.Rand
+
+	state map[linkKey]bool // true = bad
+}
+
+// NewGilbertElliott validates parameters and returns a burst-loss model.
+func NewGilbertElliott(pGB, pBG, pDropBad float64, rng *rand.Rand) (*GilbertElliott, error) {
+	for _, p := range []float64{pGB, pBG, pDropBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("channel: probability %g outside [0,1]", p)
+		}
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("channel: burst loss needs an rng")
+	}
+	return &GilbertElliott{
+		PGoodToBad: pGB,
+		PBadToGood: pBG,
+		PDropBad:   pDropBad,
+		Rng:        rng,
+		state:      make(map[linkKey]bool),
+	}, nil
+}
+
+// Name implements LossModel.
+func (g *GilbertElliott) Name() string { return "gilbert-elliott" }
+
+// Drops implements LossModel.
+func (g *GilbertElliott) Drops(tx, rx int32, _ float64) bool {
+	k := linkKey{tx: tx, rx: rx}
+	bad := g.state[k]
+	if bad {
+		if g.Rng.Float64() < g.PBadToGood {
+			bad = false
+		}
+	} else {
+		if g.Rng.Float64() < g.PGoodToBad {
+			bad = true
+		}
+	}
+	g.state[k] = bad
+	if !bad {
+		return false
+	}
+	return g.Rng.Float64() < g.PDropBad
+}

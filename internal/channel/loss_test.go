@@ -1,0 +1,139 @@
+package channel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNoLoss(t *testing.T) {
+	var m NoLoss
+	if m.Name() != "none" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	for i := 0; i < 100; i++ {
+		if m.Drops(1, 2, float64(i)) {
+			t.Fatal("NoLoss dropped a packet")
+		}
+	}
+}
+
+func TestUniformLossValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := NewUniformLoss(-0.1, rng); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := NewUniformLoss(1.1, rng); err == nil {
+		t.Error("p > 1 should error")
+	}
+	if _, err := NewUniformLoss(0.5, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	m, err := NewUniformLoss(0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Drops(0, 1, float64(i)) {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("empirical drop rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestUniformLossExtremes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	never, err := NewUniformLoss(0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := NewUniformLoss(1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if never.Drops(0, 1, 0) {
+			t.Fatal("p=0 dropped")
+		}
+		if !always.Drops(0, 1, 0) {
+			t.Fatal("p=1 delivered")
+		}
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	if _, err := NewGilbertElliott(-1, 0.5, 0.9, rng); err == nil {
+		t.Error("bad pGB should error")
+	}
+	if _, err := NewGilbertElliott(0.1, 2, 0.9, rng); err == nil {
+		t.Error("bad pBG should error")
+	}
+	if _, err := NewGilbertElliott(0.1, 0.5, -0.9, rng); err == nil {
+		t.Error("bad pDrop should error")
+	}
+	if _, err := NewGilbertElliott(0.1, 0.5, 0.9, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	m, err := NewGilbertElliott(0.05, 0.2, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pDropBad = 1, drops happen exactly in bad state; bursts should
+	// produce runs of consecutive drops longer than independent loss would.
+	const n = 50000
+	drops := 0
+	longestRun, run := 0, 0
+	for i := 0; i < n; i++ {
+		if m.Drops(0, 1, float64(i)) {
+			drops++
+			run++
+			if run > longestRun {
+				longestRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	// Stationary bad probability = pGB/(pGB+pBG) = 0.05/0.25 = 0.2.
+	rate := float64(drops) / n
+	if math.Abs(rate-0.2) > 0.03 {
+		t.Errorf("drop rate = %v, want ~0.2", rate)
+	}
+	// Mean burst length = 1/pBG = 5; runs of >= 10 must occur.
+	if longestRun < 10 {
+		t.Errorf("longest burst = %d, expected >= 10 for mean-5 bursts", longestRun)
+	}
+}
+
+func TestGilbertElliottPerLinkState(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	m, err := NewGilbertElliott(0.5, 0.01, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive link (0,1) into the bad state.
+	for i := 0; i < 50; i++ {
+		m.Drops(0, 1, float64(i))
+	}
+	if !m.state[linkKey{tx: 0, rx: 1}] {
+		t.Skip("link did not enter bad state (improbable)")
+	}
+	// A different link starts fresh in the good state.
+	if m.state[linkKey{tx: 2, rx: 3}] {
+		t.Error("unused link should have no bad state")
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// WeightKind selects what a node advertises as its election weight.
+type WeightKind uint8
+
+// Weight kinds.
+const (
+	// KindID uses the node's ID as the weight (Lowest-ID family). Static,
+	// totally ordered.
+	KindID WeightKind = iota + 1
+	// KindMobility uses the aggregate local mobility metric M (MOBIC).
+	KindMobility
+	// KindDegree uses the negated neighbor count, so the highest-degree
+	// node wins (max-connectivity baseline).
+	KindDegree
+	// KindCustom uses caller-provided static weights (DCA).
+	KindCustom
+	// KindOracleMobility uses ground-truth range rates from the mobility
+	// trajectories (variance about zero of d(distance)/dt to each
+	// neighbor) — the GPS-assisted geometric metric the paper's Section
+	// 2.2 argues real deployments cannot assume. It exists as an oracle
+	// upper bound for the signal-strength metric.
+	KindOracleMobility
+)
+
+// String implements fmt.Stringer.
+func (k WeightKind) String() string {
+	switch k {
+	case KindID:
+		return "id"
+	case KindMobility:
+		return "mobility"
+	case KindDegree:
+		return "degree"
+	case KindCustom:
+		return "custom"
+	case KindOracleMobility:
+		return "oracle-mobility"
+	default:
+		return "invalid"
+	}
+}
+
+// Algorithm bundles a policy with a weight kind: one row of the paper's
+// algorithm taxonomy.
+type Algorithm struct {
+	// Name is the identifier used in configs and experiment output.
+	Name string
+	// Policy carries the LCC/CCI behaviour.
+	Policy Policy
+	// WeightKind selects the advertised weight.
+	WeightKind WeightKind
+	// EWMAAlpha, when in (0, 1), smooths the mobility metric with history
+	// (Section 5 extension). Only meaningful with KindMobility; 0 or 1
+	// disables smoothing.
+	EWMAAlpha float64
+	// PairwiseEWMAAlpha, when in (0, 1), smooths each neighbor's relative
+	// mobility stream before aggregation instead (alternative history
+	// placement). Only meaningful with KindMobility.
+	PairwiseEWMAAlpha float64
+}
+
+// DefaultCCI is the paper's Cluster Contention Interval (Table 1).
+const DefaultCCI = 4.0
+
+// Predefined algorithms.
+var (
+	// LowestID is the original aggressive Lowest-ID algorithm
+	// (Ephremides/Gerla): reclustering happens whenever a lower ID is
+	// audible.
+	LowestID = Algorithm{
+		Name:       "lowest-id",
+		Policy:     Policy{LCC: false},
+		WeightKind: KindID,
+	}
+
+	// LCC is Chiang's Least Clusterhead Change variant of Lowest-ID — the
+	// baseline of the paper's figures (the paper says "Lowest-ID" but
+	// specifies "actually its LCC variant").
+	LCC = Algorithm{
+		Name:       "lcc",
+		Policy:     Policy{LCC: true},
+		WeightKind: KindID,
+	}
+
+	// MOBIC is the paper's contribution: lowest aggregate relative
+	// mobility with LCC suppression and CCI contention deferral.
+	MOBIC = Algorithm{
+		Name:       "mobic",
+		Policy:     Policy{LCC: true, CCI: DefaultCCI},
+		WeightKind: KindMobility,
+	}
+
+	// MaxConnectivity elects the highest-degree node (Section 2.1's
+	// max-connectivity baseline, shown in [3] to be less stable).
+	MaxConnectivity = Algorithm{
+		Name:       "max-degree",
+		Policy:     Policy{LCC: false},
+		WeightKind: KindDegree,
+	}
+
+	// DCA is Basagni's generalized weight-based clustering with static
+	// totally ordered per-node weights supplied by the scenario.
+	DCA = Algorithm{
+		Name:       "dca",
+		Policy:     Policy{LCC: true},
+		WeightKind: KindCustom,
+	}
+)
+
+// ErrUnknownAlgorithm is returned by ByName for an unrecognized name.
+var ErrUnknownAlgorithm = errors.New("cluster: unknown algorithm")
+
+// ByName resolves an algorithm by its Name field. Recognized names:
+// "lowest-id", "lcc", "mobic", "max-degree", "dca", plus "mobic-history"
+// (MOBIC with EWMA alpha 0.5) and "mobic-nocci" (MOBIC with CCI disabled,
+// the A1 ablation).
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case LowestID.Name:
+		return LowestID, nil
+	case LCC.Name:
+		return LCC, nil
+	case MOBIC.Name, "":
+		return MOBIC, nil
+	case MaxConnectivity.Name:
+		return MaxConnectivity, nil
+	case DCA.Name:
+		return DCA, nil
+	case "mobic-history":
+		a := MOBIC
+		a.Name = "mobic-history"
+		a.EWMAAlpha = 0.5
+		return a, nil
+	case "mobic-nocci":
+		a := MOBIC
+		a.Name = "mobic-nocci"
+		a.Policy.CCI = 0
+		return a, nil
+	case "mobic-oracle":
+		a := MOBIC
+		a.Name = "mobic-oracle"
+		a.WeightKind = KindOracleMobility
+		return a, nil
+	case "mobic-pairhistory":
+		a := MOBIC
+		a.Name = "mobic-pairhistory"
+		a.PairwiseEWMAAlpha = 0.5
+		return a, nil
+	default:
+		return Algorithm{}, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, name)
+	}
+}
+
+// Names lists every name ByName accepts, for CLI help output.
+func Names() []string {
+	return []string{
+		LowestID.Name, LCC.Name, MOBIC.Name, MaxConnectivity.Name, DCA.Name,
+		"mobic-history", "mobic-nocci", "mobic-oracle", "mobic-pairhistory",
+	}
+}

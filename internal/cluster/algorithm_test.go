@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantName string
+		wantErr  bool
+	}{
+		{in: "lowest-id", wantName: "lowest-id"},
+		{in: "lcc", wantName: "lcc"},
+		{in: "mobic", wantName: "mobic"},
+		{in: "", wantName: "mobic"},
+		{in: "max-degree", wantName: "max-degree"},
+		{in: "dca", wantName: "dca"},
+		{in: "mobic-history", wantName: "mobic-history"},
+		{in: "mobic-nocci", wantName: "mobic-nocci"},
+		{in: "mobic-oracle", wantName: "mobic-oracle"},
+		{in: "kmeans", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ByName(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ByName(%q) should error", tt.in)
+			}
+			if !errors.Is(err, ErrUnknownAlgorithm) {
+				t.Errorf("ByName(%q) error should wrap ErrUnknownAlgorithm", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tt.in, err)
+			continue
+		}
+		if got.Name != tt.wantName {
+			t.Errorf("ByName(%q).Name = %q, want %q", tt.in, got.Name, tt.wantName)
+		}
+	}
+}
+
+func TestAlgorithmDefinitions(t *testing.T) {
+	if !MOBIC.Policy.LCC || MOBIC.Policy.CCI != DefaultCCI {
+		t.Errorf("MOBIC policy = %+v, want LCC with CCI=%v", MOBIC.Policy, DefaultCCI)
+	}
+	if MOBIC.WeightKind != KindMobility {
+		t.Error("MOBIC must use the mobility weight")
+	}
+	if !LCC.Policy.LCC || LCC.Policy.CCI != 0 {
+		t.Errorf("LCC policy = %+v, want LCC without CCI", LCC.Policy)
+	}
+	if LCC.WeightKind != KindID || LowestID.WeightKind != KindID {
+		t.Error("ID algorithms must use the ID weight")
+	}
+	if LowestID.Policy.LCC {
+		t.Error("LowestID must not use LCC suppression")
+	}
+	if MaxConnectivity.WeightKind != KindDegree {
+		t.Error("max-connectivity must use the degree weight")
+	}
+	if DCA.WeightKind != KindCustom {
+		t.Error("DCA must use custom weights")
+	}
+}
+
+func TestByNameVariants(t *testing.T) {
+	hist, err := ByName("mobic-history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.EWMAAlpha <= 0 || hist.EWMAAlpha >= 1 {
+		t.Errorf("mobic-history alpha = %v, want in (0,1)", hist.EWMAAlpha)
+	}
+	nocci, err := ByName("mobic-nocci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nocci.Policy.CCI != 0 {
+		t.Errorf("mobic-nocci CCI = %v, want 0", nocci.Policy.CCI)
+	}
+	if nocci.WeightKind != KindMobility || !nocci.Policy.LCC {
+		t.Error("mobic-nocci should otherwise match MOBIC")
+	}
+	oracle, err := ByName("mobic-oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.WeightKind != KindOracleMobility {
+		t.Errorf("mobic-oracle kind = %v", oracle.WeightKind)
+	}
+	if oracle.Policy != MOBIC.Policy {
+		t.Error("mobic-oracle should keep MOBIC's policy")
+	}
+}
+
+func TestNamesAllResolvable(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("Names() entry %q not resolvable: %v", name, err)
+		}
+	}
+	if len(Names()) < 7 {
+		t.Errorf("expected at least 7 algorithm names, got %d", len(Names()))
+	}
+}
+
+func TestWeightKindString(t *testing.T) {
+	pairs := map[WeightKind]string{
+		KindID:        "id",
+		KindMobility:  "mobility",
+		KindDegree:    "degree",
+		KindCustom:    "custom",
+		WeightKind(0): "invalid",
+	}
+	for k, want := range pairs {
+		if k.String() != want {
+			t.Errorf("WeightKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

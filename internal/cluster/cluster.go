@@ -1,0 +1,95 @@
+// Package cluster implements the paper's Section 3.2 distributed 2-hop
+// clustering framework and all algorithms evaluated or cited by the paper:
+//
+//   - MOBIC — lowest aggregate relative mobility wins, LCC-style
+//     reclustering suppression, CCI contention deferral (the contribution).
+//   - Lowest-ID — Ephremides/Gerla baseline, aggressive reclustering.
+//   - LCC — Chiang's "Least Clusterhead Change" variant of Lowest-ID, the
+//     baseline the paper's figures compare against.
+//   - Max-Connectivity — highest-degree clusterhead selection (the baseline
+//     that LCC was shown to beat; paper Section 2.1).
+//   - DCA — Basagni's generic totally-ordered weights.
+//
+// The engine is deliberately simulator-independent: each node is a Node
+// state machine that consumes a snapshot of what its hello protocol knows
+// about its neighbors (NeighborView) and decides its own role. This is the
+// same information an ns-2 agent had, so the state machine is testable on
+// synthetic topologies without any event queue.
+package cluster
+
+// Role is a node's clustering status. Gateway is not a Role: per the paper a
+// gateway is a member that hears two or more clusterheads, which is derived
+// state (see IsGateway).
+type Role uint8
+
+// Role values. Start at 1 so the zero value is detectably invalid.
+const (
+	// RoleUndecided is the initial Cluster_Undecided state.
+	RoleUndecided Role = iota + 1
+	// RoleHead is Cluster_Head.
+	RoleHead
+	// RoleMember is Cluster_Member.
+	RoleMember
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleUndecided:
+		return "undecided"
+	case RoleHead:
+		return "head"
+	case RoleMember:
+		return "member"
+	default:
+		return "invalid"
+	}
+}
+
+// NoHead is the Head value of a node that has no clusterhead.
+const NoHead int32 = -1
+
+// Weight is a totally ordered clusterhead-election weight: primary value
+// first (aggregate mobility for MOBIC, ID for Lowest-ID, negated degree for
+// max-connectivity), node ID as the tie-break. Lower weight wins, exactly as
+// in the paper's augmented {M, ID} ordering (proof of Theorem 1).
+type Weight struct {
+	// Value is the primary weight; lower is better.
+	Value float64
+	// ID breaks ties; lower wins.
+	ID int32
+}
+
+// Less reports whether w is strictly better (lower) than o.
+func (w Weight) Less(o Weight) bool {
+	if w.Value != o.Value {
+		return w.Value < o.Value
+	}
+	return w.ID < o.ID
+}
+
+// NeighborView is a node's knowledge of one neighbor, assembled by the hello
+// protocol from the neighbor's last beacon.
+type NeighborView struct {
+	// ID is the neighbor's node ID.
+	ID int32
+	// Weight is the neighbor's last advertised election weight.
+	Weight Weight
+	// Role is the neighbor's last advertised role.
+	Role Role
+	// Head is the neighbor's last advertised clusterhead (NoHead if none).
+	Head int32
+}
+
+// Policy is the behavioural knob set distinguishing the algorithms.
+type Policy struct {
+	// LCC suppresses reclustering while a member's own head is alive, even
+	// if a better-weighted head comes into range (Chiang's rule, adopted by
+	// MOBIC). When false the node re-evaluates greedily every round
+	// (original Lowest-ID behaviour).
+	LCC bool
+	// CCI is the Cluster Contention Interval in seconds: when two heads
+	// move into range, resolution is deferred this long to forgive
+	// incidental contacts (MOBIC's rule). Zero resolves immediately.
+	CCI float64
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// The engine must maintain its state invariants under ANY sequence of
+// neighbor snapshots — including inconsistent, stale, or adversarial ones
+// (lossy channels deliver exactly those):
+//
+//   - the role is always one of the three defined values,
+//   - a head is always its own head,
+//   - a member always has a head that is not itself,
+//   - an undecided node never has a head.
+func checkInvariants(t *testing.T, n *Node) {
+	t.Helper()
+	switch n.Role() {
+	case RoleHead:
+		if n.Head() != n.ID() {
+			t.Fatalf("head %d affiliated to %d", n.ID(), n.Head())
+		}
+	case RoleMember:
+		if n.Head() == NoHead || n.Head() == n.ID() {
+			t.Fatalf("member %d has head %d", n.ID(), n.Head())
+		}
+	case RoleUndecided:
+		if n.Head() != NoHead {
+			t.Fatalf("undecided %d has head %d", n.ID(), n.Head())
+		}
+	default:
+		t.Fatalf("invalid role %v", n.Role())
+	}
+}
+
+func randomSnapshot(rng *rand.Rand, selfID int32) []NeighborView {
+	count := rng.IntN(8)
+	views := make([]NeighborView, 0, count)
+	used := map[int32]bool{selfID: true}
+	for len(views) < count {
+		id := int32(rng.IntN(20))
+		if used[id] {
+			continue
+		}
+		used[id] = true
+		role := Role(1 + rng.IntN(3))
+		head := NoHead
+		switch role {
+		case RoleHead:
+			head = id
+		case RoleMember:
+			head = int32(rng.IntN(20))
+		}
+		views = append(views, NeighborView{
+			ID:     id,
+			Weight: Weight{Value: float64(rng.IntN(10)), ID: id},
+			Role:   role,
+			Head:   head,
+		})
+	}
+	return views
+}
+
+func TestEngineInvariantsUnderRandomSnapshots(t *testing.T) {
+	for _, policy := range []Policy{
+		{LCC: true},
+		{LCC: true, CCI: 4},
+		{LCC: false},
+	} {
+		policy := policy
+		prop := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 77))
+			n := NewNode(5, policy)
+			for step := 0; step < 60; step++ {
+				now := float64(step) * 2
+				w := Weight{Value: float64(rng.IntN(10)), ID: 5}
+				n.Step(now, w, randomSnapshot(rng, 5))
+				checkInvariants(t, n)
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("policy %+v: %v", policy, err)
+		}
+	}
+}
+
+// Hooks must observe every transition consistently: replaying the hook
+// stream must reconstruct the node's final state.
+func TestHookStreamReconstructsState(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 78))
+		n := NewNode(3, Policy{LCC: true, CCI: 2})
+		role := n.Role()
+		head := n.Head()
+		n.OnRoleChange(func(_ float64, old, newRole Role) {
+			if old != role {
+				t.Fatalf("role hook: old %v, tracked %v", old, role)
+			}
+			role = newRole
+		})
+		n.OnHeadChange(func(_ float64, oldHead, newHead int32) {
+			if oldHead != head {
+				t.Fatalf("head hook: old %d, tracked %d", oldHead, head)
+			}
+			head = newHead
+		})
+		for step := 0; step < 40; step++ {
+			n.Step(float64(step)*2, Weight{Value: float64(rng.IntN(5)), ID: 3}, randomSnapshot(rng, 3))
+		}
+		return role == n.Role() && head == n.Head()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two heads whose advertised weights drift can momentarily both demote (a
+// real distributed race). The engine must recover: with stable weights and
+// a stable topology, a two-node system always converges to one head and
+// one member.
+func TestSymmetricContentionRecovers(t *testing.T) {
+	a := NewNode(1, Policy{LCC: true, CCI: 0})
+	b := NewNode(2, Policy{LCC: true, CCI: 0})
+	// Both become singleton heads apart from each other.
+	a.Step(0, Weight{Value: 5, ID: 1}, nil)
+	b.Step(0, Weight{Value: 5, ID: 2}, nil)
+
+	// They meet. Run beacons with a one-round information lag and
+	// crossing weights for a few rounds, then let weights settle.
+	wA, wB := 5.0, 6.0
+	for round := 1; round <= 12; round++ {
+		now := float64(round) * 2
+		if round < 4 {
+			wA, wB = wB, wA // jittering metric values
+		} else {
+			wA, wB = 3, 7 // settle: A should win
+		}
+		advA := NeighborView{ID: 1, Weight: a.Weight(), Role: a.Role(), Head: a.Head()}
+		advB := NeighborView{ID: 2, Weight: b.Weight(), Role: b.Role(), Head: b.Head()}
+		a.Step(now, Weight{Value: wA, ID: 1}, []NeighborView{advB})
+		b.Step(now, Weight{Value: wB, ID: 2}, []NeighborView{advA})
+		checkInvariants(t, a)
+		checkInvariants(t, b)
+	}
+	heads := 0
+	if a.Role() == RoleHead {
+		heads++
+	}
+	if b.Role() == RoleHead {
+		heads++
+	}
+	if heads != 1 {
+		t.Errorf("system did not converge to one head: a=%v b=%v", a.Role(), b.Role())
+	}
+	if a.Role() != RoleHead {
+		t.Errorf("lower-weight node should hold the head role, got a=%v", a.Role())
+	}
+}

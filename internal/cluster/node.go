@@ -1,0 +1,376 @@
+package cluster
+
+// RoleChangeFunc observes a role transition at simulated time now.
+type RoleChangeFunc func(now float64, old, new Role)
+
+// HeadChangeFunc observes a clusterhead affiliation change at time now.
+type HeadChangeFunc func(now float64, oldHead, newHead int32)
+
+// Node is the per-node clustering state machine. Create one per simulated
+// node with NewNode, then call Step every broadcast interval with the node's
+// current weight and neighbor snapshot.
+//
+// Node is not safe for concurrent use.
+type Node struct {
+	id     int32
+	policy Policy
+
+	role   Role
+	head   int32
+	weight Weight
+
+	// contention maps a rival head's ID to the deadline at which the
+	// head-head conflict will be resolved (MOBIC's CCI timers).
+	contention map[int32]float64
+
+	onRoleChange RoleChangeFunc
+	onHeadChange HeadChangeFunc
+}
+
+// NewNode returns a node in Cluster_Undecided state with no head. The
+// initial advertised weight is {0, id}, matching the paper's initialization
+// of M to 0 at the beginning of operations (ties broken by ID).
+func NewNode(id int32, policy Policy) *Node {
+	return &Node{
+		id:         id,
+		policy:     policy,
+		role:       RoleUndecided,
+		head:       NoHead,
+		weight:     Weight{Value: 0, ID: id},
+		contention: make(map[int32]float64),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int32 { return n.id }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return n.role }
+
+// Head returns the node's current clusterhead ID: its own ID when it is a
+// head, NoHead when unaffiliated.
+func (n *Node) Head() int32 { return n.head }
+
+// Weight returns the weight the node last advertised.
+func (n *Node) Weight() Weight { return n.weight }
+
+// SetWeight refreshes the advertised weight without running a decision
+// round. The hello protocol uses it during the initial listen-only beacon,
+// when the node must already advertise its (zero) mobility metric but has
+// not yet heard anyone and so must not elect itself.
+func (n *Node) SetWeight(w Weight) { n.weight = w }
+
+// OnRoleChange registers a hook observing role transitions (metrics).
+func (n *Node) OnRoleChange(f RoleChangeFunc) { n.onRoleChange = f }
+
+// OnHeadChange registers a hook observing head-affiliation changes.
+func (n *Node) OnHeadChange(f HeadChangeFunc) { n.onHeadChange = f }
+
+// setRole transitions the role and fires the hook.
+func (n *Node) setRole(now float64, r Role) {
+	if n.role == r {
+		return
+	}
+	old := n.role
+	n.role = r
+	if n.onRoleChange != nil {
+		n.onRoleChange(now, old, r)
+	}
+}
+
+// setHead changes the head affiliation and fires the hook.
+func (n *Node) setHead(now float64, h int32) {
+	if n.head == h {
+		return
+	}
+	old := n.head
+	n.head = h
+	if n.onHeadChange != nil {
+		n.onHeadChange(now, old, h)
+	}
+}
+
+// becomeHead promotes the node.
+func (n *Node) becomeHead(now float64) {
+	n.setRole(now, RoleHead)
+	n.setHead(now, n.id)
+}
+
+// joinCluster demotes/affiliates the node to head h.
+func (n *Node) joinCluster(now float64, h int32) {
+	n.setRole(now, RoleMember)
+	n.setHead(now, h)
+	clear(n.contention)
+}
+
+// resign drops to undecided with no head.
+func (n *Node) resign(now float64) {
+	n.setRole(now, RoleUndecided)
+	n.setHead(now, NoHead)
+	clear(n.contention)
+}
+
+// Reset returns the node to the initial Cluster_Undecided state (firing the
+// change hooks), clearing contention timers and restoring the initial
+// weight. The simulator uses it when a crashed node recovers: protocol
+// state does not survive a crash.
+func (n *Node) Reset(now float64) {
+	n.resign(now)
+	n.weight = Weight{Value: 0, ID: n.id}
+}
+
+// Step runs one clustering decision round at time now. self is the node's
+// freshly computed weight (aggregate mobility for MOBIC, static ID weight
+// for Lowest-ID variants); neighbors is the hello protocol's current
+// snapshot. Entries must be unique by ID and must not include the node
+// itself.
+func (n *Node) Step(now float64, self Weight, neighbors []NeighborView) {
+	n.weight = self
+	if !n.policy.LCC {
+		n.stepGreedy(now, neighbors)
+		return
+	}
+	switch n.role {
+	case RoleHead:
+		n.stepHead(now, neighbors)
+	case RoleMember:
+		n.stepMember(now, neighbors)
+	default:
+		n.stepUndecided(now, neighbors)
+	}
+}
+
+// stepHead handles head-head contention: the only way an established head is
+// deposed (in LCC-style operation) is another head moving into range with a
+// better weight. With CCI > 0 the resolution is deferred to forgive
+// incidental contacts between passing clusters.
+func (n *Node) stepHead(now float64, neighbors []NeighborView) {
+	// Collect rival heads currently in range.
+	var rivals []NeighborView
+	for _, nb := range neighbors {
+		if nb.Role == RoleHead {
+			rivals = append(rivals, nb)
+		}
+	}
+	// Drop contention timers for rivals that left range or resigned: the
+	// contact was incidental, exactly what CCI is for.
+	if len(n.contention) > 0 {
+		for id := range n.contention {
+			alive := false
+			for _, r := range rivals {
+				if r.ID == id {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				delete(n.contention, id)
+			}
+		}
+	}
+	if len(rivals) == 0 {
+		return
+	}
+
+	// Find the best rival whose contention timer has expired (or which
+	// resolves immediately when CCI is 0).
+	bestExpired := NeighborView{Head: NoHead}
+	haveExpired := false
+	for _, r := range rivals {
+		deadline, tracked := n.contention[r.ID]
+		if !tracked {
+			if n.policy.CCI > 0 {
+				n.contention[r.ID] = now + n.policy.CCI
+				continue
+			}
+			deadline = now
+		}
+		if now >= deadline {
+			if !haveExpired || r.Weight.Less(bestExpired.Weight) {
+				bestExpired = r
+				haveExpired = true
+			}
+		}
+	}
+	if !haveExpired {
+		return
+	}
+	if bestExpired.Weight.Less(n.weight) {
+		// The rival wins: give up the head role and join it.
+		n.joinCluster(now, bestExpired.ID)
+		return
+	}
+	// I win this contention; the rival's own Step will make it defer.
+	// Clear the expired timer so a persistent tie keeps being re-checked.
+	delete(n.contention, bestExpired.ID)
+}
+
+// stepMember checks that the node's head is still alive and in range. Under
+// LCC nothing else can trigger reclustering (Chiang's rule, adopted by
+// MOBIC).
+func (n *Node) stepMember(now float64, neighbors []NeighborView) {
+	if headAlive(n.head, neighbors) {
+		return
+	}
+	// Head lost: rejoin, elect, or resign — all as a single direct
+	// transition so observers never see a synthetic intermediate state.
+	n.reaffiliate(now, neighbors)
+}
+
+// stepUndecided joins the best head in range, or elects itself when it has
+// the best weight among the uncovered neighborhood.
+func (n *Node) stepUndecided(now float64, neighbors []NeighborView) {
+	n.reaffiliate(now, neighbors)
+}
+
+// reaffiliate is the common "find a new home" step: join the best audible
+// head if any; otherwise elect self iff no uncovered (undecided) neighbor
+// has a better weight; otherwise drop to undecided and wait. Members count
+// as covered; they will resign when their head dies and contest then.
+func (n *Node) reaffiliate(now float64, neighbors []NeighborView) {
+	if best, ok := bestHead(neighbors); ok {
+		n.joinCluster(now, best.ID)
+		return
+	}
+	for _, nb := range neighbors {
+		if nb.Role == RoleUndecided && nb.Weight.Less(n.weight) {
+			n.resign(now) // wait: a better-weighted contender claims first
+			return
+		}
+	}
+	n.becomeHead(now)
+}
+
+// stepGreedy is the aggressive, original Lowest-ID maintenance discipline —
+// the instability LCC was invented to fix. It differs from the LCC rules in
+// three ways:
+//
+//   - a member always re-affiliates to the best audible head, instead of
+//     sticking with its current head;
+//   - a member that has become locally best (lower weight than every
+//     audible node) claims the head role even though its head is alive;
+//   - a head abdicates not only to a better audible head (resolved
+//     immediately, no CCI) but also when a better-weighted undecided node is
+//     audible, since under from-scratch re-execution that node outranks it.
+//
+// Members with lower weights do not depose a head: they are covered by their
+// own cluster, which keeps the state machine from flip-flopping while still
+// reproducing the reclustering cascades measured in [3].
+func (n *Node) stepGreedy(now float64, neighbors []NeighborView) {
+	bestH, haveHead := bestHead(neighbors)
+	switch n.role {
+	case RoleHead:
+		if haveHead && bestH.Weight.Less(n.weight) {
+			n.joinCluster(now, bestH.ID)
+			return
+		}
+		for _, nb := range neighbors {
+			if nb.Role == RoleUndecided && nb.Weight.Less(n.weight) {
+				n.resign(now)
+				return
+			}
+		}
+	case RoleMember:
+		if !headAlive(n.head, neighbors) {
+			n.stepGreedyUndecided(now, neighbors, bestH, haveHead)
+			return
+		}
+		if lowestAmongAll(n.weight, neighbors) {
+			n.becomeHead(now)
+			return
+		}
+		if haveHead && bestH.ID != n.head {
+			if cur, ok := findNeighbor(neighbors, n.head); ok && bestH.Weight.Less(cur.Weight) {
+				n.joinCluster(now, bestH.ID)
+			}
+		}
+	default:
+		n.stepGreedyUndecided(now, neighbors, bestH, haveHead)
+	}
+}
+
+// stepGreedyUndecided is the greedy variant's election step. It is also the
+// landing step for members whose head died, so the waiting branch must
+// explicitly resign.
+func (n *Node) stepGreedyUndecided(now float64, neighbors []NeighborView, bestH NeighborView, haveHead bool) {
+	if haveHead {
+		n.joinCluster(now, bestH.ID)
+		return
+	}
+	for _, nb := range neighbors {
+		if nb.Role == RoleUndecided && nb.Weight.Less(n.weight) {
+			n.resign(now)
+			return
+		}
+	}
+	n.becomeHead(now)
+}
+
+// lowestAmongAll reports whether w beats every neighbor's weight.
+func lowestAmongAll(w Weight, neighbors []NeighborView) bool {
+	for _, nb := range neighbors {
+		if !w.Less(nb.Weight) {
+			return false
+		}
+	}
+	return true
+}
+
+// findNeighbor returns the snapshot entry for id.
+func findNeighbor(neighbors []NeighborView, id int32) (NeighborView, bool) {
+	for _, nb := range neighbors {
+		if nb.ID == id {
+			return nb, true
+		}
+	}
+	return NeighborView{}, false
+}
+
+// headAlive reports whether head id is present in the snapshot and still
+// advertises the head role.
+func headAlive(id int32, neighbors []NeighborView) bool {
+	if id == NoHead {
+		return false
+	}
+	for _, nb := range neighbors {
+		if nb.ID == id {
+			return nb.Role == RoleHead
+		}
+	}
+	return false
+}
+
+// bestHead returns the lowest-weight neighbor currently advertising the head
+// role.
+func bestHead(neighbors []NeighborView) (NeighborView, bool) {
+	var best NeighborView
+	found := false
+	for _, nb := range neighbors {
+		if nb.Role != RoleHead {
+			continue
+		}
+		if !found || nb.Weight.Less(best.Weight) {
+			best = nb
+			found = true
+		}
+	}
+	return best, found
+}
+
+// IsGateway reports whether a member node currently hears two or more
+// distinct clusterheads — the paper's definition of a gateway.
+func IsGateway(role Role, neighbors []NeighborView) bool {
+	if role != RoleMember {
+		return false
+	}
+	heads := 0
+	for _, nb := range neighbors {
+		if nb.Role == RoleHead {
+			heads++
+			if heads >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestWeightLess(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Weight
+		want bool
+	}{
+		{name: "lower value wins", a: Weight{Value: 1, ID: 9}, b: Weight{Value: 2, ID: 1}, want: true},
+		{name: "higher value loses", a: Weight{Value: 3, ID: 1}, b: Weight{Value: 2, ID: 9}, want: false},
+		{name: "tie broken by id", a: Weight{Value: 2, ID: 1}, b: Weight{Value: 2, ID: 2}, want: true},
+		{name: "tie broken by id reverse", a: Weight{Value: 2, ID: 2}, b: Weight{Value: 2, ID: 1}, want: false},
+		{name: "identical is not less", a: Weight{Value: 2, ID: 2}, b: Weight{Value: 2, ID: 2}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Less(tt.b); got != tt.want {
+				t.Errorf("Less = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleUndecided.String() != "undecided" || RoleHead.String() != "head" ||
+		RoleMember.String() != "member" || Role(0).String() != "invalid" {
+		t.Error("Role.String mismatch")
+	}
+}
+
+func idWeight(id int32) Weight { return Weight{Value: float64(id), ID: id} }
+
+func nb(id int32, w Weight, role Role, head int32) NeighborView {
+	return NeighborView{ID: id, Weight: w, Role: role, Head: head}
+}
+
+func TestNewNodeInitialState(t *testing.T) {
+	n := NewNode(7, Policy{LCC: true})
+	if n.ID() != 7 || n.Role() != RoleUndecided || n.Head() != NoHead {
+		t.Errorf("initial state: id=%d role=%v head=%d", n.ID(), n.Role(), n.Head())
+	}
+	if n.Weight() != (Weight{Value: 0, ID: 7}) {
+		t.Errorf("initial weight = %v, want {0 7} (paper's M init)", n.Weight())
+	}
+}
+
+func TestIsolatedNodeBecomesHead(t *testing.T) {
+	for _, lcc := range []bool{true, false} {
+		n := NewNode(5, Policy{LCC: lcc})
+		n.Step(0, idWeight(5), nil)
+		if n.Role() != RoleHead {
+			t.Errorf("LCC=%v: isolated node role = %v, want head", lcc, n.Role())
+		}
+		if n.Head() != 5 {
+			t.Errorf("LCC=%v: isolated head of itself, got %d", lcc, n.Head())
+		}
+	}
+}
+
+func TestUndecidedDefersToLowerUndecided(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{
+		nb(3, idWeight(3), RoleUndecided, NoHead),
+	})
+	if n.Role() != RoleUndecided {
+		t.Errorf("role = %v, want undecided (lower-weight contender present)", n.Role())
+	}
+}
+
+func TestUndecidedBecomesHeadOverHigherUndecided(t *testing.T) {
+	n := NewNode(3, Policy{LCC: true})
+	n.Step(0, idWeight(3), []NeighborView{
+		nb(5, idWeight(5), RoleUndecided, NoHead),
+		nb(9, idWeight(9), RoleUndecided, NoHead),
+	})
+	if n.Role() != RoleHead {
+		t.Errorf("role = %v, want head (lowest weight in hood)", n.Role())
+	}
+}
+
+func TestUndecidedIgnoresCoveredMembers(t *testing.T) {
+	// A lower-weight MEMBER neighbor is covered; the node should still
+	// elect itself (Gerla's covered rule).
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{
+		nb(2, idWeight(2), RoleMember, 1),
+	})
+	if n.Role() != RoleHead {
+		t.Errorf("role = %v, want head (member neighbors are covered)", n.Role())
+	}
+}
+
+func TestUndecidedJoinsBestHead(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{
+		nb(7, idWeight(7), RoleHead, 7),
+		nb(2, idWeight(2), RoleHead, 2),
+		nb(1, idWeight(1), RoleUndecided, NoHead), // lower but not a head
+	})
+	if n.Role() != RoleMember || n.Head() != 2 {
+		t.Errorf("got role=%v head=%d, want member of 2", n.Role(), n.Head())
+	}
+}
+
+func TestLCCMemberSticksWithAliveHead(t *testing.T) {
+	// The LCC rule: a better head coming in range does NOT recluster.
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleHead, 4)})
+	if n.Head() != 4 {
+		t.Fatalf("setup: head = %d", n.Head())
+	}
+	n.Step(2, idWeight(5), []NeighborView{
+		nb(4, idWeight(4), RoleHead, 4),
+		nb(1, idWeight(1), RoleHead, 1), // better head appears
+	})
+	if n.Head() != 4 {
+		t.Errorf("LCC member switched to %d; should stick with 4", n.Head())
+	}
+}
+
+func TestMemberRejoinsWhenHeadDies(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleHead, 4)})
+	// Head 4 vanishes; head 6 is audible.
+	n.Step(2, idWeight(5), []NeighborView{nb(6, idWeight(6), RoleHead, 6)})
+	if n.Role() != RoleMember || n.Head() != 6 {
+		t.Errorf("got role=%v head=%d, want member of 6", n.Role(), n.Head())
+	}
+}
+
+func TestMemberElectsSelfWhenHeadDiesAndNoHeads(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleHead, 4)})
+	// Alone now except a higher undecided.
+	n.Step(2, idWeight(5), []NeighborView{nb(9, idWeight(9), RoleUndecided, NoHead)})
+	if n.Role() != RoleHead {
+		t.Errorf("role = %v, want head after head loss with no better contender", n.Role())
+	}
+}
+
+func TestMemberHeadDemotedTriggersReelection(t *testing.T) {
+	// The head is still audible but no longer advertises RoleHead.
+	n := NewNode(5, Policy{LCC: true})
+	n.Step(0, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleHead, 4)})
+	n.Step(2, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleMember, 1)})
+	if n.Head() == 4 {
+		t.Error("member should not keep a demoted head")
+	}
+}
+
+func TestHeadContentionImmediateWithoutCCI(t *testing.T) {
+	// Two heads meet, CCI = 0: lower weight retains, higher joins.
+	loser := NewNode(5, Policy{LCC: true, CCI: 0})
+	loser.Step(0, idWeight(5), nil) // becomes head
+	loser.Step(2, idWeight(5), []NeighborView{nb(3, idWeight(3), RoleHead, 3)})
+	if loser.Role() != RoleMember || loser.Head() != 3 {
+		t.Errorf("loser role=%v head=%d, want member of 3", loser.Role(), loser.Head())
+	}
+
+	winner := NewNode(3, Policy{LCC: true, CCI: 0})
+	winner.Step(0, idWeight(3), nil)
+	winner.Step(2, idWeight(3), []NeighborView{nb(5, idWeight(5), RoleHead, 5)})
+	if winner.Role() != RoleHead {
+		t.Errorf("winner role = %v, want head retained", winner.Role())
+	}
+}
+
+func TestHeadContentionDeferredByCCI(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true, CCI: 4})
+	n.Step(0, idWeight(5), nil)
+	rival := nb(3, idWeight(3), RoleHead, 3)
+
+	// t=2: rival appears; contention starts, no resolution yet.
+	n.Step(2, idWeight(5), []NeighborView{rival})
+	if n.Role() != RoleHead {
+		t.Fatal("resolution must be deferred during CCI")
+	}
+	// t=4: still within CCI (deadline 6).
+	n.Step(4, idWeight(5), []NeighborView{rival})
+	if n.Role() != RoleHead {
+		t.Fatal("still within CCI window")
+	}
+	// t=6: deadline reached; rival wins.
+	n.Step(6, idWeight(5), []NeighborView{rival})
+	if n.Role() != RoleMember || n.Head() != 3 {
+		t.Errorf("after CCI expiry: role=%v head=%d, want member of 3", n.Role(), n.Head())
+	}
+}
+
+func TestCCIForgivesIncidentalContact(t *testing.T) {
+	n := NewNode(5, Policy{LCC: true, CCI: 4})
+	n.Step(0, idWeight(5), nil)
+	rival := nb(3, idWeight(3), RoleHead, 3)
+
+	n.Step(2, idWeight(5), []NeighborView{rival}) // contention starts, deadline 6
+	n.Step(4, idWeight(5), nil)                   // rival passed by: timer must clear
+	n.Step(7, idWeight(5), []NeighborView{rival}) // rival returns: new timer, deadline 11
+	if n.Role() != RoleHead {
+		t.Fatal("contention timer should have been reset by the gap")
+	}
+	n.Step(9, idWeight(5), []NeighborView{rival})
+	if n.Role() != RoleHead {
+		t.Fatal("deadline is 11, not 9")
+	}
+	n.Step(11, idWeight(5), []NeighborView{rival})
+	if n.Role() != RoleMember {
+		t.Error("persistent contact past CCI should resolve")
+	}
+}
+
+func TestCCIWinnerKeepsRoleAndReArmsTimer(t *testing.T) {
+	n := NewNode(3, Policy{LCC: true, CCI: 4})
+	n.Step(0, idWeight(3), nil)
+	rival := nb(5, idWeight(5), RoleHead, 5)
+	n.Step(2, idWeight(3), []NeighborView{rival})
+	n.Step(6, idWeight(3), []NeighborView{rival}) // expiry: I win
+	if n.Role() != RoleHead {
+		t.Fatal("winner must keep head role")
+	}
+	// Rival (buggy or weights shifted) persists: re-check happens again
+	// later rather than resolving every round.
+	n.Step(7, idWeight(3), []NeighborView{rival})
+	if n.Role() != RoleHead {
+		t.Error("winner keeps role on persistent contact")
+	}
+}
+
+func TestGreedyMemberSwitchesToBetterHead(t *testing.T) {
+	n := NewNode(5, Policy{LCC: false})
+	n.Step(0, idWeight(5), []NeighborView{nb(4, idWeight(4), RoleHead, 4)})
+	if n.Head() != 4 {
+		t.Fatalf("setup failed: head=%d", n.Head())
+	}
+	n.Step(2, idWeight(5), []NeighborView{
+		nb(4, idWeight(4), RoleHead, 4),
+		nb(1, idWeight(1), RoleHead, 1),
+	})
+	if n.Head() != 1 {
+		t.Errorf("greedy member should switch to head 1, got %d", n.Head())
+	}
+}
+
+func TestGreedyHeadAbdicatesToLowerUndecided(t *testing.T) {
+	n := NewNode(5, Policy{LCC: false})
+	n.Step(0, idWeight(5), nil)
+	if n.Role() != RoleHead {
+		t.Fatal("setup")
+	}
+	n.Step(2, idWeight(5), []NeighborView{nb(1, idWeight(1), RoleUndecided, NoHead)})
+	if n.Role() != RoleUndecided {
+		t.Errorf("greedy head should resign to a lower undecided, role=%v", n.Role())
+	}
+}
+
+func TestGreedyHeadJoinsLowerHeadImmediately(t *testing.T) {
+	n := NewNode(5, Policy{LCC: false})
+	n.Step(0, idWeight(5), nil)
+	n.Step(2, idWeight(5), []NeighborView{nb(3, idWeight(3), RoleHead, 3)})
+	if n.Role() != RoleMember || n.Head() != 3 {
+		t.Errorf("greedy head-head: role=%v head=%d, want member of 3", n.Role(), n.Head())
+	}
+}
+
+func TestGreedyLocallyBestMemberClaimsHead(t *testing.T) {
+	n := NewNode(2, Policy{LCC: false})
+	n.Step(0, idWeight(2), []NeighborView{nb(1, idWeight(1), RoleHead, 1)})
+	if n.Role() != RoleMember {
+		t.Fatal("setup")
+	}
+	// Head 1 left; only higher-weight members around now.
+	n.Step(2, idWeight(2), []NeighborView{nb(7, idWeight(7), RoleMember, 1)})
+	if n.Role() != RoleHead {
+		t.Errorf("greedy locally-best node should claim head, role=%v", n.Role())
+	}
+}
+
+func TestGreedyMemberDoesNotDeposeHead(t *testing.T) {
+	// A lower-weight MEMBER passing by must not depose a greedy head
+	// (it is covered by its own cluster).
+	n := NewNode(5, Policy{LCC: false})
+	n.Step(0, idWeight(5), nil)
+	n.Step(2, idWeight(5), []NeighborView{nb(1, idWeight(1), RoleMember, 0)})
+	if n.Role() != RoleHead {
+		t.Errorf("head deposed by passing member: role=%v", n.Role())
+	}
+}
+
+func TestRoleChangeHook(t *testing.T) {
+	n := NewNode(1, Policy{LCC: true})
+	var transitions []Role
+	n.OnRoleChange(func(_ float64, _, newRole Role) {
+		transitions = append(transitions, newRole)
+	})
+	n.Step(0, idWeight(1), nil) // -> head
+	n.Step(2, idWeight(1), []NeighborView{nb(0, idWeight(0), RoleHead, 0)})
+	if len(transitions) != 2 || transitions[0] != RoleHead || transitions[1] != RoleMember {
+		t.Errorf("transitions = %v, want [head member]", transitions)
+	}
+}
+
+func TestHeadChangeHook(t *testing.T) {
+	n := NewNode(9, Policy{LCC: true})
+	var heads []int32
+	n.OnHeadChange(func(_ float64, _, newHead int32) {
+		heads = append(heads, newHead)
+	})
+	n.Step(0, idWeight(9), []NeighborView{nb(2, idWeight(2), RoleHead, 2)})
+	n.Step(2, idWeight(9), []NeighborView{nb(4, idWeight(4), RoleHead, 4)}) // 2 gone
+	if len(heads) != 2 || heads[0] != 2 || heads[1] != 4 {
+		t.Errorf("head changes = %v, want [2 4]", heads)
+	}
+}
+
+func TestIsGateway(t *testing.T) {
+	twoHeads := []NeighborView{
+		nb(1, idWeight(1), RoleHead, 1),
+		nb(2, idWeight(2), RoleHead, 2),
+	}
+	oneHead := twoHeads[:1]
+	if !IsGateway(RoleMember, twoHeads) {
+		t.Error("member hearing 2 heads is a gateway")
+	}
+	if IsGateway(RoleMember, oneHead) {
+		t.Error("member hearing 1 head is not a gateway")
+	}
+	if IsGateway(RoleHead, twoHeads) {
+		t.Error("a head is never a gateway")
+	}
+	if IsGateway(RoleUndecided, twoHeads) {
+		t.Error("an undecided node is never a gateway")
+	}
+}
+
+func TestMobicWeightTieFallsBackToID(t *testing.T) {
+	// Both undecided with identical M: lower ID must win (paper rule).
+	a := NewNode(1, MOBIC.Policy)
+	b := NewNode(2, MOBIC.Policy)
+	wA := Weight{Value: 2.5, ID: 1}
+	wB := Weight{Value: 2.5, ID: 2}
+	a.Step(0, wA, []NeighborView{nb(2, wB, RoleUndecided, NoHead)})
+	b.Step(0, wB, []NeighborView{nb(1, wA, RoleUndecided, NoHead)})
+	if a.Role() != RoleHead {
+		t.Errorf("node 1 should win the tie, role=%v", a.Role())
+	}
+	if b.Role() != RoleUndecided {
+		t.Errorf("node 2 should defer, role=%v", b.Role())
+	}
+}
+
+func TestMobicLowMobilityMemberDoesNotTriggerReclustering(t *testing.T) {
+	// Paper: "If a node with Cluster_Member status with a low mobility
+	// moves into the range of another Cluster_Head node with higher
+	// mobility, reclustering is not triggered (similar to LCC)."
+	m := NewNode(9, MOBIC.Policy)
+	myHead := nb(4, Weight{Value: 1.0, ID: 4}, RoleHead, 4)
+	m.Step(0, Weight{Value: 0.1, ID: 9}, []NeighborView{myHead})
+	if m.Head() != 4 {
+		t.Fatal("setup")
+	}
+	// A higher-mobility head appears; member's own M is lower than both.
+	other := nb(7, Weight{Value: 5.0, ID: 7}, RoleHead, 7)
+	m.Step(2, Weight{Value: 0.1, ID: 9}, []NeighborView{myHead, other})
+	if m.Head() != 4 || m.Role() != RoleMember {
+		t.Errorf("reclustering triggered: role=%v head=%d", m.Role(), m.Head())
+	}
+}

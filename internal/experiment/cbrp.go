@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobic/internal/cbrp"
+	"mobic/internal/cluster"
+	"mobic/internal/scenario"
+	"mobic/internal/simnet"
+	"mobic/internal/stats"
+)
+
+// CBRP regenerates the A11 extension: the CBRP-lite routing protocol
+// (internal/cbrp) running over LCC vs MOBIC clusters across transmission
+// ranges, plus the flat-flooding discovery baseline. It measures the data
+// delivery ratio and route breaks (what cluster stability buys the data
+// plane) and the control overhead (what the backbone saves on discovery).
+func CBRP(r Runner) (*Result, error) {
+	r = r.withDefaults()
+	xs := []float64{150, 200, 250}
+
+	type variantSpec struct {
+		name   string
+		alg    cluster.Algorithm
+		flat   bool
+		repair bool
+	}
+	variants := []variantSpec{
+		{name: "lcc", alg: cluster.LCC},
+		{name: "mobic", alg: cluster.MOBIC},
+		{name: "mobic-flatflood", alg: cluster.MOBIC, flat: true},
+		{name: "mobic-repair", alg: cluster.MOBIC, repair: true},
+	}
+
+	pdr := make([]Series, len(variants))
+	ctrl := make([]Series, len(variants))
+	breaks := make([]Series, len(variants))
+	for vi, v := range variants {
+		pdr[vi] = Series{Name: v.name + "-pdr(%)", Y: make([]float64, len(xs))}
+		ctrl[vi] = Series{Name: v.name + "-ctrl-tx", Y: make([]float64, len(xs))}
+		breaks[vi] = Series{Name: v.name + "-breaks", Y: make([]float64, len(xs))}
+		for xi, tx := range xs {
+			var pdrAcc, ctrlAcc, brkAcc stats.Accumulator
+			for s := 0; s < r.Seeds; s++ {
+				p := scenario.Base(tx)
+				p.Seed = r.BaseSeed + uint64(s)
+				cfg, err := p.Config(v.alg)
+				if err != nil {
+					return nil, err
+				}
+				if r.Mutate != nil {
+					r.Mutate(&cfg)
+				}
+				proto := cbrp.New(cbrp.Config{
+					Flows: 10, DataInterval: 4,
+					FlatFlooding: v.flat, LocalRepair: v.repair,
+				})
+				cfg.Apps = []simnet.App{proto}
+				net, err := simnet.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := net.Run(); err != nil {
+					return nil, err
+				}
+				st := proto.Stats()
+				pdrAcc.Add(100 * st.DeliveryRatio())
+				ctrlAcc.Add(float64(st.ControlTx()))
+				brkAcc.Add(float64(st.RouteBreaks))
+			}
+			pdr[vi].Y[xi] = pdrAcc.Mean()
+			ctrl[vi].Y[xi] = ctrlAcc.Mean()
+			breaks[vi].Y[xi] = brkAcc.Mean()
+		}
+	}
+	res := &Result{
+		ID:     "cbrp",
+		Title:  "A11: CBRP-lite routing over LCC vs MOBIC clusters",
+		XLabel: "transmission range (m)",
+		YLabel: "data delivery ratio (%)",
+		X:      xs,
+		Series: []Series{pdr[0], pdr[1], pdr[2], pdr[3]},
+	}
+	for vi, v := range variants {
+		for xi, tx := range xs {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%-16s tx=%3.0f: control tx %7.0f, route breaks %5.0f",
+				v.name, tx, ctrl[vi].Y[xi], breaks[vi].Y[xi]))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+	"mobic/internal/simnet"
+	"mobic/internal/stats"
+)
+
+// Convergence tests the paper's O(d) convergence claim (Theorem 1's
+// context: LCC-style clustering "converges in O(d) time, where d is the
+// diameter of the network"): on static random topologies of growing area
+// (and hence growing hop diameter), it measures the time from cold start
+// until the cluster structure stops changing, alongside the topology's hop
+// diameter.
+func Convergence(r Runner) (*Result, error) {
+	r = r.withDefaults()
+	// Growing areas at constant density: diameter grows with the side.
+	sides := []float64{400, 800, 1200, 1600, 2000}
+	const txRange = 200.0
+	const density = 50.0 / (670.0 * 670.0) // the paper's node density
+
+	timeSeries := Series{Name: "convergence-time(s)", Y: make([]float64, len(sides))}
+	diamSeries := Series{Name: "hop-diameter", Y: make([]float64, len(sides))}
+	for si, side := range sides {
+		var tAcc, dAcc stats.Accumulator
+		n := int(density * side * side)
+		if n < 5 {
+			n = 5
+		}
+		for s := 0; s < r.Seeds; s++ {
+			area := geom.Square(side)
+			cfg := simnet.Config{
+				N:         n,
+				Area:      area,
+				Duration:  300,
+				Seed:      r.BaseSeed + uint64(s),
+				Algorithm: cluster.LCC,
+				Mobility:  &mobility.Static{Area: area},
+				TxRange:   txRange,
+			}
+			if r.Mutate != nil {
+				r.Mutate(&cfg)
+			}
+			ct, diam, err := convergenceTime(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tAcc.Add(ct)
+			dAcc.Add(float64(diam))
+		}
+		timeSeries.Y[si] = tAcc.Mean()
+		diamSeries.Y[si] = dAcc.Mean()
+	}
+	return &Result{
+		ID:     "convergence",
+		Title:  "Convergence time vs network diameter (static topologies, LCC)",
+		XLabel: "area side (m), constant density",
+		YLabel: "time to stable clustering (s)",
+		X:      sides,
+		Series: []Series{timeSeries, diamSeries},
+		Notes: []string{
+			"The paper cites O(d) convergence; time should scale with the hop",
+			"diameter (second series) at ~one beacon interval per hop.",
+		},
+	}, nil
+}
+
+// convergenceTime runs cfg until the role assignment is stable for three
+// beacon intervals and returns the time of the last change plus the static
+// topology's hop diameter.
+func convergenceTime(cfg simnet.Config) (float64, int, error) {
+	net, err := simnet.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	bi := cfg.BroadcastInterval
+	if bi == 0 {
+		bi = simnet.DefaultBroadcastInterval
+	}
+	lastChange := 0.0
+	prev := rolesOf(net)
+	for t := bi; t <= cfg.Duration; t += bi {
+		net.RunUntil(t)
+		cur := rolesOf(net)
+		if !equalRoles(prev, cur) {
+			lastChange = t
+		}
+		prev = cur
+		if t-lastChange >= 3*bi && lastChange > 0 {
+			break
+		}
+	}
+	return lastChange, net.Topology().Diameter(), nil
+}
+
+type roleState struct {
+	role cluster.Role
+	head int32
+}
+
+func rolesOf(net *simnet.Network) []roleState {
+	snap := net.Snapshot()
+	out := make([]roleState, len(snap))
+	for i, s := range snap {
+		out[i] = roleState{role: s.Role, head: s.Head}
+	}
+	return out
+}
+
+func equalRoles(a, b []roleState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"mobic/internal/cluster"
+	"mobic/internal/hier"
+	"mobic/internal/scenario"
+	"mobic/internal/simnet"
+	"mobic/internal/stats"
+)
+
+// Hierarchy quantifies the paper's scalability motivation: across the Tx
+// sweep it samples the cluster graph over MOBIC's clusters and reports
+//
+//   - the routing-state reduction factor (flat proactive entries divided
+//     by hierarchical entries), and
+//   - the cluster-graph diameter (route length in cluster hops), and
+//   - cluster-graph edge churn per sample interval (structural stability).
+func Hierarchy(r Runner) (*Result, error) {
+	r = r.withDefaults()
+	xs := scenario.TxSweep()
+	reduction := Series{Name: "state-reduction-x", Y: make([]float64, len(xs))}
+	diameter := Series{Name: "cluster-diameter", Y: make([]float64, len(xs))}
+	churn := Series{Name: "edge-churn/interval", Y: make([]float64, len(xs))}
+
+	for xi, tx := range xs {
+		var redAcc, diamAcc, churnAcc stats.Accumulator
+		for s := 0; s < r.Seeds; s++ {
+			p := scenario.Base(tx)
+			p.Seed = r.BaseSeed + uint64(s)
+			cfg, err := p.Config(cluster.MOBIC)
+			if err != nil {
+				return nil, err
+			}
+			if r.Mutate != nil {
+				r.Mutate(&cfg)
+			}
+			if err := hierarchySamples(cfg, &redAcc, &diamAcc, &churnAcc); err != nil {
+				return nil, err
+			}
+		}
+		reduction.Y[xi] = redAcc.Mean()
+		diameter.Y[xi] = diamAcc.Mean()
+		churn.Y[xi] = churnAcc.Mean()
+	}
+	return &Result{
+		ID:     "hierarchy",
+		Title:  "Hierarchical scalability: routing-state reduction over MOBIC clusters",
+		XLabel: "transmission range (m)",
+		YLabel: "flat/hierarchical routing-state ratio",
+		X:      xs,
+		Series: []Series{reduction, diameter, churn},
+		Notes: []string{
+			"state-reduction-x: proactive flat entries / hierarchical entries;",
+			"cluster-diameter: route length in cluster hops; edge-churn:",
+			"cluster-graph edges changed per 30 s sample.",
+		},
+	}, nil
+}
+
+func hierarchySamples(cfg simnet.Config, redAcc, diamAcc, churnAcc *stats.Accumulator) error {
+	net, err := simnet.New(cfg)
+	if err != nil {
+		return err
+	}
+	var prev *hier.ClusterGraph
+	for t := 60.0; t <= cfg.Duration; t += 30 {
+		net.RunUntil(t)
+		snap := net.Snapshot()
+		aff := make([]int32, len(snap))
+		for i, s := range snap {
+			aff[i] = s.Head
+		}
+		cg, err := hier.Build(net.Topology(), aff)
+		if err != nil {
+			return err
+		}
+		flat, hierState := cg.RoutingState()
+		if hierState > 0 {
+			redAcc.Add(float64(flat) / float64(hierState))
+		}
+		diamAcc.Add(float64(cg.Diameter()))
+		if prev != nil {
+			churnAcc.Add(float64(hier.EdgeChurn(prev, cg)))
+		}
+		prev = cg
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mobic/internal/viz"
+)
+
+// WriteJSON emits the Result as indented JSON for machine consumption.
+func WriteJSON(w io.Writer, res *Result) error {
+	type jsonSeries struct {
+		Name string    `json:"name"`
+		Y    []float64 `json:"y"`
+		CI   []float64 `json:"ci,omitempty"`
+	}
+	type jsonResult struct {
+		ID     string       `json:"id"`
+		Title  string       `json:"title"`
+		XLabel string       `json:"x_label,omitempty"`
+		YLabel string       `json:"y_label,omitempty"`
+		X      []float64    `json:"x,omitempty"`
+		Series []jsonSeries `json:"series,omitempty"`
+		Notes  []string     `json:"notes,omitempty"`
+	}
+	out := jsonResult{
+		ID:     res.ID,
+		Title:  res.Title,
+		XLabel: res.XLabel,
+		YLabel: res.YLabel,
+		X:      res.X,
+		Notes:  res.Notes,
+	}
+	for _, s := range res.Series {
+		out.Series = append(out.Series, jsonSeries{Name: s.Name, Y: s.Y, CI: s.CI})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// FormatTable renders a Result as an aligned text table: one row per X
+// value, one column per series (with confidence half-widths when present).
+func FormatTable(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", res.Title)
+	if len(res.X) > 0 {
+		fmt.Fprintf(&b, "%14s", res.XLabel)
+		for _, s := range res.Series {
+			fmt.Fprintf(&b, " %20s", s.Name)
+		}
+		b.WriteByte('\n')
+		for i, x := range res.X {
+			fmt.Fprintf(&b, "%14.6g", x)
+			for _, s := range res.Series {
+				cell := fmt.Sprintf("%.6g", s.Y[i])
+				if len(s.CI) == len(s.Y) && s.CI[i] > 0 {
+					cell += fmt.Sprintf(" ±%.3g", s.CI[i])
+				}
+				fmt.Fprintf(&b, " %20s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, note := range res.Notes {
+		fmt.Fprintf(&b, "  %s\n", note)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the Result as CSV: header then one row per X value.
+// Confidence columns are suffixed "_ci".
+func WriteCSV(w io.Writer, res *Result) error {
+	if len(res.X) == 0 {
+		return nil
+	}
+	cols := []string{csvEscape(res.XLabel)}
+	for _, s := range res.Series {
+		cols = append(cols, csvEscape(s.Name))
+		if len(s.CI) == len(s.Y) {
+			cols = append(cols, csvEscape(s.Name+"_ci"))
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range res.X {
+		row := []string{formatFloat(x)}
+		for _, s := range res.Series {
+			row = append(row, formatFloat(s.Y[i]))
+			if len(s.CI) == len(s.Y) {
+				row = append(row, formatFloat(s.CI[i]))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SVG renders the result as a standalone SVG figure ("" for data-less
+// results like Table 1).
+func SVG(res *Result) string {
+	if len(res.X) == 0 {
+		return ""
+	}
+	series := make([]viz.Series, len(res.Series))
+	for i, s := range res.Series {
+		series[i] = viz.Series{Name: s.Name, Y: s.Y}
+	}
+	return viz.SVGChart(res.X, series, res.Title, res.XLabel, res.YLabel)
+}
+
+// Chart renders the result's series as an ASCII line chart.
+func Chart(res *Result) string {
+	if len(res.X) == 0 {
+		return ""
+	}
+	series := make([]viz.Series, len(res.Series))
+	for i, s := range res.Series {
+		series[i] = viz.Series{Name: s.Name, Y: s.Y}
+	}
+	return viz.LineChart(res.X, series, 64, 16, res.XLabel, res.YLabel)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		ID:     "fig3",
+		Title:  "Figure 3",
+		XLabel: "tx (m)",
+		YLabel: "ch changes",
+		X:      []float64{10, 50, 250},
+		Series: []Series{
+			{Name: "lcc", Y: []float64{100, 1200, 200}, CI: []float64{5, 30, 10}},
+			{Name: "mobic", Y: []float64{90, 1300, 140}, CI: []float64{4, 25, 8}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable(sampleResult())
+	for _, want := range []string{"Figure 3", "lcc", "mobic", "1200", "±", "a note", "tx (m)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + 3 rows + 1 note.
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatTableNotesOnly(t *testing.T) {
+	res := &Result{Title: "Table 1", Notes: []string{"N 50"}}
+	out := FormatTable(res)
+	if !strings.Contains(out, "N 50") {
+		t.Errorf("notes-only table wrong:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "tx (m),lcc,lcc_ci,mobic,mobic_ci" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "10,100,5,90,4" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	res := &Result{
+		XLabel: `weird,"label"`,
+		X:      []float64{1},
+		Series: []Series{{Name: "s", Y: []float64{2}}},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), `"weird,""label""",s`) {
+		t.Errorf("escaping wrong: %q", b.String())
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, &Result{Title: "no data"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty result should write nothing, got %q", b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"id": "fig3"`, `"name": "lcc"`, `"y": [`, `"a note"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart(sampleResult())
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("chart missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart missing series markers:\n%s", out)
+	}
+	if Chart(&Result{}) != "" {
+		t.Error("chart of empty result should be empty")
+	}
+}

@@ -1,0 +1,212 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (and the DESIGN.md ablations) from the simulator. Each
+// experiment is a named function producing a Result — an X axis plus one
+// series per algorithm — which the cmd/experiments tool renders as aligned
+// tables, CSV files and ASCII charts, and EXPERIMENTS.md records against the
+// paper's published curves.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobic/internal/cluster"
+	"mobic/internal/metrics"
+	"mobic/internal/scenario"
+	"mobic/internal/simnet"
+	"mobic/internal/stats"
+)
+
+// Runner controls replication and parallelism for experiment sweeps.
+type Runner struct {
+	// Seeds is the number of replications per cell (default 3).
+	Seeds int
+	// BaseSeed is the first scenario seed; replication i uses BaseSeed+i.
+	BaseSeed uint64
+	// Workers bounds concurrent simulations (default GOMAXPROCS).
+	Workers int
+	// Progress, when set, is called after each completed cell.
+	Progress func(done, total int)
+	// Mutate, when set, adjusts each materialized config before the run
+	// (e.g. to override the propagation or loss model).
+	Mutate func(*simnet.Config)
+}
+
+// withDefaults returns a copy with defaults applied.
+func (r Runner) withDefaults() Runner {
+	if r.Seeds <= 0 {
+		r.Seeds = 3
+	}
+	if r.BaseSeed == 0 {
+		r.BaseSeed = 1
+	}
+	if r.Workers <= 0 {
+		r.Workers = runtime.GOMAXPROCS(0)
+	}
+	return r
+}
+
+// CellStats aggregates one sweep cell (one x value, one algorithm) over the
+// replications.
+type CellStats struct {
+	// CHChanges is the mean cluster-stability metric CS.
+	CHChanges float64
+	// CHChangesCI is the 95% confidence half-width over seeds.
+	CHChangesCI float64
+	// AvgClusters is the mean time-averaged cluster count.
+	AvgClusters float64
+	// MembershipChanges is the mean membership-change count.
+	MembershipChanges float64
+	// MeanResidence is the mean clusterhead tenure in seconds.
+	MeanResidence float64
+	// Broadcasts is the mean number of hello transmissions.
+	Broadcasts float64
+	// Raw holds the per-seed metric snapshots for custom projections.
+	Raw []metrics.Result
+}
+
+// cellJob is one (cell index, replication) unit of work.
+type cellJob struct {
+	cell int
+	seed uint64
+	cfg  simnet.Config
+}
+
+// RunCells executes every (params, algorithm) cell over all seeds, in
+// parallel, and aggregates per cell. make(cfg) materializes a cell's config
+// for one seed. Results are ordered like the inputs.
+func (r Runner) RunCells(cells []Cell) ([]CellStats, error) {
+	r = r.withDefaults()
+
+	var jobs []cellJob
+	for ci, c := range cells {
+		for s := 0; s < r.Seeds; s++ {
+			p := c.Params
+			p.Seed = r.BaseSeed + uint64(s)
+			cfg, err := p.Config(c.Algorithm)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: cell %d: %w", ci, err)
+			}
+			if c.Mutate != nil {
+				c.Mutate(&cfg)
+			}
+			if r.Mutate != nil {
+				r.Mutate(&cfg)
+			}
+			jobs = append(jobs, cellJob{cell: ci, seed: p.Seed, cfg: cfg})
+		}
+	}
+
+	results := make([][]metrics.Result, len(cells))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	jobCh := make(chan cellJob)
+	for w := 0; w < r.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				net, err := simnet.New(job.cfg)
+				var res *simnet.Result
+				if err == nil {
+					res, err = net.Run()
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: cell %d seed %d: %w", job.cell, job.seed, err)
+					}
+				} else {
+					results[job.cell] = append(results[job.cell], res.Metrics)
+				}
+				done++
+				progress := r.Progress
+				total := len(jobs)
+				d := done
+				mu.Unlock()
+				if progress != nil {
+					progress(d, total)
+				}
+			}
+		}()
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]CellStats, len(cells))
+	for i, rs := range results {
+		out[i] = aggregate(rs)
+	}
+	return out, nil
+}
+
+// Cell is one sweep point: a scenario and an algorithm, with an optional
+// per-cell config mutation.
+type Cell struct {
+	// Params is the scenario (Seed is overwritten per replication).
+	Params scenario.Params
+	// Algorithm is the clustering algorithm under test.
+	Algorithm cluster.Algorithm
+	// Mutate optionally adjusts the materialized config (loss model,
+	// propagation, adaptive BI, ...).
+	Mutate func(*simnet.Config)
+}
+
+func aggregate(rs []metrics.Result) CellStats {
+	ch := make([]float64, 0, len(rs))
+	var clusters, memb, res, bcast stats.Accumulator
+	for _, m := range rs {
+		ch = append(ch, float64(m.CHChanges))
+		clusters.Add(m.AvgClusters)
+		memb.Add(float64(m.MembershipChanges))
+		res.Add(m.MeanResidence)
+		bcast.Add(float64(m.Broadcasts))
+	}
+	mean, ci := stats.MeanCI(ch)
+	return CellStats{
+		CHChanges:         mean,
+		CHChangesCI:       ci,
+		AvgClusters:       clusters.Mean(),
+		MembershipChanges: memb.Mean(),
+		MeanResidence:     res.Mean(),
+		Broadcasts:        bcast.Mean(),
+		Raw:               rs,
+	}
+}
+
+// Series is one named curve of a Result.
+type Series struct {
+	// Name labels the curve (algorithm or variant).
+	Name string
+	// Y holds one value per X point.
+	Y []float64
+	// CI holds the 95% half-widths (may be nil).
+	CI []float64
+}
+
+// Result is a regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier ("fig3", "table1", "ablate-cci"...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// X is the sweep axis.
+	X []float64
+	// Series holds one curve per algorithm/variant.
+	Series []Series
+	// Notes carries free-form observations (shape checks, coverage...).
+	Notes []string
+}

@@ -1,0 +1,392 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/scenario"
+	"mobic/internal/simnet"
+)
+
+// fastRunner trims every materialized config so unit tests stay quick while
+// exercising the full harness path.
+func fastRunner(seeds int) Runner {
+	return Runner{
+		Seeds:    seeds,
+		BaseSeed: 1,
+		Mutate: func(cfg *simnet.Config) {
+			cfg.N = 15
+			cfg.Duration = 60
+		},
+	}
+}
+
+func smallParams(tx float64) scenario.Params {
+	p := scenario.Base(tx)
+	p.Duration = 60
+	p.N = 15
+	return p
+}
+
+func TestRunCellsAggregates(t *testing.T) {
+	r := Runner{Seeds: 3, BaseSeed: 1}
+	cells := []Cell{
+		{Params: smallParams(150), Algorithm: cluster.LCC},
+		{Params: smallParams(150), Algorithm: cluster.MOBIC},
+	}
+	stats, err := r.RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d cell stats, want 2", len(stats))
+	}
+	for i, cs := range stats {
+		if len(cs.Raw) != 3 {
+			t.Errorf("cell %d: %d raw results, want 3 (one per seed)", i, len(cs.Raw))
+		}
+		if cs.AvgClusters <= 0 {
+			t.Errorf("cell %d: AvgClusters = %v", i, cs.AvgClusters)
+		}
+		if cs.Broadcasts <= 0 {
+			t.Errorf("cell %d: Broadcasts = %v", i, cs.Broadcasts)
+		}
+	}
+}
+
+func TestRunCellsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := []Cell{
+		{Params: smallParams(100), Algorithm: cluster.MOBIC},
+		{Params: smallParams(200), Algorithm: cluster.LCC},
+	}
+	serial := Runner{Seeds: 2, BaseSeed: 1, Workers: 1}
+	parallel := Runner{Seeds: 2, BaseSeed: 1, Workers: 8}
+	a, err := serial.RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.RunCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].CHChanges != b[i].CHChanges || a[i].AvgClusters != b[i].AvgClusters {
+			t.Errorf("cell %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunCellsPropagatesErrors(t *testing.T) {
+	bad := scenario.Base(150)
+	bad.N = -1
+	r := Runner{Seeds: 1}
+	if _, err := r.RunCells([]Cell{{Params: bad, Algorithm: cluster.MOBIC}}); err == nil {
+		t.Error("invalid cell should error")
+	}
+}
+
+func TestRunCellsProgress(t *testing.T) {
+	var calls atomic.Int64
+	r := Runner{
+		Seeds:    2,
+		BaseSeed: 1,
+		Progress: func(done, total int) {
+			calls.Add(1)
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+		},
+	}
+	cells := []Cell{
+		{Params: smallParams(100), Algorithm: cluster.MOBIC},
+		{Params: smallParams(100), Algorithm: cluster.LCC},
+	}
+	if _, err := r.RunCells(cells); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("progress called %d times, want 4", calls.Load())
+	}
+}
+
+func TestRegistryAllUniqueAndResolvable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range All() {
+		if seen[d.ID] {
+			t.Errorf("duplicate experiment ID %q", d.ID)
+		}
+		seen[d.ID] = true
+		if d.Run == nil {
+			t.Errorf("experiment %q has no Run", d.ID)
+		}
+		if d.Title == "" {
+			t.Errorf("experiment %q has no title", d.ID)
+		}
+		got, err := ByID(d.ID)
+		if err != nil || got.ID != d.ID {
+			t.Errorf("ByID(%q) = %v, %v", d.ID, got.ID, err)
+		}
+	}
+	// Every figure and table of the paper must be present.
+	for _, required := range []string{"table1", "fig3", "fig4", "fig5", "fig6a", "fig6b"} {
+		if !seen[required] {
+			t.Errorf("paper artifact %q missing from registry", required)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	_, err := ByID("fig99")
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("err = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	res, err := Table1(Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) != 9 {
+		t.Errorf("table1 has %d rows, want 9", len(res.Notes))
+	}
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"Number of Nodes", "900 sec", "Cluster Contention Interval"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6aSmall(t *testing.T) {
+	res, err := Fig6a(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig6a" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	if len(res.X) != 3 {
+		t.Errorf("X = %v, want 3 speeds", res.X)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != 3 {
+			t.Errorf("series %q has %d points", s.Name, len(s.Y))
+		}
+	}
+}
+
+func TestLossExperimentSmall(t *testing.T) {
+	res, err := Loss(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != 6 || len(res.Series) != 2 {
+		t.Fatalf("loss shape: %d x, %d series", len(res.X), len(res.Series))
+	}
+}
+
+func TestFloodingExperimentStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flooding sweep is slow")
+	}
+	// Run a reduced flooding experiment by hand: one tx, one seed.
+	r := fastRunner(1)
+	res, err := Flooding(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("flooding series = %d, want 3", len(res.Series))
+	}
+	flat, clus := res.Series[0], res.Series[1]
+	for i := range res.X {
+		if clus.Y[i] > flat.Y[i]+1e-9 {
+			t.Errorf("tx=%v: cluster flood (%v) costs more than flat (%v)",
+				res.X[i], clus.Y[i], flat.Y[i])
+		}
+	}
+}
+
+func TestTimelineExperimentSmall(t *testing.T) {
+	res, err := Timeline(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if len(res.X) == 0 {
+		t.Fatal("no windows")
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != len(res.X) {
+			t.Errorf("series %q has %d points for %d windows", s.Name, len(s.Y), len(res.X))
+		}
+	}
+	// The formation burst lands in the first window.
+	if res.Series[0].Y[0] == 0 && res.Series[1].Y[0] == 0 {
+		t.Error("first window should contain the formation burst")
+	}
+}
+
+func TestFairnessExperimentSmall(t *testing.T) {
+	res, err := Fairness(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("fairness series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Errorf("series %q point %d: Jain index %v outside [0,1]", s.Name, i, y)
+			}
+		}
+	}
+}
+
+func TestClaimsExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims runs several sweeps")
+	}
+	res, err := Claims(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Notes) < 11 {
+		t.Fatalf("claims produced %d notes, want >= 11", len(res.Notes))
+	}
+	for _, note := range res.Notes {
+		if !strings.HasPrefix(note, "[PASS]") && !strings.HasPrefix(note, "[FAIL]") {
+			t.Errorf("claim note missing status: %q", note)
+		}
+	}
+}
+
+func TestConvergenceExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several static scenarios")
+	}
+	r := Runner{Seeds: 1}
+	res, err := Convergence(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 || len(res.X) != 5 {
+		t.Fatalf("convergence shape: %d series, %d x", len(res.Series), len(res.X))
+	}
+	diam := res.Series[1].Y
+	for i := 1; i < len(diam); i++ {
+		if diam[i] < diam[i-1] {
+			t.Errorf("hop diameter should grow with area: %v", diam)
+		}
+	}
+}
+
+func TestFailuresExperimentSmall(t *testing.T) {
+	// The decapitation preset kills nodes 0-9, so the trimmed config must
+	// keep at least that many nodes.
+	r := Runner{
+		Seeds: 1,
+		Mutate: func(cfg *simnet.Config) {
+			cfg.N = 20
+			cfg.Duration = 400
+		},
+	}
+	res, err := Failures(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 || len(res.X) == 0 {
+		t.Fatalf("failures shape: %d series, %d x", len(res.Series), len(res.X))
+	}
+}
+
+func TestHierarchyExperimentSmall(t *testing.T) {
+	res, err := Hierarchy(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("hierarchy series = %d", len(res.Series))
+	}
+	// Routing-state reduction must be >= 1 everywhere (hierarchy never
+	// costs more state than flat proactive routing).
+	for i, y := range res.Series[0].Y {
+		if y < 1 {
+			t.Errorf("reduction at x=%v is %v < 1", res.X[i], y)
+		}
+	}
+}
+
+func TestSensitivityExperimentsSmall(t *testing.T) {
+	for _, run := range []func(Runner) (*Result, error){CCISweep, BISweep, WCALite} {
+		res, err := run(fastRunner(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.X) == 0 || len(res.Series) == 0 {
+			t.Errorf("%s: empty result", res.ID)
+		}
+		for _, s := range res.Series {
+			if len(s.Y) != len(res.X) {
+				t.Errorf("%s series %q misaligned", res.ID, s.Name)
+			}
+		}
+	}
+}
+
+func TestRoutesExperimentSmall(t *testing.T) {
+	res, err := Routes(fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("routes series = %d, want 6 (node life, cluster life, cost x2 algs)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != len(res.X) {
+			t.Errorf("series %q misaligned", s.Name)
+		}
+	}
+}
+
+// The headline reproduction, trimmed: at Tx=250 MOBIC must beat LCC.
+func TestFig3ShapeTrimmed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	r := Runner{
+		Seeds: 2,
+		Mutate: func(cfg *simnet.Config) {
+			cfg.Duration = 300
+		},
+	}
+	res, err := Fig3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, mobic := res.Series[0], res.Series[1]
+	last := len(res.X) - 1
+	if mobic.Y[last] >= lcc.Y[last] {
+		t.Errorf("at Tx=250: mobic %v >= lcc %v", mobic.Y[last], lcc.Y[last])
+	}
+	// Unimodal-ish: the peak must not be at either extreme of the sweep.
+	peak := 0
+	for i, y := range lcc.Y {
+		if y > lcc.Y[peak] {
+			peak = i
+		}
+	}
+	if peak == 0 || peak == last {
+		t.Errorf("lcc peak at sweep boundary (index %d): %v", peak, lcc.Y)
+	}
+}

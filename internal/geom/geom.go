@@ -1,0 +1,125 @@
+// Package geom provides the 2-D geometry primitives used by the MANET
+// simulator: points/vectors in meters, distances, linear interpolation along
+// movement segments, and axis-aligned rectangles for simulation areas.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Vec is a displacement in the plane, in meters.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns p translated by v.
+func (p Point) Add(v Vec) Point { return Point{X: p.X + v.X, Y: p.Y + v.Y} }
+
+// Sub returns the displacement from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. Range checks
+// use it to avoid the square root on the simulator's hot path.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String renders the point as "(x, y)" with two decimals.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{X: k * v.X, Y: k * v.Y} }
+
+// Add returns the vector sum v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{X: v.X + w.X, Y: v.Y + w.Y} }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Unit returns the unit vector in the direction of v, or the zero vector if
+// v has zero length (a stationary movement segment).
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return Vec{X: v.X / l, Y: v.Y / l}
+}
+
+// FromPolar returns the vector of the given length and angle (radians,
+// measured counterclockwise from the +X axis).
+func FromPolar(length, angle float64) Vec {
+	return Vec{X: length * math.Cos(angle), Y: length * math.Sin(angle)}
+}
+
+// Angle returns the direction of v in radians in (-pi, pi].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp linearly interpolates between a (t=0) and b (t=1). t outside [0, 1]
+// extrapolates, which movement segments never do by construction; callers
+// clamp where needed.
+func Lerp(a, b Point, t float64) Point {
+	return Point{
+		X: a.X + (b.X-a.X)*t,
+		Y: a.Y + (b.Y-a.Y)*t,
+	}
+}
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY] describing a
+// simulation area such as the paper's 670x670 m or 1000x1000 m scenarios.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns the side x side rectangle anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{MaxX: side, MaxY: side}
+}
+
+// NewRect returns the rectangle with the given width and height anchored at
+// the origin.
+func NewRect(width, height float64) Rect {
+	return Rect{MaxX: width, MaxY: height}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+// Valid reports whether r has positive area.
+func (r Rect) Valid() bool { return r.MaxX > r.MinX && r.MaxY > r.MinY }
+
+// String renders the rectangle as "WxH@(minx,miny)".
+func (r Rect) String() string {
+	return fmt.Sprintf("%.0fx%.0f@(%.0f,%.0f)", r.Width(), r.Height(), r.MinX, r.MinY)
+}

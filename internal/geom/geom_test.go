@@ -1,0 +1,217 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{X: 1, Y: 2}
+	q := p.Add(Vec{X: 3, Y: -1})
+	if q != (Point{X: 4, Y: 1}) {
+		t.Errorf("Add = %v", q)
+	}
+	v := q.Sub(p)
+	if v != (Vec{X: 3, Y: -1}) {
+		t.Errorf("Sub = %v", v)
+	}
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{name: "same point", p: Point{1, 1}, q: Point{1, 1}, want: 0},
+		{name: "3-4-5", p: Point{0, 0}, q: Point{3, 4}, want: 5},
+		{name: "negative coords", p: Point{-1, -1}, q: Point{2, 3}, want: 5},
+		{name: "horizontal", p: Point{0, 7}, q: Point{10, 7}, want: 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+			if got := tt.p.DistSq(tt.q); !almostEqual(got, tt.want*tt.want, 1e-9) {
+				t.Errorf("DistSq = %v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	sym := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		return almostEqual(p.Dist(q), q.Dist(p), 1e-9)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	tri := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func anyBad(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{X: 3, Y: 4}
+	if v.Len() != 5 {
+		t.Errorf("Len = %v, want 5", v.Len())
+	}
+	u := v.Unit()
+	if !almostEqual(u.Len(), 1, 1e-12) {
+		t.Errorf("Unit length = %v, want 1", u.Len())
+	}
+	if (Vec{}).Unit() != (Vec{}) {
+		t.Error("Unit of zero vector should be zero")
+	}
+	if v.Scale(2) != (Vec{X: 6, Y: 8}) {
+		t.Errorf("Scale = %v", v.Scale(2))
+	}
+	if v.Add(Vec{X: -3, Y: -4}) != (Vec{}) {
+		t.Error("Add inverse should be zero")
+	}
+}
+
+func TestFromPolar(t *testing.T) {
+	v := FromPolar(2, math.Pi/2)
+	if !almostEqual(v.X, 0, 1e-12) || !almostEqual(v.Y, 2, 1e-12) {
+		t.Errorf("FromPolar = %v, want (0, 2)", v)
+	}
+	if !almostEqual(v.Angle(), math.Pi/2, 1e-12) {
+		t.Errorf("Angle = %v, want pi/2", v.Angle())
+	}
+}
+
+func TestFromPolarRoundTripProperty(t *testing.T) {
+	roundTrip := func(lenSeed, angSeed uint16) bool {
+		length := 0.001 + float64(lenSeed)/100
+		angle := (float64(angSeed)/65535)*2*math.Pi - math.Pi + 1e-6
+		v := FromPolar(length, angle)
+		return almostEqual(v.Len(), length, 1e-9*(1+length)) &&
+			almostEqual(math.Mod(v.Angle()-angle+3*math.Pi, 2*math.Pi)-math.Pi, 0, 1e-9)
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 20}
+	if Lerp(a, b, 0) != a {
+		t.Error("Lerp t=0 should be a")
+	}
+	if Lerp(a, b, 1) != b {
+		t.Error("Lerp t=1 should be b")
+	}
+	mid := Lerp(a, b, 0.5)
+	if mid != (Point{5, 10}) {
+		t.Errorf("Lerp t=0.5 = %v, want (5, 10)", mid)
+	}
+}
+
+func TestLerpOnSegmentProperty(t *testing.T) {
+	onSegment := func(ax, ay, bx, by int16, tSeed uint8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		tt := float64(tSeed) / 255
+		p := Lerp(a, b, tt)
+		// Distance along the segment must sum to the full length.
+		return almostEqual(a.Dist(p)+p.Dist(b), a.Dist(b), 1e-6)
+	}
+	if err := quick.Check(onSegment, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(670)
+	if r.Width() != 670 || r.Height() != 670 {
+		t.Errorf("Square dims = %v x %v", r.Width(), r.Height())
+	}
+	if !almostEqual(r.Area(), 670*670, 1e-9) {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{670, 670}) {
+		t.Error("boundary should be inside")
+	}
+	if r.Contains(Point{-0.1, 5}) || r.Contains(Point{5, 670.1}) {
+		t.Error("outside points should not be contained")
+	}
+	if !r.Valid() {
+		t.Error("670x670 should be valid")
+	}
+	if (Rect{}).Valid() {
+		t.Error("zero rect should be invalid")
+	}
+}
+
+func TestNewRect(t *testing.T) {
+	r := NewRect(1000, 500)
+	if r.Width() != 1000 || r.Height() != 500 {
+		t.Errorf("NewRect dims = %v x %v", r.Width(), r.Height())
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := Square(100)
+	tests := []struct {
+		in, want Point
+	}{
+		{in: Point{50, 50}, want: Point{50, 50}},
+		{in: Point{-10, 50}, want: Point{0, 50}},
+		{in: Point{150, -5}, want: Point{100, 0}},
+		{in: Point{150, 150}, want: Point{100, 100}},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClampProducesContainedProperty(t *testing.T) {
+	r := Square(670)
+	contained := func(x, y float64) bool {
+		if anyBad(x, y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(contained, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := (Point{1.234, 5.678}).String(); s != "(1.23, 5.68)" {
+		t.Errorf("Point.String = %q", s)
+	}
+	if s := Square(670).String(); s != "670x670@(0,0)" {
+		t.Errorf("Rect.String = %q", s)
+	}
+}

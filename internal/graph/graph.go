@@ -1,0 +1,181 @@
+// Package graph provides adjacency analysis over node position snapshots:
+// connected components, BFS distances and eccentricities. The test suite
+// uses it to verify the paper's Theorem 1 (cluster diameter <= 2 hops, no
+// two clusterheads in range) and the experiment harness uses it to report
+// topology connectivity alongside clustering metrics.
+package graph
+
+import (
+	"fmt"
+
+	"mobic/internal/geom"
+)
+
+// Adjacency is an undirected unit-disk graph over n nodes.
+type Adjacency struct {
+	n   int
+	adj [][]int32
+}
+
+// FromPositions builds the unit-disk graph: nodes i and j are adjacent iff
+// their distance is <= radius. O(n^2); snapshots are small.
+func FromPositions(pos []geom.Point, radius float64) *Adjacency {
+	n := len(pos)
+	g := &Adjacency{n: n, adj: make([][]int32, n)}
+	if radius < 0 {
+		return g
+	}
+	rSq := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pos[i].DistSq(pos[j]) <= rSq {
+				g.adj[i] = append(g.adj[i], int32(j))
+				g.adj[j] = append(g.adj[j], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Adjacency) N() int { return g.n }
+
+// Neighbors returns node i's adjacency list. The returned slice must not be
+// modified.
+func (g *Adjacency) Neighbors(i int32) []int32 { return g.adj[i] }
+
+// Degree returns the number of neighbors of node i.
+func (g *Adjacency) Degree(i int32) int { return len(g.adj[i]) }
+
+// Adjacent reports whether i and j are within range of each other.
+func (g *Adjacency) Adjacent(i, j int32) bool {
+	for _, k := range g.adj[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// BFSDist returns the hop distance from `from` to every node; unreachable
+// nodes get -1.
+func (g *Adjacency) BFSDist(from int32) ([]int, error) {
+	if from < 0 || int(from) >= g.n {
+		return nil, fmt.Errorf("graph: node %d out of range [0, %d)", from, g.n)
+	}
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int32{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Components returns the connected components, each a sorted-by-insertion
+// list of node ids; components are ordered by their smallest node id.
+func (g *Adjacency) Components() [][]int32 {
+	seen := make([]bool, g.n)
+	var comps [][]int32
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int32
+		queue := []int32{int32(s)}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether the graph has exactly one component (true for
+// the empty graph of one node; false for zero nodes).
+func (g *Adjacency) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	return len(g.Components()) == 1
+}
+
+// Diameter returns the longest shortest-path over the largest component,
+// i.e. the "d" in the paper's O(d) convergence claim. Returns 0 for empty
+// or singleton graphs.
+func (g *Adjacency) Diameter() int {
+	maxDist := 0
+	for i := 0; i < g.n; i++ {
+		dist, err := g.BFSDist(int32(i))
+		if err != nil {
+			continue
+		}
+		for _, d := range dist {
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return maxDist
+}
+
+// SubgraphDiameter returns the diameter of the induced subgraph over the
+// given nodes (hop counts within the subgraph). Used to check that every
+// cluster has diameter <= 2. Unreachable pairs return -1 as the diameter.
+func (g *Adjacency) SubgraphDiameter(nodes []int32) int {
+	if len(nodes) <= 1 {
+		return 0
+	}
+	inSet := make(map[int32]bool, len(nodes))
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	maxDist := 0
+	for _, s := range nodes {
+		// BFS constrained to the subset.
+		dist := make(map[int32]int, len(nodes))
+		dist[s] = 0
+		queue := []int32{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if !inSet[v] {
+					continue
+				}
+				if _, ok := dist[v]; !ok {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if len(dist) < len(nodes) {
+			return -1 // disconnected within the subgraph
+		}
+		for _, d := range dist {
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return maxDist
+}

@@ -1,0 +1,290 @@
+// Package hier analyzes the cluster hierarchy as a graph of clusters — the
+// structure the paper's introduction motivates: "imposition of a
+// hierarchical organization is beneficial ... results in scalability of
+// operations". It quantifies what clustering buys a routing layer:
+//
+//   - the cluster graph (vertices = clusters, edges = any physical link
+//     between their members) and its diameter in cluster hops;
+//   - the routing-state reduction: proactive flat routing stores O(N)
+//     entries per node, hierarchical routing stores cluster-local state
+//     plus the cluster graph at heads;
+//   - cluster-graph churn between snapshots, a structural stability view.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"mobic/internal/graph"
+)
+
+// NoCluster marks nodes without a clusterhead.
+const NoCluster int32 = -1
+
+// ClusterGraph is the super-graph over clusters.
+type ClusterGraph struct {
+	// heads lists the cluster identifiers (head node ids), sorted.
+	heads []int32
+	// index maps head id -> position in heads.
+	index map[int32]int
+	// adj is the cluster-level adjacency (indices into heads).
+	adj [][]int
+	// sizes holds each cluster's node count.
+	sizes []int
+	// n is the number of physical nodes.
+	n int
+}
+
+// Build derives the cluster graph from a physical topology and the per-node
+// clusterhead vector (heads[i] == i for heads, NoCluster for unaffiliated
+// nodes, which form singleton clusters).
+func Build(topo *graph.Adjacency, affiliation []int32) (*ClusterGraph, error) {
+	if len(affiliation) != topo.N() {
+		return nil, fmt.Errorf("hier: %d affiliations for %d nodes", len(affiliation), topo.N())
+	}
+	clusterOf := func(i int32) int32 {
+		if affiliation[i] == NoCluster {
+			return i // singleton
+		}
+		return affiliation[i]
+	}
+	seen := make(map[int32]bool)
+	var heads []int32
+	sizes := make(map[int32]int)
+	for i := range affiliation {
+		c := clusterOf(int32(i))
+		if !seen[c] {
+			seen[c] = true
+			heads = append(heads, c)
+		}
+		sizes[c]++
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	index := make(map[int32]int, len(heads))
+	for i, h := range heads {
+		index[h] = i
+	}
+
+	adjSet := make([]map[int]bool, len(heads))
+	for i := range adjSet {
+		adjSet[i] = make(map[int]bool)
+	}
+	for u := 0; u < topo.N(); u++ {
+		cu := index[clusterOf(int32(u))]
+		for _, v := range topo.Neighbors(int32(u)) {
+			if v <= int32(u) {
+				continue
+			}
+			cv := index[clusterOf(v)]
+			if cu == cv {
+				continue
+			}
+			adjSet[cu][cv] = true
+			adjSet[cv][cu] = true
+		}
+	}
+	adj := make([][]int, len(heads))
+	for i, set := range adjSet {
+		for j := range set {
+			adj[i] = append(adj[i], j)
+		}
+		sort.Ints(adj[i])
+	}
+	sizeSlice := make([]int, len(heads))
+	for i, h := range heads {
+		sizeSlice[i] = sizes[h]
+	}
+	return &ClusterGraph{
+		heads: heads,
+		index: index,
+		adj:   adj,
+		sizes: sizeSlice,
+		n:     topo.N(),
+	}, nil
+}
+
+// Clusters returns the number of clusters.
+func (g *ClusterGraph) Clusters() int { return len(g.heads) }
+
+// Heads returns the sorted cluster identifiers.
+func (g *ClusterGraph) Heads() []int32 { return append([]int32(nil), g.heads...) }
+
+// Size returns the node count of the cluster with the given head.
+func (g *ClusterGraph) Size(head int32) int {
+	if i, ok := g.index[head]; ok {
+		return g.sizes[i]
+	}
+	return 0
+}
+
+// Edges returns the number of cluster-graph edges.
+func (g *ClusterGraph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Adjacent reports whether the clusters headed by a and b share a link.
+func (g *ClusterGraph) Adjacent(a, b int32) bool {
+	ia, okA := g.index[a]
+	ib, okB := g.index[b]
+	if !okA || !okB {
+		return false
+	}
+	for _, j := range g.adj[ia] {
+		if j == ib {
+			return true
+		}
+	}
+	return false
+}
+
+// Diameter returns the longest shortest path in cluster hops over the
+// largest connected component of the cluster graph.
+func (g *ClusterGraph) Diameter() int {
+	maxDist := 0
+	for s := range g.heads {
+		dist := make([]int, len(g.heads))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return maxDist
+}
+
+// RoutingState estimates per-node proactive routing-table entries.
+//
+// Flat link-state/distance-vector: every node stores a route to every other
+// node: N*(N-1) entries total.
+//
+// Hierarchical (cluster-based): a member stores its cluster's nodes plus
+// the audible heads (approximated by the cluster-graph degree of its
+// cluster); a head additionally stores the cluster graph. Entries total:
+// sum over clusters of size*(size-1) intra-cluster + 2*edges (cluster
+// adjacencies at heads) + clusters (each node knows its head).
+func (g *ClusterGraph) RoutingState() (flat, hierarchical int) {
+	flat = g.n * (g.n - 1)
+	for _, s := range g.sizes {
+		hierarchical += s * (s - 1)
+	}
+	hierarchical += 2*g.Edges() + g.n
+	return flat, hierarchical
+}
+
+// Path returns a shortest sequence of cluster heads from the cluster headed
+// by `from` to the one headed by `to` (inclusive), or an error when either
+// cluster is missing or no cluster-level route exists.
+func (g *ClusterGraph) Path(from, to int32) ([]int32, error) {
+	si, okS := g.index[from]
+	ti, okT := g.index[to]
+	if !okS || !okT {
+		return nil, fmt.Errorf("hier: cluster %d or %d not in graph", from, to)
+	}
+	if si == ti {
+		return []int32{from}, nil
+	}
+	prev := make([]int, len(g.heads))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[si] = si
+	queue := []int{si}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if prev[v] != -1 {
+				continue
+			}
+			prev[v] = u
+			if v == ti {
+				var rev []int32
+				for x := ti; ; x = prev[x] {
+					rev = append(rev, g.heads[x])
+					if x == si {
+						break
+					}
+				}
+				out := make([]int32, len(rev))
+				for i, h := range rev {
+					out[len(rev)-1-i] = h
+				}
+				return out, nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil, fmt.Errorf("hier: no cluster route %d -> %d", from, to)
+}
+
+// PathValid reports whether the cluster route is still usable in this
+// snapshot: every cluster (identified by its head) still exists and every
+// consecutive pair is still adjacent. A clusterhead change kills the
+// route — which is exactly why cluster-route lifetime tracks the paper's
+// stability metric.
+func (g *ClusterGraph) PathValid(path []int32) bool {
+	if len(path) == 0 {
+		return false
+	}
+	for _, h := range path {
+		if _, ok := g.index[h]; !ok {
+			return false
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.Adjacent(path[i-1], path[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeChurn counts cluster-graph edge differences between two snapshots:
+// edges present in exactly one of them (clusters identified by head id).
+// A structural-stability measure complementing clusterhead changes.
+func EdgeChurn(a, b *ClusterGraph) int {
+	type edge struct{ u, v int32 }
+	collect := func(g *ClusterGraph) map[edge]bool {
+		out := make(map[edge]bool)
+		for i, neighbors := range g.adj {
+			for _, j := range neighbors {
+				if i < j {
+					out[edge{u: g.heads[i], v: g.heads[j]}] = true
+				}
+			}
+		}
+		return out
+	}
+	ea, eb := collect(a), collect(b)
+	churn := 0
+	for e := range ea {
+		if !eb[e] {
+			churn++
+		}
+	}
+	for e := range eb {
+		if !ea[e] {
+			churn++
+		}
+	}
+	return churn
+}

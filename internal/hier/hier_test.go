@@ -1,0 +1,204 @@
+package hier
+
+import (
+	"testing"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+)
+
+// twoClusters builds the star-of-stars topology: heads 0 and 3 with members
+// {1,2} and {4,5}, linked via the 2-4 edge.
+func twoClusters() (*graph.Adjacency, []int32) {
+	pos := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 5, Y: 0}, {X: 4, Y: 0}, {X: 6, Y: 0},
+	}
+	g := graph.FromPositions(pos, 2)
+	return g, []int32{0, 0, 0, 3, 3, 3}
+}
+
+func TestBuildBasics(t *testing.T) {
+	g, aff := twoClusters()
+	cg, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() != 2 {
+		t.Fatalf("Clusters = %d, want 2", cg.Clusters())
+	}
+	if cg.Size(0) != 3 || cg.Size(3) != 3 {
+		t.Errorf("sizes = %d, %d", cg.Size(0), cg.Size(3))
+	}
+	if cg.Size(99) != 0 {
+		t.Error("unknown cluster size should be 0")
+	}
+	if cg.Edges() != 1 {
+		t.Errorf("Edges = %d, want 1", cg.Edges())
+	}
+	if !cg.Adjacent(0, 3) || !cg.Adjacent(3, 0) {
+		t.Error("clusters 0 and 3 should be adjacent")
+	}
+	if cg.Adjacent(0, 99) {
+		t.Error("unknown cluster should not be adjacent")
+	}
+	if cg.Diameter() != 1 {
+		t.Errorf("Diameter = %d, want 1", cg.Diameter())
+	}
+	heads := cg.Heads()
+	if len(heads) != 2 || heads[0] != 0 || heads[1] != 3 {
+		t.Errorf("Heads = %v", heads)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, _ := twoClusters()
+	if _, err := Build(g, []int32{0, 0}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestUnaffiliatedAreSingletons(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	g := graph.FromPositions(pos, 1.2)
+	aff := []int32{0, 0, NoCluster}
+	cg, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() != 2 {
+		t.Fatalf("Clusters = %d, want 2 (singleton for node 2)", cg.Clusters())
+	}
+	if cg.Size(2) != 1 {
+		t.Errorf("singleton size = %d", cg.Size(2))
+	}
+	if !cg.Adjacent(0, 2) {
+		t.Error("cluster 0 and singleton 2 share the 1-2 edge")
+	}
+}
+
+func TestRoutingStateReduction(t *testing.T) {
+	g, aff := twoClusters()
+	cg, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, hierTotal := cg.RoutingState()
+	if flat != 6*5 {
+		t.Errorf("flat = %d, want 30", flat)
+	}
+	// Intra: 2 clusters * 3*2 = 12; edges: 2*1; heads: +6 => 20.
+	if hierTotal != 20 {
+		t.Errorf("hierarchical = %d, want 20", hierTotal)
+	}
+	if hierTotal >= flat {
+		t.Error("hierarchy should reduce routing state")
+	}
+}
+
+func TestDiameterChain(t *testing.T) {
+	// Three clusters in a chain: 0-1 ... 2-3 ... 4-5 with bridges 1-2, 3-4.
+	pos := []geom.Point{
+		{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 4}, {X: 5},
+	}
+	g := graph.FromPositions(pos, 1.2)
+	aff := []int32{0, 0, 2, 2, 4, 4}
+	cg, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() != 3 {
+		t.Fatalf("Clusters = %d", cg.Clusters())
+	}
+	if cg.Diameter() != 2 {
+		t.Errorf("chain of 3 clusters: diameter = %d, want 2", cg.Diameter())
+	}
+}
+
+func TestClusterPath(t *testing.T) {
+	pos := []geom.Point{
+		{X: 0}, {X: 1}, {X: 2}, {X: 3}, {X: 4}, {X: 5},
+	}
+	g := graph.FromPositions(pos, 1.2)
+	aff := []int32{0, 0, 2, 2, 4, 4}
+	cg, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := cg.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 2, 4}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if !cg.PathValid(path) {
+		t.Error("freshly computed path should be valid")
+	}
+	self, err := cg.Path(2, 2)
+	if err != nil || len(self) != 1 {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+	if _, err := cg.Path(0, 99); err == nil {
+		t.Error("unknown cluster should error")
+	}
+}
+
+func TestClusterPathValidityAfterChange(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 2}, {X: 3}}
+	g := graph.FromPositions(pos, 1.2)
+	cgA, err := Build(g, []int32{0, 0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := cgA.Path(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same topology but cluster 2's head changed to 3: route dies.
+	cgB, err := Build(g, []int32{0, 0, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgB.PathValid(path) {
+		t.Error("path through a vanished cluster must be invalid")
+	}
+	if !cgA.PathValid(path) {
+		t.Error("path must stay valid in the original snapshot")
+	}
+	// Empty path is invalid.
+	if cgA.PathValid(nil) {
+		t.Error("empty path should be invalid")
+	}
+}
+
+func TestEdgeChurn(t *testing.T) {
+	g, aff := twoClusters()
+	a, err := Build(g, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot: zero churn.
+	if churn := EdgeChurn(a, a); churn != 0 {
+		t.Errorf("self churn = %d", churn)
+	}
+	// Break the bridge (move node 4 away): edge 0-3 disappears.
+	pos2 := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0},
+		{X: 5, Y: 0}, {X: 50, Y: 0}, {X: 6, Y: 0},
+	}
+	g2 := graph.FromPositions(pos2, 2)
+	b, err := Build(g2, aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn := EdgeChurn(a, b); churn != 1 {
+		t.Errorf("churn = %d, want 1 (bridge lost)", churn)
+	}
+}

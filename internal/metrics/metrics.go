@@ -1,0 +1,303 @@
+// Package metrics collects the paper's evaluation measurements while a
+// scenario runs: the cluster-stability metric CS (number of clusterhead
+// changes, Section 4.1), the average number of clusters (Figure 4),
+// clusterhead residence times, per-role occupancy and message counts.
+package metrics
+
+import (
+	"math"
+
+	"mobic/internal/cluster"
+	"mobic/internal/stats"
+)
+
+// Recorder accumulates clustering metrics for one simulation run. Create
+// with NewRecorder; wire RoleChange/HeadChange into the cluster nodes'
+// hooks, call SampleClusters periodically, and Finalize at the end.
+//
+// Events before the warm-up horizon are ignored, so the initial election
+// storm can be excluded when comparing maintenance-phase stability. The
+// paper does not state its counting convention; the default warm-up of 0
+// counts everything, and the experiment harness reports both.
+type Recorder struct {
+	warmup float64
+
+	chAcquisitions int
+	chLosses       int
+	headChanges    int
+
+	clusterSamples stats.Accumulator
+	gatewaySamples stats.Accumulator
+	sizeSamples    stats.Accumulator
+	largestSamples stats.Accumulator
+	compSamples    stats.Accumulator
+	compFracSample stats.Accumulator
+
+	headSince  []float64 // per node: time it became head, NaN when not head
+	headTime   []float64 // per node: cumulative time spent as head
+	residence  stats.Accumulator
+	residences []float64 // every closed head tenure, for distributions
+
+	broadcasts uint64
+	deliveries uint64
+	drops      uint64
+	collisions uint64
+	bytesSent  uint64
+
+	windowSize float64
+	windows    []int
+
+	finalized bool
+	endTime   float64
+}
+
+// NewRecorder returns a recorder for n nodes ignoring events before warmup
+// seconds.
+func NewRecorder(n int, warmup float64) *Recorder {
+	r := &Recorder{
+		warmup:    warmup,
+		headSince: make([]float64, n),
+		headTime:  make([]float64, n),
+	}
+	for i := range r.headSince {
+		r.headSince[i] = math.NaN()
+	}
+	return r
+}
+
+// SetTimelineWindow enables per-window clusterhead-change counting with the
+// given window size in seconds. Call before the simulation starts.
+func (r *Recorder) SetTimelineWindow(size float64) {
+	if size > 0 {
+		r.windowSize = size
+	}
+}
+
+// recordWindowed buckets one CH change into its time window.
+func (r *Recorder) recordWindowed(now float64) {
+	if r.windowSize <= 0 {
+		return
+	}
+	idx := int(now / r.windowSize)
+	for len(r.windows) <= idx {
+		r.windows = append(r.windows, 0)
+	}
+	r.windows[idx]++
+}
+
+// RoleChange records a role transition for node id at time now. It must be
+// called for every transition, including those during warm-up (residence
+// bookkeeping needs them); counting respects the warm-up internally.
+func (r *Recorder) RoleChange(now float64, id int32, old, new cluster.Role) {
+	enteringHead := new == cluster.RoleHead && old != cluster.RoleHead
+	leavingHead := old == cluster.RoleHead && new != cluster.RoleHead
+	if enteringHead || leavingHead {
+		r.recordWindowed(now)
+	}
+
+	if enteringHead {
+		r.headSince[id] = now
+		if now >= r.warmup {
+			r.chAcquisitions++
+		}
+	}
+	if leavingHead {
+		if since := r.headSince[id]; !math.IsNaN(since) {
+			start := math.Max(since, r.warmup)
+			if now > start {
+				r.residence.Add(now - start)
+				r.residences = append(r.residences, now-start)
+				r.headTime[id] += now - start
+			}
+		}
+		r.headSince[id] = math.NaN()
+		if now >= r.warmup {
+			r.chLosses++
+		}
+	}
+}
+
+// HeadChange records a clusterhead affiliation change (membership change).
+// Transitions to or from "no head" count; self-affiliation on becoming head
+// is already covered by RoleChange and is not double counted here.
+func (r *Recorder) HeadChange(now float64, id int32, oldHead, newHead int32) {
+	if now < r.warmup {
+		return
+	}
+	if newHead == id || oldHead == id {
+		return // role transition, counted by RoleChange
+	}
+	r.headChanges++
+}
+
+// SampleClusters records one periodic observation of the number of
+// clusterheads and gateways.
+func (r *Recorder) SampleClusters(now float64, heads, gateways int) {
+	if now < r.warmup {
+		return
+	}
+	r.clusterSamples.Add(float64(heads))
+	r.gatewaySamples.Add(float64(gateways))
+}
+
+// SampleClusterSizes records one periodic observation of the cluster size
+// distribution (each entry = members + head of one cluster).
+func (r *Recorder) SampleClusterSizes(now float64, sizes []int) {
+	if now < r.warmup || len(sizes) == 0 {
+		return
+	}
+	largest := 0
+	var sum float64
+	for _, s := range sizes {
+		sum += float64(s)
+		if s > largest {
+			largest = s
+		}
+	}
+	r.sizeSamples.Add(sum / float64(len(sizes)))
+	r.largestSamples.Add(float64(largest))
+}
+
+// SampleTopology records one observation of the physical topology's health:
+// the number of connected components and the fraction of nodes in the
+// largest one. The paper's low-Tx regime ("severe disconnections in the
+// topology") is visible through exactly these numbers.
+func (r *Recorder) SampleTopology(now float64, components, largest, n int) {
+	if now < r.warmup || n == 0 {
+		return
+	}
+	r.compSamples.Add(float64(components))
+	r.compFracSample.Add(float64(largest) / float64(n))
+}
+
+// CountBroadcast tallies one hello transmission of the given size in bytes.
+func (r *Recorder) CountBroadcast(bytes int) {
+	r.broadcasts++
+	r.bytesSent += uint64(bytes)
+}
+
+// CountDelivery tallies one hello reception.
+func (r *Recorder) CountDelivery() { r.deliveries++ }
+
+// CountDrop tallies one hello lost to the loss model.
+func (r *Recorder) CountDrop() { r.drops++ }
+
+// CountCollision tallies one hello destroyed by a MAC collision.
+func (r *Recorder) CountCollision() { r.collisions++ }
+
+// Finalize closes open clusterhead residence intervals at end time. Must be
+// called exactly once, after the simulation completes.
+func (r *Recorder) Finalize(end float64) {
+	if r.finalized {
+		return
+	}
+	r.finalized = true
+	r.endTime = end
+	for i := range r.headSince {
+		if since := r.headSince[i]; !math.IsNaN(since) {
+			start := math.Max(since, r.warmup)
+			if end > start {
+				r.residence.Add(end - start)
+				r.residences = append(r.residences, end-start)
+				r.headTime[i] += end - start
+			}
+		}
+	}
+}
+
+// ResidenceDurations returns every recorded clusterhead tenure in seconds
+// (order unspecified), for distribution analysis. The slice is a copy.
+func (r *Recorder) ResidenceDurations() []float64 {
+	return append([]float64(nil), r.residences...)
+}
+
+// HeadTimeFairness returns Jain's fairness index over the per-node
+// clusterhead duty time: 1 when every node served equally, 1/n when one
+// node carried the whole burden. A structural-fairness lens on clusterhead
+// selection (Lowest-ID pins duty on low IDs; MOBIC pins it on slow nodes).
+func (r *Recorder) HeadTimeFairness() float64 {
+	var sum, sumSq float64
+	for _, t := range r.headTime {
+		sum += t
+		sumSq += t * t
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(r.headTime)) * sumSq)
+}
+
+// Result is the summary of one run.
+type Result struct {
+	// CHChanges is the paper's cluster-stability metric CS: every
+	// transition of any node into or out of clusterhead status.
+	CHChanges int
+	// CHAcquisitions counts non-head -> head transitions only.
+	CHAcquisitions int
+	// CHLosses counts head -> non-head transitions only.
+	CHLosses int
+	// MembershipChanges counts members switching between clusterheads.
+	MembershipChanges int
+	// AvgClusters is the time-averaged number of clusterheads (Figure 4).
+	AvgClusters float64
+	// AvgGateways is the time-averaged number of gateway nodes.
+	AvgGateways float64
+	// AvgClusterSize is the time-averaged mean cluster size (nodes per
+	// cluster, heads included).
+	AvgClusterSize float64
+	// AvgLargestCluster is the time-averaged largest cluster size.
+	AvgLargestCluster float64
+	// AvgComponents is the time-averaged number of connected components
+	// of the physical topology.
+	AvgComponents float64
+	// AvgLargestComponentFrac is the time-averaged fraction of nodes in
+	// the largest connected component.
+	AvgLargestComponentFrac float64
+	// MeanResidence is the mean clusterhead tenure in seconds.
+	MeanResidence float64
+	// HeadTimeFairness is Jain's fairness index over per-node head duty.
+	HeadTimeFairness float64
+	// ResidenceCount is the number of closed tenures measured.
+	ResidenceCount int
+	// Broadcasts, Deliveries and Drops are hello message tallies.
+	Broadcasts, Deliveries, Drops uint64
+	// Collisions counts hellos destroyed by the MAC collision model.
+	Collisions uint64
+	// BytesSent is the total hello payload bytes transmitted; the paper
+	// notes MOBIC's hello grows by exactly 8 bytes (one float64 for M).
+	BytesSent uint64
+	// Duration is the simulated time span the metrics cover.
+	Duration float64
+}
+
+// Snapshot returns the accumulated metrics. Call after Finalize.
+func (r *Recorder) Snapshot() Result {
+	return Result{
+		CHChanges:               r.chAcquisitions + r.chLosses,
+		CHAcquisitions:          r.chAcquisitions,
+		CHLosses:                r.chLosses,
+		MembershipChanges:       r.headChanges,
+		AvgClusters:             r.clusterSamples.Mean(),
+		AvgGateways:             r.gatewaySamples.Mean(),
+		AvgClusterSize:          r.sizeSamples.Mean(),
+		AvgLargestCluster:       r.largestSamples.Mean(),
+		AvgComponents:           r.compSamples.Mean(),
+		AvgLargestComponentFrac: r.compFracSample.Mean(),
+		MeanResidence:           r.residence.Mean(),
+		HeadTimeFairness:        r.HeadTimeFairness(),
+		ResidenceCount:          r.residence.N(),
+		Broadcasts:              r.broadcasts,
+		Deliveries:              r.deliveries,
+		Drops:                   r.drops,
+		Collisions:              r.collisions,
+		BytesSent:               r.bytesSent,
+		Duration:                math.Max(0, r.endTime-r.warmup),
+	}
+}
+
+// Timeline returns the per-window CH-change counts (nil when no timeline
+// window was configured) and the window size. Unlike the scalar counters it
+// includes warm-up windows, so formation bursts stay visible.
+func (r *Recorder) Timeline() ([]int, float64) {
+	return append([]int(nil), r.windows...), r.windowSize
+}

@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mobic/internal/cluster"
+)
+
+func TestCHChangeCounting(t *testing.T) {
+	r := NewRecorder(5, 0)
+	// Node 0: undecided -> head (1 change), head -> member (1 change).
+	r.RoleChange(10, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(20, 0, cluster.RoleHead, cluster.RoleMember)
+	// Node 1: undecided -> member (no CH change).
+	r.RoleChange(10, 1, cluster.RoleUndecided, cluster.RoleMember)
+	r.Finalize(100)
+	res := r.Snapshot()
+	if res.CHChanges != 2 {
+		t.Errorf("CHChanges = %d, want 2", res.CHChanges)
+	}
+	if res.CHAcquisitions != 1 || res.CHLosses != 1 {
+		t.Errorf("acq/loss = %d/%d, want 1/1", res.CHAcquisitions, res.CHLosses)
+	}
+}
+
+func TestWarmupExcludesEarlyEvents(t *testing.T) {
+	r := NewRecorder(3, 50)
+	r.RoleChange(10, 0, cluster.RoleUndecided, cluster.RoleHead) // before warmup
+	r.RoleChange(60, 0, cluster.RoleHead, cluster.RoleMember)    // after
+	r.Finalize(100)
+	res := r.Snapshot()
+	if res.CHAcquisitions != 0 {
+		t.Errorf("acquisitions = %d, want 0 (during warmup)", res.CHAcquisitions)
+	}
+	if res.CHLosses != 1 {
+		t.Errorf("losses = %d, want 1", res.CHLosses)
+	}
+	if res.CHChanges != 1 {
+		t.Errorf("CHChanges = %d, want 1", res.CHChanges)
+	}
+}
+
+func TestResidenceTime(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.RoleChange(10, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(40, 0, cluster.RoleHead, cluster.RoleMember) // 30 s tenure
+	r.RoleChange(50, 1, cluster.RoleUndecided, cluster.RoleHead)
+	r.Finalize(100) // node 1 still head: 50 s open tenure closed at end
+	res := r.Snapshot()
+	if res.ResidenceCount != 2 {
+		t.Fatalf("ResidenceCount = %d, want 2", res.ResidenceCount)
+	}
+	if math.Abs(res.MeanResidence-40) > 1e-9 { // (30+50)/2
+		t.Errorf("MeanResidence = %v, want 40", res.MeanResidence)
+	}
+}
+
+func TestResidenceClippedByWarmup(t *testing.T) {
+	r := NewRecorder(1, 20)
+	r.RoleChange(0, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(30, 0, cluster.RoleHead, cluster.RoleUndecided)
+	r.Finalize(100)
+	res := r.Snapshot()
+	// Tenure counted only from warmup (20) to 30 = 10 s.
+	if math.Abs(res.MeanResidence-10) > 1e-9 {
+		t.Errorf("MeanResidence = %v, want 10 (warmup-clipped)", res.MeanResidence)
+	}
+}
+
+func TestResidenceDurations(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.RoleChange(10, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(40, 0, cluster.RoleHead, cluster.RoleMember) // 30 s
+	r.RoleChange(50, 1, cluster.RoleUndecided, cluster.RoleHead)
+	r.Finalize(100) // 50 s open tenure
+	ds := r.ResidenceDurations()
+	if len(ds) != 2 {
+		t.Fatalf("durations = %v", ds)
+	}
+	sum := ds[0] + ds[1]
+	if sum != 80 {
+		t.Errorf("duration sum = %v, want 80", sum)
+	}
+	// The returned slice is a copy.
+	ds[0] = -1
+	if r.ResidenceDurations()[0] == -1 {
+		t.Error("ResidenceDurations should return a copy")
+	}
+}
+
+func TestMembershipChanges(t *testing.T) {
+	r := NewRecorder(3, 0)
+	r.HeadChange(10, 2, cluster.NoHead, 0) // joined cluster 0
+	r.HeadChange(20, 2, 0, 1)              // switched to cluster 1
+	r.HeadChange(30, 2, 1, 2)              // became head itself: not counted
+	r.HeadChange(40, 2, 2, 0)              // resigned into cluster 0: not counted
+	r.Finalize(100)
+	res := r.Snapshot()
+	if res.MembershipChanges != 2 {
+		t.Errorf("MembershipChanges = %d, want 2", res.MembershipChanges)
+	}
+}
+
+func TestClusterSampling(t *testing.T) {
+	r := NewRecorder(10, 10)
+	r.SampleClusters(5, 100, 50) // during warmup: ignored
+	r.SampleClusters(20, 4, 1)
+	r.SampleClusters(30, 6, 3)
+	r.Finalize(100)
+	res := r.Snapshot()
+	if res.AvgClusters != 5 {
+		t.Errorf("AvgClusters = %v, want 5", res.AvgClusters)
+	}
+	if res.AvgGateways != 2 {
+		t.Errorf("AvgGateways = %v, want 2", res.AvgGateways)
+	}
+}
+
+func TestHeadTimeFairness(t *testing.T) {
+	// Node 0 heads for 40 s, node 1 for 40 s, node 2 never: Jain over
+	// [40, 40, 0] = 6400/(3*3200) = 2/3.
+	r := NewRecorder(3, 0)
+	r.RoleChange(0, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(40, 0, cluster.RoleHead, cluster.RoleMember)
+	r.RoleChange(40, 1, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(80, 1, cluster.RoleHead, cluster.RoleMember)
+	r.Finalize(100)
+	if got := r.Snapshot().HeadTimeFairness; math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("fairness = %v, want 2/3", got)
+	}
+}
+
+func TestHeadTimeFairnessPerfect(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.RoleChange(0, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.RoleChange(50, 0, cluster.RoleHead, cluster.RoleMember)
+	r.RoleChange(50, 1, cluster.RoleUndecided, cluster.RoleHead)
+	r.Finalize(100) // both served 50 s
+	if got := r.Snapshot().HeadTimeFairness; math.Abs(got-1) > 1e-9 {
+		t.Errorf("fairness = %v, want 1", got)
+	}
+}
+
+func TestHeadTimeFairnessNoHeads(t *testing.T) {
+	r := NewRecorder(3, 0)
+	r.Finalize(100)
+	if got := r.Snapshot().HeadTimeFairness; got != 0 {
+		t.Errorf("fairness with no head time = %v, want 0", got)
+	}
+}
+
+func TestClusterSizeSampling(t *testing.T) {
+	r := NewRecorder(10, 10)
+	r.SampleClusterSizes(5, []int{100})      // warmup: ignored
+	r.SampleClusterSizes(20, []int{2, 4, 6}) // mean 4, largest 6
+	r.SampleClusterSizes(30, []int{8})       // mean 8, largest 8
+	r.SampleClusterSizes(40, nil)            // empty: ignored
+	r.Finalize(100)
+	res := r.Snapshot()
+	if res.AvgClusterSize != 6 {
+		t.Errorf("AvgClusterSize = %v, want 6 ((4+8)/2)", res.AvgClusterSize)
+	}
+	if res.AvgLargestCluster != 7 {
+		t.Errorf("AvgLargestCluster = %v, want 7 ((6+8)/2)", res.AvgLargestCluster)
+	}
+}
+
+func TestMessageTallies(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.CountBroadcast(20)
+	r.CountBroadcast(20)
+	r.CountDelivery()
+	r.CountDrop()
+	r.CountCollision()
+	r.Finalize(10)
+	res := r.Snapshot()
+	if res.Broadcasts != 2 || res.Deliveries != 1 || res.Drops != 1 {
+		t.Errorf("tallies = %d/%d/%d", res.Broadcasts, res.Deliveries, res.Drops)
+	}
+	if res.BytesSent != 40 {
+		t.Errorf("BytesSent = %d, want 40", res.BytesSent)
+	}
+	if res.Collisions != 1 {
+		t.Errorf("Collisions = %d, want 1", res.Collisions)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.RoleChange(0, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.Finalize(100)
+	r.Finalize(200) // second call must be a no-op
+	res := r.Snapshot()
+	if res.ResidenceCount != 1 {
+		t.Errorf("ResidenceCount = %d, want 1 (no double close)", res.ResidenceCount)
+	}
+	if res.Duration != 100 {
+		t.Errorf("Duration = %v, want 100", res.Duration)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	r := NewRecorder(3, 0)
+	r.SetTimelineWindow(10)
+	r.RoleChange(1, 0, cluster.RoleUndecided, cluster.RoleHead)   // window 0
+	r.RoleChange(5, 1, cluster.RoleUndecided, cluster.RoleMember) // not a CH change
+	r.RoleChange(15, 0, cluster.RoleHead, cluster.RoleMember)     // window 1
+	r.RoleChange(35, 1, cluster.RoleMember, cluster.RoleHead)     // window 3
+	r.Finalize(40)
+	windows, size := r.Timeline()
+	if size != 10 {
+		t.Errorf("window size = %v", size)
+	}
+	want := []int{1, 1, 0, 1}
+	if len(windows) != len(want) {
+		t.Fatalf("windows = %v, want %v", windows, want)
+	}
+	for i := range want {
+		if windows[i] != want[i] {
+			t.Errorf("window %d = %d, want %d", i, windows[i], want[i])
+		}
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.RoleChange(1, 0, cluster.RoleUndecided, cluster.RoleHead)
+	windows, size := r.Timeline()
+	if len(windows) != 0 || size != 0 {
+		t.Errorf("timeline should be disabled by default: %v, %v", windows, size)
+	}
+}
+
+func TestTimelineIncludesWarmup(t *testing.T) {
+	// Unlike scalar counters, the timeline keeps warm-up windows so the
+	// formation burst is visible.
+	r := NewRecorder(1, 100)
+	r.SetTimelineWindow(10)
+	r.RoleChange(5, 0, cluster.RoleUndecided, cluster.RoleHead)
+	r.Finalize(200)
+	windows, _ := r.Timeline()
+	if len(windows) == 0 || windows[0] != 1 {
+		t.Errorf("warm-up window should be recorded in the timeline: %v", windows)
+	}
+	if r.Snapshot().CHAcquisitions != 0 {
+		t.Error("scalar counter must still respect warm-up")
+	}
+}
+
+func TestSetTimelineWindowRejectsNonPositive(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.SetTimelineWindow(0)
+	r.SetTimelineWindow(-5)
+	r.RoleChange(1, 0, cluster.RoleUndecided, cluster.RoleHead)
+	if windows, _ := r.Timeline(); len(windows) != 0 {
+		t.Error("non-positive window sizes should leave the timeline disabled")
+	}
+}
+
+func TestDurationRespectsWarmup(t *testing.T) {
+	r := NewRecorder(1, 100)
+	r.Finalize(900)
+	if got := r.Snapshot().Duration; got != 800 {
+		t.Errorf("Duration = %v, want 800", got)
+	}
+}

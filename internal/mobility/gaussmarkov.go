@@ -1,0 +1,98 @@
+package mobility
+
+import (
+	"math"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// GaussMarkov is a temporally correlated entity model: speed and direction
+// evolve as first-order autoregressive processes, so nodes turn smoothly
+// instead of teleporting between headings. Used by robustness studies where
+// the memoryless waypoint model would overstate mobility randomness.
+//
+//	s_k = alpha*s_{k-1} + (1-alpha)*meanSpeed + sqrt(1-alpha^2)*sigmaS*w
+//	d_k = alpha*d_{k-1} + (1-alpha)*meanDir   + sqrt(1-alpha^2)*sigmaD*w
+type GaussMarkov struct {
+	// Area bounds all positions.
+	Area geom.Rect
+	// MeanSpeed is the long-run average speed in m/s.
+	MeanSpeed float64
+	// SigmaSpeed is the speed innovation deviation in m/s.
+	SigmaSpeed float64
+	// SigmaDir is the direction innovation deviation in radians.
+	SigmaDir float64
+	// Alpha in [0,1] is the memory parameter: 1 = straight-line cruise,
+	// 0 = memoryless.
+	Alpha float64
+	// Step is the update epoch in seconds.
+	Step float64
+}
+
+// Name implements Model.
+func (m *GaussMarkov) Name() string { return "gaussmarkov" }
+
+// Generate implements Model.
+func (m *GaussMarkov) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(m.Area); err != nil {
+		return nil, err
+	}
+	if err := validateSpeed(0, math.Max(m.MeanSpeed, speedFloor)); err != nil {
+		return nil, err
+	}
+	alpha := m.Alpha
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	step := m.Step
+	if step <= 0 {
+		step = 5
+	}
+	innov := math.Sqrt(1 - alpha*alpha)
+
+	out := make([]*Trajectory, n)
+	for i := range out {
+		rng := streams.NamedIndexed("gaussmarkov", i)
+		var b Builder
+		pos := uniformPoint(m.Area, rng)
+		now := 0.0
+		b.Append(now, pos)
+		speed := m.MeanSpeed
+		dir := rng.Float64() * 2 * math.Pi
+		meanDir := dir
+		for now < duration {
+			speed = alpha*speed + (1-alpha)*m.MeanSpeed + innov*m.SigmaSpeed*rng.NormFloat64()
+			if speed < 0 {
+				speed = 0
+			}
+			dir = alpha*dir + (1-alpha)*meanDir + innov*m.SigmaDir*rng.NormFloat64()
+			next, bounced := reflect(m.Area, pos, geom.FromPolar(speed*step, dir))
+			if bounced {
+				// Steer the mean heading back toward the area center so the
+				// process does not fight the boundary forever.
+				center := geom.Point{
+					X: (m.Area.MinX + m.Area.MaxX) / 2,
+					Y: (m.Area.MinY + m.Area.MaxY) / 2,
+				}
+				meanDir = center.Sub(next).Angle()
+				dir = meanDir
+			}
+			now += step
+			b.Append(now, next)
+			pos = next
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package mobility
+
+import (
+	"fmt"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// Manhattan is the classic urban MANET model: nodes move along the streets
+// of a regular grid. At every intersection a node continues straight with
+// probability 1-2*TurnProb, or turns left/right with probability TurnProb
+// each. Speeds are drawn uniformly per street segment.
+//
+// The model complements the paper's Section 5 scenario list: relative
+// mobility between nodes sharing a street is low while cross-street nodes
+// diverge quickly — a middle ground between highway and random waypoint.
+type Manhattan struct {
+	// Area is the covered region; streets divide it into Blocks x Blocks
+	// cells.
+	Area geom.Rect
+	// Blocks is the number of city blocks per axis (streets = Blocks+1).
+	Blocks int
+	// MinSpeed and MaxSpeed bound the per-segment speed draw in m/s.
+	MinSpeed, MaxSpeed float64
+	// TurnProb is the probability of turning each way at an intersection
+	// (clamped to keep 1-2*TurnProb >= 0).
+	TurnProb float64
+}
+
+// Name implements Model.
+func (m *Manhattan) Name() string { return "manhattan" }
+
+// Generate implements Model.
+func (m *Manhattan) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(m.Area); err != nil {
+		return nil, err
+	}
+	if err := validateSpeed(m.MinSpeed, m.MaxSpeed); err != nil {
+		return nil, err
+	}
+	if m.Blocks <= 0 {
+		return nil, fmt.Errorf("mobility: manhattan needs at least one block, got %d", m.Blocks)
+	}
+	turnProb := m.TurnProb
+	if turnProb < 0 {
+		turnProb = 0
+	}
+	if turnProb > 0.5 {
+		turnProb = 0.5
+	}
+
+	blockW := m.Area.Width() / float64(m.Blocks)
+	blockH := m.Area.Height() / float64(m.Blocks)
+	streetX := func(i int) float64 { return m.Area.MinX + float64(i)*blockW }
+	streetY := func(j int) float64 { return m.Area.MinY + float64(j)*blockH }
+
+	// Direction encoding: 0 = +x, 1 = +y, 2 = -x, 3 = -y.
+	dx := []int{1, 0, -1, 0}
+	dy := []int{0, 1, 0, -1}
+
+	out := make([]*Trajectory, n)
+	for i := range out {
+		rng := streams.NamedIndexed("manhattan", i)
+		// Start at a random intersection with a random heading.
+		ix := rng.IntN(m.Blocks + 1)
+		iy := rng.IntN(m.Blocks + 1)
+		dir := rng.IntN(4)
+
+		var b Builder
+		now := 0.0
+		b.Append(now, geom.Point{X: streetX(ix), Y: streetY(iy)})
+		for now < duration {
+			// Turn or go straight; reverse only when forced at the wall.
+			r := rng.Float64()
+			switch {
+			case r < turnProb:
+				dir = (dir + 1) % 4
+			case r < 2*turnProb:
+				dir = (dir + 3) % 4
+			}
+			// Bounce off the boundary.
+			for tries := 0; tries < 4; tries++ {
+				nx, ny := ix+dx[dir], iy+dy[dir]
+				if nx >= 0 && nx <= m.Blocks && ny >= 0 && ny <= m.Blocks {
+					break
+				}
+				dir = (dir + 1) % 4
+			}
+			ix += dx[dir]
+			iy += dy[dir]
+			speed := m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+			if speed < speedFloor {
+				speed = speedFloor
+			}
+			segLen := blockW
+			if dy[dir] != 0 {
+				segLen = blockH
+			}
+			now += segLen / speed
+			b.Append(now, geom.Point{X: streetX(ix), Y: streetY(iy)})
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}

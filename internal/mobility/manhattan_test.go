@@ -1,0 +1,66 @@
+package mobility
+
+import (
+	"testing"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+func TestManhattan(t *testing.T) {
+	area := geom.Square(500)
+	m := &Manhattan{Area: area, Blocks: 5, MinSpeed: 5, MaxSpeed: 15, TurnProb: 0.25}
+	checkModelBasics(t, m, area, 15)
+	checkDeterminism(t, m)
+}
+
+func TestManhattanNodesStayOnStreets(t *testing.T) {
+	area := geom.Square(500)
+	m := &Manhattan{Area: area, Blocks: 5, MinSpeed: 5, MaxSpeed: 15, TurnProb: 0.25}
+	trs, err := m.Generate(10, 300, sim.NewStreams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := 100.0
+	onStreet := func(v float64) bool {
+		// v must be within epsilon of a multiple of the block size OR the
+		// other coordinate is (checked by caller); here: is v a street?
+		r := v / blockSize
+		return almostEqual(r, float64(int(r+0.5)), 1e-6)
+	}
+	for i, tr := range trs {
+		for _, tm := range []float64{0, 37.7, 100, 251.3} {
+			p := tr.At(tm)
+			// On a street grid, at least one coordinate must lie exactly
+			// on a street line (mid-segment the other coordinate varies).
+			if !onStreet(p.X) && !onStreet(p.Y) {
+				t.Errorf("node %d at t=%v is off-street: %v", i, tm, p)
+			}
+		}
+	}
+}
+
+func TestManhattanValidation(t *testing.T) {
+	area := geom.Square(500)
+	if _, err := (&Manhattan{Area: area, Blocks: 0, MaxSpeed: 10}).Generate(5, 100, sim.NewStreams(1)); err == nil {
+		t.Error("zero blocks should error")
+	}
+	if _, err := (&Manhattan{Area: area, Blocks: 5, MaxSpeed: 0}).Generate(5, 100, sim.NewStreams(1)); err == nil {
+		t.Error("zero speed should error")
+	}
+	if _, err := (&Manhattan{Blocks: 5, MaxSpeed: 10}).Generate(5, 100, sim.NewStreams(1)); err == nil {
+		t.Error("invalid area should error")
+	}
+}
+
+func TestManhattanTurnProbClamped(t *testing.T) {
+	area := geom.Square(400)
+	m := &Manhattan{Area: area, Blocks: 4, MinSpeed: 5, MaxSpeed: 10, TurnProb: 0.9}
+	if _, err := m.Generate(5, 100, sim.NewStreams(2)); err != nil {
+		t.Fatalf("over-large turn prob should be clamped, not fail: %v", err)
+	}
+	m.TurnProb = -1
+	if _, err := m.Generate(5, 100, sim.NewStreams(2)); err != nil {
+		t.Fatalf("negative turn prob should be clamped, not fail: %v", err)
+	}
+}

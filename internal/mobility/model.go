@@ -1,0 +1,89 @@
+package mobility
+
+import (
+	"errors"
+	"fmt"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// Model generates one trajectory per node covering [0, duration].
+type Model interface {
+	// Name identifies the model in configs and experiment output.
+	Name() string
+	// Generate returns n trajectories spanning at least [0, duration].
+	// Implementations must draw all randomness from streams so scenarios
+	// are reproducible from the seed alone.
+	Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error)
+}
+
+// Common validation errors shared by the models.
+var (
+	errNoNodes     = errors.New("mobility: node count must be positive")
+	errNoDuration  = errors.New("mobility: duration must be positive")
+	errBadArea     = errors.New("mobility: area must have positive extent")
+	errBadSpeed    = errors.New("mobility: speed bounds must satisfy 0 <= min <= max, max > 0")
+	errNilStreams  = errors.New("mobility: nil random streams")
+	errBadFraction = errors.New("mobility: fraction must be in [0, 1]")
+)
+
+func validateCommon(n int, duration float64, streams *sim.Streams) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: %d", errNoNodes, n)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("%w: %g", errNoDuration, duration)
+	}
+	if streams == nil {
+		return errNilStreams
+	}
+	return nil
+}
+
+func validateArea(area geom.Rect) error {
+	if !area.Valid() {
+		return fmt.Errorf("%w: %v", errBadArea, area)
+	}
+	return nil
+}
+
+func validateSpeed(minSpeed, maxSpeed float64) error {
+	if minSpeed < 0 || maxSpeed <= 0 || minSpeed > maxSpeed {
+		return fmt.Errorf("%w: [%g, %g]", errBadSpeed, minSpeed, maxSpeed)
+	}
+	return nil
+}
+
+// uniformPoint draws a uniformly distributed point in area.
+func uniformPoint(area geom.Rect, rng interface{ Float64() float64 }) geom.Point {
+	return geom.Point{
+		X: area.MinX + rng.Float64()*area.Width(),
+		Y: area.MinY + rng.Float64()*area.Height(),
+	}
+}
+
+// Static places nodes uniformly at random and never moves them.
+type Static struct {
+	// Area is the placement region.
+	Area geom.Rect
+}
+
+// Name implements Model.
+func (s *Static) Name() string { return "static" }
+
+// Generate implements Model.
+func (s *Static) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(s.Area); err != nil {
+		return nil, err
+	}
+	rng := streams.Named("static-placement")
+	out := make([]*Trajectory, n)
+	for i := range out {
+		out[i] = StaticTrajectory(uniformPoint(s.Area, rng))
+	}
+	return out, nil
+}

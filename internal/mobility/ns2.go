@@ -1,0 +1,290 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// This file implements interop with the CMU wireless extensions' movement
+// scenario format (the `setdest` output the paper's simulations consumed):
+//
+//	$node_(0) set X_ 83.36
+//	$node_(0) set Y_ 239.44
+//	$node_(0) set Z_ 0.00
+//	$ns_ at 2.00 "$node_(0) setdest 300.10 150.50 10.00"
+//
+// WriteNS2 exports any trajectory set to this format; ParseNS2 rebuilds
+// trajectories from it, so real setdest traces can drive this simulator and
+// scenarios generated here can drive ns-2.
+
+// WriteNS2 writes the trajectories as a CMU movement scenario. Pauses are
+// implicit (no setdest is emitted while a node dwells).
+func WriteNS2(w io.Writer, trs []*Trajectory) error {
+	bw := bufio.NewWriter(w)
+	for i, tr := range trs {
+		p0 := tr.At(tr.Start())
+		if _, err := fmt.Fprintf(bw, "$node_(%d) set X_ %.6f\n", i, p0.X); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "$node_(%d) set Y_ %.6f\n", i, p0.Y); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "$node_(%d) set Z_ 0.000000\n", i); err != nil {
+			return err
+		}
+	}
+	for i, tr := range trs {
+		for k := 1; k < len(tr.times); k++ {
+			t0, t1 := tr.times[k-1], tr.times[k]
+			from, to := tr.points[k-1], tr.points[k]
+			dist := from.Dist(to)
+			if dist == 0 || t1 <= t0 {
+				continue // pause leg: implicit
+			}
+			speed := dist / (t1 - t0)
+			if _, err := fmt.Fprintf(bw, "$ns_ at %.6f \"$node_(%d) setdest %.6f %.6f %.6f\"\n",
+				t0, i, to.X, to.Y, speed); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ns2Command is one parsed setdest directive.
+type ns2Command struct {
+	at    float64
+	node  int
+	x, y  float64
+	speed float64
+}
+
+// ParseNS2 reads a CMU movement scenario and rebuilds one trajectory per
+// node (node ids must be dense from 0). Mid-flight redirections — a setdest
+// arriving before the previous leg completes — are handled the way ns-2
+// does: the node turns from wherever it currently is.
+func ParseNS2(r io.Reader) ([]*Trajectory, error) {
+	initX := make(map[int]float64)
+	initY := make(map[int]float64)
+	var cmds []ns2Command
+	maxNode := -1
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$node_("):
+			node, axis, val, err := parseSetLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("mobility: ns2 line %d: %w", lineNo, err)
+			}
+			switch axis {
+			case "X_":
+				initX[node] = val
+			case "Y_":
+				initY[node] = val
+			case "Z_":
+				// ignored: 2-D simulator
+			default:
+				return nil, fmt.Errorf("mobility: ns2 line %d: unknown axis %q", lineNo, axis)
+			}
+			if node > maxNode {
+				maxNode = node
+			}
+		case strings.HasPrefix(line, "$ns_ at "):
+			cmd, err := parseAtLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("mobility: ns2 line %d: %w", lineNo, err)
+			}
+			cmds = append(cmds, cmd)
+			if cmd.node > maxNode {
+				maxNode = cmd.node
+			}
+		default:
+			return nil, fmt.Errorf("mobility: ns2 line %d: unrecognized %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mobility: reading ns2 scenario: %w", err)
+	}
+	if maxNode < 0 {
+		return nil, fmt.Errorf("mobility: empty ns2 scenario")
+	}
+
+	sort.SliceStable(cmds, func(i, j int) bool { return cmds[i].at < cmds[j].at })
+
+	out := make([]*Trajectory, maxNode+1)
+	for node := 0; node <= maxNode; node++ {
+		x, okX := initX[node]
+		y, okY := initY[node]
+		if !okX || !okY {
+			return nil, fmt.Errorf("mobility: node %d missing initial position", node)
+		}
+		tr, err := buildFromCommands(node, geom.Point{X: x, Y: y}, cmds)
+		if err != nil {
+			return nil, err
+		}
+		out[node] = tr
+	}
+	return out, nil
+}
+
+// buildFromCommands replays a node's setdest commands into a trajectory.
+func buildFromCommands(node int, start geom.Point, cmds []ns2Command) (*Trajectory, error) {
+	var b Builder
+	b.Append(0, start)
+	pos := start
+	// Pending leg state.
+	var (
+		legActive  bool
+		legTarget  geom.Point
+		legFrom    geom.Point
+		legStart   float64
+		legArrival float64
+	)
+	positionAt := func(t float64) geom.Point {
+		if !legActive || t >= legArrival {
+			if legActive {
+				return legTarget
+			}
+			return pos
+		}
+		frac := (t - legStart) / (legArrival - legStart)
+		return geom.Lerp(legFrom, legTarget, frac)
+	}
+	for _, c := range cmds {
+		if c.node != node {
+			continue
+		}
+		if c.speed <= 0 {
+			continue // ns-2 treats non-positive speeds as no-ops
+		}
+		if legActive && c.at >= legArrival {
+			// Previous leg completed before this command.
+			b.Append(legArrival, legTarget)
+			pos = legTarget
+			legActive = false
+		}
+		here := positionAt(c.at)
+		b.Append(c.at, here)
+		pos = here
+		legFrom = here
+		legTarget = geom.Point{X: c.x, Y: c.y}
+		legStart = c.at
+		dist := here.Dist(legTarget)
+		legArrival = c.at + dist/c.speed
+		legActive = dist > 0
+	}
+	if legActive {
+		b.Append(legArrival, legTarget)
+	}
+	return b.Build()
+}
+
+func parseSetLine(line string) (node int, axis string, val float64, err error) {
+	// $node_(12) set X_ 83.36
+	rest, ok := strings.CutPrefix(line, "$node_(")
+	if !ok {
+		return 0, "", 0, fmt.Errorf("bad node line %q", line)
+	}
+	idx := strings.Index(rest, ")")
+	if idx < 0 {
+		return 0, "", 0, fmt.Errorf("bad node line %q", line)
+	}
+	node, err = strconv.Atoi(rest[:idx])
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("bad node id in %q: %w", line, err)
+	}
+	fields := strings.Fields(rest[idx+1:])
+	if len(fields) != 3 || fields[0] != "set" {
+		return 0, "", 0, fmt.Errorf("bad set line %q", line)
+	}
+	val, err = strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("bad coordinate in %q: %w", line, err)
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return 0, "", 0, fmt.Errorf("non-finite coordinate in %q", line)
+	}
+	return node, fields[1], val, nil
+}
+
+func parseAtLine(line string) (ns2Command, error) {
+	// $ns_ at 2.00 "$node_(0) setdest 300.10 150.50 10.00"
+	rest, ok := strings.CutPrefix(line, "$ns_ at ")
+	if !ok {
+		return ns2Command{}, fmt.Errorf("bad at line %q", line)
+	}
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return ns2Command{}, fmt.Errorf("bad at line %q", line)
+	}
+	at, err := strconv.ParseFloat(rest[:sp], 64)
+	if err != nil {
+		return ns2Command{}, fmt.Errorf("bad time in %q: %w", line, err)
+	}
+	quoted := strings.TrimSpace(rest[sp+1:])
+	quoted = strings.Trim(quoted, `"`)
+	inner, ok := strings.CutPrefix(quoted, "$node_(")
+	if !ok {
+		return ns2Command{}, fmt.Errorf("bad setdest body %q", line)
+	}
+	idx := strings.Index(inner, ")")
+	if idx < 0 {
+		return ns2Command{}, fmt.Errorf("bad setdest body %q", line)
+	}
+	node, err := strconv.Atoi(inner[:idx])
+	if err != nil {
+		return ns2Command{}, fmt.Errorf("bad node id in %q: %w", line, err)
+	}
+	fields := strings.Fields(inner[idx+1:])
+	if len(fields) != 4 || fields[0] != "setdest" {
+		return ns2Command{}, fmt.Errorf("bad setdest body %q", line)
+	}
+	x, err1 := strconv.ParseFloat(fields[1], 64)
+	y, err2 := strconv.ParseFloat(fields[2], 64)
+	speed, err3 := strconv.ParseFloat(fields[3], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return ns2Command{}, fmt.Errorf("bad setdest numbers in %q", line)
+	}
+	for _, v := range []float64{at, x, y, speed} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ns2Command{}, fmt.Errorf("non-finite setdest values in %q", line)
+		}
+	}
+	return ns2Command{at: at, node: node, x: x, y: y, speed: speed}, nil
+}
+
+// FixedTrajectories wraps pre-built trajectories (e.g. parsed from an ns-2
+// scenario file) as a mobility.Model so they can drive a simulation.
+type FixedTrajectories struct {
+	// Trajectories holds one trajectory per node.
+	Trajectories []*Trajectory
+}
+
+// Name implements Model.
+func (m *FixedTrajectories) Name() string { return "fixed" }
+
+// Generate implements Model: it validates the requested node count against
+// the stored trajectories. The duration and streams are unused — the file
+// already fixes the movement.
+func (m *FixedTrajectories) Generate(n int, _ float64, _ *sim.Streams) ([]*Trajectory, error) {
+	if n != len(m.Trajectories) {
+		return nil, fmt.Errorf("mobility: fixed trajectories hold %d nodes, scenario wants %d",
+			len(m.Trajectories), n)
+	}
+	return m.Trajectories, nil
+}

@@ -1,0 +1,29 @@
+package mobility
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNS2 drives the setdest parser with arbitrary input: it must
+// never panic, and on success every trajectory must answer position
+// queries without NaNs at its own start.
+func FuzzParseNS2(f *testing.F) {
+	f.Add(sampleScenario)
+	f.Add("$node_(0) set X_ 1\n$node_(0) set Y_ 2\n")
+	f.Add(`$ns_ at 1.0 "$node_(0) setdest 1 2 3"`)
+	f.Add("# comment only\n")
+	f.Add("$node_(0) set X_ nan")
+	f.Fuzz(func(t *testing.T, input string) {
+		trs, err := ParseNS2(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, tr := range trs {
+			p := tr.At(tr.Start())
+			if p != p { // NaN check
+				t.Fatalf("NaN position from input %q", input)
+			}
+		}
+	})
+}

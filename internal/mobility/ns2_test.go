@@ -1,0 +1,172 @@
+package mobility
+
+import (
+	"strings"
+	"testing"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+const sampleScenario = `
+# sample CMU scenario
+$node_(0) set X_ 0.0
+$node_(0) set Y_ 0.0
+$node_(0) set Z_ 0.0
+$node_(1) set X_ 100.0
+$node_(1) set Y_ 50.0
+$node_(1) set Z_ 0.0
+$ns_ at 10.0 "$node_(0) setdest 30.0 40.0 5.0"
+$ns_ at 5.0 "$node_(1) setdest 100.0 150.0 10.0"
+`
+
+func TestParseNS2Sample(t *testing.T) {
+	trs, err := ParseNS2(strings.NewReader(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 {
+		t.Fatalf("got %d trajectories, want 2", len(trs))
+	}
+	// Node 0: stays at origin until t=10, then moves to (30,40) at 5 m/s
+	// (distance 50 -> arrives t=20).
+	if p := trs[0].At(0); p != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("node 0 at t=0: %v", p)
+	}
+	if p := trs[0].At(10); p != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("node 0 at t=10: %v", p)
+	}
+	if p := trs[0].At(15); !almostEqual(p.X, 15, 1e-9) || !almostEqual(p.Y, 20, 1e-9) {
+		t.Errorf("node 0 mid-leg: %v, want (15, 20)", p)
+	}
+	if p := trs[0].At(25); p != (geom.Point{X: 30, Y: 40}) {
+		t.Errorf("node 0 after arrival: %v", p)
+	}
+	// Node 1: moves straight up 100 m at 10 m/s starting t=5.
+	if p := trs[1].At(10); !almostEqual(p.Y, 100, 1e-9) {
+		t.Errorf("node 1 at t=10: %v, want y=100", p)
+	}
+}
+
+func TestParseNS2MidFlightRedirect(t *testing.T) {
+	scenario := `
+$node_(0) set X_ 0.0
+$node_(0) set Y_ 0.0
+$ns_ at 0.0 "$node_(0) setdest 100.0 0.0 10.0"
+$ns_ at 5.0 "$node_(0) setdest 50.0 100.0 10.0"
+`
+	trs, err := ParseNS2(strings.NewReader(scenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=5 the node is at (50, 0) and turns toward (50, 100): distance
+	// 100, arriving t=15.
+	if p := trs[0].At(5); !almostEqual(p.X, 50, 1e-9) || !almostEqual(p.Y, 0, 1e-9) {
+		t.Errorf("turn point: %v, want (50, 0)", p)
+	}
+	if p := trs[0].At(15); !almostEqual(p.Y, 100, 1e-9) {
+		t.Errorf("after redirect: %v, want y=100", p)
+	}
+}
+
+func TestParseNS2Errors(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"missing initial pos": `$ns_ at 1.0 "$node_(0) setdest 1 2 3"`,
+		"garbage line":        "hello world",
+		"bad node id":         "$node_(x) set X_ 1.0",
+		"bad axis":            "$node_(0) set W_ 1.0",
+		"bad set arity":       "$node_(0) set X_",
+		"bad at time":         `$ns_ at abc "$node_(0) setdest 1 2 3"`,
+		"bad setdest numbers": "$node_(0) set X_ 0\n$node_(0) set Y_ 0\n$ns_ at 1.0 \"$node_(0) setdest a b c\"",
+		"nan coordinate":      "$node_(0) set X_ NaN\n$node_(0) set Y_ 0",
+		"inf setdest":         "$node_(0) set X_ 0\n$node_(0) set Y_ 0\n$ns_ at 1.0 \"$node_(0) setdest Inf 2 3\"",
+		"negative time":       "$node_(0) set X_ 0\n$node_(0) set Y_ 0\n$ns_ at -1.0 \"$node_(0) setdest 1 2 3\"",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseNS2(strings.NewReader(input)); err == nil {
+				t.Errorf("input %q should error", input)
+			}
+		})
+	}
+}
+
+func TestParseNS2IgnoresZeroSpeed(t *testing.T) {
+	scenario := `
+$node_(0) set X_ 10.0
+$node_(0) set Y_ 10.0
+$ns_ at 1.0 "$node_(0) setdest 99.0 99.0 0.0"
+`
+	trs, err := ParseNS2(strings.NewReader(scenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := trs[0].At(100); p != (geom.Point{X: 10, Y: 10}) {
+		t.Errorf("zero-speed setdest should be a no-op, node at %v", p)
+	}
+}
+
+func TestNS2RoundTrip(t *testing.T) {
+	area := geom.Square(670)
+	model := &RandomWaypoint{Area: area, MaxSpeed: 20, Pause: 10}
+	orig, err := model.Generate(10, 300, sim.NewStreams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteNS2(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNS2(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip lost nodes: %d vs %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		for _, tm := range []float64{0, 17.3, 100, 250, 299} {
+			a, b := orig[i].At(tm), parsed[i].At(tm)
+			if a.Dist(b) > 1e-3 {
+				t.Errorf("node %d at t=%v: original %v vs parsed %v", i, tm, a, b)
+			}
+		}
+	}
+}
+
+func TestWriteNS2Format(t *testing.T) {
+	tr := StaticTrajectory(geom.Point{X: 1.5, Y: 2.5})
+	var buf strings.Builder
+	if err := WriteNS2(&buf, []*Trajectory{tr}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "$node_(0) set X_ 1.500000") {
+		t.Errorf("missing X line:\n%s", out)
+	}
+	if strings.Contains(out, "setdest") {
+		t.Errorf("static trajectory should emit no setdest:\n%s", out)
+	}
+}
+
+func TestFixedTrajectoriesModel(t *testing.T) {
+	trs := []*Trajectory{
+		StaticTrajectory(geom.Point{X: 1, Y: 1}),
+		StaticTrajectory(geom.Point{X: 2, Y: 2}),
+	}
+	m := &FixedTrajectories{Trajectories: trs}
+	got, err := m.Generate(2, 100, sim.NewStreams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].At(0) != (geom.Point{X: 1, Y: 1}) {
+		t.Errorf("fixed model returned wrong trajectories")
+	}
+	if _, err := m.Generate(5, 100, sim.NewStreams(1)); err == nil {
+		t.Error("node count mismatch should error")
+	}
+	if m.Name() != "fixed" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,203 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// Highway models the paper's Section 5 "cars traveling on a highway"
+// scenario: nodes are vehicles in lanes moving along +X with per-vehicle
+// cruise speeds and mild speed oscillation. Vehicles that reach the end wrap
+// around to the start (modeling a steady traffic stream: one car exits the
+// study segment as another enters).
+//
+// Relative mobility between same-direction cars is small even though their
+// absolute speeds are large — the regime the paper predicts MOBIC will
+// exploit.
+type Highway struct {
+	// Length is the highway segment length in meters.
+	Length float64
+	// Lanes is the number of lanes; nodes are dealt round-robin.
+	Lanes int
+	// LaneWidth is the lateral separation between lanes in meters.
+	LaneWidth float64
+	// MinSpeed and MaxSpeed bound each vehicle's cruise speed in m/s.
+	MinSpeed, MaxSpeed float64
+	// SpeedJitter is the amplitude of slow sinusoidal speed variation as a
+	// fraction of cruise speed (0 disables it).
+	SpeedJitter float64
+	// Bidirectional sends odd lanes in the -X direction when true.
+	Bidirectional bool
+}
+
+// Name implements Model.
+func (m *Highway) Name() string { return "highway" }
+
+// Generate implements Model.
+func (m *Highway) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if m.Length <= 0 {
+		return nil, fmt.Errorf("mobility: highway length must be positive, got %g", m.Length)
+	}
+	if m.Lanes <= 0 {
+		return nil, fmt.Errorf("mobility: highway needs at least one lane, got %d", m.Lanes)
+	}
+	if err := validateSpeed(m.MinSpeed, m.MaxSpeed); err != nil {
+		return nil, err
+	}
+	laneWidth := m.LaneWidth
+	if laneWidth <= 0 {
+		laneWidth = 5
+	}
+	jitter := m.SpeedJitter
+	if jitter < 0 || jitter >= 1 {
+		jitter = 0
+	}
+
+	const step = 2.0 // waypoint granularity in seconds
+	out := make([]*Trajectory, n)
+	for i := range out {
+		rng := streams.NamedIndexed("highway", i)
+		lane := i % m.Lanes
+		y := (float64(lane) + 0.5) * laneWidth
+		dir := 1.0
+		if m.Bidirectional && lane%2 == 1 {
+			dir = -1
+		}
+		cruise := m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+		if cruise < speedFloor {
+			cruise = speedFloor
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		period := 20 + rng.Float64()*40 // seconds per speed oscillation
+		x := rng.Float64() * m.Length
+
+		var b Builder
+		b.Append(0, geom.Point{X: x, Y: y})
+		for now := step; ; now += step {
+			v := cruise
+			if jitter > 0 {
+				v *= 1 + jitter*math.Sin(2*math.Pi*now/period+phase)
+			}
+			x += dir * v * step
+			// Wrap around the segment.
+			x = math.Mod(x, m.Length)
+			if x < 0 {
+				x += m.Length
+			}
+			b.Append(now, geom.Point{X: x, Y: y})
+			if now >= duration {
+				break
+			}
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// Area returns the bounding rectangle of the highway segment.
+func (m *Highway) Area() geom.Rect {
+	laneWidth := m.LaneWidth
+	if laneWidth <= 0 {
+		laneWidth = 5
+	}
+	return geom.NewRect(m.Length, float64(m.Lanes)*laneWidth)
+}
+
+// Conference models the paper's Section 5 "attendees in a conference hall"
+// scenario: most nodes sit nearly still (chair-scale fidgeting), while a
+// fraction of wanderers stroll between random positions with long pauses.
+type Conference struct {
+	// Area is the hall.
+	Area geom.Rect
+	// WandererFraction in [0,1] is the share of nodes that walk around.
+	WandererFraction float64
+	// WalkSpeed bounds the wanderers' strolling speed in m/s.
+	WalkSpeed float64
+	// SitPause is the wanderers' dwell time at each stop in seconds.
+	SitPause float64
+	// FidgetRadius is the seated nodes' position wobble in meters.
+	FidgetRadius float64
+	// FidgetEpoch is how often seated nodes wobble, in seconds.
+	FidgetEpoch float64
+}
+
+// Name implements Model.
+func (m *Conference) Name() string { return "conference" }
+
+// Generate implements Model.
+func (m *Conference) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(m.Area); err != nil {
+		return nil, err
+	}
+	if m.WandererFraction < 0 || m.WandererFraction > 1 {
+		return nil, fmt.Errorf("%w: %g", errBadFraction, m.WandererFraction)
+	}
+	walkSpeed := m.WalkSpeed
+	if walkSpeed <= 0 {
+		walkSpeed = 1.2 // human walking pace
+	}
+	sitPause := m.SitPause
+	if sitPause <= 0 {
+		sitPause = 60
+	}
+	fidgetEpoch := m.FidgetEpoch
+	if fidgetEpoch <= 0 {
+		fidgetEpoch = 30
+	}
+
+	wanderers := int(math.Round(m.WandererFraction * float64(n)))
+	wanderModel := &RandomWaypoint{
+		Area:     m.Area,
+		MinSpeed: walkSpeed * 0.5,
+		MaxSpeed: walkSpeed,
+		Pause:    sitPause,
+	}
+
+	out := make([]*Trajectory, n)
+	for i := range out {
+		rng := streams.NamedIndexed("conference", i)
+		if i < wanderers {
+			tr, err := wanderModel.generateOne(duration, rng)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tr
+			continue
+		}
+		// Seated attendee: anchor point plus tiny wobble.
+		anchor := uniformPoint(m.Area, rng)
+		var b Builder
+		b.Append(0, anchor)
+		for now := fidgetEpoch; ; now += fidgetEpoch {
+			p := anchor
+			if m.FidgetRadius > 0 {
+				a := rng.Float64() * 2 * math.Pi
+				d := m.FidgetRadius * math.Sqrt(rng.Float64())
+				p = m.Area.Clamp(anchor.Add(geom.FromPolar(d, a)))
+			}
+			b.Append(now, p)
+			if now >= duration {
+				break
+			}
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}

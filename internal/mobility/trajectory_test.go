@@ -1,0 +1,150 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobic/internal/geom"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func buildTraj(t *testing.T, pts ...struct {
+	tm float64
+	p  geom.Point
+}) *Trajectory {
+	t.Helper()
+	var b Builder
+	for _, wp := range pts {
+		b.Append(wp.tm, wp.p)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func wp(tm float64, x, y float64) struct {
+	tm float64
+	p  geom.Point
+} {
+	return struct {
+		tm float64
+		p  geom.Point
+	}{tm, geom.Point{X: x, Y: y}}
+}
+
+func TestBuilderRejectsEmptyAndUnordered(t *testing.T) {
+	var empty Builder
+	if _, err := empty.Build(); err == nil {
+		t.Error("empty builder should error")
+	}
+	var bad Builder
+	bad.Append(5, geom.Point{}).Append(3, geom.Point{})
+	if _, err := bad.Build(); err == nil {
+		t.Error("out-of-order times should error")
+	}
+}
+
+func TestBuilderCollapsesEqualTimes(t *testing.T) {
+	var b Builder
+	b.Append(1, geom.Point{X: 1}).Append(1, geom.Point{X: 2})
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Waypoints() != 1 {
+		t.Errorf("Waypoints = %d, want 1 (collapsed)", tr.Waypoints())
+	}
+	if tr.At(1).X != 2 {
+		t.Errorf("last point should win on equal times, got %v", tr.At(1))
+	}
+}
+
+func TestTrajectoryInterpolation(t *testing.T) {
+	tr := buildTraj(t, wp(0, 0, 0), wp(10, 100, 0), wp(20, 100, 50))
+	tests := []struct {
+		tm   float64
+		want geom.Point
+	}{
+		{tm: -5, want: geom.Point{X: 0, Y: 0}},   // before start
+		{tm: 0, want: geom.Point{X: 0, Y: 0}},    // first waypoint
+		{tm: 5, want: geom.Point{X: 50, Y: 0}},   // mid-leg
+		{tm: 10, want: geom.Point{X: 100, Y: 0}}, // exact waypoint
+		{tm: 15, want: geom.Point{X: 100, Y: 25}},
+		{tm: 20, want: geom.Point{X: 100, Y: 50}},
+		{tm: 99, want: geom.Point{X: 100, Y: 50}}, // past end
+	}
+	for _, tt := range tests {
+		got := tr.At(tt.tm)
+		if !almostEqual(got.X, tt.want.X, 1e-9) || !almostEqual(got.Y, tt.want.Y, 1e-9) {
+			t.Errorf("At(%v) = %v, want %v", tt.tm, got, tt.want)
+		}
+	}
+}
+
+func TestTrajectoryVelocity(t *testing.T) {
+	tr := buildTraj(t, wp(0, 0, 0), wp(10, 100, 0), wp(20, 100, 0))
+	v := tr.VelocityAt(5)
+	if !almostEqual(v.X, 10, 1e-9) || !almostEqual(v.Y, 0, 1e-9) {
+		t.Errorf("VelocityAt(5) = %v, want (10, 0)", v)
+	}
+	// Pause leg has zero velocity.
+	if got := tr.VelocityAt(15); got.Len() != 0 {
+		t.Errorf("VelocityAt during pause = %v, want zero", got)
+	}
+	// Outside the span.
+	if got := tr.VelocityAt(-1); got.Len() != 0 {
+		t.Errorf("VelocityAt before start = %v, want zero", got)
+	}
+	if got := tr.VelocityAt(25); got.Len() != 0 {
+		t.Errorf("VelocityAt past end = %v, want zero", got)
+	}
+	// At a waypoint time the next leg's velocity is reported.
+	v = tr.VelocityAt(0)
+	if !almostEqual(v.X, 10, 1e-9) {
+		t.Errorf("VelocityAt(0) = %v, want next-leg (10, 0)", v)
+	}
+}
+
+func TestTrajectoryAccessors(t *testing.T) {
+	tr := buildTraj(t, wp(2, 0, 0), wp(12, 10, 0))
+	if tr.Start() != 2 || tr.End() != 12 {
+		t.Errorf("Start/End = %v/%v", tr.Start(), tr.End())
+	}
+	if tr.Waypoints() != 2 {
+		t.Errorf("Waypoints = %d", tr.Waypoints())
+	}
+	if !almostEqual(tr.MaxSpeed(), 1, 1e-9) {
+		t.Errorf("MaxSpeed = %v, want 1", tr.MaxSpeed())
+	}
+}
+
+func TestStaticTrajectory(t *testing.T) {
+	tr := StaticTrajectory(geom.Point{X: 7, Y: 8})
+	for _, tm := range []float64{0, 100, 1e6} {
+		if tr.At(tm) != (geom.Point{X: 7, Y: 8}) {
+			t.Errorf("static At(%v) moved", tm)
+		}
+	}
+	if tr.MaxSpeed() != 0 {
+		t.Error("static trajectory should have zero max speed")
+	}
+}
+
+// Property: position along any leg is continuous — small dt implies small move.
+func TestTrajectoryContinuityProperty(t *testing.T) {
+	tr := buildTraj(t, wp(0, 0, 0), wp(10, 50, 30), wp(25, 0, 100), wp(40, 80, 80))
+	continuity := func(tSeed uint16, dtSeed uint8) bool {
+		tm := float64(tSeed) / 65535 * 40
+		dt := float64(dtSeed) / 255 * 0.1
+		p1, p2 := tr.At(tm), tr.At(tm+dt)
+		// Max leg speed in this trajectory is < 10 m/s.
+		return p1.Dist(p2) <= 10*dt+1e-9
+	}
+	if err := quick.Check(continuity, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package mobility
+
+import (
+	"math/rand/v2"
+
+	"mobic/internal/geom"
+	"mobic/internal/sim"
+)
+
+// speedFloor prevents the random-waypoint pathology where a near-zero speed
+// draw makes a node crawl for hours: speeds below this are redrawn as this
+// floor. The paper's slowest scenario uses MaxSpeed = 1 m/s, so 0.01 m/s is
+// far below any configured regime.
+const speedFloor = 0.01
+
+// RandomWaypoint is the classic CMU `setdest` model used by the paper
+// (Section 4.1): each node starts at a uniform random position, repeatedly
+// picks a uniform random destination and a uniform random speed in
+// (MinSpeed, MaxSpeed], travels there in a straight line, pauses for Pause
+// seconds, and repeats.
+type RandomWaypoint struct {
+	// Area bounds all positions.
+	Area geom.Rect
+	// MinSpeed and MaxSpeed bound the uniform speed draw in m/s. MinSpeed
+	// of 0 reproduces original setdest (with a tiny floor; see speedFloor).
+	MinSpeed, MaxSpeed float64
+	// Pause is the dwell time at each destination in seconds (Table 1 "PT").
+	Pause float64
+	// SteadyState, when set, pre-rolls each node's walk before t=0 so the
+	// observed process starts from (approximately) the random waypoint
+	// model's stationary distribution instead of the uniform initial one.
+	// This avoids the well-known RWP average-speed decay artifact in
+	// which early-simulation measurements are biased (Yoon et al.).
+	SteadyState bool
+}
+
+// steadyStatePreRoll is how long the walk runs before t=0 under
+// SteadyState. A few epochs of cross-area travel suffice to mix.
+const steadyStatePreRoll = 500.0
+
+// Name implements Model.
+func (m *RandomWaypoint) Name() string { return "waypoint" }
+
+// Generate implements Model.
+func (m *RandomWaypoint) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(m.Area); err != nil {
+		return nil, err
+	}
+	if err := validateSpeed(m.MinSpeed, m.MaxSpeed); err != nil {
+		return nil, err
+	}
+	out := make([]*Trajectory, n)
+	for i := range out {
+		tr, err := m.generateOne(duration, streams.NamedIndexed("waypoint", i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+func (m *RandomWaypoint) generateOne(duration float64, rng *rand.Rand) (*Trajectory, error) {
+	preRoll := 0.0
+	if m.SteadyState {
+		preRoll = steadyStatePreRoll
+	}
+	var b Builder
+	now := 0.0
+	pos := uniformPoint(m.Area, rng)
+	b.Append(now, pos)
+	for now < duration+preRoll {
+		dest := uniformPoint(m.Area, rng)
+		speed := m.drawSpeed(rng)
+		travel := pos.Dist(dest) / speed
+		now += travel
+		b.Append(now, dest)
+		pos = dest
+		if m.Pause > 0 {
+			now += m.Pause
+			b.Append(now, pos)
+		}
+	}
+	tr, err := b.Build()
+	if err != nil || preRoll == 0 {
+		return tr, err
+	}
+	return shiftTrajectory(tr, preRoll)
+}
+
+// shiftTrajectory advances tr by dt: queries at time t observe what tr did
+// at t+dt, so the pre-roll segment before dt is discarded and the walk is
+// already "in flight" at t=0.
+func shiftTrajectory(tr *Trajectory, dt float64) (*Trajectory, error) {
+	var b Builder
+	b.Append(0, tr.At(dt))
+	for i := 0; i < tr.Waypoints(); i++ {
+		if tr.times[i] > dt {
+			b.Append(tr.times[i]-dt, tr.points[i])
+		}
+	}
+	return b.Build()
+}
+
+func (m *RandomWaypoint) drawSpeed(rng *rand.Rand) float64 {
+	speed := m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+	if speed < speedFloor {
+		speed = speedFloor
+	}
+	return speed
+}
+
+// RandomWalk is a memoryless entity model: every Step seconds the node draws
+// a fresh uniform direction and speed and walks; legs that would exit the
+// area are reflected off the boundary.
+type RandomWalk struct {
+	// Area bounds all positions.
+	Area geom.Rect
+	// MinSpeed and MaxSpeed bound the uniform speed draw in m/s.
+	MinSpeed, MaxSpeed float64
+	// Step is the epoch length in seconds between direction changes.
+	Step float64
+}
+
+// Name implements Model.
+func (m *RandomWalk) Name() string { return "walk" }
+
+// Generate implements Model.
+func (m *RandomWalk) Generate(n int, duration float64, streams *sim.Streams) ([]*Trajectory, error) {
+	if err := validateCommon(n, duration, streams); err != nil {
+		return nil, err
+	}
+	if err := validateArea(m.Area); err != nil {
+		return nil, err
+	}
+	if err := validateSpeed(m.MinSpeed, m.MaxSpeed); err != nil {
+		return nil, err
+	}
+	step := m.Step
+	if step <= 0 {
+		step = 10
+	}
+	out := make([]*Trajectory, n)
+	for i := range out {
+		rng := streams.NamedIndexed("walk", i)
+		var b Builder
+		pos := uniformPoint(m.Area, rng)
+		now := 0.0
+		b.Append(now, pos)
+		for now < duration {
+			speed := m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+			if speed < speedFloor {
+				speed = speedFloor
+			}
+			dir := rng.Float64() * 2 * 3.141592653589793
+			delta := geom.FromPolar(speed*step, dir)
+			next, bounced := reflect(m.Area, pos, delta)
+			// A reflected leg is split at most a handful of times; for
+			// waypoint bookkeeping we record only the endpoint, because
+			// the deflection error within one short epoch is negligible
+			// for clustering studies and keeps trajectories compact.
+			_ = bounced
+			now += step
+			b.Append(now, next)
+			pos = next
+		}
+		tr, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// reflect walks from pos by delta, reflecting off the rectangle's edges.
+// It returns the final position and whether any reflection occurred.
+func reflect(area geom.Rect, pos geom.Point, delta geom.Vec) (geom.Point, bool) {
+	x := pos.X + delta.X
+	y := pos.Y + delta.Y
+	bounced := false
+	for i := 0; i < 8; i++ { // a leg can bounce several times in a corner
+		fixed := true
+		if x < area.MinX {
+			x = 2*area.MinX - x
+			bounced, fixed = true, false
+		}
+		if x > area.MaxX {
+			x = 2*area.MaxX - x
+			bounced, fixed = true, false
+		}
+		if y < area.MinY {
+			y = 2*area.MinY - y
+			bounced, fixed = true, false
+		}
+		if y > area.MaxY {
+			y = 2*area.MaxY - y
+			bounced, fixed = true, false
+		}
+		if fixed {
+			break
+		}
+	}
+	return area.Clamp(geom.Point{X: x, Y: y}), bounced
+}

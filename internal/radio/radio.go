@@ -1,0 +1,231 @@
+// Package radio implements the physical-layer propagation models the paper's
+// evaluation rests on. The mobility metric (internal/core) is computed from
+// the ratio of received powers of successive hello packets, so the channel's
+// power-vs-distance law is the foundation of the whole reproduction.
+//
+// Three models are provided, mirroring the ns-2 wireless PHY used in the
+// paper:
+//
+//   - Friis free space (inverse-square law) — the paper's Section 3.1 ideal.
+//   - Two-ray ground reflection with the Friis crossover — ns-2's default
+//     for the CMU wireless extensions.
+//   - Log-normal shadowing — to test the metric's robustness to a noisy
+//     channel (the paper's footnote 6 excludes fading; we keep it optional).
+//
+// Default constants are those of ns-2's 914 MHz Lucent WaveLAN card, the
+// radio the CMU extensions shipped with.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ns-2 WaveLAN defaults.
+const (
+	// DefaultFrequency is the carrier frequency in Hz (914 MHz WaveLAN).
+	DefaultFrequency = 914e6
+	// DefaultTxPower is the transmit power in Watts (281.8 mW).
+	DefaultTxPower = 0.28183815
+	// DefaultAntennaGain is the unitless antenna gain (Gt = Gr = 1).
+	DefaultAntennaGain = 1.0
+	// DefaultAntennaHeight is the antenna height in meters (1.5 m).
+	DefaultAntennaHeight = 1.5
+	// DefaultSystemLoss is the unitless system loss factor (L = 1).
+	DefaultSystemLoss = 1.0
+
+	// speedOfLight in m/s.
+	speedOfLight = 299792458.0
+
+	// minDistance guards the d->0 singularity of the path-loss laws. Two
+	// nodes closer than this are treated as exactly this far apart.
+	minDistance = 0.1
+)
+
+// Wavelength returns the carrier wavelength in meters for a frequency in Hz.
+func Wavelength(freqHz float64) float64 { return speedOfLight / freqHz }
+
+// Model converts a transmit power and a transmitter-receiver distance into a
+// received power. Implementations must be monotonically non-increasing in
+// distance except for explicitly stochastic models (Shadowing).
+type Model interface {
+	// Name identifies the model in configs, traces and experiment output.
+	Name() string
+	// RxPower returns the received power in Watts at distance d meters for
+	// a transmission at txPower Watts.
+	RxPower(txPower, d float64) float64
+}
+
+// FreeSpace is the Friis free-space model:
+//
+//	Pr(d) = Pt * Gt * Gr * lambda^2 / ((4*pi)^2 * d^2 * L)
+//
+// This is the "ideal situation" the paper cites for its inverse-square
+// dependence (Section 3.1).
+type FreeSpace struct {
+	// Lambda is the carrier wavelength in meters.
+	Lambda float64
+	// Gt, Gr are transmitter and receiver antenna gains.
+	Gt, Gr float64
+	// L is the system loss factor (>= 1).
+	L float64
+}
+
+// NewFreeSpace returns a Friis model with ns-2 WaveLAN defaults.
+func NewFreeSpace() *FreeSpace {
+	return &FreeSpace{
+		Lambda: Wavelength(DefaultFrequency),
+		Gt:     DefaultAntennaGain,
+		Gr:     DefaultAntennaGain,
+		L:      DefaultSystemLoss,
+	}
+}
+
+// Name implements Model.
+func (m *FreeSpace) Name() string { return "freespace" }
+
+// RxPower implements Model.
+func (m *FreeSpace) RxPower(txPower, d float64) float64 {
+	if d < minDistance {
+		d = minDistance
+	}
+	den := 16 * math.Pi * math.Pi * d * d * m.L
+	return txPower * m.Gt * m.Gr * m.Lambda * m.Lambda / den
+}
+
+// TwoRayGround is ns-2's two-ray ground reflection model. Below the crossover
+// distance dc = 4*pi*ht*hr/lambda it degenerates to Friis; at and beyond the
+// crossover:
+//
+//	Pr(d) = Pt * Gt * Gr * ht^2 * hr^2 / (d^4 * L)
+type TwoRayGround struct {
+	// Friis handles distances below the crossover.
+	Friis FreeSpace
+	// Ht, Hr are antenna heights in meters.
+	Ht, Hr float64
+}
+
+// NewTwoRayGround returns a two-ray model with ns-2 WaveLAN defaults.
+func NewTwoRayGround() *TwoRayGround {
+	return &TwoRayGround{
+		Friis: *NewFreeSpace(),
+		Ht:    DefaultAntennaHeight,
+		Hr:    DefaultAntennaHeight,
+	}
+}
+
+// Name implements Model.
+func (m *TwoRayGround) Name() string { return "tworay" }
+
+// Crossover returns the distance at which the model switches from the Friis
+// law to the fourth-power law. With WaveLAN defaults this is about 86 m.
+func (m *TwoRayGround) Crossover() float64 {
+	return 4 * math.Pi * m.Ht * m.Hr / m.Friis.Lambda
+}
+
+// RxPower implements Model.
+func (m *TwoRayGround) RxPower(txPower, d float64) float64 {
+	if d < minDistance {
+		d = minDistance
+	}
+	if d < m.Crossover() {
+		return m.Friis.RxPower(txPower, d)
+	}
+	return txPower * m.Friis.Gt * m.Friis.Gr * m.Ht * m.Ht * m.Hr * m.Hr /
+		(d * d * d * d * m.Friis.L)
+}
+
+// Shadowing is the log-normal shadowing model: mean path loss follows a
+// power law with exponent Beta relative to a close-in reference distance D0,
+// and each reception is perturbed by a Gaussian (in dB) of standard deviation
+// SigmaDB. Used by the loss-robustness ablation (the paper excludes fading
+// from its study; see DESIGN.md A7).
+type Shadowing struct {
+	// Ref supplies the deterministic reference power at D0.
+	Ref FreeSpace
+	// D0 is the close-in reference distance in meters.
+	D0 float64
+	// Beta is the path-loss exponent (2 = free space, 2.7-5 outdoor shadowed).
+	Beta float64
+	// SigmaDB is the shadowing deviation in dB (0 disables randomness).
+	SigmaDB float64
+	// Rng drives the Gaussian draw; nil disables randomness.
+	Rng *rand.Rand
+}
+
+// NewShadowing returns a shadowing model with the given exponent and sigma,
+// using WaveLAN defaults for the reference.
+func NewShadowing(beta, sigmaDB float64, rng *rand.Rand) *Shadowing {
+	return &Shadowing{
+		Ref:     *NewFreeSpace(),
+		D0:      1.0,
+		Beta:    beta,
+		SigmaDB: sigmaDB,
+		Rng:     rng,
+	}
+}
+
+// Name implements Model.
+func (m *Shadowing) Name() string { return "shadowing" }
+
+// RxPower implements Model.
+func (m *Shadowing) RxPower(txPower, d float64) float64 {
+	if d < minDistance {
+		d = minDistance
+	}
+	pr0 := m.Ref.RxPower(txPower, m.D0)
+	meanDB := 10 * m.Beta * math.Log10(d/m.D0)
+	xDB := 0.0
+	if m.Rng != nil && m.SigmaDB > 0 {
+		xDB = m.Rng.NormFloat64() * m.SigmaDB
+	}
+	return pr0 * math.Pow(10, (-meanDB+xDB)/10)
+}
+
+// ErrUnknownModel is returned by New for an unrecognized model name.
+var ErrUnknownModel = errors.New("radio: unknown propagation model")
+
+// New builds a model by name: "freespace", "tworay", or "shadowing" (with
+// beta 2.7, sigma 4 dB). rng is only used by "shadowing".
+func New(name string, rng *rand.Rand) (Model, error) {
+	switch name {
+	case "freespace":
+		return NewFreeSpace(), nil
+	case "tworay", "":
+		return NewTwoRayGround(), nil
+	case "shadowing":
+		return NewShadowing(2.7, 4.0, rng), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+}
+
+// ThresholdForRange returns the receive-power threshold (Watts) that makes
+// the given deterministic model deliver packets out to exactly wantRange
+// meters at txPower: the power received at wantRange. This mirrors ns-2's
+// threshold.cc utility that the CMU extensions shipped for calibrating
+// RXThresh to a desired transmission range.
+//
+// For stochastic models it returns the threshold of the mean path loss.
+func ThresholdForRange(m Model, txPower, wantRange float64) (float64, error) {
+	if wantRange <= 0 {
+		return 0, fmt.Errorf("radio: non-positive range %g", wantRange)
+	}
+	if txPower <= 0 {
+		return 0, fmt.Errorf("radio: non-positive tx power %g", txPower)
+	}
+	if sh, ok := m.(*Shadowing); ok {
+		mean := *sh
+		mean.Rng = nil
+		return mean.RxPower(txPower, wantRange), nil
+	}
+	return m.RxPower(txPower, wantRange), nil
+}
+
+// DB converts a power ratio to decibels: 10*log10(ratio).
+func DB(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }

@@ -1,0 +1,250 @@
+package radio
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, rel float64) bool {
+	return math.Abs(a-b) <= rel*(math.Abs(a)+math.Abs(b))/2
+}
+
+func TestWavelength(t *testing.T) {
+	l := Wavelength(DefaultFrequency)
+	if !almostEqual(l, 0.328, 0.01) {
+		t.Errorf("lambda at 914 MHz = %v, want ~0.328 m", l)
+	}
+}
+
+func TestFreeSpaceInverseSquare(t *testing.T) {
+	m := NewFreeSpace()
+	p100 := m.RxPower(DefaultTxPower, 100)
+	p200 := m.RxPower(DefaultTxPower, 200)
+	if !almostEqual(p100/p200, 4, 1e-9) {
+		t.Errorf("doubling distance should quarter power: ratio = %v", p100/p200)
+	}
+}
+
+func TestFreeSpaceKnownValue(t *testing.T) {
+	// Friis @914 MHz, Pt=0.28183815 W, d=250 m:
+	// Pr = Pt*lambda^2/((4pi)^2 d^2) ~ 3.07e-9 W.
+	m := NewFreeSpace()
+	got := m.RxPower(DefaultTxPower, 250)
+	lambda := Wavelength(DefaultFrequency)
+	want := DefaultTxPower * lambda * lambda / (16 * math.Pi * math.Pi * 250 * 250)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("RxPower(250) = %g, want %g", got, want)
+	}
+	if got < 3.0e-9 || got > 3.2e-9 {
+		t.Errorf("RxPower(250) = %g, want ~3.07e-9 W", got)
+	}
+}
+
+func TestMinDistanceClamp(t *testing.T) {
+	for _, m := range []Model{NewFreeSpace(), NewTwoRayGround(), NewShadowing(2.7, 0, nil)} {
+		p0 := m.RxPower(DefaultTxPower, 0)
+		if math.IsInf(p0, 0) || math.IsNaN(p0) {
+			t.Errorf("%s: RxPower(0) = %v, want finite", m.Name(), p0)
+		}
+		if p0 != m.RxPower(DefaultTxPower, minDistance/2) {
+			t.Errorf("%s: clamp below minDistance should be flat", m.Name())
+		}
+	}
+}
+
+func TestTwoRayCrossover(t *testing.T) {
+	m := NewTwoRayGround()
+	dc := m.Crossover()
+	if dc < 80 || dc > 92 {
+		t.Errorf("crossover = %v, want ~86 m for WaveLAN defaults", dc)
+	}
+	// Continuity at crossover: the two laws agree there by construction.
+	below := m.RxPower(DefaultTxPower, dc-1e-9)
+	at := m.RxPower(DefaultTxPower, dc)
+	if !almostEqual(below, at, 1e-3) {
+		t.Errorf("discontinuity at crossover: %g vs %g", below, at)
+	}
+}
+
+func TestTwoRayFourthPowerBeyondCrossover(t *testing.T) {
+	m := NewTwoRayGround()
+	d := m.Crossover() + 50
+	p1 := m.RxPower(DefaultTxPower, d)
+	p2 := m.RxPower(DefaultTxPower, 2*d)
+	if !almostEqual(p1/p2, 16, 1e-9) {
+		t.Errorf("doubling distance beyond crossover should reduce power 16x, got %v", p1/p2)
+	}
+}
+
+func TestTwoRayMatchesFriisBelowCrossover(t *testing.T) {
+	m := NewTwoRayGround()
+	f := NewFreeSpace()
+	for _, d := range []float64{1, 10, 50, 80} {
+		if m.RxPower(DefaultTxPower, d) != f.RxPower(DefaultTxPower, d) {
+			t.Errorf("two-ray should equal Friis at d=%v (< crossover)", d)
+		}
+	}
+}
+
+func TestModelsMonotoneDecreasingProperty(t *testing.T) {
+	models := []Model{NewFreeSpace(), NewTwoRayGround(), NewShadowing(3, 0, nil)}
+	mono := func(d1Seed, d2Seed uint16) bool {
+		d1 := 1 + float64(d1Seed)/100
+		d2 := 1 + float64(d2Seed)/100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		for _, m := range models {
+			if m.RxPower(DefaultTxPower, d1) < m.RxPower(DefaultTxPower, d2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowingDeterministicWithoutRng(t *testing.T) {
+	m := NewShadowing(2.7, 4, nil) // sigma set but no rng -> deterministic
+	if m.RxPower(DefaultTxPower, 100) != m.RxPower(DefaultTxPower, 100) {
+		t.Error("nil-rng shadowing should be deterministic")
+	}
+}
+
+func TestShadowingMeanFollowsPowerLaw(t *testing.T) {
+	m := NewShadowing(4, 0, nil)
+	p1 := m.RxPower(DefaultTxPower, 10)
+	p2 := m.RxPower(DefaultTxPower, 100)
+	// exponent 4 over one decade: 40 dB.
+	if gotDB := DB(p1 / p2); !almostEqual(gotDB, 40, 1e-6) {
+		t.Errorf("decade ratio = %v dB, want 40", gotDB)
+	}
+}
+
+func TestShadowingRandomnessRoughlyCentered(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	m := NewShadowing(2.7, 6, rng)
+	det := NewShadowing(2.7, 6, nil)
+	var sumDB float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		sumDB += DB(m.RxPower(DefaultTxPower, 100) / det.RxPower(DefaultTxPower, 100))
+	}
+	meanDB := sumDB / n
+	if math.Abs(meanDB) > 0.5 {
+		t.Errorf("shadowing dB mean = %v, want ~0", meanDB)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	tests := []struct {
+		name     string
+		wantName string
+		wantErr  bool
+	}{
+		{name: "freespace", wantName: "freespace"},
+		{name: "tworay", wantName: "tworay"},
+		{name: "", wantName: "tworay"},
+		{name: "shadowing", wantName: "shadowing"},
+		{name: "raytracer", wantErr: true},
+	}
+	for _, tt := range tests {
+		m, err := New(tt.name, nil)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("New(%q) should error", tt.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("New(%q): %v", tt.name, err)
+			continue
+		}
+		if m.Name() != tt.wantName {
+			t.Errorf("New(%q).Name() = %q, want %q", tt.name, m.Name(), tt.wantName)
+		}
+	}
+}
+
+func TestThresholdForRange(t *testing.T) {
+	m := NewTwoRayGround()
+	for _, r := range []float64{10, 50, 100, 250} {
+		th, err := ThresholdForRange(m, DefaultTxPower, r)
+		if err != nil {
+			t.Fatalf("range %v: %v", r, err)
+		}
+		// At range-epsilon the signal must pass the threshold; past it, fail.
+		if m.RxPower(DefaultTxPower, r-0.01) < th {
+			t.Errorf("range %v: power just inside range below threshold", r)
+		}
+		if m.RxPower(DefaultTxPower, r+0.01) >= th {
+			t.Errorf("range %v: power just outside range above threshold", r)
+		}
+	}
+}
+
+func TestThresholdForRangeErrors(t *testing.T) {
+	m := NewFreeSpace()
+	if _, err := ThresholdForRange(m, DefaultTxPower, 0); err == nil {
+		t.Error("zero range should error")
+	}
+	if _, err := ThresholdForRange(m, DefaultTxPower, -10); err == nil {
+		t.Error("negative range should error")
+	}
+	if _, err := ThresholdForRange(m, 0, 100); err == nil {
+		t.Error("zero tx power should error")
+	}
+}
+
+func TestThresholdForShadowingUsesMeanLoss(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	m := NewShadowing(2.7, 8, rng)
+	th1, err := ThresholdForRange(m, DefaultTxPower, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2, err := ThresholdForRange(m, DefaultTxPower, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th1 != th2 {
+		t.Error("threshold for shadowing should be deterministic (mean loss)")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, 0, 3, 10, 40} {
+		if got := DB(FromDB(db)); !almostEqual(got+100, db+100, 1e-12) {
+			t.Errorf("DB(FromDB(%v)) = %v", db, got)
+		}
+	}
+	if DB(100) != 20 {
+		t.Errorf("DB(100) = %v, want 20", DB(100))
+	}
+}
+
+// The mobility metric depends on RxPr ratios: for two-ray beyond crossover,
+// 10*log10(Pr(d1)/Pr(d2)) must equal 40*log10(d2/d1).
+func TestRelativeMobilityDistanceLaw(t *testing.T) {
+	m := NewTwoRayGround()
+	d1, d2 := 150.0, 200.0
+	gotDB := DB(m.RxPower(DefaultTxPower, d1) / m.RxPower(DefaultTxPower, d2))
+	wantDB := 40 * math.Log10(d2/d1)
+	if !almostEqual(gotDB, wantDB, 1e-9) {
+		t.Errorf("dB ratio = %v, want %v", gotDB, wantDB)
+	}
+}
+
+func BenchmarkTwoRayRxPower(b *testing.B) {
+	m := NewTwoRayGround()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = m.RxPower(DefaultTxPower, float64(i%250)+1)
+	}
+	_ = sink
+}

@@ -1,0 +1,171 @@
+// Package routing implements the application-level motivation of the paper:
+// cluster-based forwarding "keeps the flooding traffic in check" compared to
+// flat flooding (Sections 1 and 2.1). It provides a flat flood and a
+// CBRP-style cluster-based flood over a topology snapshot, so the A9
+// experiment can quantify the forwarding-load savings that stable clusters
+// buy.
+package routing
+
+import (
+	"fmt"
+
+	"mobic/internal/graph"
+)
+
+// NoHead mirrors cluster.NoHead for callers supplying affiliation vectors.
+const NoHead int32 = -1
+
+// FloodResult summarizes one flooding round.
+type FloodResult struct {
+	// Transmissions is the number of nodes that (re)broadcast the packet,
+	// including the source.
+	Transmissions int
+	// Reached is the number of nodes that received or originated the
+	// packet, including the source.
+	Reached int
+	// N is the number of nodes in the topology.
+	N int
+}
+
+// Coverage returns the fraction of all nodes reached.
+func (f FloodResult) Coverage() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.Reached) / float64(f.N)
+}
+
+// FlatFlood floods from src with every receiving node rebroadcasting
+// exactly once — classic flooding, the paper's strawman for unclustered
+// route discovery.
+func FlatFlood(g *graph.Adjacency, src int32) (FloodResult, error) {
+	if src < 0 || int(src) >= g.N() {
+		return FloodResult{}, fmt.Errorf("routing: source %d out of range [0, %d)", src, g.N())
+	}
+	dist, err := g.BFSDist(src)
+	if err != nil {
+		return FloodResult{}, err
+	}
+	reached := 0
+	for _, d := range dist {
+		if d >= 0 {
+			reached++
+		}
+	}
+	// In flat flooding every reached node transmits once.
+	return FloodResult{Transmissions: reached, Reached: reached, N: g.N()}, nil
+}
+
+// ClusterFlood floods from src with only the forwarding backbone
+// rebroadcasting: clusterheads, gateways, and the source itself. heads[i]
+// is node i's clusterhead (its own id for heads, NoHead for unaffiliated
+// nodes, which forward like heads so coverage cannot silently regress).
+//
+// Gateways are computed structurally from the snapshot: a member adjacent to
+// a head of another cluster, or adjacent to a member of another cluster
+// (distributed gateway, as in CBRP).
+func ClusterFlood(g *graph.Adjacency, heads []int32, src int32) (FloodResult, error) {
+	if src < 0 || int(src) >= g.N() {
+		return FloodResult{}, fmt.Errorf("routing: source %d out of range [0, %d)", src, g.N())
+	}
+	if len(heads) != g.N() {
+		return FloodResult{}, fmt.Errorf("routing: %d affiliations for %d nodes", len(heads), g.N())
+	}
+	forwards := forwardingSet(g, heads)
+	forwards[src] = true
+
+	received := make([]bool, g.N())
+	received[src] = true
+	transmissions := 0
+	// queue holds forwarders that have received the packet but not yet
+	// rebroadcast. A node is enqueued at most once: exactly when it first
+	// receives, and only if it forwards.
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		transmissions++
+		for _, v := range g.Neighbors(u) {
+			if received[v] {
+				continue
+			}
+			received[v] = true
+			if forwards[v] {
+				queue = append(queue, v)
+			}
+		}
+	}
+	reached := 0
+	for _, r := range received {
+		if r {
+			reached++
+		}
+	}
+	return FloodResult{Transmissions: transmissions, Reached: reached, N: g.N()}, nil
+}
+
+// forwardingSet marks clusterheads, unaffiliated nodes and elected
+// gateways. Gateways are elected per neighboring-cluster pair, CBRP-style:
+// among all edges linking two clusters, only the lexicographically smallest
+// edge's endpoints forward. This keeps the backbone connected (every
+// adjacent cluster pair keeps exactly one bridge) while avoiding the dense-
+// network pathology where every member can hear a foreign cluster and the
+// "backbone" degenerates into everyone.
+func forwardingSet(g *graph.Adjacency, heads []int32) []bool {
+	forwards := make([]bool, g.N())
+	// clusterOf treats unaffiliated nodes as singleton clusters keyed by
+	// their own id; they always forward.
+	clusterOf := func(i int32) int32 {
+		if heads[i] == NoHead {
+			return i
+		}
+		return heads[i]
+	}
+	for i := range forwards {
+		id := int32(i)
+		if heads[i] == id || heads[i] == NoHead {
+			forwards[i] = true
+		}
+	}
+	// Elect the smallest bridge edge per unordered cluster pair.
+	type pair struct{ a, b int32 }
+	type edge struct{ u, v int32 }
+	best := make(map[pair]edge)
+	for i := 0; i < g.N(); i++ {
+		u := int32(i)
+		cu := clusterOf(u)
+		for _, v := range g.Neighbors(u) {
+			if v < u {
+				continue // undirected: visit each edge once
+			}
+			cv := clusterOf(v)
+			if cu == cv {
+				continue
+			}
+			key := pair{a: min32(cu, cv), b: max32(cu, cv)}
+			e, ok := best[key]
+			if !ok || u < e.u || (u == e.u && v < e.v) {
+				best[key] = edge{u: u, v: v}
+			}
+		}
+	}
+	for _, e := range best {
+		forwards[e.u] = true
+		forwards[e.v] = true
+	}
+	return forwards
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

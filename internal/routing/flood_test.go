@@ -1,0 +1,184 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+)
+
+// starOfStars builds two clusters: heads 0 and 3, members {1,2} and {4,5},
+// with node 2 adjacent to node 4 (distributed gateways linking clusters).
+func starOfStars() (*graph.Adjacency, []int32) {
+	pos := []geom.Point{
+		{X: 0, Y: 0}, // 0 head A
+		{X: 1, Y: 0}, // 1 member A
+		{X: 2, Y: 0}, // 2 member A (gateway via 4)
+		{X: 5, Y: 0}, // 3 head B
+		{X: 4, Y: 0}, // 4 member B (gateway via 2)
+		{X: 6, Y: 0}, // 5 member B
+	}
+	// radius 2: edges 0-1, 0-2, 1-2, 2-4(dist2), 3-4, 3-5, 4-5(dist2), 1-... 1-2 dist1. 3-5 dist1, 2-3 dist3 no.
+	g := graph.FromPositions(pos, 2)
+	heads := []int32{0, 0, 0, 3, 3, 3}
+	return g, heads
+}
+
+func TestFlatFloodReachesComponent(t *testing.T) {
+	g, _ := starOfStars()
+	res, err := FlatFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 6 {
+		t.Errorf("Reached = %d, want 6", res.Reached)
+	}
+	if res.Transmissions != 6 {
+		t.Errorf("flat Transmissions = %d, want 6 (everyone rebroadcasts)", res.Transmissions)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("Coverage = %v, want 1", res.Coverage())
+	}
+}
+
+func TestFlatFloodDisconnected(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 100}}
+	g := graph.FromPositions(pos, 2)
+	res, err := FlatFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 2 {
+		t.Errorf("Reached = %d, want 2", res.Reached)
+	}
+}
+
+func TestFlatFloodBadSource(t *testing.T) {
+	g, _ := starOfStars()
+	if _, err := FlatFlood(g, -1); err == nil {
+		t.Error("negative source should error")
+	}
+	if _, err := FlatFlood(g, 99); err == nil {
+		t.Error("out-of-range source should error")
+	}
+}
+
+func TestClusterFloodUsesFewerTransmissions(t *testing.T) {
+	g, heads := starOfStars()
+	flat, err := FlatFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clus, err := ClusterFlood(g, heads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clus.Reached != flat.Reached {
+		t.Errorf("cluster flood reached %d, flat %d", clus.Reached, flat.Reached)
+	}
+	if clus.Transmissions >= flat.Transmissions {
+		t.Errorf("cluster flood used %d transmissions, flat %d; want fewer",
+			clus.Transmissions, flat.Transmissions)
+	}
+	// Node 1 and node 5 are plain members: they never forward.
+	// Forwarders: 0 (head+src), 2 (gateway), 4 (gateway), 3 (head) = 4.
+	if clus.Transmissions != 4 {
+		t.Errorf("cluster Transmissions = %d, want 4", clus.Transmissions)
+	}
+}
+
+func TestClusterFloodValidation(t *testing.T) {
+	g, heads := starOfStars()
+	if _, err := ClusterFlood(g, heads[:3], 0); err == nil {
+		t.Error("wrong affiliation length should error")
+	}
+	if _, err := ClusterFlood(g, heads, 77); err == nil {
+		t.Error("bad source should error")
+	}
+}
+
+func TestClusterFloodUnaffiliatedForwards(t *testing.T) {
+	// An undecided node must forward so coverage does not regress.
+	pos := []geom.Point{{X: 0}, {X: 1}, {X: 2}}
+	g := graph.FromPositions(pos, 1.2)
+	heads := []int32{0, NoHead, 2}
+	res, err := ClusterFlood(g, heads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 3 {
+		t.Errorf("Reached = %d, want 3 (undecided middle node must forward)", res.Reached)
+	}
+}
+
+func TestClusterFloodFromMemberSource(t *testing.T) {
+	g, heads := starOfStars()
+	// Source node 5 is a plain member; it must still originate.
+	res, err := ClusterFlood(g, heads, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached != 6 {
+		t.Errorf("Reached = %d, want 6", res.Reached)
+	}
+}
+
+// Property: cluster flood coverage equals flat flood coverage on random
+// connected-ish topologies where every cluster is a star around its head
+// (heads = nearest "anchor" node). The forwarding backbone of heads +
+// gateways + unaffiliated must not partition reachability.
+func TestClusterFloodCoverageProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		n := 15 + int(seed%25)
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400}
+		}
+		radius := 120.0
+		g := graph.FromPositions(pos, radius)
+		// Synthesize a valid clustering: greedy lowest-id maximal
+		// independent set as heads; members join an adjacent head.
+		heads := make([]int32, n)
+		for i := range heads {
+			heads[i] = NoHead
+		}
+		for i := 0; i < n; i++ {
+			isHead := true
+			for _, j := range g.Neighbors(int32(i)) {
+				if j < int32(i) && heads[j] == j {
+					isHead = false
+					break
+				}
+			}
+			if isHead {
+				heads[i] = int32(i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if heads[i] != NoHead {
+				continue
+			}
+			for _, j := range g.Neighbors(int32(i)) {
+				if heads[j] == j {
+					heads[i] = j
+					break
+				}
+			}
+		}
+		flat, err := FlatFlood(g, 0)
+		if err != nil {
+			return false
+		}
+		clus, err := ClusterFlood(g, heads, 0)
+		if err != nil {
+			return false
+		}
+		return clus.Reached == flat.Reached && clus.Transmissions <= flat.Transmissions
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

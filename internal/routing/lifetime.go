@@ -1,0 +1,74 @@
+package routing
+
+import (
+	"errors"
+
+	"mobic/internal/graph"
+)
+
+// SnapshotProvider yields the topology and cluster affiliation at a
+// simulated time. The simnet.Network satisfies it through a small adapter
+// in the experiment harness.
+type SnapshotProvider interface {
+	// TopologyAt advances to time t and returns the adjacency and the
+	// per-node clusterhead vector at that instant. Calls must be
+	// monotonically increasing in t.
+	TopologyAt(t float64) (*graph.Adjacency, []int32, error)
+}
+
+// LifetimeSample is one route observed until it broke.
+type LifetimeSample struct {
+	// Src and Dst are the route endpoints.
+	Src, Dst int32
+	// Hops is the route length at discovery.
+	Hops int
+	// Lifetime is how long every link of the route stayed up, in seconds
+	// (granularity = probe interval).
+	Lifetime float64
+	// Backbone reports whether the route was backbone-constrained.
+	Backbone bool
+}
+
+// RouteLifetimes discovers a route from src to dst at time start (flat or
+// backbone-constrained) and then probes the topology every interval until
+// the route breaks or horizon is reached. It returns the observed lifetime.
+//
+// A backbone route is considered broken when any link disappears — cluster
+// reorganizations that change roles but keep the nodes adjacent do not
+// break an in-use source route, matching how CBRP keeps forwarding while
+// reclustering happens underneath.
+func RouteLifetimes(
+	sp SnapshotProvider,
+	src, dst int32,
+	start, interval, horizon float64,
+	backbone bool,
+) (LifetimeSample, error) {
+	if interval <= 0 {
+		return LifetimeSample{}, errors.New("routing: probe interval must be positive")
+	}
+	g, heads, err := sp.TopologyAt(start)
+	if err != nil {
+		return LifetimeSample{}, err
+	}
+	var path Path
+	if backbone {
+		path, err = BackbonePath(g, heads, src, dst)
+	} else {
+		path, err = ShortestPath(g, src, dst)
+	}
+	if err != nil {
+		return LifetimeSample{}, err
+	}
+	sample := LifetimeSample{Src: src, Dst: dst, Hops: path.Hops(), Backbone: backbone}
+	for t := start + interval; t <= horizon; t += interval {
+		g, _, err := sp.TopologyAt(t)
+		if err != nil {
+			return sample, err
+		}
+		if !path.Valid(g) {
+			return sample, nil
+		}
+		sample.Lifetime = t - start
+	}
+	return sample, nil
+}

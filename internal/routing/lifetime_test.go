@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"testing"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+)
+
+// scriptedProvider replays a fixed sequence of topologies: index = t /
+// interval.
+type scriptedProvider struct {
+	graphs   []*graph.Adjacency
+	heads    []int32
+	interval float64
+}
+
+func (s *scriptedProvider) TopologyAt(t float64) (*graph.Adjacency, []int32, error) {
+	idx := int(t / s.interval)
+	if idx >= len(s.graphs) {
+		idx = len(s.graphs) - 1
+	}
+	return s.graphs[idx], s.heads, nil
+}
+
+func lineAt(spacing float64, n int) *graph.Adjacency {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return graph.FromPositions(pos, 1.0)
+}
+
+func TestRouteLifetimeUntilBreak(t *testing.T) {
+	// Topology: connected line for 3 probes, then the line stretches and
+	// every link breaks.
+	connected := lineAt(1, 4)
+	broken := lineAt(10, 4)
+	sp := &scriptedProvider{
+		graphs:   []*graph.Adjacency{connected, connected, connected, broken, broken},
+		heads:    []int32{0, 0, 2, 2},
+		interval: 10,
+	}
+	sample, err := RouteLifetimes(sp, 0, 3, 0, 10, 40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Hops != 3 {
+		t.Errorf("Hops = %d, want 3", sample.Hops)
+	}
+	// Probes at 10 and 20 pass; probe at 30 sees the break.
+	if sample.Lifetime != 20 {
+		t.Errorf("Lifetime = %v, want 20", sample.Lifetime)
+	}
+}
+
+func TestRouteLifetimeSurvivesToHorizon(t *testing.T) {
+	connected := lineAt(1, 3)
+	sp := &scriptedProvider{
+		graphs:   []*graph.Adjacency{connected},
+		heads:    []int32{0, 0, 0},
+		interval: 10,
+	}
+	sample, err := RouteLifetimes(sp, 0, 2, 0, 10, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Lifetime != 50 {
+		t.Errorf("Lifetime = %v, want 50 (survived to horizon)", sample.Lifetime)
+	}
+}
+
+func TestRouteLifetimeNoInitialRoute(t *testing.T) {
+	broken := lineAt(10, 3)
+	sp := &scriptedProvider{
+		graphs:   []*graph.Adjacency{broken},
+		heads:    []int32{0, 1, 2},
+		interval: 10,
+	}
+	if _, err := RouteLifetimes(sp, 0, 2, 0, 10, 50, false); err == nil {
+		t.Error("unreachable destination should error")
+	}
+}
+
+func TestRouteLifetimeBackbone(t *testing.T) {
+	g, heads := starOfStars()
+	sp := &scriptedProvider{
+		graphs:   []*graph.Adjacency{g},
+		heads:    heads,
+		interval: 5,
+	}
+	sample, err := RouteLifetimes(sp, 1, 5, 0, 5, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sample.Backbone {
+		t.Error("sample should be marked backbone")
+	}
+	if sample.Lifetime != 20 {
+		t.Errorf("static backbone route lifetime = %v, want 20", sample.Lifetime)
+	}
+}
+
+func TestRouteLifetimeInvalidInterval(t *testing.T) {
+	g, heads := starOfStars()
+	sp := &scriptedProvider{graphs: []*graph.Adjacency{g}, heads: heads, interval: 5}
+	if _, err := RouteLifetimes(sp, 0, 5, 0, 0, 20, false); err == nil {
+		t.Error("zero interval should error")
+	}
+}

@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"fmt"
+
+	"mobic/internal/graph"
+)
+
+// Path is a node sequence from source to destination (inclusive).
+type Path []int32
+
+// Hops returns the number of links in the path.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Valid reports whether every consecutive pair in the path is adjacent in g.
+func (p Path) Valid(g *graph.Adjacency) bool {
+	for i := 1; i < len(p); i++ {
+		if p[i-1] < 0 || int(p[i-1]) >= g.N() || p[i] < 0 || int(p[i]) >= g.N() {
+			return false
+		}
+		if !g.Adjacent(p[i-1], p[i]) {
+			return false
+		}
+	}
+	return len(p) > 0
+}
+
+// ErrNoRoute is returned when the destination is unreachable.
+var ErrNoRoute = fmt.Errorf("routing: no route")
+
+// ShortestPath returns a BFS shortest path from src to dst over the full
+// topology — the flat-routing baseline.
+func ShortestPath(g *graph.Adjacency, src, dst int32) (Path, error) {
+	return constrainedPath(g, src, dst, nil)
+}
+
+// BackbonePath returns a shortest path from src to dst whose intermediate
+// hops are restricted to the cluster backbone: clusterheads, gateways and
+// unaffiliated nodes (CBRP-style forwarding). Source and destination may be
+// any role. heads[i] is node i's clusterhead (own id for heads, NoHead for
+// unaffiliated).
+func BackbonePath(g *graph.Adjacency, heads []int32, src, dst int32) (Path, error) {
+	if len(heads) != g.N() {
+		return nil, fmt.Errorf("routing: %d affiliations for %d nodes", len(heads), g.N())
+	}
+	forwards := forwardingSet(g, heads)
+	return constrainedPath(g, src, dst, forwards)
+}
+
+// constrainedPath runs BFS allowing only nodes with allowed[v] (or any node
+// when allowed is nil) to relay; src and dst are always allowed.
+func constrainedPath(g *graph.Adjacency, src, dst int32, allowed []bool) (Path, error) {
+	if src < 0 || int(src) >= g.N() {
+		return nil, fmt.Errorf("routing: source %d out of range [0, %d)", src, g.N())
+	}
+	if dst < 0 || int(dst) >= g.N() {
+		return nil, fmt.Errorf("routing: destination %d out of range [0, %d)", dst, g.N())
+	}
+	if src == dst {
+		return Path{src}, nil
+	}
+	prev := make([]int32, g.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if prev[v] != -1 {
+				continue
+			}
+			prev[v] = u
+			if v == dst {
+				return assemble(prev, src, dst), nil
+			}
+			// Only backbone nodes relay further (dst handled above).
+			if allowed == nil || allowed[v] {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+}
+
+func assemble(prev []int32, src, dst int32) Path {
+	var rev Path
+	for v := dst; ; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	out := make(Path, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// DiscoveryCost returns the number of transmissions a route request flood
+// from src would incur: the flat flood cost for flat routing, the
+// cluster-flood cost for backbone routing.
+func DiscoveryCost(g *graph.Adjacency, heads []int32, src int32, backbone bool) (int, error) {
+	if backbone {
+		res, err := ClusterFlood(g, heads, src)
+		if err != nil {
+			return 0, err
+		}
+		return res.Transmissions, nil
+	}
+	res, err := FlatFlood(g, src)
+	if err != nil {
+		return 0, err
+	}
+	return res.Transmissions, nil
+}

@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+)
+
+func lineGraph(k int) *graph.Adjacency {
+	pos := make([]geom.Point, k)
+	for i := range pos {
+		pos[i] = geom.Point{X: float64(i), Y: 0}
+	}
+	return graph.FromPositions(pos, 1.0)
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := lineGraph(5)
+	p, err := ShortestPath(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 4 {
+		t.Errorf("Hops = %d, want 4", p.Hops())
+	}
+	if !p.Valid(g) {
+		t.Error("path should be valid")
+	}
+	want := Path{0, 1, 2, 3, 4}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := lineGraph(3)
+	p, err := ShortestPath(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 0 || len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+}
+
+func TestShortestPathNoRoute(t *testing.T) {
+	pos := []geom.Point{{X: 0}, {X: 100}}
+	g := graph.FromPositions(pos, 1)
+	_, err := ShortestPath(g, 0, 1)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestShortestPathBadEndpoints(t *testing.T) {
+	g := lineGraph(3)
+	if _, err := ShortestPath(g, -1, 2); err == nil {
+		t.Error("negative src should error")
+	}
+	if _, err := ShortestPath(g, 0, 5); err == nil {
+		t.Error("out-of-range dst should error")
+	}
+}
+
+func TestBackbonePathRestrictsRelays(t *testing.T) {
+	// Topology: 0 - 1 - 2 and 0 - 3 - 2 where 1 is a plain member (not a
+	// gateway) and 3 is a head. The backbone route must go through 3.
+	pos := []geom.Point{
+		{X: 0, Y: 0},  // 0: member of 3
+		{X: 1, Y: 1},  // 1: member of 3 too (same cluster: not a gateway)
+		{X: 2, Y: 0},  // 2: member of 3
+		{X: 1, Y: -1}, // 3: head
+	}
+	g := graph.FromPositions(pos, 1.6) // edges: 0-1, 1-2, 0-3, 2-3
+	heads := []int32{3, 3, 3, 3}
+	p, err := BackbonePath(g, heads, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hops() != 2 || p[1] != 3 {
+		t.Errorf("backbone path = %v, want via head 3", p)
+	}
+	// Flat path may use either relay but has the same length here.
+	flat, err := ShortestPath(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Hops() != 2 {
+		t.Errorf("flat path = %v", flat)
+	}
+}
+
+func TestBackbonePathEndpointsAnyRole(t *testing.T) {
+	// Both endpoints are plain members; route must still be found through
+	// the backbone.
+	g, heads := starOfStars()
+	p, err := BackbonePath(g, heads, 1, 5) // members of different clusters
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(g) {
+		t.Errorf("invalid backbone path %v", p)
+	}
+	// Intermediate hops must be backbone nodes (0, 2, 3, 4).
+	for _, v := range p[1 : len(p)-1] {
+		if v == 1 || v == 5 {
+			t.Errorf("plain member used as relay in %v", p)
+		}
+	}
+}
+
+func TestBackbonePathValidation(t *testing.T) {
+	g, heads := starOfStars()
+	if _, err := BackbonePath(g, heads[:2], 0, 5); err == nil {
+		t.Error("wrong heads length should error")
+	}
+}
+
+func TestPathValid(t *testing.T) {
+	g := lineGraph(4)
+	if (Path{}).Valid(g) {
+		t.Error("empty path is invalid")
+	}
+	if !(Path{2}).Valid(g) {
+		t.Error("single-node path is valid")
+	}
+	if (Path{0, 2}).Valid(g) {
+		t.Error("non-adjacent hop should be invalid")
+	}
+	if (Path{0, 9}).Valid(g) {
+		t.Error("out-of-range node should be invalid")
+	}
+	if !(Path{0, 1, 2, 3}).Valid(g) {
+		t.Error("full line path should be valid")
+	}
+}
+
+func TestDiscoveryCost(t *testing.T) {
+	g, heads := starOfStars()
+	flat, err := DiscoveryCost(g, heads, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, err := DiscoveryCost(g, heads, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backbone >= flat {
+		t.Errorf("backbone discovery (%d) should cost less than flat (%d)", backbone, flat)
+	}
+}
+
+// Property: a backbone path, when it exists, is never shorter than the flat
+// shortest path, and both are valid.
+func TestBackboneNeverShorterProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		n := 12 + int(seed%20)
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+		}
+		g := graph.FromPositions(pos, 110)
+		// Greedy MIS clustering as in the flood property test.
+		heads := make([]int32, n)
+		for i := range heads {
+			heads[i] = NoHead
+		}
+		for i := 0; i < n; i++ {
+			isHead := true
+			for _, j := range g.Neighbors(int32(i)) {
+				if j < int32(i) && heads[j] == j {
+					isHead = false
+					break
+				}
+			}
+			if isHead {
+				heads[i] = int32(i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if heads[i] == NoHead {
+				for _, j := range g.Neighbors(int32(i)) {
+					if heads[j] == j {
+						heads[i] = j
+						break
+					}
+				}
+			}
+		}
+		dst := int32(n - 1)
+		flat, errF := ShortestPath(g, 0, dst)
+		bb, errB := BackbonePath(g, heads, 0, dst)
+		if errF != nil {
+			// Disconnected: backbone must fail too.
+			return errB != nil
+		}
+		if errB != nil {
+			// Backbone is a connected dominating superset of relays in
+			// these synthetic clusterings; it should find a route when
+			// flat routing does.
+			return false
+		}
+		return flat.Valid(g) && bb.Valid(g) && bb.Hops() >= flat.Hops()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

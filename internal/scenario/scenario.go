@@ -1,0 +1,166 @@
+// Package scenario encodes the paper's Table 1 simulation parameters and
+// the figure-specific presets built from them. Every experiment in the
+// harness starts from one of these presets, so the mapping from the paper's
+// evaluation to runnable configurations lives in exactly one place.
+package scenario
+
+import (
+	"fmt"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+	"mobic/internal/simnet"
+)
+
+// Table 1 constants.
+const (
+	// DefaultN is the number of nodes.
+	DefaultN = 50
+	// SmallSide is the 670x670 m scenario side.
+	SmallSide = 670.0
+	// LargeSide is the 1000x1000 m scenario side.
+	LargeSide = 1000.0
+	// DefaultBI is the broadcast interval in seconds.
+	DefaultBI = 2.0
+	// DefaultTP is the neighbor timeout period in seconds.
+	DefaultTP = 3.0
+	// DefaultCCI is the cluster contention interval in seconds.
+	DefaultCCI = 4.0
+	// DefaultDuration is the simulation time S in seconds.
+	DefaultDuration = 900.0
+)
+
+// TxSweep is the transmission-range sweep of Figures 3-5 (Table 1: 10-250 m).
+func TxSweep() []float64 {
+	return []float64{10, 25, 50, 75, 100, 125, 150, 175, 200, 225, 250}
+}
+
+// SpeedSweep is the MaxSpeed sweep of Figure 6 (Table 1: 1, 20, 30 m/s).
+func SpeedSweep() []float64 { return []float64{1, 20, 30} }
+
+// Params is one fully specified random-waypoint scenario, i.e. one point of
+// the paper's evaluation grid.
+type Params struct {
+	// N is the number of nodes.
+	N int
+	// Side is the square scenario's side length in meters.
+	Side float64
+	// MaxSpeed is the waypoint speed cap in m/s.
+	MaxSpeed float64
+	// Pause is the waypoint pause time PT in seconds.
+	Pause float64
+	// TxRange is the transmission range in meters.
+	TxRange float64
+	// BI, TP and CCI are the protocol timers in seconds.
+	BI, TP, CCI float64
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// Seed roots all randomness.
+	Seed uint64
+	// Warmup excludes early events from metrics (0 counts everything).
+	Warmup float64
+}
+
+// Base returns Table 1's default parameter set for the 670x670 scenario
+// with MaxSpeed 20 and constant mobility (PT = 0), i.e. the Figure 3 and 4
+// workload, at the given transmission range.
+func Base(txRange float64) Params {
+	return Params{
+		N:        DefaultN,
+		Side:     SmallSide,
+		MaxSpeed: 20,
+		Pause:    0,
+		TxRange:  txRange,
+		BI:       DefaultBI,
+		TP:       DefaultTP,
+		CCI:      DefaultCCI,
+		Duration: DefaultDuration,
+	}
+}
+
+// Sparse returns the Figure 5 workload: the same as Base but on the
+// 1000x1000 m area (lower node density).
+func Sparse(txRange float64) Params {
+	p := Base(txRange)
+	p.Side = LargeSide
+	return p
+}
+
+// Mobility returns the Figure 6 workload: Tx = 250 m with the given speed
+// cap and pause time.
+func Mobility(maxSpeed, pause float64) Params {
+	p := Base(250)
+	p.MaxSpeed = maxSpeed
+	p.Pause = pause
+	return p
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("scenario: N = %d", p.N)
+	case p.Side <= 0:
+		return fmt.Errorf("scenario: side = %g", p.Side)
+	case p.MaxSpeed <= 0:
+		return fmt.Errorf("scenario: max speed = %g", p.MaxSpeed)
+	case p.Pause < 0:
+		return fmt.Errorf("scenario: pause = %g", p.Pause)
+	case p.TxRange <= 0:
+		return fmt.Errorf("scenario: tx range = %g", p.TxRange)
+	case p.Duration <= 0:
+		return fmt.Errorf("scenario: duration = %g", p.Duration)
+	}
+	return nil
+}
+
+// Config materializes the scenario for the given algorithm. The CCI
+// parameter applies only to algorithms that use contention deferral (it
+// overrides a MOBIC-family algorithm's CCI; ID-based algorithms ignore it).
+func (p Params) Config(alg cluster.Algorithm) (simnet.Config, error) {
+	if err := p.Validate(); err != nil {
+		return simnet.Config{}, err
+	}
+	if alg.Policy.CCI > 0 && p.CCI > 0 {
+		alg.Policy.CCI = p.CCI
+	}
+	area := geom.Square(p.Side)
+	return simnet.Config{
+		N:                 p.N,
+		Area:              area,
+		Duration:          p.Duration,
+		Seed:              p.Seed,
+		Algorithm:         alg,
+		Mobility:          &mobility.RandomWaypoint{Area: area, MaxSpeed: p.MaxSpeed, Pause: p.Pause},
+		TxRange:           p.TxRange,
+		BroadcastInterval: p.BI,
+		TimeoutPeriod:     p.TP,
+		Warmup:            p.Warmup,
+	}, nil
+}
+
+// Table1Row is one row of the paper's Table 1, for echo/verification output.
+type Table1Row struct {
+	// Symbol is the parameter symbol used in the paper.
+	Symbol string
+	// Meaning describes the parameter.
+	Meaning string
+	// Value is the paper's value, verbatim.
+	Value string
+}
+
+// Table1 returns the paper's simulation-parameter table.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Symbol: "N", Meaning: "Number of Nodes", Value: "50"},
+		{Symbol: "m x n", Meaning: "Size of the scenario", Value: "670^2, 1000^2 m^2"},
+		{Symbol: "MaxSpeed", Meaning: "Maximum Speed", Value: "1, 20, 30 m/sec"},
+		{Symbol: "Tx", Meaning: "Transmission Range", Value: "10 - 250 m"},
+		{Symbol: "PT", Meaning: "Pause Times", Value: "0, 30 sec"},
+		{Symbol: "BI", Meaning: "Broadcast Interval", Value: "2.0 sec"},
+		{Symbol: "TP", Meaning: "Timeout Period", Value: "3.0 sec"},
+		{Symbol: "CCI", Meaning: "Cluster Contention Interval", Value: "4.0 sec"},
+		{Symbol: "S", Meaning: "Simulation Time", Value: "900 sec"},
+	}
+}

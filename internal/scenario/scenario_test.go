@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+)
+
+func TestBaseMatchesTable1(t *testing.T) {
+	p := Base(150)
+	if p.N != 50 || p.Side != 670 || p.MaxSpeed != 20 || p.Pause != 0 {
+		t.Errorf("Base = %+v", p)
+	}
+	if p.BI != 2.0 || p.TP != 3.0 || p.CCI != 4.0 || p.Duration != 900 {
+		t.Errorf("Base timers = %+v", p)
+	}
+	if p.TxRange != 150 {
+		t.Errorf("TxRange = %v", p.TxRange)
+	}
+}
+
+func TestSparse(t *testing.T) {
+	p := Sparse(100)
+	if p.Side != 1000 {
+		t.Errorf("Sparse side = %v, want 1000", p.Side)
+	}
+	if p.N != 50 {
+		t.Error("Sparse keeps N = 50 (density change, not scale change)")
+	}
+}
+
+func TestMobilityPreset(t *testing.T) {
+	p := Mobility(30, 30)
+	if p.TxRange != 250 {
+		t.Errorf("Mobility TxRange = %v, want 250 (Figure 6 uses Tx=250)", p.TxRange)
+	}
+	if p.MaxSpeed != 30 || p.Pause != 30 {
+		t.Errorf("Mobility = %+v", p)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Base(100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{name: "zero N", mutate: func(p *Params) { p.N = 0 }},
+		{name: "zero side", mutate: func(p *Params) { p.Side = 0 }},
+		{name: "zero speed", mutate: func(p *Params) { p.MaxSpeed = 0 }},
+		{name: "negative pause", mutate: func(p *Params) { p.Pause = -1 }},
+		{name: "zero range", mutate: func(p *Params) { p.TxRange = 0 }},
+		{name: "zero duration", mutate: func(p *Params) { p.Duration = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Base(100)
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate should reject")
+			}
+		})
+	}
+}
+
+func TestConfigMaterialization(t *testing.T) {
+	p := Base(150)
+	p.Seed = 42
+	cfg, err := p.Config(cluster.MOBIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 50 || cfg.TxRange != 150 || cfg.Seed != 42 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Algorithm.Policy.CCI != 4.0 {
+		t.Errorf("MOBIC CCI = %v, want Table 1's 4.0", cfg.Algorithm.Policy.CCI)
+	}
+	if cfg.Mobility == nil || cfg.Mobility.Name() != "waypoint" {
+		t.Error("mobility should be random waypoint")
+	}
+	if !cfg.Area.Valid() || cfg.Area.Width() != 670 {
+		t.Errorf("area = %v", cfg.Area)
+	}
+}
+
+func TestConfigCCIOverride(t *testing.T) {
+	p := Base(150)
+	p.CCI = 8
+	cfg, err := p.Config(cluster.MOBIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Algorithm.Policy.CCI != 8 {
+		t.Errorf("CCI override = %v, want 8", cfg.Algorithm.Policy.CCI)
+	}
+	// ID algorithms have no CCI and must stay that way.
+	cfgLCC, err := p.Config(cluster.LCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgLCC.Algorithm.Policy.CCI != 0 {
+		t.Errorf("LCC CCI = %v, want 0", cfgLCC.Algorithm.Policy.CCI)
+	}
+}
+
+func TestConfigRejectsInvalid(t *testing.T) {
+	p := Base(150)
+	p.N = -1
+	if _, err := p.Config(cluster.MOBIC); err == nil {
+		t.Error("Config should propagate validation errors")
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	txs := TxSweep()
+	if txs[0] != 10 || txs[len(txs)-1] != 250 {
+		t.Errorf("TxSweep bounds = %v..%v, want 10..250", txs[0], txs[len(txs)-1])
+	}
+	for i := 1; i < len(txs); i++ {
+		if txs[i] <= txs[i-1] {
+			t.Error("TxSweep must be strictly increasing")
+		}
+	}
+	speeds := SpeedSweep()
+	if len(speeds) != 3 || speeds[0] != 1 || speeds[1] != 20 || speeds[2] != 30 {
+		t.Errorf("SpeedSweep = %v, want [1 20 30]", speeds)
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 9 {
+		t.Fatalf("Table 1 has %d rows, want 9", len(rows))
+	}
+	want := map[string]string{
+		"N": "50", "BI": "2.0 sec", "TP": "3.0 sec",
+		"CCI": "4.0 sec", "S": "900 sec",
+	}
+	for _, row := range rows {
+		if v, ok := want[row.Symbol]; ok && row.Value != v {
+			t.Errorf("Table1[%s] = %q, want %q", row.Symbol, row.Value, v)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim is the discrete-event simulation kernel underneath the MANET
+// simulator. It provides a binary-heap event queue with a deterministic
+// tie-break, a simulated clock, and named deterministic random-number
+// substreams so that an entire scenario is reproducible from a single seed.
+//
+// The kernel plays the role ns-2's scheduler played for the paper's
+// evaluation: hello broadcasts, neighbor timeouts and cluster-contention
+// timers are all events on this queue.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Fire runs at the event's timestamp with the
+// scheduler's current time.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 once popped or canceled
+	canceled bool
+	fire     func(now float64)
+}
+
+// Time returns the simulated time at which the event is scheduled.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue implements heap.Interface ordered by (time, seq). The sequence
+// number makes simultaneous events fire in scheduling order, which keeps runs
+// bit-for-bit reproducible.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic(fmt.Sprintf("sim: eventQueue.Push got %T, want *Event", x))
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the simulated clock and the pending event queue.
+// It is not safe for concurrent use; the simulator is single-threaded by
+// design (determinism beats parallelism for a 50-node scenario, and the
+// experiment harness parallelizes across scenarios instead).
+type Scheduler struct {
+	now     float64
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Pending returns the number of events currently queued (including canceled
+// events not yet reaped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulated time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fire to run at absolute time t. Scheduling at the current
+// time is allowed (the event runs after already-queued events at that time).
+func (s *Scheduler) At(t float64, fire func(now float64)) (*Event, error) {
+	if math.IsNaN(t) || t < s.now {
+		return nil, fmt.Errorf("%w: t=%g now=%g", ErrPastEvent, t, s.now)
+	}
+	ev := &Event{time: t, seq: s.nextSeq, fire: fire}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev, nil
+}
+
+// After schedules fire to run delay seconds from now.
+func (s *Scheduler) After(delay float64, fire func(now float64)) (*Event, error) {
+	return s.At(s.now+delay, fire)
+}
+
+// Cancel marks ev so it will not fire. Canceling an already-fired or
+// already-canceled event is a no-op. The event is dropped lazily when popped.
+func (s *Scheduler) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		ev.markCanceled()
+		return
+	}
+	ev.canceled = true
+}
+
+func (e *Event) markCanceled() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Step pops and fires the earliest pending event. It returns false when the
+// queue is empty. Canceled events are skipped silently.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		evAny := heap.Pop(&s.queue)
+		ev, ok := evAny.(*Event)
+		if !ok {
+			panic(fmt.Sprintf("sim: heap.Pop returned %T, want *Event", evAny))
+		}
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.time
+		s.fired++
+		ev.fire(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass horizon or the
+// queue drains. Events scheduled exactly at the horizon still fire. The clock
+// is left at min(horizon, time of last fired event) — i.e., it never exceeds
+// the horizon.
+func (s *Scheduler) RunUntil(horizon float64) {
+	for len(s.queue) > 0 {
+		// Peek: queue[0] is the earliest event.
+		next := s.queue[0]
+		if next.canceled {
+			popped := heap.Pop(&s.queue)
+			if ev, ok := popped.(*Event); ok {
+				ev.index = -1
+			}
+			continue
+		}
+		if next.time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Drain fires every remaining event regardless of time. Intended for tests.
+func (s *Scheduler) Drain() {
+	for s.Step() {
+	}
+}

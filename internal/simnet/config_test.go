@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+func validConfig() Config {
+	area := geom.Square(670)
+	return Config{
+		N:         10,
+		Area:      area,
+		Duration:  60,
+		Seed:      1,
+		Algorithm: cluster.MOBIC,
+		Mobility:  &mobility.RandomWaypoint{Area: area, MaxSpeed: 20},
+		TxRange:   150,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero nodes", mutate: func(c *Config) { c.N = 0 }},
+		{name: "negative nodes", mutate: func(c *Config) { c.N = -5 }},
+		{name: "zero duration", mutate: func(c *Config) { c.Duration = 0 }},
+		{name: "nil mobility", mutate: func(c *Config) { c.Mobility = nil }},
+		{name: "zero range", mutate: func(c *Config) { c.TxRange = 0 }},
+		{name: "negative range", mutate: func(c *Config) { c.TxRange = -10 }},
+		{name: "negative power", mutate: func(c *Config) { c.TxPower = -1 }},
+		{name: "negative BI", mutate: func(c *Config) { c.BroadcastInterval = -2 }},
+		{name: "TP below BI", mutate: func(c *Config) { c.BroadcastInterval = 2; c.TimeoutPeriod = 1 }},
+		{name: "negative warmup", mutate: func(c *Config) { c.Warmup = -1 }},
+		{name: "warmup past duration", mutate: func(c *Config) { c.Warmup = 60 }},
+		{name: "invalid area", mutate: func(c *Config) { c.Area = geom.Rect{} }},
+		{name: "wrong custom weight count", mutate: func(c *Config) {
+			c.Algorithm = cluster.DCA
+			c.CustomWeights = []float64{1, 2, 3}
+		}},
+		{name: "bad adaptive", mutate: func(c *Config) {
+			c.Adaptive = &AdaptiveBI{Min: 0, Max: 4, MRef: 1}
+		}},
+		{name: "adaptive max below min", mutate: func(c *Config) {
+			c.Adaptive = &AdaptiveBI{Min: 4, Max: 2, MRef: 1}
+		}},
+		{name: "adaptive zero mref", mutate: func(c *Config) {
+			c.Adaptive = &AdaptiveBI{Min: 1, Max: 4, MRef: 0}
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("New should reject the config")
+			}
+		})
+	}
+}
+
+func TestConfigNilMobilityError(t *testing.T) {
+	cfg := validConfig()
+	cfg.Mobility = nil
+	_, err := New(cfg)
+	if !errors.Is(err, ErrNoMobility) {
+		t.Errorf("err = %v, want ErrNoMobility", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := validConfig().withDefaults()
+	if cfg.BroadcastInterval != DefaultBroadcastInterval {
+		t.Errorf("BI default = %v", cfg.BroadcastInterval)
+	}
+	if cfg.TimeoutPeriod != DefaultTimeoutPeriod {
+		t.Errorf("TP default = %v", cfg.TimeoutPeriod)
+	}
+	if cfg.Propagation == nil || cfg.Propagation.Name() != "tworay" {
+		t.Error("propagation should default to two-ray")
+	}
+	if cfg.Loss == nil || cfg.Loss.Name() != "none" {
+		t.Error("loss should default to none")
+	}
+	if cfg.TxPower <= 0 {
+		t.Error("tx power should default positive")
+	}
+	empty := Config{}
+	if got := empty.withDefaults().Algorithm.Name; got != "mobic" {
+		t.Errorf("algorithm default = %q, want mobic", got)
+	}
+}
+
+func TestAdaptiveBIInterval(t *testing.T) {
+	a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 10}
+	if got := a.Interval(0); got != 4 {
+		t.Errorf("Interval(0) = %v, want Max", got)
+	}
+	if got := a.Interval(10); math.Abs(got-2.25) > 1e-9 { // halfway
+		t.Errorf("Interval(MRef) = %v, want 2.25", got)
+	}
+	if got := a.Interval(1e12); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("Interval(inf) = %v, want ~Min", got)
+	}
+	if got := a.Interval(-5); got != 4 {
+		t.Errorf("Interval(negative) = %v, want Max (clamped)", got)
+	}
+	// Monotone decreasing in M.
+	prev := math.Inf(1)
+	for m := 0.0; m < 100; m += 5 {
+		v := a.Interval(m)
+		if v > prev {
+			t.Fatalf("Interval not monotone at M=%v", m)
+		}
+		prev = v
+	}
+}

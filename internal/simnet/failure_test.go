@@ -1,0 +1,193 @@
+package simnet
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+func TestFailureValidation(t *testing.T) {
+	base := waypointConfig(cluster.MOBIC, 150, 1)
+	tests := []struct {
+		name string
+		f    NodeFailure
+	}{
+		{name: "negative node", f: NodeFailure{Node: -1, At: 10}},
+		{name: "node out of range", f: NodeFailure{Node: 99, At: 10}},
+		{name: "failure after end", f: NodeFailure{Node: 1, At: 1e6}},
+		{name: "negative time", f: NodeFailure{Node: 1, At: -5}},
+		{name: "recovery before failure", f: NodeFailure{Node: 1, At: 50, RecoverAt: 40}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			cfg.Failures = []NodeFailure{tt.f}
+			if _, err := New(cfg); err == nil {
+				t.Error("invalid failure spec accepted")
+			}
+		})
+	}
+}
+
+func TestCrashedNodeStopsParticipating(t *testing.T) {
+	area := geom.Square(300)
+	cfg := Config{
+		N:         10,
+		Area:      area,
+		Duration:  120,
+		Seed:      4,
+		Algorithm: cluster.LCC,
+		Mobility:  &mobility.Static{Area: area},
+		TxRange:   200,
+		Failures:  []NodeFailure{{Node: 0, At: 60}},
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(59)
+	// On a static clique-ish topology under LCC, node 0 (lowest ID) heads.
+	if net.Snapshot()[0].Role != cluster.RoleHead {
+		t.Skip("node 0 did not become head in this layout")
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := net.Snapshot()
+	if !snap[0].Down {
+		t.Error("node 0 should be down")
+	}
+	if snap[0].Role != cluster.RoleUndecided {
+		t.Errorf("crashed node role = %v, want undecided", snap[0].Role)
+	}
+	// The survivors must have re-elected a head among themselves.
+	headSeen := false
+	for _, s := range snap[1:] {
+		if s.Role == cluster.RoleHead {
+			headSeen = true
+		}
+		if s.Head == 0 {
+			t.Errorf("node %d still affiliated to the dead head", s.ID)
+		}
+	}
+	if !headSeen {
+		t.Error("no replacement head elected after the crash")
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	area := geom.Square(300)
+	cfg := Config{
+		N:         10,
+		Area:      area,
+		Duration:  180,
+		Seed:      4,
+		Algorithm: cluster.MOBIC,
+		Mobility:  &mobility.Static{Area: area},
+		TxRange:   200,
+		Failures:  []NodeFailure{{Node: 3, At: 60, RecoverAt: 120}},
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(100)
+	if !net.Snapshot()[3].Down {
+		t.Fatal("node 3 should be down at t=100")
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := net.Snapshot()
+	if snap[3].Down {
+		t.Error("node 3 should have recovered")
+	}
+	if snap[3].Role == cluster.RoleUndecided {
+		t.Error("recovered node should have rejoined a cluster by end of run")
+	}
+}
+
+func TestMassFailureSurvivorsRecluster(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 200, 6)
+	cfg.Duration = 300
+	// Kill a third of the network at t=150.
+	for i := int32(0); i < 16; i++ {
+		cfg.Failures = append(cfg.Failures, NodeFailure{Node: i, At: 150})
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	downCount, liveHeads := 0, 0
+	for _, s := range net.Snapshot() {
+		if s.Down {
+			downCount++
+			continue
+		}
+		if s.Role == cluster.RoleHead {
+			liveHeads++
+		}
+	}
+	if downCount != 16 {
+		t.Errorf("down = %d, want 16", downCount)
+	}
+	if liveHeads == 0 {
+		t.Error("survivors formed no clusters")
+	}
+	if res.Metrics.CHChanges == 0 {
+		t.Error("mass failure should cause reclustering churn")
+	}
+}
+
+func TestDuplicateFailureEntriesAreIdempotent(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 150, 2)
+	cfg.Duration = 120
+	cfg.Failures = []NodeFailure{
+		{Node: 3, At: 40},
+		{Node: 3, At: 50}, // second crash of an already-down node: no-op
+		{Node: 3, At: 45, RecoverAt: 100},
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.Snapshot()[3].Down {
+		t.Error("node 3 should be up after its recovery at t=100")
+	}
+}
+
+func TestWCACombinedWeight(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 150, 2)
+	cfg.Duration = 120
+	cfg.CombinedDegreeWeight = 0.5
+	cfg.IdealDegree = 6
+	res := mustRun(t, cfg)
+	if res.FinalHeads == 0 {
+		t.Error("combined-weight run formed no clusters")
+	}
+	// Determinism with the combined weight.
+	res2 := mustRun(t, cfg)
+	if *res != *res2 {
+		t.Error("combined weight broke determinism")
+	}
+}
+
+func TestFailureDeterminism(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 150, 2)
+	cfg.Duration = 120
+	cfg.Failures = []NodeFailure{{Node: 5, At: 40, RecoverAt: 80}, {Node: 9, At: 60}}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if *a != *b {
+		t.Errorf("failure injection broke determinism")
+	}
+}

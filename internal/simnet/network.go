@@ -1,0 +1,595 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mobic/internal/cluster"
+	"mobic/internal/core"
+	"mobic/internal/geom"
+	"mobic/internal/metrics"
+	"mobic/internal/mobility"
+	"mobic/internal/radio"
+	"mobic/internal/sim"
+	"mobic/internal/spatial"
+	"mobic/internal/trace"
+)
+
+// neighborEntry is what the hello protocol knows about one neighbor from its
+// most recent beacon.
+type neighborEntry struct {
+	lastHeard float64
+	weight    cluster.Weight
+	role      cluster.Role
+	head      int32
+}
+
+// runtimeNode is the per-node simulation state.
+type runtimeNode struct {
+	id      int32
+	cnode   *cluster.Node
+	tracker *core.Tracker
+	traj    *mobility.Trajectory
+	table   map[int32]*neighborEntry
+	customW float64
+	ticks   int
+	// lastM caches the aggregate mobility computed at the last tick, for
+	// inspection and the adaptive-BI extension.
+	lastM float64
+	// pendingRx holds in-flight beacon receptions when the MAC collision
+	// model is enabled.
+	pendingRx []*reception
+	// down marks a crashed node: no beacons, no receptions, no state.
+	down bool
+}
+
+// reception is one in-flight beacon at a receiver (collision model only).
+type reception struct {
+	tx       int32
+	end      float64
+	pr       float64
+	adv      advertisement
+	collided bool
+}
+
+// Network is one fully wired simulation run.
+type Network struct {
+	cfg      Config
+	sched    *sim.Scheduler
+	streams  *sim.Streams
+	nodes    []*runtimeNode
+	grid     *spatial.Grid
+	rxThresh float64
+	rec      *metrics.Recorder
+	// bruteForce disables the spatial-index candidate query for
+	// propagation models (shadowing) whose delivery range is unbounded.
+	bruteForce bool
+	// candidateSlack widens the index query beyond TxRange to cover
+	// receiver positions that are up to one beacon interval stale.
+	candidateSlack float64
+	// beaconJitter randomizes each beacon's phase when the collision
+	// model is on (nil otherwise).
+	beaconJitter *rand.Rand
+	// scratch buffers reused across broadcasts.
+	candBuf []int32
+	viewBuf []cluster.NeighborView
+}
+
+// New builds a network from cfg. The mobility trajectories are generated
+// eagerly so errors surface here rather than mid-run.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	streams := sim.NewStreams(cfg.Seed)
+
+	trajs, err := cfg.Mobility.Generate(cfg.N, cfg.Duration, streams)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: generating mobility: %w", err)
+	}
+
+	thresh, err := radio.ThresholdForRange(cfg.Propagation, cfg.TxPower, cfg.TxRange)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: calibrating rx threshold: %w", err)
+	}
+
+	_, shadowing := cfg.Propagation.(*radio.Shadowing)
+
+	cellSize := cfg.TxRange
+	if cellSize > cfg.Area.Width()/2 {
+		cellSize = cfg.Area.Width() / 2
+	}
+	grid, err := spatial.NewGrid(cfg.Area, cellSize)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: building spatial index: %w", err)
+	}
+
+	weights := cfg.CustomWeights
+	if cfg.Algorithm.WeightKind == cluster.KindCustom && weights == nil {
+		rng := streams.Named("dca-weights")
+		weights = make([]float64, cfg.N)
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+	}
+
+	n := &Network{
+		cfg:        cfg,
+		sched:      sim.NewScheduler(),
+		streams:    streams,
+		grid:       grid,
+		rxThresh:   thresh,
+		rec:        newRecorder(cfg),
+		bruteForce: shadowing || cfg.ForceBruteForce,
+		// Nodes can move for up to one full interval between index
+		// refreshes; 35 m/s covers every scenario in the paper with
+		// margin. Stale candidates are filtered by the exact power test.
+		candidateSlack: 35 * cfg.BroadcastInterval * 2,
+	}
+	if cfg.HelloCollisions {
+		n.beaconJitter = streams.Named("beacon-jitter")
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		id := int32(i)
+		var opts []core.Option
+		if a := cfg.Algorithm.EWMAAlpha; a > 0 && a < 1 {
+			opts = append(opts, core.WithEWMA(a))
+		}
+		if a := cfg.Algorithm.PairwiseEWMAAlpha; a > 0 && a < 1 {
+			opts = append(opts, core.WithPairwiseEWMA(a))
+		}
+		rn := &runtimeNode{
+			id:      id,
+			cnode:   cluster.NewNode(id, cfg.Algorithm.Policy),
+			tracker: core.NewTracker(opts...),
+			traj:    trajs[i],
+			table:   make(map[int32]*neighborEntry),
+		}
+		if weights != nil {
+			rn.customW = weights[i]
+		}
+		rn.cnode.OnRoleChange(func(now float64, old, newRole cluster.Role) {
+			n.rec.RoleChange(now, id, old, newRole)
+			n.cfg.Trace.Record(trace.Event{
+				T: now, Kind: trace.KindRoleChange, Node: id, Other: -1,
+				Value: float64(newRole),
+			})
+		})
+		rn.cnode.OnHeadChange(func(now float64, oldHead, newHead int32) {
+			n.rec.HeadChange(now, id, oldHead, newHead)
+			n.cfg.Trace.Record(trace.Event{
+				T: now, Kind: trace.KindHeadChange, Node: id, Other: newHead,
+				Value: float64(oldHead),
+			})
+		})
+		n.nodes = append(n.nodes, rn)
+		grid.Update(id, trajs[i].At(0))
+	}
+
+	// Arm the hello protocol and the cluster-count sampler now so callers
+	// can interleave RunUntil with inspection before calling Run.
+	jitter := streams.Named("hello-jitter")
+	for _, rn := range n.nodes {
+		rn := rn
+		start := jitter.Float64() * cfg.BroadcastInterval
+		if _, err := n.sched.At(start, func(now float64) { n.tick(rn, now) }); err != nil {
+			return nil, fmt.Errorf("simnet: scheduling initial beacon: %w", err)
+		}
+	}
+	if _, err := n.sched.At(cfg.SampleInterval, n.sampleClusters); err != nil {
+		return nil, fmt.Errorf("simnet: scheduling sampler: %w", err)
+	}
+	for _, app := range cfg.Apps {
+		app.Start(&appAPI{n: n, rng: streams.Named("app-" + app.Name())})
+	}
+	for _, f := range cfg.Failures {
+		f := f
+		rn := n.nodes[f.Node]
+		if _, err := n.sched.At(f.At, func(now float64) { n.crash(rn, now) }); err != nil {
+			return nil, fmt.Errorf("simnet: scheduling failure: %w", err)
+		}
+		if f.RecoverAt > 0 {
+			if _, err := n.sched.At(f.RecoverAt, func(now float64) { n.recover(rn, now) }); err != nil {
+				return nil, fmt.Errorf("simnet: scheduling recovery: %w", err)
+			}
+		}
+	}
+	return n, nil
+}
+
+// crash takes a node down: it abdicates any role (observers see the CH
+// loss), forgets all protocol state and stops participating. Its next tick
+// will see the down flag and stop rescheduling.
+func (n *Network) crash(rn *runtimeNode, now float64) {
+	if rn.down {
+		return
+	}
+	rn.down = true
+	rn.cnode.Reset(now)
+	rn.tracker.Reset()
+	clear(rn.table)
+	rn.pendingRx = nil
+	rn.lastM = 0
+	n.cfg.Trace.Record(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
+}
+
+// recover revives a crashed node as a fresh undecided participant and
+// restarts its beacon schedule.
+func (n *Network) recover(rn *runtimeNode, now float64) {
+	if !rn.down {
+		return
+	}
+	rn.down = false
+	rn.ticks = 0 // listen-only first beacon again
+	if _, err := n.sched.After(0, func(t float64) { n.tick(rn, t) }); err != nil {
+		return
+	}
+}
+
+// newRecorder builds the metrics recorder for a validated config.
+func newRecorder(cfg Config) *metrics.Recorder {
+	rec := metrics.NewRecorder(cfg.N, cfg.Warmup)
+	if cfg.TimelineWindow > 0 {
+		rec.SetTimelineWindow(cfg.TimelineWindow)
+	}
+	return rec
+}
+
+// Timeline returns the per-window clusterhead-change counts and the window
+// size (nil/0 when Config.TimelineWindow was not set).
+func (n *Network) Timeline() ([]int, float64) {
+	return n.rec.Timeline()
+}
+
+// ResidenceDurations returns every recorded clusterhead tenure in seconds.
+func (n *Network) ResidenceDurations() []float64 {
+	return n.rec.ResidenceDurations()
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Metrics carries the paper's evaluation measurements.
+	Metrics metrics.Result
+	// Algorithm is the algorithm name the run used.
+	Algorithm string
+	// Seed is the scenario seed.
+	Seed uint64
+	// FinalHeads is the number of clusterheads at the end of the run.
+	FinalHeads int
+	// EventsFired is the number of simulator events executed.
+	EventsFired uint64
+}
+
+// Run executes the simulation to completion and returns the metrics.
+// A network can only be run once (interleaving RunUntil beforehand is fine).
+func (n *Network) Run() (*Result, error) {
+	n.sched.RunUntil(n.cfg.Duration)
+	n.rec.Finalize(n.cfg.Duration)
+
+	heads := 0
+	for _, rn := range n.nodes {
+		if rn.cnode.Role() == cluster.RoleHead {
+			heads++
+		}
+	}
+	return &Result{
+		Metrics:     n.rec.Snapshot(),
+		Algorithm:   n.cfg.Algorithm.Name,
+		Seed:        n.cfg.Seed,
+		FinalHeads:  heads,
+		EventsFired: n.sched.Fired(),
+	}, nil
+}
+
+// tick is one hello-protocol round for one node: purge stale neighbors,
+// compute the fresh weight, run the clustering decision, broadcast, and
+// schedule the next tick.
+func (n *Network) tick(rn *runtimeNode, now float64) {
+	if rn.down {
+		return // crashed: the beacon chain stops until recovery
+	}
+	// Purge neighbors that missed their beacons (Table 1: TP).
+	tp := n.cfg.TimeoutPeriod
+	rn.tracker.Expire(now, tp)
+	for id, e := range rn.table {
+		if e.lastHeard < now-tp {
+			delete(rn.table, id)
+			n.cfg.Trace.Record(trace.Event{
+				T: now, Kind: trace.KindTimeout, Node: rn.id, Other: id,
+			})
+		}
+	}
+
+	rn.lastM = rn.tracker.Aggregate()
+	weight := n.weightOf(rn)
+
+	// The first tick is listen-only: the node has had no chance to hear
+	// anyone, and electing heads blind would register a storm of spurious
+	// clusterhead changes for every algorithm alike.
+	if rn.ticks > 0 {
+		views := n.viewBuf[:0]
+		for id, e := range rn.table {
+			views = append(views, cluster.NeighborView{
+				ID:     id,
+				Weight: e.weight,
+				Role:   e.role,
+				Head:   e.head,
+			})
+		}
+		n.viewBuf = views
+		rn.cnode.Step(now, weight, views)
+	} else {
+		// Keep the advertised weight fresh even while listening.
+		rn.cnode.SetWeight(weight)
+	}
+	rn.ticks++
+
+	n.broadcast(rn, now)
+
+	interval := n.cfg.BroadcastInterval
+	if n.cfg.Adaptive != nil {
+		interval = n.cfg.Adaptive.Interval(rn.lastM)
+	}
+	if n.beaconJitter != nil {
+		// Per-beacon phase jitter (±10%) so fixed schedules cannot
+		// collide persistently under the MAC model.
+		interval *= 1 + 0.2*(n.beaconJitter.Float64()-0.5)
+	}
+	if _, err := n.sched.After(interval, func(t float64) { n.tick(rn, t) }); err != nil {
+		// Scheduling forward from a valid now cannot fail; if it does, the
+		// simulation is corrupt and stopping beacons is the safest course.
+		n.cfg.Trace.Record(trace.Event{T: now, Kind: trace.KindDrop, Node: rn.id, Other: -1})
+	}
+}
+
+// weightOf computes the node's current election weight per the algorithm's
+// weight kind.
+func (n *Network) weightOf(rn *runtimeNode) cluster.Weight {
+	switch n.cfg.Algorithm.WeightKind {
+	case cluster.KindID:
+		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
+	case cluster.KindMobility:
+		value := rn.lastM
+		if c := n.cfg.CombinedDegreeWeight; c > 0 {
+			dev := len(rn.table) - n.cfg.IdealDegree
+			if dev < 0 {
+				dev = -dev
+			}
+			value += c * float64(dev)
+		}
+		return cluster.Weight{Value: value, ID: rn.id}
+	case cluster.KindDegree:
+		return cluster.Weight{Value: -float64(len(rn.table)), ID: rn.id}
+	case cluster.KindCustom:
+		return cluster.Weight{Value: rn.customW, ID: rn.id}
+	case cluster.KindOracleMobility:
+		return cluster.Weight{Value: n.oracleMobility(rn), ID: rn.id}
+	default:
+		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
+	}
+}
+
+// oracleMobility computes the GPS-oracle analog of the aggregate local
+// mobility: the variance about zero of the ground-truth range rate (m/s)
+// toward every neighbor currently in the hello table. It measures exactly
+// what the RxPr-ratio metric estimates, but from the trajectories directly.
+func (n *Network) oracleMobility(rn *runtimeNode) float64 {
+	const dt = 0.5 // range-rate differencing window in seconds
+	now := n.sched.Now()
+	t0 := now - dt
+	if t0 < 0 {
+		t0 = 0
+	}
+	if now <= t0 {
+		return 0
+	}
+	selfNow := rn.traj.At(now)
+	selfThen := rn.traj.At(t0)
+	var sumSq float64
+	count := 0
+	for id := range rn.table {
+		other := n.nodes[id]
+		dNow := selfNow.Dist(other.traj.At(now))
+		dThen := selfThen.Dist(other.traj.At(t0))
+		rate := (dNow - dThen) / (now - t0)
+		sumSq += rate * rate
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sumSq / float64(count)
+}
+
+// helloBytes is the payload size of one hello beacon. The base carries the
+// sender id, role and clusterhead (the Lowest-ID protocol's needs); a
+// mobility-weighted algorithm stamps its aggregate M as a double — the
+// paper's "increased by 8 bytes only" observation (Section 4.1 footnote 7).
+func (n *Network) helloBytes() int {
+	const base = 12 // id (4) + role (1, padded) + head (4) + seq/flags
+	switch n.cfg.Algorithm.WeightKind {
+	case cluster.KindMobility, cluster.KindOracleMobility, cluster.KindCustom:
+		return base + 8 // double-precision weight
+	case cluster.KindDegree:
+		return base + 4 // degree counter
+	default:
+		return base
+	}
+}
+
+// broadcast delivers rn's hello to every node whose received power clears
+// the threshold, subject to the loss model.
+func (n *Network) broadcast(rn *runtimeNode, now float64) {
+	n.rec.CountBroadcast(n.helloBytes())
+	txPos := rn.traj.At(now)
+	n.grid.Update(rn.id, txPos)
+	n.cfg.Trace.Record(trace.Event{
+		T: now, Kind: trace.KindBroadcast, Node: rn.id, Other: -1,
+		Value: rn.cnode.Weight().Value,
+	})
+
+	adv := advertisement{
+		weight: rn.cnode.Weight(),
+		role:   rn.cnode.Role(),
+		head:   rn.cnode.Head(),
+	}
+
+	if n.bruteForce {
+		for _, rx := range n.nodes {
+			if rx.id != rn.id {
+				n.tryDeliver(rn, rx, txPos, now, adv)
+			}
+		}
+		return
+	}
+	n.candBuf = n.grid.QueryRange(txPos, n.cfg.TxRange+n.candidateSlack, rn.id, n.candBuf[:0])
+	for _, id := range n.candBuf {
+		n.tryDeliver(rn, n.nodes[id], txPos, now, adv)
+	}
+}
+
+// advertisement is the hello payload: the paper's hello message carries the
+// sender's aggregate mobility (8 bytes) plus its clustering state.
+type advertisement struct {
+	weight cluster.Weight
+	role   cluster.Role
+	head   int32
+}
+
+// tryDeliver computes the exact received power at rx and delivers the hello
+// if it clears the threshold, survives the loss model, and (when the MAC
+// collision model is on) does not overlap another reception.
+func (n *Network) tryDeliver(tx, rx *runtimeNode, txPos geom.Point, now float64, adv advertisement) {
+	if rx.down {
+		return
+	}
+	rxPos := rx.traj.At(now)
+	d := txPos.Dist(rxPos)
+	pr := n.cfg.Propagation.RxPower(n.cfg.TxPower, d)
+	if pr < n.rxThresh {
+		return
+	}
+	if n.cfg.Loss.Drops(tx.id, rx.id, now) {
+		n.rec.CountDrop()
+		n.cfg.Trace.Record(trace.Event{
+			T: now, Kind: trace.KindDrop, Node: tx.id, Other: rx.id, Value: pr,
+		})
+		return
+	}
+	if n.cfg.HelloCollisions {
+		n.deferDelivery(tx, rx, now, pr, adv)
+		return
+	}
+	n.applyHello(tx.id, rx, now, pr, adv)
+}
+
+// deferDelivery models the beacon's airtime: the packet is handed up only
+// at the end of its transmission, and any overlapping reception at the same
+// receiver destroys both (no capture).
+func (n *Network) deferDelivery(tx, rx *runtimeNode, now, pr float64, adv advertisement) {
+	rec := &reception{tx: tx.id, end: now + n.cfg.HelloAirtime, pr: pr, adv: adv}
+	// Mark collisions against still-in-flight receptions and prune the
+	// rest lazily.
+	live := rx.pendingRx[:0]
+	for _, other := range rx.pendingRx {
+		if other.end > now {
+			other.collided = true
+			rec.collided = true
+			live = append(live, other)
+		}
+	}
+	rx.pendingRx = append(live, rec)
+	if _, err := n.sched.At(rec.end, func(t float64) {
+		// Remove rec from the pending list.
+		for i, r := range rx.pendingRx {
+			if r == rec {
+				rx.pendingRx = append(rx.pendingRx[:i], rx.pendingRx[i+1:]...)
+				break
+			}
+		}
+		if rec.collided {
+			n.rec.CountCollision()
+			n.cfg.Trace.Record(trace.Event{
+				T: t, Kind: trace.KindDrop, Node: rec.tx, Other: rx.id, Value: rec.pr,
+			})
+			return
+		}
+		n.applyHello(rec.tx, rx, t, rec.pr, rec.adv)
+	}); err != nil {
+		return
+	}
+}
+
+// applyHello is the receiver's MAC handing up one successfully received
+// beacon: it records the measured RxPr (equation 1's input) and updates the
+// neighbor table with the advertised clustering state.
+func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv advertisement) {
+	n.rec.CountDelivery()
+	n.cfg.Trace.Record(trace.Event{
+		T: now, Kind: trace.KindDeliver, Node: txID, Other: rx.id, Value: pr,
+	})
+	if err := rx.tracker.Observe(txID, now, pr); err != nil {
+		// RxPower of a validated model is always positive; skip defensively.
+		return
+	}
+	e, ok := rx.table[txID]
+	if !ok {
+		e = &neighborEntry{}
+		rx.table[txID] = e
+	}
+	e.lastHeard = now
+	e.weight = adv.weight
+	e.role = adv.role
+	e.head = adv.head
+}
+
+// sampleClusters periodically counts heads, gateways and cluster sizes for
+// Figure 4 and the size-distribution metrics.
+func (n *Network) sampleClusters(now float64) {
+	heads, gateways := 0, 0
+	sizeByHead := make(map[int32]int)
+	for _, rn := range n.nodes {
+		if rn.down {
+			continue
+		}
+		switch rn.cnode.Role() {
+		case cluster.RoleHead:
+			heads++
+			sizeByHead[rn.id]++
+		case cluster.RoleMember:
+			sizeByHead[rn.cnode.Head()]++
+			audible := 0
+			for _, e := range rn.table {
+				if e.role == cluster.RoleHead {
+					audible++
+				}
+			}
+			if audible >= 2 {
+				gateways++
+			}
+		}
+	}
+	n.rec.SampleClusters(now, heads, gateways)
+	if len(sizeByHead) > 0 {
+		sizes := make([]int, 0, len(sizeByHead))
+		for _, s := range sizeByHead {
+			sizes = append(sizes, s)
+		}
+		n.rec.SampleClusterSizes(now, sizes)
+	}
+	comps := n.Topology().Components()
+	largest := 0
+	for _, c := range comps {
+		if len(c) > largest {
+			largest = len(c)
+		}
+	}
+	n.rec.SampleTopology(now, len(comps), largest, len(n.nodes))
+	if now+n.cfg.SampleInterval <= n.cfg.Duration {
+		if _, err := n.sched.After(n.cfg.SampleInterval, n.sampleClusters); err != nil {
+			return
+		}
+	}
+}

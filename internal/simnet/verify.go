@@ -1,0 +1,56 @@
+package simnet
+
+import (
+	"fmt"
+
+	"mobic/internal/cluster"
+)
+
+// Theorem1Violations checks the paper's Theorem 1 against the current
+// instantaneous state and returns a description of every violation:
+//
+//   - no two clusterheads within transmission range of each other,
+//   - every member's clusterhead is a live head within range,
+//   - every node decided (head or member),
+//   - every cluster's induced subgraph has diameter <= 2 hops.
+//
+// The theorem holds for *stable* configurations; under mobility transient
+// violations between beacons are expected, so callers should only assert
+// emptiness on static scenarios or quiescent snapshots.
+func (n *Network) Theorem1Violations() []string {
+	var out []string
+	snap := n.Snapshot()
+	topo := n.Topology()
+	for i, s := range snap {
+		id := int32(i)
+		switch s.Role {
+		case cluster.RoleUndecided:
+			out = append(out, fmt.Sprintf("node %d undecided", i))
+		case cluster.RoleHead:
+			for j := i + 1; j < len(snap); j++ {
+				if snap[j].Role == cluster.RoleHead && topo.Adjacent(id, int32(j)) {
+					out = append(out, fmt.Sprintf("heads %d and %d in range", i, j))
+				}
+			}
+		case cluster.RoleMember:
+			h := s.Head
+			switch {
+			case h < 0 || int(h) >= len(snap):
+				out = append(out, fmt.Sprintf("member %d has invalid head %d", i, h))
+			case snap[h].Role != cluster.RoleHead:
+				out = append(out, fmt.Sprintf("member %d's head %d is not a head", i, h))
+			case !topo.Adjacent(id, h):
+				out = append(out, fmt.Sprintf("member %d out of range of head %d", i, h))
+			}
+		}
+	}
+	for head, members := range n.Clusters() {
+		if head == cluster.NoHead {
+			continue
+		}
+		if d := topo.SubgraphDiameter(members); d < 0 || d > 2 {
+			out = append(out, fmt.Sprintf("cluster %d has diameter %d", head, d))
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+func TestTheorem1ViolationsCleanOnStatic(t *testing.T) {
+	area := geom.Square(670)
+	for _, alg := range []cluster.Algorithm{cluster.LCC, cluster.MOBIC, cluster.DCA} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfg := Config{
+				N:         50,
+				Area:      area,
+				Duration:  60,
+				Seed:      seed,
+				Algorithm: alg,
+				Mobility:  &mobility.Static{Area: area},
+				TxRange:   160,
+			}
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if v := net.Theorem1Violations(); len(v) != 0 {
+				t.Errorf("%s seed %d: violations: %v", alg.Name, seed, v)
+			}
+		}
+	}
+}
+
+func TestTheorem1ViolationsDetectUndecided(t *testing.T) {
+	// Before any beacon fires, every node is undecided: the checker must
+	// report it.
+	area := geom.Square(300)
+	cfg := Config{
+		N:         5,
+		Area:      area,
+		Duration:  60,
+		Seed:      1,
+		Algorithm: cluster.LCC,
+		Mobility:  &mobility.Static{Area: area},
+		TxRange:   150,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No RunUntil: time 0, nothing has happened.
+	if v := net.Theorem1Violations(); len(v) != 5 {
+		t.Errorf("expected 5 undecided violations at t=0, got %v", v)
+	}
+}
+
+func TestTheorem1TransientViolationsResolve(t *testing.T) {
+	// Under mobility, violations may appear transiently but the count at
+	// any instant should be small relative to N and the checker must not
+	// panic mid-run.
+	cfg := waypointConfig(cluster.MOBIC, 150, 9)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []float64{30, 60, 120, 200} {
+		net.RunUntil(tm)
+		v := net.Theorem1Violations()
+		if len(v) > cfg.N/2 {
+			t.Errorf("t=%v: %d violations (more than half the network): %v", tm, len(v), v)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package spatial
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mobic/internal/geom"
+)
+
+func mustGrid(t *testing.T, area geom.Rect, cell float64) *Grid {
+	t.Helper()
+	g, err := NewGrid(area, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(geom.Rect{}, 10); err == nil {
+		t.Error("invalid area should error")
+	}
+	if _, err := NewGrid(geom.Square(100), 0); err == nil {
+		t.Error("zero cell size should error")
+	}
+	if _, err := NewGrid(geom.Square(100), -5); err == nil {
+		t.Error("negative cell size should error")
+	}
+}
+
+func TestUpdateAndQuery(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: 10, Y: 10})
+	g.Update(2, geom.Point{X: 15, Y: 10})
+	g.Update(3, geom.Point{X: 90, Y: 90})
+
+	got := g.QueryRange(geom.Point{X: 10, Y: 10}, 6, -1, nil)
+	sortIDs(got)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("QueryRange = %v, want [1 2]", got)
+	}
+}
+
+func TestQueryExcludesSelf(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: 50, Y: 50})
+	g.Update(2, geom.Point{X: 51, Y: 50})
+	got := g.QueryRange(geom.Point{X: 50, Y: 50}, 5, 1, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("QueryRange excluding 1 = %v, want [2]", got)
+	}
+}
+
+func TestBoundaryInclusive(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 25)
+	g.Update(1, geom.Point{X: 0, Y: 0})
+	g.Update(2, geom.Point{X: 30, Y: 0})
+	got := g.QueryRange(geom.Point{X: 0, Y: 0}, 30, 1, nil)
+	if len(got) != 1 {
+		t.Errorf("node exactly at radius should be included, got %v", got)
+	}
+}
+
+func TestMoveBetweenCells(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: 5, Y: 5})
+	g.Update(1, geom.Point{X: 95, Y: 95})
+	if got := g.QueryRange(geom.Point{X: 5, Y: 5}, 8, -1, nil); len(got) != 0 {
+		t.Errorf("old cell still returns node: %v", got)
+	}
+	if got := g.QueryRange(geom.Point{X: 95, Y: 95}, 8, -1, nil); len(got) != 1 {
+		t.Errorf("new cell missing node: %v", got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1 after in-place move", g.Len())
+	}
+}
+
+func TestMoveWithinCell(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 50)
+	g.Update(1, geom.Point{X: 10, Y: 10})
+	g.Update(1, geom.Point{X: 12, Y: 10})
+	p, ok := g.Position(1)
+	if !ok || p != (geom.Point{X: 12, Y: 10}) {
+		t.Errorf("Position = %v, %v", p, ok)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: 50, Y: 50})
+	g.Remove(1)
+	if g.Len() != 0 {
+		t.Errorf("Len after remove = %d", g.Len())
+	}
+	if _, ok := g.Position(1); ok {
+		t.Error("Position should miss after remove")
+	}
+	g.Remove(1) // no-op
+	if got := g.QueryRange(geom.Point{X: 50, Y: 50}, 10, -1, nil); len(got) != 0 {
+		t.Errorf("removed node still queryable: %v", got)
+	}
+}
+
+func TestOutOfAreaPointsClampToEdgeCells(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: -5, Y: 200}) // outside area
+	got := g.QueryRange(geom.Point{X: -5, Y: 200}, 1, -1, nil)
+	if len(got) != 1 {
+		t.Errorf("out-of-area node should still be findable, got %v", got)
+	}
+}
+
+func TestNegativeRadius(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 10)
+	g.Update(1, geom.Point{X: 50, Y: 50})
+	if got := g.QueryRange(geom.Point{X: 50, Y: 50}, -1, -1, nil); len(got) != 0 {
+		t.Errorf("negative radius should return nothing, got %v", got)
+	}
+}
+
+func TestCellSizeAccessor(t *testing.T) {
+	g := mustGrid(t, geom.Square(100), 12.5)
+	if g.CellSize() != 12.5 {
+		t.Errorf("CellSize = %v", g.CellSize())
+	}
+}
+
+// Property: grid query returns exactly the brute-force neighbor set.
+func TestGridMatchesBruteForceProperty(t *testing.T) {
+	check := func(seed uint64, radiusSeed uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		area := geom.Square(670)
+		g, err := NewGrid(area, 67)
+		if err != nil {
+			return false
+		}
+		const n = 60
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670}
+			g.Update(int32(i), pts[i])
+		}
+		radius := 10 + float64(radiusSeed)
+		center := pts[0]
+
+		got := g.QueryRange(center, radius, 0, nil)
+		sortIDs(got)
+
+		var want []int32
+		for i := 1; i < n; i++ {
+			if pts[i].Dist(center) <= radius {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortIDs(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func BenchmarkQueryRange(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g, err := NewGrid(geom.Square(670), 67)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		g.Update(int32(i), geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670})
+	}
+	buf := make([]int32, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.QueryRange(geom.Point{X: 335, Y: 335}, 250, -1, buf[:0])
+	}
+}

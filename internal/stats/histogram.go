@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Samples outside the
+// range are counted in under/overflow buckets so no observation is silently
+// dropped. The experiment harness uses it to summarize distributions such as
+// clusterhead residence times.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []int
+	underflow int
+	overflow  int
+	total     int
+}
+
+// NewHistogram builds a histogram with bins equal-width bins spanning
+// [lo, hi). It returns an error for invalid bounds or a non-positive bin
+// count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%g, %g)", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		idx := int((x - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard against FP edge at hi
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Bins returns the number of in-range bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// BinBounds returns the [lo, hi) interval covered by bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Underflow returns the count of observations below the histogram range.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the count of observations at or above the range.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// String renders a compact one-bin-per-line bar view, used by cmd tools for
+// quick distribution inspection.
+func (h *Histogram) String() string {
+	const barWidth = 40
+	peak := 1
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		lo, hi := h.BinBounds(i)
+		bar := strings.Repeat("#", c*barWidth/peak)
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d %s\n", lo, hi, c, bar)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.overflow)
+	}
+	return b.String()
+}

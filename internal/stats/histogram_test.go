@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(0, 10, -3); err == nil {
+		t.Error("negative bins should error")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(10, 5, 4); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 4, 6, 8, 9.999} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 1, 2}
+	for i, w := range want {
+		if got := h.Count(i); got != w {
+			t.Errorf("bin %d count = %d, want %d", i, got, w)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-1)
+	h.Add(10) // hi is exclusive
+	h.Add(100)
+	if h.Underflow() != 1 {
+		t.Errorf("Underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3 (out-of-range still counted)", h.Total())
+	}
+}
+
+func TestHistogramBinBounds(t *testing.T) {
+	h, err := NewHistogram(10, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := h.BinBounds(0)
+	if lo != 10 || hi != 12.5 {
+		t.Errorf("bin 0 bounds = [%v, %v), want [10, 12.5)", lo, hi)
+	}
+	lo, hi = h.BinBounds(3)
+	if lo != 17.5 || hi != 20 {
+		t.Errorf("bin 3 bounds = [%v, %v), want [17.5, 20)", lo, hi)
+	}
+	if h.Bins() != 4 {
+		t.Errorf("Bins = %d, want 4", h.Bins())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, err := NewHistogram(0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "overflow 1") {
+		t.Errorf("String should mention overflow, got:\n%s", s)
+	}
+	if !strings.Contains(s, "#") {
+		t.Errorf("String should render bars, got:\n%s", s)
+	}
+}

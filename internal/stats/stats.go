@@ -1,0 +1,134 @@
+// Package stats provides the small statistical toolkit used throughout the
+// MOBIC reproduction: moment estimators (including the paper's
+// variance-about-zero), streaming accumulators, exponentially weighted moving
+// averages, percentiles, confidence intervals, and histograms.
+//
+// Everything here is deterministic and allocation-conscious; the simulator
+// calls into this package on every hello broadcast.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice;
+// callers that must distinguish emptiness should check len(xs) themselves.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Var0 returns the variance of xs computed about zero rather than about the
+// sample mean: E[X^2]. This is the paper's aggregate-mobility estimator
+// (equation 2): M_Y = var0(Mrel(X1), ..., Mrel(Xm)) = E[Mrel^2].
+//
+// Var0 of an empty slice is 0, matching the paper's initialization of M to 0
+// before any relative-mobility samples exist.
+func Var0(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x * x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance about the mean.
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the square root of the unbiased sample variance.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs. It returns an error for an empty
+// slice so callers cannot silently treat "no data" as 0.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs, or an error for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. The input slice is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// MeanCI returns the sample mean of xs together with the half-width of an
+// approximate 95% confidence interval (normal approximation, 1.96 sigma/sqrt n).
+// The experiment harness uses it to report seed-replication uncertainty.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	return mean, 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}

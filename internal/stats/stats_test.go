@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "empty", xs: nil, want: 0},
+		{name: "single", xs: []float64{4.5}, want: 4.5},
+		{name: "pair", xs: []float64{1, 3}, want: 2},
+		{name: "negatives", xs: []float64{-2, -4, -6}, want: -4},
+		{name: "mixed", xs: []float64{-1, 0, 1}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVar0(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "empty is zero like paper init", xs: nil, want: 0},
+		{name: "single", xs: []float64{3}, want: 9},
+		{name: "symmetric about zero", xs: []float64{-2, 2}, want: 4},
+		{name: "zeros", xs: []float64{0, 0, 0}, want: 0},
+		{name: "paper style dB values", xs: []float64{1.5, -1.5, 3}, want: (2.25 + 2.25 + 9) / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Var0(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Var0(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+// Var0 differs from Variance: for nonzero-mean data, Var0 = Variance*(n-1)/n + mean^2.
+func TestVar0VersusVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	mean := Mean(xs)
+	n := float64(len(xs))
+	want := Variance(xs)*(n-1)/n + mean*mean
+	if got := Var0(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Var0 = %v, want biased-variance+mean^2 = %v", got, want)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "empty", xs: nil, want: 0},
+		{name: "single", xs: []float64{7}, want: 0},
+		{name: "constant", xs: []float64{2, 2, 2, 2}, want: 0},
+		{name: "known", xs: []float64{2, 4, 4, 4, 5, 5, 7, 9}, want: 32.0 / 7.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Variance(tt.xs); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Variance(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	mn, err := Min(xs)
+	if err != nil || mn != -9 {
+		t.Errorf("Min = %v, %v; want -9, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 6 {
+		t.Errorf("Max = %v, %v; want 6, nil", mx, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 15},
+		{p: 100, want: 50},
+		{p: 50, want: 35},
+		{p: 25, want: 20},
+		{p: 75, want: 40},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile of empty should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile > 100 should error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	want := []float64{5, 1, 4, 2, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("input mutated: %v", xs)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	got, err := Median([]float64{9, 1, 5})
+	if err != nil || got != 5 {
+		t.Errorf("Median = %v, %v; want 5, nil", got, err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{10})
+	if mean != 10 || hw != 0 {
+		t.Errorf("MeanCI single = (%v, %v), want (10, 0)", mean, hw)
+	}
+	xs := []float64{10, 12, 8, 11, 9}
+	mean, hw = MeanCI(xs)
+	if !almostEqual(mean, 10, 1e-12) {
+		t.Errorf("mean = %v, want 10", mean)
+	}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if !almostEqual(hw, want, 1e-12) {
+		t.Errorf("halfWidth = %v, want %v", hw, want)
+	}
+}
+
+// Property: Var0 is always >= 0 and scales quadratically.
+func TestVar0Properties(t *testing.T) {
+	nonNegative := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological float inputs
+			}
+		}
+		return Var0(xs) >= 0
+	}
+	if err := quick.Check(nonNegative, nil); err != nil {
+		t.Errorf("Var0 non-negativity: %v", err)
+	}
+
+	scalesQuadratically := func(xs []float64, k float64) bool {
+		if len(xs) == 0 || math.IsNaN(k) || math.IsInf(k, 0) || math.Abs(k) > 1e6 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = k * x
+		}
+		a, b := Var0(scaled), k*k*Var0(xs)
+		return almostEqual(a, b, 1e-6*(1+math.Abs(b)))
+	}
+	if err := quick.Check(scalesQuadratically, nil); err != nil {
+		t.Errorf("Var0 quadratic scaling: %v", err)
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	bounded := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				return true
+			}
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		m := Mean(xs)
+		const eps = 1e-9
+		return m >= mn-eps*(1+math.Abs(mn)) && m <= mx+eps*(1+math.Abs(mx))
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("mean boundedness: %v", err)
+	}
+}

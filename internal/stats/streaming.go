@@ -1,0 +1,115 @@
+package stats
+
+import "math"
+
+// Accumulator is a streaming moment estimator (Welford's algorithm). It
+// supports mean, variance, variance-about-zero, min and max without storing
+// samples, which the metrics recorder uses for long simulations.
+//
+// The zero value is ready to use.
+type Accumulator struct {
+	n      int
+	mean   float64
+	m2     float64 // sum of squared deviations from the running mean
+	sumSq  float64 // sum of squares (for Var0)
+	minVal float64
+	maxVal float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.minVal, a.maxVal = x, x
+	} else {
+		if x < a.minVal {
+			a.minVal = x
+		}
+		if x > a.maxVal {
+			a.maxVal = x
+		}
+	}
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+	a.sumSq += x * x
+}
+
+// N returns the number of observations folded in so far.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running arithmetic mean (0 if no observations).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased running sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Var0 returns the running variance about zero, E[X^2] (0 if empty).
+func (a *Accumulator) Var0() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumSq / float64(a.n)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.minVal }
+
+// Max returns the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.maxVal }
+
+// Reset returns the accumulator to its zero state.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]: v <- alpha*x + (1-alpha)*v. It implements the paper's
+// Section 5 suggestion of keeping history information about mobility values.
+//
+// Construct with NewEWMA; the first observation initializes the average.
+type EWMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is clamped
+// to (0, 1]: values <= 0 become 1 (no smoothing) so a zero-configured
+// smoother degrades to the paper's memoryless metric rather than to a frozen
+// one.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds in one observation and returns the new smoothed value.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return e.value
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current smoothed value (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one observation has been folded in.
+func (e *EWMA) Primed() bool { return e.primed }
+
+// Alpha returns the smoothing factor in use.
+func (e *EWMA) Alpha() float64 { return e.alpha }
+
+// Reset discards all history.
+func (e *EWMA) Reset() { e.value, e.primed = 0, false }

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	xs := []float64{3.1, -2.2, 0, 7.7, 5.5, -0.4, 12, 1}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	if acc.N() != len(xs) {
+		t.Fatalf("N = %d, want %d", acc.N(), len(xs))
+	}
+	if !almostEqual(acc.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Mean = %v, want %v", acc.Mean(), Mean(xs))
+	}
+	if !almostEqual(acc.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("Variance = %v, want %v", acc.Variance(), Variance(xs))
+	}
+	if !almostEqual(acc.Var0(), Var0(xs), 1e-9) {
+		t.Errorf("Var0 = %v, want %v", acc.Var0(), Var0(xs))
+	}
+	wantMin, _ := Min(xs)
+	wantMax, _ := Max(xs)
+	if acc.Min() != wantMin || acc.Max() != wantMax {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", acc.Min(), acc.Max(), wantMin, wantMax)
+	}
+}
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var acc Accumulator
+	if acc.N() != 0 || acc.Mean() != 0 || acc.Variance() != 0 || acc.Var0() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+	if acc.StdDev() != 0 {
+		t.Error("zero-value StdDev should be 0")
+	}
+}
+
+func TestAccumulatorSingle(t *testing.T) {
+	var acc Accumulator
+	acc.Add(5)
+	if acc.Variance() != 0 {
+		t.Error("variance of single sample should be 0")
+	}
+	if acc.Min() != 5 || acc.Max() != 5 {
+		t.Error("min/max of single sample should be the sample")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var acc Accumulator
+	acc.Add(1)
+	acc.Add(2)
+	acc.Reset()
+	if acc.N() != 0 || acc.Mean() != 0 || acc.Var0() != 0 {
+		t.Error("Reset should clear all state")
+	}
+}
+
+// Property: streaming results agree with batch results on random data.
+func TestAccumulatorProperty(t *testing.T) {
+	agree := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		var acc Accumulator
+		for _, x := range xs {
+			acc.Add(x)
+		}
+		tol := 1e-6 * (1 + Var0(xs))
+		return almostEqual(acc.Mean(), Mean(xs), tol) &&
+			almostEqual(acc.Variance(), Variance(xs), tol) &&
+			almostEqual(acc.Var0(), Var0(xs), tol)
+	}
+	if err := quick.Check(agree, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAFirstObservationPrimes(t *testing.T) {
+	e := NewEWMA(0.3)
+	if e.Primed() {
+		t.Error("fresh EWMA should not be primed")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first update = %v, want 10", got)
+	}
+	if !e.Primed() {
+		t.Error("EWMA should be primed after first update")
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(0)
+	if got := e.Update(10); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("update = %v, want 5", got)
+	}
+	if got := e.Update(10); !almostEqual(got, 7.5, 1e-12) {
+		t.Errorf("update = %v, want 7.5", got)
+	}
+}
+
+func TestEWMAAlphaOneIsMemoryless(t *testing.T) {
+	e := NewEWMA(1)
+	e.Update(3)
+	if got := e.Update(42); got != 42 {
+		t.Errorf("alpha=1 should track input exactly, got %v", got)
+	}
+}
+
+func TestEWMAInvalidAlphaClampsToOne(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		e := NewEWMA(alpha)
+		if e.Alpha() != 1 {
+			t.Errorf("NewEWMA(%v).Alpha() = %v, want clamped 1", alpha, e.Alpha())
+		}
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.2)
+	e.Update(9)
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Error("Reset should clear EWMA state")
+	}
+}
+
+// Property: EWMA output always stays within the range of inputs seen so far.
+func TestEWMABoundedProperty(t *testing.T) {
+	bounded := func(raw []float64, alphaSeed uint8) bool {
+		alpha := float64(alphaSeed%100+1) / 100
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			v := e.Update(x)
+			const eps = 1e-9
+			if v < lo-eps*(1+math.Abs(lo)) || v > hi+eps*(1+math.Abs(hi)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package viz renders experiment results as ASCII line charts and aligned
+// tables for terminal output — the closest a stdlib-only harness gets to
+// regenerating the paper's figures visually. The cmd/experiments tool prints
+// these under each regenerated figure so curve shapes (peaks, crossovers)
+// can be eyeballed against the paper.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name labels the curve in the legend.
+	Name string
+	// Y holds one value per X point.
+	Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LineChart renders one or more series over a shared X axis into a
+// fixed-size character grid with axes, tick labels and a legend. Width and
+// height are the plot-area dimensions in characters (sensible minimums are
+// enforced).
+func LineChart(x []float64, series []Series, width, height int, xLabel, yLabel string) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(x) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+
+	xMin, xMax := minMax(x)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		lo, hi := minMax(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if yMin > 0 && yMin < yMax/4 {
+		yMin = 0 // anchor near-zero data at zero for honest shapes
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(xv float64) int {
+		c := int(math.Round((xv - xMin) / (xMax - xMin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(yv float64) int {
+		r := int(math.Round((yv - yMin) / (yMax - yMin) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with interpolated steps so curve
+		// shapes read clearly even with few X samples.
+		for i := 0; i < len(s.Y) && i < len(x); i++ {
+			grid[row(s.Y[i])][col(x[i])] = mark
+			if i == 0 {
+				continue
+			}
+			steps := col(x[i]) - col(x[i-1])
+			for c := 1; c < steps; c++ {
+				frac := float64(c) / float64(steps)
+				yv := s.Y[i-1] + (s.Y[i]-s.Y[i-1])*frac
+				cc := col(x[i-1]) + c
+				rr := row(yv)
+				if grid[rr][cc] == ' ' {
+					grid[rr][cc] = '.'
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", yMin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.4g", yMin+(yMax-yMin)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g  (%s)\n",
+		strings.Repeat(" ", 8), xMin, strings.Repeat(" ", max(0, width-20)), xMax, xLabel)
+	b.WriteString("          legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

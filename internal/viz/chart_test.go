@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	x := []float64{0, 10, 20, 30}
+	series := []Series{
+		{Name: "rising", Y: []float64{0, 10, 20, 30}},
+		{Name: "falling", Y: []float64{30, 20, 10, 0}},
+	}
+	out := LineChart(x, series, 40, 10, "x", "y")
+	if !strings.Contains(out, "*") {
+		t.Error("first series marker missing")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("second series marker missing")
+	}
+	if !strings.Contains(out, "legend: *=rising o=falling") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(x)") || !strings.Contains(out, "y\n") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	if out := LineChart(nil, nil, 40, 10, "x", "y"); out != "(no data)\n" {
+		t.Errorf("empty chart = %q", out)
+	}
+	if out := LineChart([]float64{1}, nil, 40, 10, "x", "y"); out != "(no data)\n" {
+		t.Errorf("no-series chart = %q", out)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	// Degenerate Y range must not divide by zero.
+	out := LineChart([]float64{0, 1}, []Series{{Name: "flat", Y: []float64{5, 5}}}, 30, 8, "x", "y")
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestLineChartSinglePoint(t *testing.T) {
+	out := LineChart([]float64{7}, []Series{{Name: "pt", Y: []float64{3}}}, 30, 8, "x", "y")
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestLineChartMinimumDimensions(t *testing.T) {
+	// Tiny requested dimensions are clamped, not crashed.
+	out := LineChart([]float64{0, 1}, []Series{{Name: "s", Y: []float64{0, 1}}}, 1, 1, "x", "y")
+	if len(out) == 0 {
+		t.Error("clamped chart should render")
+	}
+}
+
+func TestLineChartPeakPosition(t *testing.T) {
+	// A unimodal curve's marker for the peak must appear on the top row.
+	x := []float64{0, 1, 2, 3, 4}
+	series := []Series{{Name: "peak", Y: []float64{0, 5, 10, 5, 0}}}
+	out := LineChart(x, series, 41, 9, "x", "y")
+	lines := strings.Split(out, "\n")
+	// lines[0] is the y label; lines[1] is the top row.
+	top := lines[1]
+	if !strings.Contains(top, "*") {
+		t.Errorf("peak not on top row:\n%s", out)
+	}
+	mid := strings.Index(top, "*")
+	if mid < len(top)/3 || mid > 2*len(top)/3+4 {
+		t.Errorf("peak marker at column %d, expected near middle:\n%s", mid, out)
+	}
+}
+
+func TestLineChartInterpolationDots(t *testing.T) {
+	x := []float64{0, 100}
+	series := []Series{{Name: "line", Y: []float64{0, 100}}}
+	out := LineChart(x, series, 50, 12, "x", "y")
+	if !strings.Contains(out, ".") {
+		t.Errorf("expected interpolation dots between distant points:\n%s", out)
+	}
+}
+
+func TestSVGChart(t *testing.T) {
+	x := []float64{0, 10, 20}
+	series := []Series{
+		{Name: "a", Y: []float64{1, 5, 2}},
+		{Name: "b & c", Y: []float64{2, 3, 4}},
+	}
+	out := SVGChart(x, series, `Figure "3"`, "tx <m>", "changes")
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "<circle",
+		"&quot;", "&lt;m&gt;", "b &amp; c", // escaping
+		"changes", "Figure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Errorf("polylines = %d, want 2", n)
+	}
+}
+
+func TestSVGChartEmpty(t *testing.T) {
+	out := SVGChart(nil, nil, "t", "x", "y")
+	if !strings.Contains(out, "no data") || !strings.Contains(out, "</svg>") {
+		t.Errorf("empty svg malformed:\n%s", out)
+	}
+}
+
+func TestSVGChartConstant(t *testing.T) {
+	out := SVGChart([]float64{5}, []Series{{Name: "p", Y: []float64{7}}}, "t", "x", "y")
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("degenerate ranges produced NaN/Inf:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	x := []float64{0, 1}
+	var series []Series
+	for i := 0; i < 10; i++ {
+		series = append(series, Series{Name: "s", Y: []float64{float64(i), float64(i)}})
+	}
+	out := LineChart(x, series, 30, 12, "x", "y")
+	if !strings.Contains(out, "#") {
+		t.Errorf("later markers missing:\n%s", out)
+	}
+}

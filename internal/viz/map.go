@@ -1,0 +1,76 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MapNode is one node to draw on the cluster map.
+type MapNode struct {
+	// X, Y is the position in meters.
+	X, Y float64
+	// Head is the clusterhead ID the node belongs to (-1 = none).
+	Head int
+	// IsHead marks clusterheads (drawn as letters; members as lowercase).
+	IsHead bool
+	// Gateway marks gateway nodes (drawn with a distinguishing glyph).
+	Gateway bool
+}
+
+// ClusterMap renders node positions on a character grid, one glyph per
+// node: clusterheads are uppercase letters (A, B, C... assigned per
+// cluster), members the matching lowercase letter, gateways '+', and
+// unaffiliated nodes '?'. Useful for eyeballing the cluster structure a
+// run produced.
+func ClusterMap(nodes []MapNode, width, height float64, cols, rows int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	if rows < 5 {
+		rows = 5
+	}
+	if width <= 0 || height <= 0 || len(nodes) == 0 {
+		return "(no map)\n"
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+
+	// Assign letters to clusters in first-seen order.
+	letters := make(map[int]byte)
+	letterFor := func(head int) byte {
+		if l, ok := letters[head]; ok {
+			return l
+		}
+		l := byte('A' + len(letters)%26)
+		letters[head] = l
+		return l
+	}
+
+	for _, n := range nodes {
+		c := clamp(int(n.X/width*float64(cols)), 0, cols-1)
+		r := clamp(int(n.Y/height*float64(rows)), 0, rows-1)
+		glyph := byte('?')
+		switch {
+		case n.Head >= 0 && n.IsHead:
+			glyph = letterFor(n.Head)
+		case n.Gateway:
+			glyph = '+'
+		case n.Head >= 0:
+			glyph = letterFor(n.Head) + ('a' - 'A')
+		}
+		grid[r][c] = glyph
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", cols))
+	// Draw with Y increasing upward, like the figures.
+	for r := rows - 1; r >= 0; r-- {
+		fmt.Fprintf(&b, "|%s|\n", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "%.0fx%.0f m; heads A-Z, members a-z, gateways '+', unaffiliated '?'\n",
+		width, height)
+	return b.String()
+}

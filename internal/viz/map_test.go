@@ -1,0 +1,75 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClusterMapGlyphs(t *testing.T) {
+	nodes := []MapNode{
+		{X: 100, Y: 100, Head: 0, IsHead: true},
+		{X: 150, Y: 100, Head: 0},
+		{X: 500, Y: 500, Head: 3, IsHead: true},
+		{X: 520, Y: 480, Head: 3, Gateway: true},
+		{X: 600, Y: 100, Head: -1},
+	}
+	out := ClusterMap(nodes, 670, 670, 40, 16)
+	for _, want := range []string{"A", "a", "B", "+", "?"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("map missing glyph %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "670x670 m") {
+		t.Errorf("map missing legend:\n%s", out)
+	}
+}
+
+func TestClusterMapSameClusterSameLetter(t *testing.T) {
+	nodes := []MapNode{
+		{X: 10, Y: 10, Head: 7, IsHead: true},
+		{X: 650, Y: 650, Head: 7},
+	}
+	out := ClusterMap(nodes, 670, 670, 40, 16)
+	// Only inspect the grid itself, not the legend line (which contains
+	// letters of its own).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	grid := strings.Join(lines[:len(lines)-1], "\n")
+	if !strings.Contains(grid, "A") || !strings.Contains(grid, "a") {
+		t.Errorf("head and member of cluster 7 should share the letter A/a:\n%s", out)
+	}
+	if strings.Contains(grid, "B") || strings.Contains(grid, "b") {
+		t.Errorf("single cluster must not use a second letter:\n%s", out)
+	}
+}
+
+func TestClusterMapEmptyAndInvalid(t *testing.T) {
+	if out := ClusterMap(nil, 670, 670, 40, 16); out != "(no map)\n" {
+		t.Errorf("empty map = %q", out)
+	}
+	if out := ClusterMap([]MapNode{{X: 1, Y: 1}}, 0, 670, 40, 16); out != "(no map)\n" {
+		t.Errorf("zero width map = %q", out)
+	}
+}
+
+func TestClusterMapClampsPositionsAndDims(t *testing.T) {
+	nodes := []MapNode{
+		{X: -50, Y: 900, Head: 0, IsHead: true}, // out of area: clamped to an edge cell
+	}
+	out := ClusterMap(nodes, 670, 670, 1, 1) // dims clamped up to 10x5
+	if !strings.Contains(out, "A") {
+		t.Errorf("out-of-area node should be drawn on the boundary:\n%s", out)
+	}
+}
+
+func TestClusterMapOrientationYUp(t *testing.T) {
+	// A node at the top of the area must be drawn on an earlier line than
+	// a node at the bottom (Y grows upward in the rendering).
+	nodes := []MapNode{
+		{X: 335, Y: 650, Head: 0, IsHead: true}, // top — letter A
+		{X: 335, Y: 20, Head: 1, IsHead: true},  // bottom — letter B
+	}
+	out := ClusterMap(nodes, 670, 670, 40, 12)
+	if strings.Index(out, "A") > strings.Index(out, "B") {
+		t.Errorf("Y axis should point up:\n%s", out)
+	}
+}

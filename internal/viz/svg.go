@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds distinguishable series colors (dark on white).
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// SVGChart renders the series as a standalone SVG line chart with axes,
+// tick labels and a legend — the publication-shaped counterpart of
+// LineChart, written by cmd/experiments next to each CSV so regenerated
+// figures can be viewed directly.
+func SVGChart(x []float64, series []Series, title, xLabel, yLabel string) string {
+	const (
+		width   = 640.0
+		height  = 420.0
+		marginL = 70.0
+		marginR = 20.0
+		marginT = 50.0
+		marginB = 60.0
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		width/2, xmlEscape(title))
+
+	if len(x) == 0 || len(series) == 0 {
+		b.WriteString(`<text x="320" y="210" font-family="sans-serif" font-size="12">no data</text>` + "\n</svg>\n")
+		return b.String()
+	}
+
+	xMin, xMax := minMax(x)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		lo, hi := minMax(s.Y)
+		yMin = math.Min(yMin, lo)
+		yMax = math.Max(yMax, hi)
+	}
+	if yMin > 0 && yMin < yMax/4 {
+		yMin = 0
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	px := func(v float64) float64 { return marginL + (v-xMin)/(xMax-xMin)*plotW }
+	py := func(v float64) float64 { return marginT + (1-(v-yMin)/(yMax-yMin))*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		xv := xMin + frac*(xMax-xMin)
+		yv := yMin + frac*(yMax-yMin)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px(xv), marginT+plotH, px(xv), marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			px(xv), marginT+plotH+18, xv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-5, py(yv), marginL, py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n",
+			marginL-8, py(yv)+3, yv)
+		// Light horizontal gridline.
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, py(yv), marginL+plotW, py(yv))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-15, xmlEscape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(yLabel))
+
+	// Series polylines + point markers.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := 0; i < len(s.Y) && i < len(x); i++ {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := 0; i < len(s.Y) && i < len(x); i++ {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(x[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 4 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW-150, ly, marginL+plotW-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+plotW-124, ly+4, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,277 @@
+package mobic
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+func fast(s Scenario) Scenario {
+	s.Duration = 60
+	s.Nodes = 15
+	return s
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(fast(PaperScenario(150)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "mobic" {
+		t.Errorf("default algorithm = %q, want mobic", res.Algorithm)
+	}
+	if res.Broadcasts == 0 || res.Deliveries == 0 {
+		t.Error("no traffic recorded")
+	}
+	if res.FinalClusterheads <= 0 {
+		t.Error("no clusters formed")
+	}
+	if res.AvgClusters <= 0 {
+		t.Error("cluster sampling recorded nothing")
+	}
+}
+
+func TestRunRequiresTxRange(t *testing.T) {
+	if _, err := Run(Scenario{}); err == nil {
+		t.Error("missing TxRange should error")
+	}
+}
+
+func TestRunRejectsBadAlgorithm(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.Algorithm = "leader-election-9000"
+	if _, err := Run(s); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestRunRejectsBadLossRate(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.LossRate = 1.0
+	if _, err := Run(s); err == nil {
+		t.Error("loss rate 1.0 should error")
+	}
+	s.LossRate = -0.1
+	if _, err := Run(s); err == nil {
+		t.Error("negative loss rate should error")
+	}
+}
+
+func TestRunRejectsBadMobilityModel(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.Mobility.Model = "teleport"
+	if _, err := Run(s); err == nil {
+		t.Error("unknown mobility model should error")
+	}
+}
+
+func TestRunRejectsBadPropagation(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.Propagation = "raytraced"
+	if _, err := Run(s); err == nil {
+		t.Error("unknown propagation should error")
+	}
+}
+
+func TestDeterminismAcrossCalls(t *testing.T) {
+	s := fast(PaperScenario(150))
+	a, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same scenario produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCompareSharesScenario(t *testing.T) {
+	s := fast(PaperScenario(200))
+	byAlg, err := Compare(s, "lcc", "mobic", "lowest-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byAlg) != 3 {
+		t.Fatalf("got %d results", len(byAlg))
+	}
+	// Identical movement: broadcast counts match across algorithms with
+	// the same BI.
+	if byAlg["lcc"].Broadcasts != byAlg["mobic"].Broadcasts {
+		t.Errorf("broadcast counts differ: %d vs %d",
+			byAlg["lcc"].Broadcasts, byAlg["mobic"].Broadcasts)
+	}
+}
+
+func TestCompareDefaultsToPaperPair(t *testing.T) {
+	byAlg, err := Compare(fast(PaperScenario(150)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := byAlg["lcc"]; !ok {
+		t.Error("default comparison should include lcc")
+	}
+	if _, ok := byAlg["mobic"]; !ok {
+		t.Error("default comparison should include mobic")
+	}
+}
+
+func TestCompareUnknownAlgorithm(t *testing.T) {
+	if _, err := Compare(fast(PaperScenario(150)), "nope"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestInspectReturnsNodes(t *testing.T) {
+	s := fast(PaperScenario(200))
+	_, nodes, err := Inspect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 15 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	heads := 0
+	for _, n := range nodes {
+		switch n.Role {
+		case "head":
+			heads++
+			if n.Head != n.ID {
+				t.Errorf("head %d affiliated to %d", n.ID, n.Head)
+			}
+		case "member":
+			if n.Head < 0 {
+				t.Errorf("member %d has no head", n.ID)
+			}
+		}
+		if n.X < 0 || n.X > 670 || n.Y < 0 || n.Y > 670 {
+			t.Errorf("node %d outside area: (%v, %v)", n.ID, n.X, n.Y)
+		}
+	}
+	if heads == 0 {
+		t.Error("no heads in final snapshot")
+	}
+}
+
+func TestMobilityModels(t *testing.T) {
+	models := []MobilitySpec{
+		{Model: "waypoint", MaxSpeed: 20},
+		{Model: "static"},
+		{Model: "walk", MaxSpeed: 10},
+		{Model: "gauss-markov", MaxSpeed: 10},
+		{Model: "rpgm", MaxSpeed: 10},
+		{Model: "highway", MaxSpeed: 30, Lanes: 2},
+		{Model: "conference", MaxSpeed: 1.2, Pause: 60},
+	}
+	for _, m := range models {
+		t.Run(m.Model, func(t *testing.T) {
+			s := fast(PaperScenario(150))
+			s.Mobility = m
+			if _, err := Run(s); err != nil {
+				t.Errorf("model %q: %v", m.Model, err)
+			}
+		})
+	}
+}
+
+func TestScenarioPresets(t *testing.T) {
+	if s := SparseScenario(100); s.Width != 1000 || s.Height != 1000 {
+		t.Errorf("SparseScenario = %+v", s)
+	}
+	if s := MobilityScenario(30, 30); s.TxRange != 250 || s.Mobility.MaxSpeed != 30 || s.Mobility.Pause != 30 {
+		t.Errorf("MobilityScenario = %+v", s)
+	}
+}
+
+func TestLossRateRuns(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.LossRate = 0.3
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drops == 0 {
+		t.Error("loss rate 0.3 recorded zero drops")
+	}
+}
+
+func TestShadowingPropagationOption(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.Propagation = "shadowing"
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmsListed(t *testing.T) {
+	names := Algorithms()
+	if len(names) < 5 {
+		t.Errorf("Algorithms() = %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "mobic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("mobic missing from Algorithms()")
+	}
+}
+
+func TestMetricReExports(t *testing.T) {
+	rel, err := RelativeMobility(1e-9, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(2)
+	if math.Abs(rel-want) > 1e-9 {
+		t.Errorf("RelativeMobility = %v, want %v", rel, want)
+	}
+	if _, err := RelativeMobility(0, 1); err == nil {
+		t.Error("zero power should error")
+	}
+	if agg := AggregateLocalMobility([]float64{3, -4}); math.Abs(agg-12.5) > 1e-9 {
+		t.Errorf("AggregateLocalMobility = %v, want 12.5", agg)
+	}
+}
+
+func TestTraceFileWritten(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.txt"
+	s := fast(PaperScenario(150))
+	s.TraceFile = path
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.Contains(content, "broadcast") || !strings.Contains(content, "deliver") {
+		t.Errorf("trace missing event kinds:\n%.300s", content)
+	}
+	if !strings.Contains(content, "role") {
+		t.Errorf("trace missing role changes:\n%.300s", content)
+	}
+}
+
+// The paper's headline claim through the public API.
+func TestMOBICMoreStableThanLCC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-duration comparison")
+	}
+	s := PaperScenario(250)
+	byAlg, err := Compare(s, "lcc", "mobic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byAlg["mobic"].ClusterheadChanges >= byAlg["lcc"].ClusterheadChanges {
+		t.Errorf("mobic %d >= lcc %d clusterhead changes at Tx=250",
+			byAlg["mobic"].ClusterheadChanges, byAlg["lcc"].ClusterheadChanges)
+	}
+}
