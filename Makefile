@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test race vet bench check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -bench=. -benchtime=1x .
+
+# The pre-merge gate: vet + full suite under the race detector.
+check:
+	./scripts/check.sh

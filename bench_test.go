@@ -11,10 +11,14 @@
 package mobic_test
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
 
 	"mobic"
 	"mobic/internal/experiment"
+	"mobic/internal/service"
 	"mobic/internal/simnet"
 )
 
@@ -46,12 +50,12 @@ func reportEndpointGain(b *testing.B, res *experiment.Result) {
 	}
 }
 
-func runExperimentBench(b *testing.B, run func(experiment.Runner) (*experiment.Result, error)) {
+func runExperimentBench(b *testing.B, run func(context.Context, experiment.Runner) (*experiment.Result, error)) {
 	b.Helper()
 	b.ReportAllocs()
 	var last *experiment.Result
 	for i := 0; i < b.N; i++ {
-		res, err := run(benchRunner())
+		res, err := run(context.Background(), benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +69,7 @@ func runExperimentBench(b *testing.B, run func(experiment.Runner) (*experiment.R
 func BenchmarkTable1Scenario(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table1(experiment.Runner{}); err != nil {
+		if _, err := experiment.Table1(context.Background(), experiment.Runner{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +86,7 @@ func BenchmarkFig4ClusterCount(b *testing.B) {
 	b.ReportAllocs()
 	var last *experiment.Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig4(benchRunner())
+		res, err := experiment.Fig4(context.Background(), benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +156,7 @@ func BenchmarkClusterFlooding(b *testing.B) {
 	b.ReportAllocs()
 	var last *experiment.Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Flooding(benchRunner())
+		res, err := experiment.Flooding(context.Background(), benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +175,7 @@ func BenchmarkRouteLifetime(b *testing.B) {
 	b.ReportAllocs()
 	var last *experiment.Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Routes(benchRunner())
+		res, err := experiment.Routes(context.Background(), benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +194,7 @@ func BenchmarkCBRPRouting(b *testing.B) {
 	b.ReportAllocs()
 	var last *experiment.Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.CBRP(benchRunner())
+		res, err := experiment.CBRP(context.Background(), benchRunner())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -295,4 +299,45 @@ func BenchmarkScalability200Nodes(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServiceThroughput measures jobs/sec through the mobicd service
+// queue with a stub executor, isolating the serving overhead (submission,
+// queueing, store, progress events, metrics) from simulation cost. This is
+// the baseline later scaling PRs (sharding, caching, multi-backend) are
+// measured against.
+func BenchmarkServiceThroughput(b *testing.B) {
+	stub := func(ctx context.Context, spec service.JobSpec, base experiment.Runner, progress func(done, total int)) (*service.Output, error) {
+		progress(1, 1)
+		return &service.Output{Result: &experiment.Result{ID: "stub", Title: "stub"}}, nil
+	}
+	svc := service.New(service.Config{
+		QueueCapacity: 1024,
+		Workers:       4,
+		Execute:       stub,
+	})
+	svc.Start()
+	spec := service.JobSpec{Experiment: "fig3"}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			_, err := svc.Submit(spec)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, service.ErrQueueFull) {
+				runtime.Gosched() // back off until workers drain the queue
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+	// Drain so every submitted job is counted as completed work.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }

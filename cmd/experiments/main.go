@@ -12,11 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"mobic/internal/experiment"
@@ -24,7 +27,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -33,7 +38,7 @@ func main() {
 // paperIDs are the artifacts published in the paper itself.
 var paperIDs = []string{"table1", "fig3", "fig4", "fig5", "fig6a", "fig6b"}
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		expID    = fs.String("exp", "paper", `experiment id, "paper" (all published artifacts), or "all"`)
@@ -93,7 +98,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		start := time.Now()
-		res, err := d.Run(runner)
+		res, err := d.Run(ctx, runner)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}

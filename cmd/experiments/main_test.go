@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-list"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -22,7 +23,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table1"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table1"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -33,21 +34,21 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "fig99"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig99"}, &b); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-nope"}, &b); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &b); err == nil {
 		t.Error("bad flag should error")
 	}
 }
 
 func TestRunTable1JSON(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-exp", "table1", "-json"}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table1", "-json"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), `"id": "table1"`) {
@@ -61,7 +62,7 @@ func TestRunQuickExperimentWithCSV(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run([]string{"-exp", "fig6a", "-seeds", "1", "-quick", "-out", dir}, &b); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig6a", "-seeds", "1", "-quick", "-out", dir}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

@@ -1,0 +1,112 @@
+// Command mobicd serves MOBIC simulations over HTTP: submit a named
+// experiment or a custom scenario sweep as a job, poll or stream its
+// progress, and fetch the result as stable JSON. The queue is bounded —
+// when it is full the daemon sheds load with 429 + Retry-After rather
+// than queueing unboundedly.
+//
+// Examples:
+//
+//	mobicd -addr :8080
+//	curl -XPOST localhost:8080/v1/jobs -d '{"experiment":"fig3","seeds":1}'
+//	curl localhost:8080/v1/jobs/<id>
+//	curl -N localhost:8080/v1/jobs/<id>/stream
+//	curl -XDELETE localhost:8080/v1/jobs/<id>
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobic/internal/experiment"
+	"mobic/internal/service"
+	"mobic/internal/simnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mobicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("mobicd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "HTTP listen address")
+		queueCap   = fs.Int("queue", 64, "max queued jobs before submissions get 429")
+		workers    = fs.Int("workers", 2, "jobs executed concurrently")
+		seeds      = fs.Int("seeds", 3, "default replications per sweep cell")
+		ttl        = fs.Duration("ttl", 15*time.Minute, "how long finished jobs stay queryable")
+		drainGrace = fs.Duration("drain", 30*time.Second, "max wait for in-flight jobs on shutdown")
+		quick      = fs.Bool("quick", false, "trim every simulation to 300 s (smoke/demo mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runner := experiment.Runner{Seeds: *seeds}
+	if *quick {
+		runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
+	}
+	svc := service.New(service.Config{
+		QueueCapacity: *queueCap,
+		Workers:       *workers,
+		TTL:           *ttl,
+		Runner:        runner,
+	})
+	svc.Start()
+
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(svc),
+		// Streams are long-lived; only bound the read side.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "mobicd: listening on %s (queue %d, workers %d, seeds %d)\n",
+		ln.Addr(), *queueCap, *workers, *seeds)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new jobs and let queued/in-flight ones
+	// finish within the grace period (hard-canceling past it), then close
+	// the HTTP side — by now every stream has seen its terminal status.
+	fmt.Fprintf(logw, "mobicd: draining (grace %s)\n", *drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(logw, "mobicd: drain incomplete, jobs canceled: %v\n", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := server.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(logw, "mobicd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(logw, "mobicd: bye")
+	return nil
+}

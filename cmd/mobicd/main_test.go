@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-nope"}, &log); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-addr", "999.999.999.999:0"}, &log); err == nil {
+		t.Error("unlistenable address should error")
+	}
+}

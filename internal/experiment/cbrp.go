@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mobic/internal/cbrp"
@@ -15,7 +16,7 @@ import (
 // ranges, plus the flat-flooding discovery baseline. It measures the data
 // delivery ratio and route breaks (what cluster stability buys the data
 // plane) and the control overhead (what the backbone saves on discovery).
-func CBRP(r Runner) (*Result, error) {
+func CBRP(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	xs := []float64{150, 200, 250}
 
@@ -60,7 +61,7 @@ func CBRP(r Runner) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				if _, err := net.Run(); err != nil {
+				if _, err := net.RunContext(ctx); err != nil {
 					return nil, err
 				}
 				st := proto.Stats()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mobic/internal/analysis"
@@ -13,7 +14,7 @@ import (
 // records. The Result carries one PASS/FAIL note per claim; the experiment
 // fails (returns an error) only on simulation errors, not on failed claims,
 // so a regression shows up loudly in the output without hiding the data.
-func Claims(r Runner) (*Result, error) {
+func Claims(ctx context.Context, r Runner) (*Result, error) {
 	res := &Result{
 		ID:    "claims",
 		Title: "Executable checklist of the paper's claims",
@@ -28,7 +29,7 @@ func Claims(r Runner) (*Result, error) {
 
 	// One dense sweep drives the Figure 3/4 claims.
 	txs := scenario.TxSweep()
-	dense, err := sweep(r, txs, scenario.Base, paperVariants(), projectCH)
+	dense, err := sweep(ctx, r, txs, scenario.Base, paperVariants(), projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func Claims(r Runner) (*Result, error) {
 	check("C4", "Fig3: MOBIC at least matches the baseline at Tx >= 100 m",
 		analysis.AllBelow(lcc.Y[4:], mobic.Y[4:], 0.10))
 
-	clusters, err := sweep(r, txs, scenario.Base, paperVariants(), projectNC)
+	clusters, err := sweep(ctx, r, txs, scenario.Base, paperVariants(), projectNC)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +69,7 @@ func Claims(r Runner) (*Result, error) {
 	check("C6", "Fig4: little difference between algorithms (within 20%)", similar)
 
 	// Sparse sweep for the Figure 5 claims.
-	sparse, err := sweep(r, txs, scenario.Sparse, paperVariants(), projectCH)
+	sparse, err := sweep(ctx, r, txs, scenario.Sparse, paperVariants(), projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func Claims(r Runner) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nocciSeries, err := sweep(r, txs, scenario.Base,
+	nocciSeries, err := sweep(ctx, r, txs, scenario.Base,
 		[]variant{{name: "lcc", alg: cluster.LCC}, {name: "mobic-nocci", alg: noCCI}}, projectCH)
 	if err != nil {
 		return nil, err
@@ -101,7 +102,7 @@ func Claims(r Runner) (*Result, error) {
 		{id: "C10", pause: 0},
 		{id: "C11", pause: 30},
 	} {
-		s, err := sweep(r, speeds, func(v float64) scenario.Params {
+		s, err := sweep(ctx, r, speeds, func(v float64) scenario.Params {
 			return scenario.Mobility(v, p.pause)
 		}, paperVariants(), projectCH)
 		if err != nil {

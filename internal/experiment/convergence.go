@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"mobic/internal/cluster"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
@@ -14,7 +15,7 @@ import (
 // (and hence growing hop diameter), it measures the time from cold start
 // until the cluster structure stops changing, alongside the topology's hop
 // diameter.
-func Convergence(r Runner) (*Result, error) {
+func Convergence(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	// Growing areas at constant density: diameter grows with the side.
 	sides := []float64{400, 800, 1200, 1600, 2000}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -32,6 +33,7 @@ func paperVariants() []variant {
 // sweep runs one figure: for each variant, for each x, a cell; the result
 // carries one series per variant with the projected metric.
 func sweep(
+	ctx context.Context,
 	r Runner,
 	xs []float64,
 	paramsFor func(x float64) scenario.Params,
@@ -44,7 +46,7 @@ func sweep(
 			cells = append(cells, Cell{Params: paramsFor(x), Algorithm: v.alg, Mutate: v.mutate})
 		}
 	}
-	statsPerCell, err := r.RunCells(cells)
+	statsPerCell, err := r.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +80,8 @@ func projectFairness(cs CellStats) (float64, float64) {
 
 // Fig3 regenerates Figure 3: clusterhead changes vs transmission range on
 // the 670x670 m scenario (MaxSpeed 20, PT 0).
-func Fig3(r Runner) (*Result, error) {
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, paperVariants(), projectCH)
+func Fig3(ctx context.Context, r Runner) (*Result, error) {
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, paperVariants(), projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -95,8 +97,8 @@ func Fig3(r Runner) (*Result, error) {
 
 // Fig4 regenerates Figure 4: average number of clusters vs transmission
 // range on the same scenario as Figure 3.
-func Fig4(r Runner) (*Result, error) {
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, paperVariants(), projectNC)
+func Fig4(ctx context.Context, r Runner) (*Result, error) {
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, paperVariants(), projectNC)
 	if err != nil {
 		return nil, err
 	}
@@ -112,8 +114,8 @@ func Fig4(r Runner) (*Result, error) {
 
 // Fig5 regenerates Figure 5: clusterhead changes vs transmission range on
 // the sparser 1000x1000 m scenario.
-func Fig5(r Runner) (*Result, error) {
-	series, err := sweep(r, scenario.TxSweep(), scenario.Sparse, paperVariants(), projectCH)
+func Fig5(ctx context.Context, r Runner) (*Result, error) {
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Sparse, paperVariants(), projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -129,11 +131,11 @@ func Fig5(r Runner) (*Result, error) {
 
 // fig6 regenerates one panel of Figure 6: clusterhead changes vs MaxSpeed
 // at Tx = 250 m with the given pause time.
-func fig6(r Runner, id string, pause float64) (*Result, error) {
+func fig6(ctx context.Context, r Runner, id string, pause float64) (*Result, error) {
 	paramsFor := func(speed float64) scenario.Params {
 		return scenario.Mobility(speed, pause)
 	}
-	series, err := sweep(r, scenario.SpeedSweep(), paramsFor, paperVariants(), projectCH)
+	series, err := sweep(ctx, r, scenario.SpeedSweep(), paramsFor, paperVariants(), projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -148,13 +150,13 @@ func fig6(r Runner, id string, pause float64) (*Result, error) {
 }
 
 // Fig6a regenerates Figure 6(a): PT = 0 (constant mobility).
-func Fig6a(r Runner) (*Result, error) { return fig6(r, "fig6a", 0) }
+func Fig6a(ctx context.Context, r Runner) (*Result, error) { return fig6(ctx, r, "fig6a", 0) }
 
 // Fig6b regenerates Figure 6(b): PT = 30 s.
-func Fig6b(r Runner) (*Result, error) { return fig6(r, "fig6b", 30) }
+func Fig6b(ctx context.Context, r Runner) (*Result, error) { return fig6(ctx, r, "fig6b", 30) }
 
 // Table1 echoes the paper's simulation-parameter table (no simulation).
-func Table1(Runner) (*Result, error) {
+func Table1(context.Context, Runner) (*Result, error) {
 	res := &Result{
 		ID:    "table1",
 		Title: "Table 1: simulation parameters",
@@ -167,7 +169,7 @@ func Table1(Runner) (*Result, error) {
 
 // AblateCCI isolates the Cluster Contention Interval's contribution (A1):
 // MOBIC with and without CCI, the LCC baseline, and LCC augmented with CCI.
-func AblateCCI(r Runner) (*Result, error) {
+func AblateCCI(ctx context.Context, r Runner) (*Result, error) {
 	noCCI, err := cluster.ByName("mobic-nocci")
 	if err != nil {
 		return nil, err
@@ -181,7 +183,7 @@ func AblateCCI(r Runner) (*Result, error) {
 		{name: "mobic-nocci", alg: noCCI},
 		{name: "lcc+cci", alg: lccCCI},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +204,12 @@ func AblateCCI(r Runner) (*Result, error) {
 
 // AblateLCC compares the original aggressive Lowest-ID against LCC (A2),
 // reproducing the motivation from Chiang et al. [3].
-func AblateLCC(r Runner) (*Result, error) {
+func AblateLCC(ctx context.Context, r Runner) (*Result, error) {
 	variants := []variant{
 		{name: "lowest-id", alg: cluster.LowestID},
 		{name: "lcc", alg: cluster.LCC},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +225,7 @@ func AblateLCC(r Runner) (*Result, error) {
 
 // AblateHistory tests the paper's Section 5 history extension (A3): EWMA
 // smoothing of the aggregate mobility metric.
-func AblateHistory(r Runner) (*Result, error) {
+func AblateHistory(ctx context.Context, r Runner) (*Result, error) {
 	mk := func(name string, alpha float64) variant {
 		a := cluster.MOBIC
 		a.Name = name
@@ -239,7 +241,7 @@ func AblateHistory(r Runner) (*Result, error) {
 		mk("mobic-ewma-0.25", 0.25),
 		{name: "mobic-pair-0.5", alg: pair},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -254,13 +256,13 @@ func AblateHistory(r Runner) (*Result, error) {
 }
 
 // MaxDegree adds the max-connectivity baseline from Section 2.1 (A6).
-func MaxDegree(r Runner) (*Result, error) {
+func MaxDegree(ctx context.Context, r Runner) (*Result, error) {
 	variants := []variant{
 		{name: "lcc", alg: cluster.LCC},
 		{name: "mobic", alg: cluster.MOBIC},
 		{name: "max-degree", alg: cluster.MaxConnectivity},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +277,7 @@ func MaxDegree(r Runner) (*Result, error) {
 }
 
 // Propagation measures the sensitivity of MOBIC to the channel model (A7).
-func Propagation(r Runner) (*Result, error) {
+func Propagation(ctx context.Context, r Runner) (*Result, error) {
 	shadow := func(cfg *simnet.Config) {
 		cfg.Propagation = radio.NewShadowing(2.7, 4,
 			rand.New(rand.NewPCG(cfg.Seed, 0x5aad)))
@@ -288,7 +290,7 @@ func Propagation(r Runner) (*Result, error) {
 		{name: "lcc-tworay", alg: cluster.LCC},
 		{name: "lcc-shadowing", alg: cluster.LCC, mutate: shadow},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +309,7 @@ func Propagation(r Runner) (*Result, error) {
 }
 
 // Loss measures robustness of the metric to MAC-level packet loss (A8).
-func Loss(r Runner) (*Result, error) {
+func Loss(ctx context.Context, r Runner) (*Result, error) {
 	rates := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	paramsFor := func(float64) scenario.Params { return scenario.Base(150) }
 	mkLoss := func(rate float64) func(*simnet.Config) {
@@ -333,7 +335,7 @@ func Loss(r Runner) (*Result, error) {
 			})
 		}
 	}
-	cs, err := r.RunCells(cells)
+	cs, err := r.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +360,7 @@ func Loss(r Runner) (*Result, error) {
 // AdaptiveBIExp evaluates the Section 5 adaptive-hello-interval extension
 // (A4): stability and beacon cost of fixed vs adaptive intervals across
 // mobility levels.
-func AdaptiveBIExp(r Runner) (*Result, error) {
+func AdaptiveBIExp(ctx context.Context, r Runner) (*Result, error) {
 	adaptive := func(cfg *simnet.Config) {
 		cfg.Adaptive = &simnet.AdaptiveBI{Min: 0.5, Max: 4, MRef: 4}
 		cfg.BroadcastInterval = 0.5
@@ -380,7 +382,7 @@ func AdaptiveBIExp(r Runner) (*Result, error) {
 			cells = append(cells, Cell{Params: paramsFor(x), Algorithm: v.alg, Mutate: v.mutate})
 		}
 	}
-	cs, err := r.RunCells(cells)
+	cs, err := r.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -409,7 +411,7 @@ func AdaptiveBIExp(r Runner) (*Result, error) {
 
 // MAC measures the effect of beacon collisions (A13): the same Figure 3
 // sweep with the hello MAC collision model enabled vs disabled.
-func MAC(r Runner) (*Result, error) {
+func MAC(ctx context.Context, r Runner) (*Result, error) {
 	collide := func(cfg *simnet.Config) { cfg.HelloCollisions = true }
 	variants := []variant{
 		{name: "lcc", alg: cluster.LCC},
@@ -417,7 +419,7 @@ func MAC(r Runner) (*Result, error) {
 		{name: "lcc+mac", alg: cluster.LCC, mutate: collide},
 		{name: "mobic+mac", alg: cluster.MOBIC, mutate: collide},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +442,7 @@ func MAC(r Runner) (*Result, error) {
 // computed from ground-truth range rates. If the estimate is good, the two
 // curves should nearly coincide — quantifying how much the paper's
 // "no GPS required" property costs.
-func Oracle(r Runner) (*Result, error) {
+func Oracle(ctx context.Context, r Runner) (*Result, error) {
 	oracle, err := cluster.ByName("mobic-oracle")
 	if err != nil {
 		return nil, err
@@ -450,7 +452,7 @@ func Oracle(r Runner) (*Result, error) {
 		{name: "mobic", alg: cluster.MOBIC},
 		{name: "mobic-oracle", alg: oracle},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}
@@ -472,13 +474,13 @@ func Oracle(r Runner) (*Result, error) {
 // time vs Tx: who pays the clusterhead tax under each election weight?
 // Lowest-ID pins the burden on low IDs; MOBIC on relatively slow nodes;
 // max-connectivity on central ones.
-func Fairness(r Runner) (*Result, error) {
+func Fairness(ctx context.Context, r Runner) (*Result, error) {
 	variants := []variant{
 		{name: "lcc", alg: cluster.LCC},
 		{name: "mobic", alg: cluster.MOBIC},
 		{name: "max-degree", alg: cluster.MaxConnectivity},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectFairness)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectFairness)
 	if err != nil {
 		return nil, err
 	}
@@ -498,8 +500,8 @@ func Fairness(r Runner) (*Result, error) {
 
 // Residence reports mean clusterhead tenure vs Tx — a complementary
 // stability view not plotted in the paper but implied by its analysis.
-func Residence(r Runner) (*Result, error) {
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, paperVariants(), projectRes)
+func Residence(ctx context.Context, r Runner) (*Result, error) {
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, paperVariants(), projectRes)
 	if err != nil {
 		return nil, err
 	}
@@ -519,8 +521,9 @@ type Descriptor struct {
 	ID string
 	// Title describes the artifact regenerated.
 	Title string
-	// Run executes the experiment.
-	Run func(Runner) (*Result, error)
+	// Run executes the experiment. Cancellation of ctx aborts in-flight
+	// simulations promptly and surfaces ctx.Err().
+	Run func(context.Context, Runner) (*Result, error)
 }
 
 // ErrUnknownExperiment is returned by ByID for an unknown identifier.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mobic/internal/cluster"
@@ -14,7 +15,7 @@ import (
 // MOBIC headship is uncorrelated with ID. The per-window churn timeline
 // shows the reclustering storm each algorithm suffers and how fast it
 // settles — a failure mode the paper never tests but any deployment would.
-func Failures(r Runner) (*Result, error) {
+func Failures(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	const window = 60.0
 	const failAt = 300.0
@@ -43,7 +44,7 @@ func Failures(r Runner) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := net.Run(); err != nil {
+			if _, err := net.RunContext(ctx); err != nil {
 				return nil, err
 			}
 			windows, _ := net.Timeline()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"mobic/internal/cluster"
 	"mobic/internal/routing"
 	"mobic/internal/scenario"
@@ -11,7 +12,7 @@ import (
 // Flooding regenerates the A9 motivation experiment: the per-flood
 // transmission count of flat flooding vs cluster-based flooding on MOBIC's
 // clusters, sampled over the run at each transmission range.
-func Flooding(r Runner) (*Result, error) {
+func Flooding(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	xs := scenario.TxSweep()
 	flat := Series{Name: "flat-flood", Y: make([]float64, len(xs))}

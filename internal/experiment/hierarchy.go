@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"mobic/internal/cluster"
 	"mobic/internal/hier"
 	"mobic/internal/scenario"
@@ -15,7 +16,7 @@ import (
 //     by hierarchical entries), and
 //   - the cluster-graph diameter (route length in cluster hops), and
 //   - cluster-graph edge churn per sample interval (structural stability).
-func Hierarchy(r Runner) (*Result, error) {
+func Hierarchy(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	xs := scenario.TxSweep()
 	reduction := Series{Name: "state-reduction-x", Y: make([]float64, len(xs))}

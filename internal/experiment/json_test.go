@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobic/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult is a fully populated Result exercising every JSON field.
+func goldenResult() *Result {
+	return &Result{
+		ID:     "fig3",
+		Title:  "Figure 3: clusterhead changes vs Tx",
+		XLabel: "transmission range (m)",
+		YLabel: "clusterhead changes / 900 s",
+		X:      []float64{10, 150, 250},
+		Series: []Series{
+			{Name: "lowest-id(lcc)", Y: []float64{12, 340.5, 101}, CI: []float64{1.5, 20, 9.25}},
+			{Name: "mobic", Y: []float64{14, 300, 68}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+// goldenCellStats is a fully populated CellStats including one raw
+// per-seed metrics snapshot.
+func goldenCellStats() CellStats {
+	return CellStats{
+		CHChanges:         101.5,
+		CHChangesCI:       9.25,
+		AvgClusters:       7.2,
+		MembershipChanges: 55,
+		MeanResidence:     83.75,
+		Broadcasts:        22500,
+		Raw: []metrics.Result{{
+			CHChanges:               101,
+			CHAcquisitions:          51,
+			CHLosses:                50,
+			MembershipChanges:       55,
+			AvgClusters:             7.2,
+			AvgGateways:             3.5,
+			AvgClusterSize:          6.9,
+			AvgLargestCluster:       12,
+			AvgComponents:           2.25,
+			AvgLargestComponentFrac: 0.875,
+			MeanResidence:           83.75,
+			HeadTimeFairness:        0.5,
+			ResidenceCount:          40,
+			Broadcasts:              22500,
+			Deliveries:              180000,
+			Drops:                   1200,
+			Collisions:              30,
+			BytesSent:               360000,
+			Duration:                900,
+		}},
+	}
+}
+
+// checkGolden marshals v indented and compares it byte-for-byte against
+// testdata/<name>. The golden files pin the wire format served by the
+// mobicd API: a diff here means a breaking API change.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiment -run TestGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoding drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenResultJSON(t *testing.T) {
+	checkGolden(t, "result_golden.json", goldenResult())
+}
+
+func TestGoldenCellStatsJSON(t *testing.T) {
+	checkGolden(t, "cellstats_golden.json", goldenCellStats())
+}
+
+// TestResultJSONRoundTrip guards against asymmetric tags: a Result must
+// survive marshal/unmarshal unchanged so API clients can resubmit or diff
+// results.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := goldenResult()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, back) {
+		t.Errorf("round trip drifted:\n%s\nvs\n%s", data, back)
+	}
+}

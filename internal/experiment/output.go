@@ -10,36 +10,13 @@ import (
 	"mobic/internal/viz"
 )
 
-// WriteJSON emits the Result as indented JSON for machine consumption.
+// WriteJSON emits the Result as indented JSON for machine consumption. The
+// encoding comes straight from Result's struct tags, so CLI output and the
+// mobicd API share one stable wire format.
 func WriteJSON(w io.Writer, res *Result) error {
-	type jsonSeries struct {
-		Name string    `json:"name"`
-		Y    []float64 `json:"y"`
-		CI   []float64 `json:"ci,omitempty"`
-	}
-	type jsonResult struct {
-		ID     string       `json:"id"`
-		Title  string       `json:"title"`
-		XLabel string       `json:"x_label,omitempty"`
-		YLabel string       `json:"y_label,omitempty"`
-		X      []float64    `json:"x,omitempty"`
-		Series []jsonSeries `json:"series,omitempty"`
-		Notes  []string     `json:"notes,omitempty"`
-	}
-	out := jsonResult{
-		ID:     res.ID,
-		Title:  res.Title,
-		XLabel: res.XLabel,
-		YLabel: res.YLabel,
-		X:      res.X,
-		Notes:  res.Notes,
-	}
-	for _, s := range res.Series {
-		out.Series = append(out.Series, jsonSeries{Name: s.Name, Y: s.Y, CI: s.CI})
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(res)
 }
 
 // FormatTable renders a Result as an aligned text table: one row per X

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"mobic/internal/cluster"
@@ -35,7 +36,7 @@ func (p *networkProvider) TopologyAt(t float64) (*graph.Adjacency, []int32, erro
 //   - the mean lifetime of backbone-constrained routes between random
 //     node pairs (probed every 5 s until the route breaks), and
 //   - the mean route-request discovery cost over the cluster backbone.
-func Routes(r Runner) (*Result, error) {
+func Routes(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	xs := []float64{100, 150, 200, 250}
 	algs := []cluster.Algorithm{cluster.LCC, cluster.MOBIC}

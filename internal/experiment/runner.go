@@ -7,6 +7,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -48,22 +49,24 @@ func (r Runner) withDefaults() Runner {
 }
 
 // CellStats aggregates one sweep cell (one x value, one algorithm) over the
-// replications.
+// replications. The JSON field names are a stable wire format: the service
+// API returns CellStats directly, so renaming a tag is a breaking change
+// (guarded by the golden-file test in json_test.go).
 type CellStats struct {
 	// CHChanges is the mean cluster-stability metric CS.
-	CHChanges float64
+	CHChanges float64 `json:"ch_changes"`
 	// CHChangesCI is the 95% confidence half-width over seeds.
-	CHChangesCI float64
+	CHChangesCI float64 `json:"ch_changes_ci"`
 	// AvgClusters is the mean time-averaged cluster count.
-	AvgClusters float64
+	AvgClusters float64 `json:"avg_clusters"`
 	// MembershipChanges is the mean membership-change count.
-	MembershipChanges float64
+	MembershipChanges float64 `json:"membership_changes"`
 	// MeanResidence is the mean clusterhead tenure in seconds.
-	MeanResidence float64
+	MeanResidence float64 `json:"mean_residence"`
 	// Broadcasts is the mean number of hello transmissions.
-	Broadcasts float64
+	Broadcasts float64 `json:"broadcasts"`
 	// Raw holds the per-seed metric snapshots for custom projections.
-	Raw []metrics.Result
+	Raw []metrics.Result `json:"raw,omitempty"`
 }
 
 // cellJob is one (cell index, replication) unit of work.
@@ -76,7 +79,11 @@ type cellJob struct {
 // RunCells executes every (params, algorithm) cell over all seeds, in
 // parallel, and aggregates per cell. make(cfg) materializes a cell's config
 // for one seed. Results are ordered like the inputs.
-func (r Runner) RunCells(cells []Cell) ([]CellStats, error) {
+//
+// Cancellation: when ctx is canceled or times out, in-flight simulations
+// stop at the next scheduler chunk, queued work is skipped, and RunCells
+// returns ctx.Err() — this is how service jobs abort promptly.
+func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error) {
 	r = r.withDefaults()
 
 	var jobs []cellJob
@@ -111,10 +118,14 @@ func (r Runner) RunCells(cells []Cell) ([]CellStats, error) {
 		go func() {
 			defer wg.Done()
 			for job := range jobCh {
-				net, err := simnet.New(job.cfg)
+				err := ctx.Err()
 				var res *simnet.Result
 				if err == nil {
-					res, err = net.Run()
+					var net *simnet.Network
+					net, err = simnet.New(job.cfg)
+					if err == nil {
+						res, err = net.RunContext(ctx)
+					}
 				}
 				mu.Lock()
 				if err != nil {
@@ -188,25 +199,28 @@ func aggregate(rs []metrics.Result) CellStats {
 // Series is one named curve of a Result.
 type Series struct {
 	// Name labels the curve (algorithm or variant).
-	Name string
+	Name string `json:"name"`
 	// Y holds one value per X point.
-	Y []float64
+	Y []float64 `json:"y"`
 	// CI holds the 95% half-widths (may be nil).
-	CI []float64
+	CI []float64 `json:"ci,omitempty"`
 }
 
-// Result is a regenerated table or figure.
+// Result is a regenerated table or figure. The JSON field names are a
+// stable wire format consumed by cmd/experiments -json and the mobicd API;
+// the golden-file test in json_test.go pins them.
 type Result struct {
 	// ID is the experiment identifier ("fig3", "table1", "ablate-cci"...).
-	ID string
+	ID string `json:"id"`
 	// Title describes the artifact.
-	Title string
+	Title string `json:"title"`
 	// XLabel and YLabel name the axes.
-	XLabel, YLabel string
+	XLabel string `json:"x_label,omitempty"`
+	YLabel string `json:"y_label,omitempty"`
 	// X is the sweep axis.
-	X []float64
+	X []float64 `json:"x,omitempty"`
 	// Series holds one curve per algorithm/variant.
-	Series []Series
+	Series []Series `json:"series,omitempty"`
 	// Notes carries free-form observations (shape checks, coverage...).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }

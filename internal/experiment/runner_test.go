@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -37,7 +38,7 @@ func TestRunCellsAggregates(t *testing.T) {
 		{Params: smallParams(150), Algorithm: cluster.LCC},
 		{Params: smallParams(150), Algorithm: cluster.MOBIC},
 	}
-	stats, err := r.RunCells(cells)
+	stats, err := r.RunCells(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestRunCellsDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	serial := Runner{Seeds: 2, BaseSeed: 1, Workers: 1}
 	parallel := Runner{Seeds: 2, BaseSeed: 1, Workers: 8}
-	a, err := serial.RunCells(cells)
+	a, err := serial.RunCells(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.RunCells(cells)
+	b, err := parallel.RunCells(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +84,42 @@ func TestRunCellsPropagatesErrors(t *testing.T) {
 	bad := scenario.Base(150)
 	bad.N = -1
 	r := Runner{Seeds: 1}
-	if _, err := r.RunCells([]Cell{{Params: bad, Algorithm: cluster.MOBIC}}); err == nil {
+	if _, err := r.RunCells(context.Background(), []Cell{{Params: bad, Algorithm: cluster.MOBIC}}); err == nil {
 		t.Error("invalid cell should error")
+	}
+}
+
+func TestRunCellsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{Seeds: 1, Workers: 1}
+	cells := []Cell{{Params: smallParams(100), Algorithm: cluster.MOBIC}}
+	_, err := r.RunCells(ctx, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCellsCanceledMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Runner{
+		Seeds:   1,
+		Workers: 1,
+		// Cancel as soon as the first cell completes; the remaining
+		// cells must be skipped and the sweep must fail with ctx.Err().
+		Progress: func(done, total int) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	}
+	var cells []Cell
+	for i := 0; i < 8; i++ {
+		cells = append(cells, Cell{Params: smallParams(100), Algorithm: cluster.MOBIC})
+	}
+	_, err := r.RunCells(ctx, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -104,7 +139,7 @@ func TestRunCellsProgress(t *testing.T) {
 		{Params: smallParams(100), Algorithm: cluster.MOBIC},
 		{Params: smallParams(100), Algorithm: cluster.LCC},
 	}
-	if _, err := r.RunCells(cells); err != nil {
+	if _, err := r.RunCells(context.Background(), cells); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 4 {
@@ -146,7 +181,7 @@ func TestByIDUnknown(t *testing.T) {
 }
 
 func TestTable1Experiment(t *testing.T) {
-	res, err := Table1(Runner{})
+	res, err := Table1(context.Background(), Runner{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +197,7 @@ func TestTable1Experiment(t *testing.T) {
 }
 
 func TestFig6aSmall(t *testing.T) {
-	res, err := Fig6a(fastRunner(1))
+	res, err := Fig6a(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +218,7 @@ func TestFig6aSmall(t *testing.T) {
 }
 
 func TestLossExperimentSmall(t *testing.T) {
-	res, err := Loss(fastRunner(1))
+	res, err := Loss(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +233,7 @@ func TestFloodingExperimentStructure(t *testing.T) {
 	}
 	// Run a reduced flooding experiment by hand: one tx, one seed.
 	r := fastRunner(1)
-	res, err := Flooding(r)
+	res, err := Flooding(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +250,7 @@ func TestFloodingExperimentStructure(t *testing.T) {
 }
 
 func TestTimelineExperimentSmall(t *testing.T) {
-	res, err := Timeline(fastRunner(1))
+	res, err := Timeline(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +272,7 @@ func TestTimelineExperimentSmall(t *testing.T) {
 }
 
 func TestFairnessExperimentSmall(t *testing.T) {
-	res, err := Fairness(fastRunner(1))
+	res, err := Fairness(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +292,7 @@ func TestClaimsExperimentSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("claims runs several sweeps")
 	}
-	res, err := Claims(fastRunner(1))
+	res, err := Claims(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +311,7 @@ func TestConvergenceExperimentSmall(t *testing.T) {
 		t.Skip("runs several static scenarios")
 	}
 	r := Runner{Seeds: 1}
-	res, err := Convergence(r)
+	res, err := Convergence(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +336,7 @@ func TestFailuresExperimentSmall(t *testing.T) {
 			cfg.Duration = 400
 		},
 	}
-	res, err := Failures(r)
+	res, err := Failures(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +346,7 @@ func TestFailuresExperimentSmall(t *testing.T) {
 }
 
 func TestHierarchyExperimentSmall(t *testing.T) {
-	res, err := Hierarchy(fastRunner(1))
+	res, err := Hierarchy(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,8 +363,8 @@ func TestHierarchyExperimentSmall(t *testing.T) {
 }
 
 func TestSensitivityExperimentsSmall(t *testing.T) {
-	for _, run := range []func(Runner) (*Result, error){CCISweep, BISweep, WCALite} {
-		res, err := run(fastRunner(1))
+	for _, run := range []func(context.Context, Runner) (*Result, error){CCISweep, BISweep, WCALite} {
+		res, err := run(context.Background(), fastRunner(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -345,7 +380,7 @@ func TestSensitivityExperimentsSmall(t *testing.T) {
 }
 
 func TestRoutesExperimentSmall(t *testing.T) {
-	res, err := Routes(fastRunner(1))
+	res, err := Routes(context.Background(), fastRunner(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,7 +405,7 @@ func TestFig3ShapeTrimmed(t *testing.T) {
 			cfg.Duration = 300
 		},
 	}
-	res, err := Fig3(r)
+	res, err := Fig3(context.Background(), r)
 	if err != nil {
 		t.Fatal(err)
 	}

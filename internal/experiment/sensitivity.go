@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"mobic/internal/cluster"
@@ -11,7 +12,7 @@ import (
 // CCISweep asks whether Table 1's CCI = 4 s is a good choice: MOBIC's
 // clusterhead changes at Tx 150 m and Tx 250 m across contention intervals
 // from 0 (immediate resolution) to 16 s.
-func CCISweep(r Runner) (*Result, error) {
+func CCISweep(ctx context.Context, r Runner) (*Result, error) {
 	ccis := []float64{0, 1, 2, 4, 8, 16}
 	var cells []Cell
 	for _, tx := range []float64{150, 250} {
@@ -29,7 +30,7 @@ func CCISweep(r Runner) (*Result, error) {
 			cells = append(cells, Cell{Params: p, Algorithm: alg})
 		}
 	}
-	cs, err := r.RunCells(cells)
+	cs, err := r.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +60,7 @@ func CCISweep(r Runner) (*Result, error) {
 // sweep at Tx 150 m for LCC and MOBIC, with TP scaled to 1.5x BI as in
 // Table 1's ratio. Faster hellos see topology sooner (fewer stale
 // decisions) but cost linearly more airtime.
-func BISweep(r Runner) (*Result, error) {
+func BISweep(ctx context.Context, r Runner) (*Result, error) {
 	bis := []float64{0.5, 1, 2, 4, 8}
 	algs := []cluster.Algorithm{cluster.LCC, cluster.MOBIC}
 	var cells []Cell
@@ -71,7 +72,7 @@ func BISweep(r Runner) (*Result, error) {
 			cells = append(cells, Cell{Params: p, Algorithm: alg})
 		}
 	}
-	cs, err := r.RunCells(cells)
+	cs, err := r.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +102,7 @@ func BISweep(r Runner) (*Result, error) {
 // election weight mixes the mobility metric with the node's deviation from
 // an ideal degree, so clusterheads are slow AND well-connected-but-not-
 // overloaded. Compared against MOBIC and LCC.
-func WCALite(r Runner) (*Result, error) {
+func WCALite(ctx context.Context, r Runner) (*Result, error) {
 	wca := cluster.MOBIC
 	wca.Name = "wca-lite"
 	wcaMutate := func(cfg *simnet.Config) { cfg.CombinedDegreeWeight = 0.5 }
@@ -110,7 +111,7 @@ func WCALite(r Runner) (*Result, error) {
 		{name: "mobic", alg: cluster.MOBIC},
 		{name: "wca-lite", alg: wca, mutate: wcaMutate},
 	}
-	series, err := sweep(r, scenario.TxSweep(), scenario.Base, variants, projectCH)
+	series, err := sweep(ctx, r, scenario.TxSweep(), scenario.Base, variants, projectCH)
 	if err != nil {
 		return nil, err
 	}

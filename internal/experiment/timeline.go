@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"mobic/internal/cluster"
 	"mobic/internal/scenario"
 	"mobic/internal/simnet"
@@ -11,7 +12,7 @@ import (
 // LCC baseline and MOBIC. It demonstrates that the paper's aggregate CS
 // numbers are maintenance churn, not formation artifacts, and makes the
 // stability gap visible window by window.
-func Timeline(r Runner) (*Result, error) {
+func Timeline(ctx context.Context, r Runner) (*Result, error) {
 	r = r.withDefaults()
 	const window = 60.0
 	algs := []cluster.Algorithm{cluster.LCC, cluster.MOBIC}
@@ -34,7 +35,7 @@ func Timeline(r Runner) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := net.Run(); err != nil {
+			if _, err := net.RunContext(ctx); err != nil {
 				return nil, err
 			}
 			windows, _ := net.Timeline()

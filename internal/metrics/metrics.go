@@ -228,46 +228,51 @@ func (r *Recorder) HeadTimeFairness() float64 {
 }
 
 // Result is the summary of one run.
+// Result's JSON field names are a stable wire format: experiment cell
+// results embed it and the mobicd API serves it, so renaming a tag is a
+// breaking change (pinned by internal/experiment's golden-file test).
 type Result struct {
 	// CHChanges is the paper's cluster-stability metric CS: every
 	// transition of any node into or out of clusterhead status.
-	CHChanges int
+	CHChanges int `json:"ch_changes"`
 	// CHAcquisitions counts non-head -> head transitions only.
-	CHAcquisitions int
+	CHAcquisitions int `json:"ch_acquisitions"`
 	// CHLosses counts head -> non-head transitions only.
-	CHLosses int
+	CHLosses int `json:"ch_losses"`
 	// MembershipChanges counts members switching between clusterheads.
-	MembershipChanges int
+	MembershipChanges int `json:"membership_changes"`
 	// AvgClusters is the time-averaged number of clusterheads (Figure 4).
-	AvgClusters float64
+	AvgClusters float64 `json:"avg_clusters"`
 	// AvgGateways is the time-averaged number of gateway nodes.
-	AvgGateways float64
+	AvgGateways float64 `json:"avg_gateways"`
 	// AvgClusterSize is the time-averaged mean cluster size (nodes per
 	// cluster, heads included).
-	AvgClusterSize float64
+	AvgClusterSize float64 `json:"avg_cluster_size"`
 	// AvgLargestCluster is the time-averaged largest cluster size.
-	AvgLargestCluster float64
+	AvgLargestCluster float64 `json:"avg_largest_cluster"`
 	// AvgComponents is the time-averaged number of connected components
 	// of the physical topology.
-	AvgComponents float64
+	AvgComponents float64 `json:"avg_components"`
 	// AvgLargestComponentFrac is the time-averaged fraction of nodes in
 	// the largest connected component.
-	AvgLargestComponentFrac float64
+	AvgLargestComponentFrac float64 `json:"avg_largest_component_frac"`
 	// MeanResidence is the mean clusterhead tenure in seconds.
-	MeanResidence float64
+	MeanResidence float64 `json:"mean_residence"`
 	// HeadTimeFairness is Jain's fairness index over per-node head duty.
-	HeadTimeFairness float64
+	HeadTimeFairness float64 `json:"head_time_fairness"`
 	// ResidenceCount is the number of closed tenures measured.
-	ResidenceCount int
+	ResidenceCount int `json:"residence_count"`
 	// Broadcasts, Deliveries and Drops are hello message tallies.
-	Broadcasts, Deliveries, Drops uint64
+	Broadcasts uint64 `json:"broadcasts"`
+	Deliveries uint64 `json:"deliveries"`
+	Drops      uint64 `json:"drops"`
 	// Collisions counts hellos destroyed by the MAC collision model.
-	Collisions uint64
+	Collisions uint64 `json:"collisions"`
 	// BytesSent is the total hello payload bytes transmitted; the paper
 	// notes MOBIC's hello grows by exactly 8 bytes (one float64 for M).
-	BytesSent uint64
+	BytesSent uint64 `json:"bytes_sent"`
 	// Duration is the simulated time span the metrics cover.
-	Duration float64
+	Duration float64 `json:"duration"`
 }
 
 // Snapshot returns the accumulated metrics. Call after Finalize.

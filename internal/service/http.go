@@ -1,0 +1,176 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes the service as a JSON HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202, or 429 + Retry-After)
+//	GET    /v1/jobs/{id}        job status (+ result once finished)
+//	GET    /v1/jobs/{id}/stream NDJSON status stream until terminal
+//	DELETE /v1/jobs/{id}        request cancellation
+//	GET    /healthz             liveness + queue gauges
+//	GET    /metrics             Prometheus text metrics
+func NewHandler(svc *Service) http.Handler {
+	a := &api{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", a.stream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /metrics", a.metrics)
+	return mux
+}
+
+type api struct {
+	svc *Service
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already sent; nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// submit handles POST /v1/jobs. Backpressure contract: when the queue is
+// full the request is shed with 429 and a Retry-After hint instead of
+// blocking the connection.
+func (a *api) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	job, err := a.svc.Submit(spec)
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		st, _, _ := job.Snapshot()
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// job resolves the {id} path value, writing 404 on a miss.
+func (a *api) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := a.svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q (it may have expired)", id)
+		return nil, false
+	}
+	return job, true
+}
+
+func (a *api) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	st, _, _ := job.Snapshot()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	job.RequestCancel()
+	st, _, _ := job.Snapshot()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// stream handles GET /v1/jobs/{id}/stream: one NDJSON StreamEvent line
+// per state transition and completed cell, flushed immediately, ending
+// with the "result" event (which carries the final status and payload).
+// Clients just read lines until EOF. The event log is replayed from the
+// beginning, so attaching late still yields the full history.
+func (a *api) stream(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		events, notify := job.EventsSince(next)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+			if ev.Type == "result" {
+				return
+			}
+		}
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		next += len(events)
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// healthz reports liveness plus the load gauges an external balancer needs
+// for routing decisions. During drain it flips to 503 so upstreams stop
+// sending traffic before the listener closes.
+func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status        string `json:"status"`
+		QueueDepth    int    `json:"queue_depth"`
+		QueueCapacity int    `json:"queue_capacity"`
+		StoredJobs    int    `json:"stored_jobs"`
+	}
+	h := health{
+		Status:        "ok",
+		QueueDepth:    a.svc.QueueDepth(),
+		QueueCapacity: a.svc.QueueCapacity(),
+		StoredJobs:    a.svc.StoredJobs(),
+	}
+	code := http.StatusOK
+	if a.svc.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = a.svc.Metrics().WriteTo(w, a.svc.QueueDepth(), a.svc.StoredJobs())
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: queued -> running -> succeeded | failed | canceled.
+// A queued job canceled before a worker picks it up goes straight to
+// canceled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream:
+//
+//   - "status":   a state transition (queued -> running)
+//   - "progress": one completed simulation cell
+//   - "result":   the terminal event; Status carries the final state,
+//     error (if any) and result payload. Always the last line.
+type StreamEvent struct {
+	Type  string  `json:"type"`
+	State State   `json:"state,omitempty"`
+	Done  int     `json:"done,omitempty"`
+	Total int     `json:"total,omitempty"`
+	Stat  *Status `json:"status,omitempty"`
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by mu;
+// readers take Snapshot and stream watchers replay the append-only event
+// log, blocking on the notify channel, which is closed-and-replaced on
+// every change (a broadcast that needs no subscriber registry). The log —
+// rather than snapshot polling — guarantees no progress event is coalesced
+// away, so streams see every completed cell. Its length is bounded by the
+// job's cell count (seeds × sweep points) plus two transitions.
+type Job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	notify   chan struct{}
+	version  int
+	events   []StreamEvent
+	state    State
+	done     int
+	total    int
+	errMsg   string
+	output   *Output
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	wantStop bool
+}
+
+// newJob creates a queued job with a fresh random ID.
+func newJob(spec JobSpec, now time.Time) *Job {
+	return &Job{
+		id:      newJobID(),
+		spec:    spec,
+		notify:  make(chan struct{}),
+		state:   StateQueued,
+		created: now,
+		events:  []StreamEvent{{Type: "status", State: StateQueued}},
+	}
+}
+
+// newJobID returns 16 hex chars of crypto randomness — unguessable enough
+// that knowing an ID is the only capability needed to read or cancel a job.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("service: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the immutable job identifier.
+func (j *Job) ID() string { return j.id }
+
+// changed bumps the version and wakes every watcher. Callers must hold mu.
+func (j *Job) changed() {
+	j.version++
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// setRunning transitions queued -> running and installs the cancel func
+// for this job's context. Returns false when the job was canceled while
+// queued (the worker must then skip it).
+func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wantStop {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.events = append(j.events, StreamEvent{Type: "status", State: StateRunning})
+	j.changed()
+	return true
+}
+
+// setProgress records cell completion; safe to call from runner workers.
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done, j.total = done, total
+	j.events = append(j.events, StreamEvent{Type: "progress", State: j.state, Done: done, Total: total})
+	j.changed()
+}
+
+// finish transitions to a terminal state. It is a no-op if the job already
+// finished.
+func (j *Job) finish(state State, out *Output, errMsg string, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.output = out
+	j.errMsg = errMsg
+	j.finished = now
+	j.cancel = nil
+	st := j.statusLocked()
+	j.events = append(j.events, StreamEvent{Type: "result", State: state, Stat: &st})
+	j.changed()
+}
+
+// EventsSince returns the stream events from index i on, plus the channel
+// closed on the next change. Stream handlers replay events in order and
+// block on the channel between batches.
+func (j *Job) EventsSince(i int) ([]StreamEvent, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i > len(j.events) {
+		i = len(j.events)
+	}
+	// The events slice is append-only, so sharing the backing array with
+	// readers is safe.
+	return j.events[i:], j.notify
+}
+
+// RequestCancel marks the job for cancellation. A running job's context is
+// canceled immediately; a queued job is finished as canceled by the worker
+// that eventually pops it (or here if it never started). It returns true
+// if the request had any effect.
+func (j *Job) RequestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.wantStop {
+		return false
+	}
+	j.wantStop = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	j.changed()
+	return true
+}
+
+// Status is the wire representation of a job, served by GET /v1/jobs/{id}
+// and streamed as NDJSON lines by /stream.
+type Status struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Done/Total count completed simulation cells (seeds × sweep points).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error is the failure reason (context.Canceled for canceled jobs,
+	// context.DeadlineExceeded for timeouts).
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Result and Cells are present once the job succeeded.
+	Output
+}
+
+// Snapshot returns a consistent copy of the job plus its change version and
+// the channel that will be closed on the next change. Watch loops write the
+// snapshot, then block on the channel (or their own context).
+func (j *Job) Snapshot() (Status, int, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(), j.version, j.notify
+}
+
+// statusLocked builds the wire status; callers must hold mu.
+func (j *Job) statusLocked() Status {
+	st := Status{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Done:      j.done,
+		Total:     j.total,
+		Error:     j.errMsg,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.output != nil {
+		st.Output = *j.output
+	}
+	return st
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"mobic/internal/stats"
+)
+
+// latency histogram shape: 24 half-second buckets over [0, 12) s plus
+// under/overflow. Most trimmed jobs land well inside; full-fidelity 900 s
+// sweeps show up in the overflow (+Inf) bucket.
+const (
+	latencyLo   = 0.0
+	latencyHi   = 12.0
+	latencyBins = 24
+)
+
+// Metrics aggregates service observability counters, exposed by
+// GET /metrics in Prometheus text format.
+type Metrics struct {
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	inFlight  atomic.Int64
+
+	mu      sync.Mutex
+	latency *stats.Histogram
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	h, err := stats.NewHistogram(latencyLo, latencyHi, latencyBins)
+	if err != nil {
+		panic("service: latency histogram: " + err.Error()) // static bounds
+	}
+	return &Metrics{latency: h}
+}
+
+// ObserveLatency records one finished job's wall-clock seconds.
+func (m *Metrics) ObserveLatency(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency.Add(seconds)
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format.
+// queueDepth and stored are point-in-time gauges supplied by the service.
+func (m *Metrics) WriteTo(w io.Writer, queueDepth, stored int) error {
+	counters := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"mobicd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted.Load()},
+		{"mobicd_jobs_rejected_total", "Submissions shed with 429 because the queue was full.", m.rejected.Load()},
+		{"mobicd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load()},
+		{"mobicd_jobs_failed_total", "Jobs finished with an error (timeouts included).", m.failed.Load()},
+		{"mobicd_jobs_canceled_total", "Jobs canceled by callers or shutdown.", m.canceled.Load()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.value); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		value      int64
+	}{
+		{"mobicd_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth)},
+		{"mobicd_jobs_in_flight", "Jobs currently executing on workers.", m.inFlight.Load()},
+		{"mobicd_jobs_stored", "Jobs held in the store (all states, pre-TTL).", int64(stored)},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.value); err != nil {
+			return err
+		}
+	}
+	return m.writeLatency(w)
+}
+
+// writeLatency renders the per-job latency histogram with cumulative
+// buckets, Prometheus-style.
+func (m *Metrics) writeLatency(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	const name = "mobicd_job_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Wall-clock latency of finished jobs.\n# TYPE %s histogram\n", name, name); err != nil {
+		return err
+	}
+	cum := m.latency.Underflow()
+	for i := 0; i < m.latency.Bins(); i++ {
+		cum += m.latency.Count(i)
+		_, hi := m.latency.BinBounds(i)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", hi), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", name, m.latency.Total(), name, m.latency.Total())
+	return err
+}

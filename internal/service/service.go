@@ -1,0 +1,268 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"mobic/internal/experiment"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue cannot
+	// accept another job; callers should retry after backing off (429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrShuttingDown is returned by Submit once Shutdown began (503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// ExecuteFunc runs one job spec; the default is JobSpec.run on the real
+// simulator. Tests and benchmarks substitute stubs.
+type ExecuteFunc func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error)
+
+// Config parameterizes a Service.
+type Config struct {
+	// QueueCapacity bounds the number of queued (not yet running) jobs;
+	// beyond it Submit sheds load with ErrQueueFull. Default 64.
+	QueueCapacity int
+	// Workers is the number of jobs executed concurrently. Each job
+	// parallelizes internally via Runner.Workers, so the default is a
+	// deliberately small 2.
+	Workers int
+	// TTL is how long terminal jobs stay queryable. Default 15 min.
+	TTL time.Duration
+	// EvictEvery is the janitor period. Default 1 min.
+	EvictEvery time.Duration
+	// Runner is the base experiment runner jobs start from (its Seeds,
+	// BaseSeed and Mutate act as service-wide defaults).
+	Runner experiment.Runner
+	// Execute overrides job execution (stub point for tests/benchmarks).
+	Execute ExecuteFunc
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Runner.Workers <= 0 {
+		// Split cores across concurrent jobs rather than letting every
+		// job's cell pool oversubscribe the machine.
+		c.Runner.Workers = max(1, runtime.GOMAXPROCS(0)/c.Workers)
+	}
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.EvictEvery <= 0 {
+		c.EvictEvery = time.Minute
+	}
+	if c.Execute == nil {
+		c.Execute = func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+			return spec.run(ctx, base, progress)
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Service is the simulation-as-a-service backend: a bounded FIFO queue, a
+// worker pool over experiment.Runner, and a TTL-evicted job store.
+type Service struct {
+	cfg     Config
+	store   *Store
+	queue   chan *Job
+	metrics *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workersWG  chan struct{} // closed when all workers exited
+	janitorWG  chan struct{} // closed when the janitor exited
+
+	submitMu chan struct{} // 1-token semaphore guarding closed+enqueue
+	closed   bool
+}
+
+// New builds a Service; call Start before submitting.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		store:      NewStore(cfg.TTL),
+		queue:      make(chan *Job, cfg.QueueCapacity),
+		metrics:    NewMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		workersWG:  make(chan struct{}),
+		janitorWG:  make(chan struct{}),
+		submitMu:   make(chan struct{}, 1),
+	}
+	return s
+}
+
+// Metrics exposes the service counters.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// QueueCapacity returns the queue bound.
+func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
+
+// StoredJobs returns the number of jobs currently in the store.
+func (s *Service) StoredJobs() int { return s.store.Len() }
+
+// Start launches the worker pool and the TTL janitor.
+func (s *Service) Start() {
+	done := make([]chan struct{}, s.cfg.Workers)
+	for i := range done {
+		ch := make(chan struct{})
+		done[i] = ch
+		go func() {
+			defer close(ch)
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	go func() {
+		defer close(s.workersWG)
+		for _, ch := range done {
+			<-ch
+		}
+	}()
+	go func() {
+		defer close(s.janitorWG)
+		ticker := time.NewTicker(s.cfg.EvictEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.baseCtx.Done():
+				return
+			case <-ticker.C:
+				s.store.EvictExpired(s.cfg.Clock())
+			}
+		}
+	}()
+}
+
+// Submit validates the spec and enqueues a job. It never blocks: a full
+// queue fails fast with ErrQueueFull so the HTTP layer can shed load.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	job := newJob(spec, s.cfg.Clock())
+
+	// The semaphore serializes the closed-check with the enqueue so no
+	// job can slip into the queue after Shutdown closed it.
+	s.submitMu <- struct{}{}
+	defer func() { <-s.submitMu }()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	s.store.Put(job)
+	select {
+	case s.queue <- job:
+		s.metrics.submitted.Add(1)
+		return job, nil
+	default:
+		s.store.Delete(job.ID())
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get looks a job up by ID.
+func (s *Service) Get(id string) (*Job, bool) { return s.store.Get(id) }
+
+// Cancel requests cancellation of a job by ID. A running job's context is
+// canceled (its sweep aborts at the next scheduler chunk); a queued job is
+// finished as canceled when a worker pops it.
+func (s *Service) Cancel(id string) (*Job, bool) {
+	job, ok := s.store.Get(id)
+	if !ok {
+		return nil, false
+	}
+	job.RequestCancel()
+	return job, true
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.submitMu <- struct{}{}
+	defer func() { <-s.submitMu }()
+	return s.closed
+}
+
+// Shutdown drains gracefully: no new submissions, queued and in-flight
+// jobs run to completion. If ctx expires first, every remaining job is
+// canceled and Shutdown returns ctx.Err() once workers exit.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.submitMu <- struct{}{}
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	<-s.submitMu
+
+	select {
+	case <-s.workersWG:
+		s.baseCancel() // stop the janitor
+		<-s.janitorWG
+		return nil
+	case <-ctx.Done():
+		// Drain deadline hit: abort in-flight jobs and the janitor.
+		s.baseCancel()
+		<-s.workersWG
+		<-s.janitorWG
+		return ctx.Err()
+	}
+}
+
+// runJob executes one popped job end to end and classifies the outcome.
+func (s *Service) runJob(job *Job) {
+	now := s.cfg.Clock()
+
+	jobCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if t := job.spec.TimeoutSeconds; t > 0 {
+		jobCtx, cancel = context.WithTimeout(jobCtx, time.Duration(t*float64(time.Second)))
+		defer cancel()
+	}
+
+	if !job.setRunning(cancel, now) {
+		// Canceled while queued: never ran.
+		s.metrics.canceled.Add(1)
+		job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		return
+	}
+
+	s.metrics.inFlight.Add(1)
+	out, err := s.cfg.Execute(jobCtx, job.spec, s.cfg.Runner, job.setProgress)
+	s.metrics.inFlight.Add(-1)
+
+	end := s.cfg.Clock()
+	s.metrics.ObserveLatency(end.Sub(now).Seconds())
+	switch {
+	case err == nil:
+		s.metrics.completed.Add(1)
+		job.finish(StateSucceeded, out, "", end)
+	case errors.Is(err, context.Canceled):
+		s.metrics.canceled.Add(1)
+		job.finish(StateCanceled, nil, err.Error(), end)
+	default:
+		// Timeouts (context.DeadlineExceeded) and simulation errors both
+		// count as failures; the reason is preserved verbatim.
+		s.metrics.failed.Add(1)
+		job.finish(StateFailed, nil, err.Error(), end)
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Store is the in-memory job index. Terminal jobs are evicted once their
+// TTL elapses so an always-on daemon's memory stays bounded; running and
+// queued jobs are never evicted.
+type Store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	ttl  time.Duration
+}
+
+// NewStore returns a store evicting terminal jobs ttl after they finish.
+func NewStore(ttl time.Duration) *Store {
+	return &Store{jobs: make(map[string]*Job), ttl: ttl}
+}
+
+// Put indexes a job.
+func (s *Store) Put(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID()] = j
+}
+
+// Get looks a job up by ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Delete removes a job (used when enqueueing fails after Put).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}
+
+// Len returns the number of indexed jobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// EvictExpired removes terminal jobs that finished more than TTL before
+// now and returns how many were evicted. The janitor calls it
+// periodically; tests call it directly with a synthetic clock.
+func (s *Store) EvictExpired(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for id, j := range s.jobs {
+		st, _, _ := j.Snapshot()
+		if st.State.Terminal() && st.FinishedAt != nil && now.Sub(*st.FinishedAt) >= s.ttl {
+			delete(s.jobs, id)
+			evicted++
+		}
+	}
+	return evicted
+}

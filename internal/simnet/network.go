@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -265,7 +266,28 @@ type Result struct {
 // Run executes the simulation to completion and returns the metrics.
 // A network can only be run once (interleaving RunUntil beforehand is fine).
 func (n *Network) Run() (*Result, error) {
-	n.sched.RunUntil(n.cfg.Duration)
+	return n.RunContext(context.Background())
+}
+
+// runChunk is the simulated-seconds granularity at which RunContext checks
+// for cancellation: small enough that a canceled 900 s run stops within a
+// few percent of its work, large enough that the check is free.
+const runChunk = 10.0
+
+// RunContext executes the simulation to completion, checking ctx between
+// scheduler chunks so a canceled or timed-out caller stops promptly
+// mid-run. It returns ctx.Err() when interrupted.
+func (n *Network) RunContext(ctx context.Context) (*Result, error) {
+	for now := n.sched.Now(); now < n.cfg.Duration; now = n.sched.Now() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		horizon := now + runChunk
+		if horizon > n.cfg.Duration {
+			horizon = n.cfg.Duration
+		}
+		n.sched.RunUntil(horizon)
+	}
 	n.rec.Finalize(n.cfg.Duration)
 
 	heads := 0

@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: static analysis plus the whole test
+# suite under the race detector. Run via `make check` or directly.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
