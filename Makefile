@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-baseline bench-check check
 
 build:
 	go build ./...
@@ -17,6 +17,15 @@ vet:
 bench:
 	go test -bench=. -benchtime=1x .
 
-# The pre-merge gate: vet + full suite under the race detector.
+# Rewrite BENCH_harness.json from this machine's benchmark costs.
+bench-baseline:
+	./scripts/bench.sh baseline
+
+# Compare the full benchmark suite against the committed baseline.
+bench-check:
+	./scripts/bench.sh check
+
+# The pre-merge gate: gofmt + vet + full suite under the race detector +
+# benchmark regression gate.
 check:
 	./scripts/check.sh

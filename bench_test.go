@@ -18,8 +18,10 @@ import (
 
 	"mobic"
 	"mobic/internal/experiment"
+	"mobic/internal/harness"
 	"mobic/internal/service"
 	"mobic/internal/simnet"
+	"mobic/internal/trace"
 )
 
 // benchRunner trims experiment cells so a bench iteration is seconds, not
@@ -340,4 +342,41 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkTraceDigest measures the canonical trace-digest fold over a full
+// Fig. 3 run's event stream — the fixed cost the determinism harness adds
+// when recording a golden digest. The simulation runs once outside the
+// timed loop; each iteration re-folds the captured events.
+func BenchmarkTraceDigest(b *testing.B) {
+	w := harness.Workloads()[0]
+	cfg, err := w.Config(harness.Algorithms()[1], 1) // mobic
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events []trace.Event
+	cfg.Observer = func(ev trace.Event) { events = append(events, ev) }
+	net, err := simnet.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last string
+	for i := 0; i < b.N; i++ {
+		d := harness.NewDigester()
+		for _, ev := range events {
+			d.Observe(ev)
+		}
+		last = d.Sum()
+	}
+	b.StopTimer()
+	if last == "" {
+		b.Fatal("empty digest")
+	}
+	b.ReportMetric(float64(len(events)), "events")
 }

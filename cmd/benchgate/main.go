@@ -1,0 +1,248 @@
+// Command benchgate is the benchmark regression gate: it parses `go test
+// -bench` text output into a stable JSON baseline and compares later runs
+// against it within configurable tolerances.
+//
+// Two modes, both reading benchmark text from stdin:
+//
+//	benchgate -emit  -file BENCH_harness.json    write the baseline
+//	benchgate -check -file BENCH_harness.json    compare, exit 1 on regression
+//
+// The gate fails when a baseline benchmark disappears, when ns/op grows
+// beyond -ns-tol (relative, default 1.0 = fail beyond 2x, overridable via
+// BENCH_NS_TOL), or when allocs/op grows beyond -alloc-tol (default 0.25,
+// BENCH_ALLOC_TOL). Timings below -min-ns are too noise-dominated at
+// -benchtime=1x and are compared on allocations only. New benchmarks and
+// improvements are reported but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark's measured costs.
+type Record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values (units other than the
+	// three standard ones). Recorded for visibility, never gated: they are
+	// simulation outputs, not costs, and the trace-digest harness already
+	// pins behaviour exactly.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed BENCH_harness.json document.
+type Baseline struct {
+	// Note documents how to refresh the file.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps "import/path.BenchmarkName" to its record.
+	Benchmarks map[string]Record `json:"benchmarks"`
+}
+
+const refreshNote = "benchmark cost baseline; refresh with scripts/bench.sh baseline"
+
+// cpuSuffix strips the trailing GOMAXPROCS marker (`BenchmarkFoo-8`), which
+// would otherwise make baselines machine-specific.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench` text. Names
+// are qualified by the enclosing `pkg:` line so identically named benchmarks
+// in different packages cannot collide.
+func parseBench(r io.Reader) (map[string]Record, error) {
+	out := make(map[string]Record)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkFoo---FAIL" shapes
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		rec := Record{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %s: bad value %q", key, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = v
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = make(map[string]float64)
+				}
+				rec.Metrics[unit] = v
+			}
+		}
+		out[key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tolerances bundle the gate's thresholds.
+type tolerances struct {
+	// ns is the allowed relative growth in ns/op (1.0 = may double).
+	ns float64
+	// allocs is the allowed relative growth in allocs/op.
+	allocs float64
+	// allocSlack is an absolute allowance on top of the relative one, so
+	// near-zero counts do not fail on a single extra allocation.
+	allocSlack float64
+	// minNs exempts timings below this from the ns comparison; single
+	// iteration runs of sub-millisecond benchmarks are pure noise.
+	minNs float64
+}
+
+// compare evaluates current against base. failures make the gate exit
+// non-zero; notes are informational.
+func compare(base, current map[string]Record, tol tolerances) (failures, notes []string) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		b := base[key]
+		c, ok := current[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", key))
+			continue
+		}
+		if b.NsPerOp >= tol.minNs && c.NsPerOp > b.NsPerOp*(1+tol.ns) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)",
+				key, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol.ns))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tol.allocs)+tol.allocSlack {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)",
+				key, b.AllocsPerOp, c.AllocsPerOp, 100*(c.AllocsPerOp/b.AllocsPerOp-1), 100*tol.allocs))
+		}
+		if b.NsPerOp >= tol.minNs && c.NsPerOp < b.NsPerOp/(1+tol.ns) {
+			notes = append(notes, fmt.Sprintf("%s: ns/op improved %.0f -> %.0f (refresh the baseline to lock it in)",
+				key, b.NsPerOp, c.NsPerOp))
+		}
+	}
+	fresh := make([]string, 0)
+	for k := range current {
+		if _, ok := base[k]; !ok {
+			fresh = append(fresh, k)
+		}
+	}
+	sort.Strings(fresh)
+	for _, k := range fresh {
+		notes = append(notes, fmt.Sprintf("%s: new benchmark, not in baseline (scripts/bench.sh baseline adds it)", k))
+	}
+	return failures, notes
+}
+
+// envFloat reads a float from the environment, falling back on def.
+func envFloat(name string, def float64) float64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: ignoring malformed %s=%q\n", name, s)
+	}
+	return def
+}
+
+func run() int {
+	var (
+		emit     = flag.Bool("emit", false, "write a fresh baseline from stdin")
+		check    = flag.Bool("check", false, "compare stdin against the baseline")
+		file     = flag.String("file", "BENCH_harness.json", "baseline path")
+		nsTol    = flag.Float64("ns-tol", envFloat("BENCH_NS_TOL", 1.0), "allowed relative ns/op growth")
+		allocTol = flag.Float64("alloc-tol", envFloat("BENCH_ALLOC_TOL", 0.25), "allowed relative allocs/op growth")
+		minNs    = flag.Float64("min-ns", 1e6, "skip ns comparison below this baseline timing")
+	)
+	flag.Parse()
+	if *emit == *check {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -emit or -check is required")
+		return 2
+	}
+
+	current, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark lines on stdin")
+		return 2
+	}
+
+	if *emit {
+		doc := Baseline{Note: refreshNote, Benchmarks: current}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(*file, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Printf("benchgate: wrote %s with %d benchmarks\n", *file, len(current))
+		return 0
+	}
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading baseline: %v (create one with scripts/bench.sh baseline)\n", err)
+		return 2
+	}
+	var doc Baseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *file, err)
+		return 2
+	}
+
+	tol := tolerances{ns: *nsTol, allocs: *allocTol, allocSlack: 2, minNs: *minNs}
+	failures, notes := compare(doc.Benchmarks, current, tol)
+	for _, n := range notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("benchgate: %d regression(s) against %s\n", len(failures), *file)
+		return 1
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance of %s\n", len(current), *file)
+	return 0
+}
+
+func main() { os.Exit(run()) }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mobic
+cpu: Some CPU @ 2.00GHz
+BenchmarkFig3ClusterheadChanges-8   	       1	151000000 ns/op	        41.00 baseline_CH	        29.00 mobic_CH	        29.27 gain_%	53000000 B/op	  500000 allocs/op
+BenchmarkSingleRun-8                	       1	 40000000 ns/op	12000000 B/op	  120000 allocs/op
+PASS
+ok  	mobic	1.234s
+pkg: mobic/internal/spatial
+BenchmarkQueryRange-8               	       1	      1200 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	fig3, ok := got["mobic.BenchmarkFig3ClusterheadChanges"]
+	if !ok {
+		t.Fatalf("fig3 missing (keys: %v)", got)
+	}
+	if fig3.NsPerOp != 151000000 || fig3.BytesPerOp != 53000000 || fig3.AllocsPerOp != 500000 {
+		t.Errorf("fig3 = %+v", fig3)
+	}
+	if fig3.Metrics["mobic_CH"] != 29 || fig3.Metrics["gain_%"] != 29.27 {
+		t.Errorf("fig3 custom metrics = %v", fig3.Metrics)
+	}
+	grid, ok := got["mobic/internal/spatial.BenchmarkQueryRange"]
+	if !ok || grid.NsPerOp != 1200 {
+		t.Errorf("grid bench misparsed: %+v (ok=%v)", grid, ok)
+	}
+}
+
+func TestParseBenchStripsCPUSuffixOnly(t *testing.T) {
+	in := "pkg: p\nBenchmarkScalability200Nodes-16   	       1	 5000000 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["p.BenchmarkScalability200Nodes"]; !ok {
+		t.Errorf("name with trailing digits mangled: %v", got)
+	}
+}
+
+func defaultTol() tolerances {
+	return tolerances{ns: 1.0, allocs: 0.25, allocSlack: 2, minNs: 1e6}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 1000}}
+	cur := map[string]Record{"p.BenchmarkA": {NsPerOp: 18e6, AllocsPerOp: 1200}}
+	failures, notes := compare(base, cur, defaultTol())
+	if len(failures) != 0 {
+		t.Errorf("within-tolerance drift failed the gate: %v", failures)
+	}
+	if len(notes) != 0 {
+		t.Errorf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 1000}}
+	cur := map[string]Record{"p.BenchmarkA": {NsPerOp: 25e6, AllocsPerOp: 1000}}
+	failures, _ := compare(base, cur, defaultTol())
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Errorf("2.5x slowdown not flagged: %v", failures)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 1000}}
+	cur := map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 1500}}
+	failures, _ := compare(base, cur, defaultTol())
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("50%% alloc growth not flagged: %v", failures)
+	}
+}
+
+func TestCompareAllocSlackForTinyCounts(t *testing.T) {
+	// 0 -> 2 allocations is within the absolute slack; 0 -> 3 is not.
+	base := map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 0}}
+	if failures, _ := compare(base, map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 2}}, defaultTol()); len(failures) != 0 {
+		t.Errorf("slack not applied: %v", failures)
+	}
+	if failures, _ := compare(base, map[string]Record{"p.BenchmarkA": {NsPerOp: 10e6, AllocsPerOp: 3}}, defaultTol()); len(failures) != 1 {
+		t.Errorf("beyond-slack growth not flagged: %v", failures)
+	}
+}
+
+func TestCompareFastBenchTimingExempt(t *testing.T) {
+	// 1200 ns baseline is far below minNs: a 100x timing swing is noise at
+	// -benchtime=1x, but its allocations are still gated.
+	base := map[string]Record{"p.BenchmarkQ": {NsPerOp: 1200, AllocsPerOp: 0}}
+	cur := map[string]Record{"p.BenchmarkQ": {NsPerOp: 120000, AllocsPerOp: 0}}
+	if failures, _ := compare(base, cur, defaultTol()); len(failures) != 0 {
+		t.Errorf("noise-range timing flagged: %v", failures)
+	}
+	cur = map[string]Record{"p.BenchmarkQ": {NsPerOp: 1200, AllocsPerOp: 50}}
+	if failures, _ := compare(base, cur, defaultTol()); len(failures) != 1 {
+		t.Errorf("alloc growth on fast bench not flagged: %v", failures)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]Record{"p.BenchmarkGone": {NsPerOp: 10e6}}
+	failures, _ := compare(base, map[string]Record{}, defaultTol())
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Errorf("disappeared benchmark not flagged: %v", failures)
+	}
+}
+
+func TestCompareNewBenchmarkIsNoteOnly(t *testing.T) {
+	cur := map[string]Record{"p.BenchmarkNew": {NsPerOp: 10e6}}
+	failures, notes := compare(map[string]Record{}, cur, defaultTol())
+	if len(failures) != 0 {
+		t.Errorf("new benchmark failed the gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "new benchmark") {
+		t.Errorf("new benchmark not noted: %v", notes)
+	}
+}
+
+func TestCompareImprovementIsNoted(t *testing.T) {
+	base := map[string]Record{"p.BenchmarkA": {NsPerOp: 100e6}}
+	cur := map[string]Record{"p.BenchmarkA": {NsPerOp: 20e6}}
+	failures, notes := compare(base, cur, defaultTol())
+	if len(failures) != 0 {
+		t.Errorf("improvement failed the gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "improved") {
+		t.Errorf("improvement not noted: %v", notes)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// fuzzPolicies is the palette FuzzEngineInvariants picks from: plain
+// lowest-weight, LCC, and LCC with two contention-interval settings.
+var fuzzPolicies = []Policy{
+	{LCC: false},
+	{LCC: true},
+	{LCC: true, CCI: 2},
+	{LCC: true, CCI: 4},
+}
+
+// FuzzEngineInvariants is the native-fuzzing companion to
+// TestEngineInvariantsUnderRandomSnapshots: instead of sampling random
+// snapshots from a PRNG it lets the fuzzer author the whole beacon history
+// byte by byte, so mutation can steer directly toward adversarial neighbor
+// sequences (stale heads, impossible affiliations, flapping roles) that
+// random sampling only hits by luck.
+//
+// Wire format of data:
+//
+//	byte 0       policy selector (mod len(fuzzPolicies))
+//	then, per step:
+//	  byte       self-weight value (0..15 after mod)
+//	  byte       neighbor count k (0..7 after mod)
+//	  k × 4 bytes  neighbor: id, weight value, role selector, head id
+//
+// Decoding stops at the first truncated record; whatever prefix decoded is
+// the simulated history. The oracle is threefold: the state invariants hold
+// after every step, the change hooks replay to the final state, and a
+// re-run of the same history on a fresh node reaches the same state
+// (the engine is deterministic in its input sequence).
+func FuzzEngineInvariants(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 5, 0})
+	// One head neighbor 3, then it vanishes, then returns as a member of 9.
+	f.Add([]byte{2,
+		4, 1, 3, 6, 1, 3,
+		4, 0,
+		4, 1, 3, 6, 2, 9,
+	})
+	// Two competing heads with crossing weights under CCI.
+	f.Add([]byte{3,
+		7, 2, 1, 2, 1, 1, 2, 9, 1, 2,
+		7, 2, 1, 9, 1, 1, 2, 2, 1, 2,
+		3, 2, 1, 2, 1, 1, 2, 9, 1, 2,
+	})
+	// Neighbor claiming to be a member of the fuzzed node itself.
+	f.Add([]byte{1, 5, 1, 7, 3, 2, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const selfID = 5
+		run := func(n *Node) {
+			if len(data) == 0 {
+				return
+			}
+			rest := data[1:]
+			now := 0.0
+			for len(rest) >= 2 {
+				w := Weight{Value: float64(rest[0] % 16), ID: selfID}
+				k := int(rest[1] % 8)
+				rest = rest[2:]
+				if len(rest) < 4*k {
+					break
+				}
+				views := make([]NeighborView, 0, k)
+				seen := map[int32]bool{selfID: true}
+				for i := 0; i < k; i++ {
+					rec := rest[4*i : 4*i+4]
+					id := int32(rec[0] % 20)
+					if seen[id] {
+						continue
+					}
+					seen[id] = true
+					role := Role(1 + rec[2]%3)
+					head := NoHead
+					switch role {
+					case RoleHead:
+						head = id
+					case RoleMember:
+						head = int32(rec[3] % 20)
+					}
+					views = append(views, NeighborView{
+						ID:     id,
+						Weight: Weight{Value: float64(rec[1] % 16), ID: id},
+						Role:   role,
+						Head:   head,
+					})
+				}
+				rest = rest[4*k:]
+				now += 2
+				n.Step(now, w, views)
+				checkInvariants(t, n)
+			}
+		}
+
+		var policy Policy
+		if len(data) > 0 {
+			policy = fuzzPolicies[int(data[0])%len(fuzzPolicies)]
+		}
+
+		first := NewNode(selfID, policy)
+		role, head := first.Role(), first.Head()
+		first.OnRoleChange(func(_ float64, old, newRole Role) {
+			if old != role {
+				t.Fatalf("role hook: old %v, tracked %v", old, role)
+			}
+			role = newRole
+		})
+		first.OnHeadChange(func(_ float64, oldHead, newHead int32) {
+			if oldHead != head {
+				t.Fatalf("head hook: old %d, tracked %d", oldHead, head)
+			}
+			head = newHead
+		})
+		run(first)
+		if role != first.Role() || head != first.Head() {
+			t.Fatalf("hook replay diverged: hooks say (%v, %d), node says (%v, %d)",
+				role, head, first.Role(), first.Head())
+		}
+
+		second := NewNode(selfID, policy)
+		run(second)
+		if second.Role() != first.Role() || second.Head() != first.Head() {
+			t.Fatalf("same history, different state: (%v, %d) vs (%v, %d)",
+				first.Role(), first.Head(), second.Role(), second.Head())
+		}
+	})
+}

@@ -82,9 +82,17 @@ type cellJob struct {
 //
 // Cancellation: when ctx is canceled or times out, in-flight simulations
 // stop at the next scheduler chunk, queued work is skipped, and RunCells
-// returns ctx.Err() — this is how service jobs abort promptly.
+// returns ctx.Err() — this is how service jobs abort promptly. The first
+// worker error cancels the sweep the same way: remaining queued jobs are
+// skipped instead of burning CPU on a result that will be discarded, and
+// the first error is returned.
 func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error) {
 	r = r.withDefaults()
+
+	// runCtx aborts the whole sweep on the first worker error; the caller's
+	// ctx still governs external cancellation.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 
 	var jobs []cellJob
 	for ci, c := range cells {
@@ -118,19 +126,22 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 		go func() {
 			defer wg.Done()
 			for job := range jobCh {
-				err := ctx.Err()
+				err := runCtx.Err()
 				var res *simnet.Result
 				if err == nil {
 					var net *simnet.Network
 					net, err = simnet.New(job.cfg)
 					if err == nil {
-						res, err = net.RunContext(ctx)
+						res, err = net.RunContext(runCtx)
 					}
 				}
 				mu.Lock()
 				if err != nil {
+					// Skips caused by our own abort are not errors; the
+					// one that triggered the abort is already recorded.
 					if firstErr == nil {
 						firstErr = fmt.Errorf("experiment: cell %d seed %d: %w", job.cell, job.seed, err)
+						cancelRun()
 					}
 				} else {
 					results[job.cell] = append(results[job.cell], res.Metrics)

@@ -10,6 +10,7 @@ import (
 	"mobic/internal/cluster"
 	"mobic/internal/scenario"
 	"mobic/internal/simnet"
+	"mobic/internal/trace"
 )
 
 // fastRunner trims every materialized config so unit tests stay quick while
@@ -120,6 +121,46 @@ func TestRunCellsCanceledMidSweep(t *testing.T) {
 	_, err := r.RunCells(ctx, cells)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The first worker error must abort the sweep: remaining queued jobs are
+// skipped instead of being fully simulated. The bad cell fails inside
+// simnet.New (TimeoutPeriod below BroadcastInterval) before emitting any
+// events; every healthy cell carries an observer counting its events, so a
+// zero count proves none of them ran.
+func TestRunCellsAbortsSweepOnFirstError(t *testing.T) {
+	var simulatedEvents atomic.Int64
+	r := Runner{
+		Seeds:    1,
+		BaseSeed: 1,
+		Workers:  1,
+		Mutate: func(cfg *simnet.Config) {
+			cfg.N = 15
+			cfg.Duration = 60
+			cfg.Observer = func(trace.Event) { simulatedEvents.Add(1) }
+		},
+	}
+	cells := []Cell{{
+		Params:    smallParams(150),
+		Algorithm: cluster.MOBIC,
+		// Invalid: neighbors would expire between beacons; simnet.New
+		// rejects it after the runner's Mutate ran.
+		Mutate: func(cfg *simnet.Config) { cfg.TimeoutPeriod = cfg.BroadcastInterval / 2 },
+	}}
+	for i := 0; i < 6; i++ {
+		cells = append(cells, Cell{Params: smallParams(150), Algorithm: cluster.MOBIC})
+	}
+
+	_, err := r.RunCells(context.Background(), cells)
+	if err == nil || !strings.Contains(err.Error(), "cell 0") {
+		t.Fatalf("err = %v, want the cell 0 config error", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v: the internal abort leaked instead of the root cause", err)
+	}
+	if n := simulatedEvents.Load(); n != 0 {
+		t.Errorf("%d events simulated after the first error; queued jobs were not skipped", n)
 	}
 }
 

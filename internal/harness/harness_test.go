@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"testing"
+
+	"mobic/internal/trace"
+)
+
+// Two streams that present the same same-instant events in different orders
+// must digest identically: within one scheduler instant, delivery order is
+// an implementation detail (grid bucket order vs ID order).
+func TestDigesterCanonicalizesSameTimestampOrder(t *testing.T) {
+	evs := []trace.Event{
+		{T: 1.5, Kind: trace.KindDeliver, Node: 3, Other: 7, Value: 1e-9},
+		{T: 1.5, Kind: trace.KindDeliver, Node: 3, Other: 2, Value: 2e-9},
+		{T: 1.5, Kind: trace.KindRoleChange, Node: 3, Other: -1, Value: 1},
+		{T: 1.5, Kind: trace.KindDeliver, Node: 3, Other: 9, Value: 3e-9},
+	}
+	a := NewDigester()
+	for _, ev := range evs {
+		a.Observe(ev)
+	}
+	b := NewDigester()
+	for i := len(evs) - 1; i >= 0; i-- {
+		b.Observe(evs[i])
+	}
+	if a.Sum() != b.Sum() {
+		t.Error("same-timestamp permutation changed the digest")
+	}
+	if a.Count() != b.Count() || a.Count() != 4 {
+		t.Errorf("counts diverged: %d vs %d", a.Count(), b.Count())
+	}
+}
+
+// Events at different timestamps are order-significant: swapping them is a
+// genuine behavioural difference and must change the digest.
+func TestDigesterDistinguishesCrossTimestampOrder(t *testing.T) {
+	x := trace.Event{T: 1.0, Kind: trace.KindDeliver, Node: 1, Other: 2, Value: 1e-9}
+	y := trace.Event{T: 2.0, Kind: trace.KindDeliver, Node: 1, Other: 2, Value: 1e-9}
+
+	a := NewDigester()
+	a.Observe(x)
+	a.Observe(y)
+	b := NewDigester()
+	yx, xy := y, x
+	yx.T, xy.T = 1.0, 2.0 // same timestamps, swapped payload order
+	b.Observe(yx)
+	b.Observe(xy)
+	if a.Sum() != b.Sum() {
+		// identical payloads at identical times — must still agree
+		t.Error("digest depends on more than (time, payload)")
+	}
+
+	c := NewDigester()
+	c.Observe(x)
+	d := NewDigester()
+	d.Observe(y)
+	if c.Sum() == d.Sum() {
+		t.Error("digest ignores event timestamps")
+	}
+}
+
+// Bookkeeping-only kinds (broadcasts, drops, timeouts) must not perturb the
+// digest: they are implied by deliveries and would couple the digest to the
+// loss model's internals.
+func TestDigesterIgnoresBookkeepingKinds(t *testing.T) {
+	deliver := trace.Event{T: 1.0, Kind: trace.KindDeliver, Node: 1, Other: 2, Value: 1e-9}
+	a := NewDigester()
+	a.Observe(deliver)
+
+	b := NewDigester()
+	b.Observe(trace.Event{T: 0.5, Kind: trace.KindBroadcast, Node: 1, Other: -1})
+	b.Observe(deliver)
+	b.Observe(trace.Event{T: 1.0, Kind: trace.KindDrop, Node: 1, Other: 3})
+	b.Observe(trace.Event{T: 2.0, Kind: trace.KindTimeout, Node: 2, Other: 1})
+
+	if a.Sum() != b.Sum() {
+		t.Error("bookkeeping events leaked into the digest")
+	}
+	if b.Count() != 1 {
+		t.Errorf("count includes irrelevant events: %d", b.Count())
+	}
+}
+
+// A changed delivery value (received power) is a behavioural change — the
+// mobility metric is computed from exactly these values — so it must change
+// the digest.
+func TestDigesterSensitiveToValues(t *testing.T) {
+	a := NewDigester()
+	a.Observe(trace.Event{T: 1.0, Kind: trace.KindDeliver, Node: 1, Other: 2, Value: 1e-9})
+	b := NewDigester()
+	b.Observe(trace.Event{T: 1.0, Kind: trace.KindDeliver, Node: 1, Other: 2, Value: 2e-9})
+	if a.Sum() == b.Sum() {
+		t.Error("digest ignores delivery values")
+	}
+}

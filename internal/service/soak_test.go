@@ -1,0 +1,254 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobic/internal/experiment"
+)
+
+// soakExecute emits a fixed number of progress ticks, pausing briefly
+// between them so jobs are slower than submissions — that pressure is what
+// fills the queue and drives the 429 path — and so cancellation and
+// concurrent stream readers get real interleavings. Cancellation is honored
+// between ticks, exactly like the real runner honors it between cells.
+func soakExecute(ticks int) ExecuteFunc {
+	return func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+		for i := 1; i <= ticks; i++ {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(500 * time.Microsecond):
+			}
+			progress(i, ticks)
+		}
+		return &Output{Result: &experiment.Result{ID: "stub", Title: "stub"}}, nil
+	}
+}
+
+// streamOutcome is what one NDJSON stream client observed for one job.
+type streamOutcome struct {
+	id       string
+	final    State
+	progress []int // Done values of every progress event, in stream order
+	events   int
+}
+
+// readStream consumes GET /v1/jobs/{id}/stream to EOF and reports what it
+// saw. The stream contract: the line sequence starts with status(queued),
+// contains at most one status(running), and ends with exactly one result.
+func readStream(t *testing.T, baseURL, id string) streamOutcome {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Errorf("stream %s: %v", id, err)
+		return streamOutcome{id: id}
+	}
+	defer resp.Body.Close()
+	out := streamOutcome{id: id}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Errorf("stream %s: bad NDJSON line %q: %v", id, sc.Text(), err)
+			return out
+		}
+		out.events++
+		switch ev.Type {
+		case "status":
+			if out.events == 1 && ev.State != StateQueued {
+				t.Errorf("stream %s: first event is %s, want queued", id, ev.State)
+			}
+		case "progress":
+			out.progress = append(out.progress, ev.Done)
+		case "result":
+			out.final = ev.State
+			if ev.Stat == nil {
+				t.Errorf("stream %s: result event carries no status", id)
+			}
+		default:
+			t.Errorf("stream %s: unknown event type %q", id, ev.Type)
+		}
+		if ev.Type == "result" {
+			if sc.Scan() {
+				t.Errorf("stream %s: data after the result event: %q", id, sc.Text())
+			}
+			return out
+		}
+	}
+	t.Errorf("stream %s: ended without a result event (err=%v)", id, sc.Err())
+	return out
+}
+
+// TestServiceSoakConcurrentClients hammers the HTTP API with concurrent
+// submitters, one stream reader per accepted job, and cancelers, then checks
+// the two global contracts the daemon makes:
+//
+//   - streams lose nothing: every accepted job's stream terminates with a
+//     result event, and a succeeded job's stream shows the full contiguous
+//     progress sequence 1..ticks;
+//   - queue accounting balances: accepted == submitted counter, 429s ==
+//     rejected counter, and every accepted job lands in exactly one of
+//     completed/canceled/failed.
+//
+// The queue is deliberately tiny so submissions race workers for slots and
+// the 429 shedding path is actually exercised. Run under -race this is also
+// the data-race soak for the whole store/job/stream machinery.
+func TestServiceSoakConcurrentClients(t *testing.T) {
+	const (
+		submitters       = 8
+		jobsPerSubmitter = 25
+		ticks            = 5
+	)
+	svc, srv := newTestAPI(t, Config{
+		QueueCapacity: 4,
+		Workers:       2,
+		Execute:       soakExecute(ticks),
+	})
+
+	var (
+		accepted atomic.Int64
+		shed     atomic.Int64
+		mu       sync.Mutex
+		outcomes []streamOutcome
+		wg       sync.WaitGroup
+	)
+	for s := 0; s < submitters; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobsPerSubmitter; i++ {
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+					strings.NewReader(`{"experiment":"fig3","seeds":1}`))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					accepted.Add(1)
+					var st Status
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						t.Errorf("decoding 202 body: %v", err)
+						resp.Body.Close()
+						return
+					}
+					resp.Body.Close()
+
+					wg.Add(1)
+					go func(id string, cancelIt bool) {
+						defer wg.Done()
+						if cancelIt {
+							req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+							if dresp, err := http.DefaultClient.Do(req); err == nil {
+								io.Copy(io.Discard, dresp.Body)
+								dresp.Body.Close()
+							}
+						}
+						out := readStream(t, srv.URL, id)
+						mu.Lock()
+						outcomes = append(outcomes, out)
+						mu.Unlock()
+					}(st.ID, (s+i)%4 == 0) // cancel every fourth job
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				default:
+					t.Errorf("submit status = %d", resp.StatusCode)
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := int64(len(outcomes)); got != accepted.Load() {
+		t.Fatalf("%d stream outcomes for %d accepted jobs", got, accepted.Load())
+	}
+	if accepted.Load()+shed.Load() != submitters*jobsPerSubmitter {
+		t.Fatalf("accepted %d + shed %d != %d submissions",
+			accepted.Load(), shed.Load(), submitters*jobsPerSubmitter)
+	}
+	if shed.Load() == 0 {
+		t.Error("no submission was shed; the queue never filled, soak is not exercising backpressure")
+	}
+
+	// Stream completeness: a succeeded job's stream must carry the full
+	// contiguous progress history — the event log may not coalesce ticks.
+	var succeeded int
+	for _, out := range outcomes {
+		if !out.final.Terminal() {
+			t.Errorf("job %s: stream ended in non-terminal state %q", out.id, out.final)
+			continue
+		}
+		if out.final != StateSucceeded {
+			continue
+		}
+		succeeded++
+		if len(out.progress) != ticks {
+			t.Errorf("job %s: succeeded with %d progress events, want %d: %v",
+				out.id, len(out.progress), ticks, out.progress)
+			continue
+		}
+		for i, done := range out.progress {
+			if done != i+1 {
+				t.Errorf("job %s: progress[%d] = %d, want %d (%v)", out.id, i, done, i+1, out.progress)
+				break
+			}
+		}
+	}
+	if succeeded == 0 {
+		t.Error("no job succeeded; cancellation swallowed the whole soak")
+	}
+
+	// Queue accounting: the Prometheus counters must balance the observed
+	// HTTP outcomes exactly — nothing double-counted, nothing dropped.
+	m := svc.Metrics()
+	if got := m.submitted.Load(); got != uint64(accepted.Load()) {
+		t.Errorf("submitted counter = %d, accepted 202s = %d", got, accepted.Load())
+	}
+	if got := m.rejected.Load(); got != uint64(shed.Load()) {
+		t.Errorf("rejected counter = %d, observed 429s = %d", got, shed.Load())
+	}
+	terminal := m.completed.Load() + m.canceled.Load() + m.failed.Load()
+	if terminal != m.submitted.Load() {
+		t.Errorf("completed %d + canceled %d + failed %d = %d, want submitted %d",
+			m.completed.Load(), m.canceled.Load(), m.failed.Load(), terminal, m.submitted.Load())
+	}
+	if m.failed.Load() != 0 {
+		t.Errorf("%d jobs failed; the stub can only succeed or be canceled", m.failed.Load())
+	}
+	if got := m.inFlight.Load(); got != 0 {
+		t.Errorf("in-flight gauge = %d after drain, want 0", got)
+	}
+	if depth := svc.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth = %d after all jobs terminal, want 0", depth)
+	}
+
+	// The metrics endpoint itself must render the same balance.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := fmt.Sprintf("mobicd_jobs_submitted_total %d", m.submitted.Load())
+	if !strings.Contains(string(body), want) {
+		t.Errorf("metrics endpoint missing %q", want)
+	}
+}

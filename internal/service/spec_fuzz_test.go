@@ -1,0 +1,70 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzSpec throws arbitrary bytes at the exact decode path POST /v1/jobs
+// uses (strict JSON, unknown fields rejected) followed by Validate, and
+// checks the contract the HTTP layer depends on:
+//
+//   - neither stage panics on any input;
+//   - every validation failure is tagged ErrInvalidSpec, so the handler's
+//     errors.Is mapping to 400 can never misclassify a bad submission;
+//   - a spec that validates survives a marshal/unmarshal round trip and
+//     still validates — what the daemon accepts, it can also echo back in a
+//     Status and re-accept.
+func FuzzSpec(f *testing.F) {
+	seeds := []string{
+		`{"experiment":"fig3"}`,
+		`{"experiment":"table1","seeds":5,"base_seed":7,"timeout_seconds":1.5}`,
+		`{"sweep":{"scenario":{"n":30,"tx_range":150},"algorithms":["mobic","lcc"],"tx_ranges":[100,150,200]}}`,
+		`{"sweep":{"algorithms":["lowest-id"]},"duration":120,"include_raw":true}`,
+		`{"experiment":"fig3","sweep":{"algorithms":["mobic"]}}`,
+		`{"experiment":"fig99"}`,
+		`{"seeds":-1}`,
+		`{"sweep":{"algorithms":[]}}`,
+		`{"sweep":{"scenario":{"n":100000},"algorithms":["mobic"]}}`,
+		`{"sweep":{"algorithms":["mobic"],"tx_ranges":[-5]}}`,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"experiment":"fig3",`,
+		`{"bogus_field":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return // 400 "decoding job spec"; nothing further to check
+		}
+		err := spec.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("validation error not tagged ErrInvalidSpec (would map to 500, not 400): %v", err)
+			}
+			return
+		}
+
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var again JobSpec
+		rdec := json.NewDecoder(bytes.NewReader(wire))
+		rdec.DisallowUnknownFields()
+		if err := rdec.Decode(&again); err != nil {
+			t.Fatalf("round trip decode of %s: %v", wire, err)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("spec became invalid after round trip %s: %v", wire, err)
+		}
+	})
+}

@@ -115,6 +115,13 @@ type Config struct {
 	Loss channel.LossModel
 	// Trace optionally records simulator events.
 	Trace *trace.Log
+	// Observer, when set, receives every simulator event synchronously as
+	// it is recorded. Unlike Trace it is unbounded — nothing is ever
+	// dropped — which is what the correctness harness needs to fold the
+	// full event stream into a trace digest (see internal/harness). The
+	// callback runs on the simulation goroutine and must not retain the
+	// event beyond the call.
+	Observer func(trace.Event)
 	// CustomWeights supplies per-node static weights for the DCA
 	// algorithm (KindCustom). When nil, distinct uniform weights are
 	// drawn from the seed.

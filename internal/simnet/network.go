@@ -76,6 +76,17 @@ type Network struct {
 	viewBuf []cluster.NeighborView
 }
 
+// emit records ev in the trace ring buffer and feeds the observer hook.
+// Every simulator event flows through here, so the pair stays consistent:
+// the ring holds the recent window for inspection, the observer sees the
+// complete stream for digesting.
+func (n *Network) emit(ev trace.Event) {
+	n.cfg.Trace.Record(ev)
+	if n.cfg.Observer != nil {
+		n.cfg.Observer(ev)
+	}
+}
+
 // New builds a network from cfg. The mobility trajectories are generated
 // eagerly so errors surface here rather than mid-run.
 func New(cfg Config) (*Network, error) {
@@ -153,14 +164,14 @@ func New(cfg Config) (*Network, error) {
 		}
 		rn.cnode.OnRoleChange(func(now float64, old, newRole cluster.Role) {
 			n.rec.RoleChange(now, id, old, newRole)
-			n.cfg.Trace.Record(trace.Event{
+			n.emit(trace.Event{
 				T: now, Kind: trace.KindRoleChange, Node: id, Other: -1,
 				Value: float64(newRole),
 			})
 		})
 		rn.cnode.OnHeadChange(func(now float64, oldHead, newHead int32) {
 			n.rec.HeadChange(now, id, oldHead, newHead)
-			n.cfg.Trace.Record(trace.Event{
+			n.emit(trace.Event{
 				T: now, Kind: trace.KindHeadChange, Node: id, Other: newHead,
 				Value: float64(oldHead),
 			})
@@ -213,7 +224,7 @@ func (n *Network) crash(rn *runtimeNode, now float64) {
 	clear(rn.table)
 	rn.pendingRx = nil
 	rn.lastM = 0
-	n.cfg.Trace.Record(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
+	n.emit(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
 }
 
 // recover revives a crashed node as a fresh undecided participant and
@@ -318,7 +329,7 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	for id, e := range rn.table {
 		if e.lastHeard < now-tp {
 			delete(rn.table, id)
-			n.cfg.Trace.Record(trace.Event{
+			n.emit(trace.Event{
 				T: now, Kind: trace.KindTimeout, Node: rn.id, Other: id,
 			})
 		}
@@ -362,7 +373,7 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	if _, err := n.sched.After(interval, func(t float64) { n.tick(rn, t) }); err != nil {
 		// Scheduling forward from a valid now cannot fail; if it does, the
 		// simulation is corrupt and stopping beacons is the safest course.
-		n.cfg.Trace.Record(trace.Event{T: now, Kind: trace.KindDrop, Node: rn.id, Other: -1})
+		n.emit(trace.Event{T: now, Kind: trace.KindDrop, Node: rn.id, Other: -1})
 	}
 }
 
@@ -447,7 +458,7 @@ func (n *Network) broadcast(rn *runtimeNode, now float64) {
 	n.rec.CountBroadcast(n.helloBytes())
 	txPos := rn.traj.At(now)
 	n.grid.Update(rn.id, txPos)
-	n.cfg.Trace.Record(trace.Event{
+	n.emit(trace.Event{
 		T: now, Kind: trace.KindBroadcast, Node: rn.id, Other: -1,
 		Value: rn.cnode.Weight().Value,
 	})
@@ -495,7 +506,7 @@ func (n *Network) tryDeliver(tx, rx *runtimeNode, txPos geom.Point, now float64,
 	}
 	if n.cfg.Loss.Drops(tx.id, rx.id, now) {
 		n.rec.CountDrop()
-		n.cfg.Trace.Record(trace.Event{
+		n.emit(trace.Event{
 			T: now, Kind: trace.KindDrop, Node: tx.id, Other: rx.id, Value: pr,
 		})
 		return
@@ -533,7 +544,7 @@ func (n *Network) deferDelivery(tx, rx *runtimeNode, now, pr float64, adv advert
 		}
 		if rec.collided {
 			n.rec.CountCollision()
-			n.cfg.Trace.Record(trace.Event{
+			n.emit(trace.Event{
 				T: t, Kind: trace.KindDrop, Node: rec.tx, Other: rx.id, Value: rec.pr,
 			})
 			return
@@ -549,7 +560,7 @@ func (n *Network) deferDelivery(tx, rx *runtimeNode, now, pr float64, adv advert
 // neighbor table with the advertised clustering state.
 func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv advertisement) {
 	n.rec.CountDelivery()
-	n.cfg.Trace.Record(trace.Event{
+	n.emit(trace.Event{
 		T: now, Kind: trace.KindDeliver, Node: txID, Other: rx.id, Value: pr,
 	})
 	if err := rx.tracker.Observe(txID, now, pr); err != nil {

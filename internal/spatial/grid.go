@@ -121,22 +121,26 @@ func (g *Grid) Position(id int32) (geom.Point, bool) {
 
 // QueryRange appends to dst the ids of all nodes within radius of center
 // (boundary inclusive), excluding `exclude` (pass a negative id to exclude
-// nothing), and returns the extended slice. Results are in ascending id order
-// is NOT guaranteed; callers needing determinism across map iteration do not
-// apply here because buckets are slices with insertion order.
+// nothing), and returns the extended slice. A negative or NaN radius yields
+// nothing; an infinite radius yields every node. Result order follows bucket
+// insertion order, NOT ascending ids — callers needing a canonical order
+// must sort.
 func (g *Grid) QueryRange(center geom.Point, radius float64, exclude int32, dst []int32) []int32 {
-	if radius < 0 {
+	if radius < 0 || math.IsNaN(radius) {
 		return dst
 	}
 	rSq := radius * radius
-	minCol := int(math.Floor((center.X - radius - g.area.MinX) / g.cellSize))
-	maxCol := int(math.Floor((center.X + radius - g.area.MinX) / g.cellSize))
-	minRow := int(math.Floor((center.Y - radius - g.area.MinY) / g.cellSize))
-	maxRow := int(math.Floor((center.Y + radius - g.area.MinY) / g.cellSize))
-	minCol = clampInt(minCol, 0, g.cols-1)
-	maxCol = clampInt(maxCol, 0, g.cols-1)
-	minRow = clampInt(minRow, 0, g.rows-1)
-	maxRow = clampInt(maxRow, 0, g.rows-1)
+	minCol, maxCol := 0, g.cols-1
+	minRow, maxRow := 0, g.rows-1
+	if !math.IsInf(radius, 1) {
+		// Conversion of an out-of-range float (e.g. ±Inf) to int is
+		// implementation-defined, so the window arithmetic runs only for
+		// finite radii; an infinite radius scans every cell.
+		minCol = clampInt(int(math.Floor((center.X-radius-g.area.MinX)/g.cellSize)), 0, g.cols-1)
+		maxCol = clampInt(int(math.Floor((center.X+radius-g.area.MinX)/g.cellSize)), 0, g.cols-1)
+		minRow = clampInt(int(math.Floor((center.Y-radius-g.area.MinY)/g.cellSize)), 0, g.rows-1)
+		maxRow = clampInt(int(math.Floor((center.Y+radius-g.area.MinY)/g.cellSize)), 0, g.rows-1)
+	}
 	for row := minRow; row <= maxRow; row++ {
 		for col := minCol; col <= maxCol; col++ {
 			for _, id := range g.cells[row*g.cols+col] {

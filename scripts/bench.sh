@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh — run the whole Benchmark* suite once (-benchtime=1x) and feed it
+# to the benchgate regression gate.
+#
+#   scripts/bench.sh baseline   rewrite BENCH_harness.json from this machine
+#   scripts/bench.sh check      compare against the committed baseline
+#                               (default; exit 1 on regression)
+#
+# Tolerances come from BENCH_NS_TOL / BENCH_ALLOC_TOL (see cmd/benchgate).
+set -eu
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+out=BENCH_harness.json
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -run=NONE -bench=. -benchtime=1x ./..."
+go test -run=NONE -bench=. -benchtime=1x ./... | tee "$tmp"
+
+case "$mode" in
+baseline)
+    go run ./cmd/benchgate -emit -file "$out" <"$tmp"
+    ;;
+check)
+    go run ./cmd/benchgate -check -file "$out" <"$tmp"
+    ;;
+*)
+    echo "usage: $0 [baseline|check]" >&2
+    exit 2
+    ;;
+esac

@@ -1,13 +1,25 @@
 #!/bin/sh
-# check.sh — the full pre-merge gate: static analysis plus the whole test
-# suite under the race detector. Run via `make check` or directly.
+# check.sh — the full pre-merge gate: formatting, static analysis, the whole
+# test suite under the race detector, and the benchmark regression gate.
+# Run via `make check` or directly.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== benchmark smoke + regression gate"
+./scripts/bench.sh check
 
 echo "ok"
