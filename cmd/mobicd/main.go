@@ -4,14 +4,23 @@
 // when it is full the daemon sheds load with 429 + Retry-After rather
 // than queueing unboundedly.
 //
+// With -data-dir set, jobs are durable: every lifecycle transition is
+// journaled to an fsync'd write-ahead log, so a crashed or killed daemon
+// re-enqueues interrupted jobs on the next boot and resumes sweeps from
+// their last completed-cell checkpoint. -max-attempts enables retry with
+// exponential backoff; a job that fails that many times is quarantined as
+// "poisoned".
+//
 // Examples:
 //
-//	mobicd -addr :8080
-//	curl -XPOST localhost:8080/v1/jobs -d '{"experiment":"fig3","seeds":1}'
+//	mobicd -addr :8080 -data-dir /var/lib/mobicd -max-attempts 3
+//	curl -XPOST localhost:8080/v1/jobs -H 'Idempotency-Key: run-42' \
+//	     -d '{"experiment":"fig3","seeds":1}'
 //	curl localhost:8080/v1/jobs/<id>
 //	curl -N localhost:8080/v1/jobs/<id>/stream
 //	curl -XDELETE localhost:8080/v1/jobs/<id>
-//	curl localhost:8080/healthz
+//	curl localhost:8080/livez
+//	curl localhost:8080/readyz
 //	curl localhost:8080/metrics
 package main
 
@@ -50,6 +59,8 @@ func run(args []string, logw io.Writer) error {
 		ttl        = fs.Duration("ttl", 15*time.Minute, "how long finished jobs stay queryable")
 		drainGrace = fs.Duration("drain", 30*time.Second, "max wait for in-flight jobs on shutdown")
 		quick      = fs.Bool("quick", false, "trim every simulation to 300 s (smoke/demo mode)")
+		dataDir    = fs.String("data-dir", "", "journal directory for durable jobs (empty = in-memory)")
+		maxTries   = fs.Int("max-attempts", 1, "executions per job before it is poisoned (1 = no retries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,12 +70,20 @@ func run(args []string, logw io.Writer) error {
 	if *quick {
 		runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
 	}
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		QueueCapacity: *queueCap,
 		Workers:       *workers,
 		TTL:           *ttl,
 		Runner:        runner,
+		DataDir:       *dataDir,
+		Retry:         service.RetryPolicy{MaxAttempts: *maxTries},
 	})
+	if err != nil {
+		return err
+	}
+	if n := svc.RecoveredJobs(); n > 0 {
+		fmt.Fprintf(logw, "mobicd: recovered %d interrupted job(s) from %s\n", n, *dataDir)
+	}
 	svc.Start()
 
 	server := &http.Server{

@@ -18,3 +18,11 @@ func TestRunRejectsBadAddr(t *testing.T) {
 		t.Error("unlistenable address should error")
 	}
 }
+
+func TestRunRejectsBadDataDir(t *testing.T) {
+	var log strings.Builder
+	// /dev/null is a file, so no journal directory can be created under it.
+	if err := run([]string{"-addr", "127.0.0.1:0", "-data-dir", "/dev/null/journal"}, &log); err == nil {
+		t.Error("unwritable data dir should error at boot, not at first submit")
+	}
+}

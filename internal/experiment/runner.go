@@ -32,6 +32,23 @@ type Runner struct {
 	// Mutate, when set, adjusts each materialized config before the run
 	// (e.g. to override the propagation or loss model).
 	Mutate func(*simnet.Config)
+	// StartCell skips the first StartCell cells: they are not simulated,
+	// and their stats are taken from Resume instead. This is the resume
+	// half of checkpoint/restart — a re-run with the same cells and
+	// StartCell = number of previously completed cells produces output
+	// identical to an uninterrupted run, because each cell's simulation
+	// depends only on its own config and seed.
+	StartCell int
+	// Resume supplies the stats of the skipped prefix; entry i stands in
+	// for cells[i] (i < StartCell). Missing entries are zero stats.
+	Resume []CellStats
+	// Checkpoint, when set, is called as the contiguous prefix of
+	// completed cells grows: once for each cell index in increasing
+	// order, after every replication of that cell (and of all cells
+	// before it) has finished. It runs on a worker goroutine with the
+	// runner's internal lock held, so it must not call back into the
+	// runner; durable callers use it to journal per-cell progress.
+	Checkpoint func(cell int, stats CellStats)
 }
 
 // withDefaults returns a copy with defaults applied.
@@ -72,6 +89,7 @@ type CellStats struct {
 // cellJob is one (cell index, replication) unit of work.
 type cellJob struct {
 	cell int
+	rep  int
 	seed uint64
 	cfg  simnet.Config
 }
@@ -86,8 +104,16 @@ type cellJob struct {
 // worker error cancels the sweep the same way: remaining queued jobs are
 // skipped instead of burning CPU on a result that will be discarded, and
 // the first error is returned.
+//
+// Checkpoint/restart: with StartCell > 0 the first StartCell cells are not
+// simulated — their stats come from Resume — and Checkpoint (when set)
+// reports each newly completed cell of the contiguous prefix, which is what
+// lets a durable caller resume an interrupted sweep with identical output.
 func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error) {
 	r = r.withDefaults()
+	if r.StartCell < 0 || r.StartCell > len(cells) {
+		return nil, fmt.Errorf("experiment: start cell %d outside [0, %d]", r.StartCell, len(cells))
+	}
 
 	// runCtx aborts the whole sweep on the first worker error; the caller's
 	// ctx still governs external cancellation.
@@ -95,7 +121,8 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 	defer cancelRun()
 
 	var jobs []cellJob
-	for ci, c := range cells {
+	for ci := r.StartCell; ci < len(cells); ci++ {
+		c := cells[ci]
 		for s := 0; s < r.Seeds; s++ {
 			p := c.Params
 			p.Seed = r.BaseSeed + uint64(s)
@@ -109,15 +136,28 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 			if r.Mutate != nil {
 				r.Mutate(&cfg)
 			}
-			jobs = append(jobs, cellJob{cell: ci, seed: p.Seed, cfg: cfg})
+			jobs = append(jobs, cellJob{cell: ci, rep: s, seed: p.Seed, cfg: cfg})
 		}
 	}
 
+	out := make([]CellStats, len(cells))
+	for ci := 0; ci < r.StartCell && ci < len(r.Resume); ci++ {
+		out[ci] = r.Resume[ci]
+	}
+
+	// Replications are stored by seed index, not completion order, so the
+	// per-cell aggregation is deterministic regardless of worker count.
 	results := make([][]metrics.Result, len(cells))
+	counts := make([]int, len(cells))
+	completed := make([]bool, len(cells))
+	for ci := r.StartCell; ci < len(cells); ci++ {
+		results[ci] = make([]metrics.Result, r.Seeds)
+	}
 	var (
 		mu       sync.Mutex
 		firstErr error
 		done     int
+		frontier = r.StartCell
 		wg       sync.WaitGroup
 	)
 	jobCh := make(chan cellJob)
@@ -144,7 +184,20 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 						cancelRun()
 					}
 				} else {
-					results[job.cell] = append(results[job.cell], res.Metrics)
+					results[job.cell][job.rep] = res.Metrics
+					counts[job.cell]++
+					if counts[job.cell] == r.Seeds {
+						out[job.cell] = aggregate(results[job.cell])
+						completed[job.cell] = true
+						// Advance the contiguous completed prefix; cells
+						// finish out of order, checkpoints never do.
+						for frontier < len(cells) && completed[frontier] {
+							if r.Checkpoint != nil {
+								r.Checkpoint(frontier, out[frontier])
+							}
+							frontier++
+						}
+					}
 				}
 				done++
 				progress := r.Progress
@@ -164,11 +217,6 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
-	}
-
-	out := make([]CellStats, len(cells))
-	for i, rs := range results {
-		out[i] = aggregate(rs)
 	}
 	return out, nil
 }

@@ -5,15 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // NewHandler exposes the service as a JSON HTTP API:
 //
-//	POST   /v1/jobs             submit a job (202, or 429 + Retry-After)
+//	POST   /v1/jobs             submit a job (202, or 429 + Retry-After);
+//	                            an Idempotency-Key header makes retried
+//	                            submissions return the original job (200)
 //	GET    /v1/jobs/{id}        job status (+ result once finished)
 //	GET    /v1/jobs/{id}/stream NDJSON status stream until terminal
 //	DELETE /v1/jobs/{id}        request cancellation
-//	GET    /healthz             liveness + queue gauges
+//	GET    /livez               liveness: 200 while the process serves
+//	GET    /readyz              readiness: 503 while draining or when the
+//	                            journal cannot persist records
+//	GET    /healthz             alias for /readyz (readiness + queue gauges)
 //	GET    /metrics             Prometheus text metrics
 func NewHandler(svc *Service) http.Handler {
 	a := &api{svc: svc}
@@ -22,7 +28,9 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", a.stream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
-	mux.HandleFunc("GET /healthz", a.healthz)
+	mux.HandleFunc("GET /livez", a.livez)
+	mux.HandleFunc("GET /readyz", a.readyz)
+	mux.HandleFunc("GET /healthz", a.readyz)
 	mux.HandleFunc("GET /metrics", a.metrics)
 	return mux
 }
@@ -49,8 +57,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // submit handles POST /v1/jobs. Backpressure contract: when the queue is
-// full the request is shed with 429 and a Retry-After hint instead of
-// blocking the connection.
+// full the request is shed with 429 and a Retry-After hint derived from the
+// queue depth and the EWMA of recent job durations. An Idempotency-Key
+// header makes the submission replay-safe: resubmitting the same key
+// returns the original job with 200 instead of creating a duplicate, and
+// the mapping survives daemon restarts via the journal.
 func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -59,12 +70,12 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	job, err := a.svc.Submit(spec)
+	job, existed, err := a.svc.SubmitKey(spec, r.Header.Get("Idempotency-Key"))
 	switch {
 	case errors.Is(err, ErrInvalidSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(a.svc.RetryAfterHint()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -73,7 +84,11 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 	default:
 		st, _, _ := job.Snapshot()
 		w.Header().Set("Location", "/v1/jobs/"+job.ID())
-		writeJSON(w, http.StatusAccepted, st)
+		code := http.StatusAccepted
+		if existed {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
 	}
 }
 
@@ -146,25 +161,44 @@ func (a *api) stream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthz reports liveness plus the load gauges an external balancer needs
-// for routing decisions. During drain it flips to 503 so upstreams stop
-// sending traffic before the listener closes.
-func (a *api) healthz(w http.ResponseWriter, r *http.Request) {
+// livez is the liveness probe: 200 as long as the process can serve HTTP
+// at all. It deliberately checks nothing else — a draining daemon or a
+// full disk is degraded, not dead, and restarting it would lose in-flight
+// work. Orchestrators should restart on /livez failures and merely stop
+// routing on /readyz failures.
+func (a *api) livez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// readyz is the readiness probe (also served at /healthz for backwards
+// compatibility): 503 with "ready": false while the service is draining or
+// its journal cannot persist records — accepting a job that cannot be made
+// durable would silently void the crash-recovery guarantee. The body keeps
+// the load gauges an external balancer needs for routing decisions.
+func (a *api) readyz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
 		Status        string `json:"status"`
+		Ready         bool   `json:"ready"`
+		Reason        string `json:"reason,omitempty"`
 		QueueDepth    int    `json:"queue_depth"`
 		QueueCapacity int    `json:"queue_capacity"`
 		StoredJobs    int    `json:"stored_jobs"`
 	}
+	ready, reason := a.svc.Ready()
 	h := health{
 		Status:        "ok",
+		Ready:         ready,
+		Reason:        reason,
 		QueueDepth:    a.svc.QueueDepth(),
 		QueueCapacity: a.svc.QueueCapacity(),
 		StoredJobs:    a.svc.StoredJobs(),
 	}
 	code := http.StatusOK
-	if a.svc.Draining() {
-		h.Status = "draining"
+	if !ready {
+		h.Status = reason
+		if a.svc.Draining() {
+			h.Status = "draining"
+		}
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)

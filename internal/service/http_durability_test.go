@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postJobKey is postJob with an Idempotency-Key header.
+func postJobKey(t *testing.T, srv *httptest.Server, body, key string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPIdempotencyKey(t *testing.T) {
+	_, srv := newTestAPI(t, Config{Execute: instantExecute(1)})
+
+	resp := postJobKey(t, srv, `{"experiment":"fig3"}`, "client-retry-1")
+	first := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d, want 202", resp.StatusCode)
+	}
+
+	// Same key replays the original job with 200, even with a different
+	// body — the key, not the spec, is the identity.
+	resp = postJobKey(t, srv, `{"experiment":"fig3","seeds":2}`, "client-retry-1")
+	replay := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("replayed submit status = %d, want 200", resp.StatusCode)
+	}
+	if replay.ID != first.ID {
+		t.Errorf("replayed submit created a new job: %s != %s", replay.ID, first.ID)
+	}
+
+	// A different key is a different job.
+	resp = postJobKey(t, srv, `{"experiment":"fig3"}`, "client-retry-2")
+	other := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("new-key submit status = %d, want 202", resp.StatusCode)
+	}
+	if other.ID == first.ID {
+		t.Error("distinct keys mapped to the same job")
+	}
+}
+
+// TestHTTPRetryAfterDerived: the 429 Retry-After header must reflect queue
+// depth and observed job durations, not a hard-coded constant.
+func TestHTTPRetryAfterDerived(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc, srv := newTestAPI(t, Config{
+		Workers:       1,
+		QueueCapacity: 1,
+		Execute:       blockingExecute(started, release),
+	})
+	// Seed the EWMA as if recent jobs took 4 s each.
+	svc.Metrics().ObserveLatency(4.0)
+
+	for i := 0; i < 2; i++ { // one running, one queued
+		resp := postJob(t, srv, `{"experiment":"fig3"}`)
+		resp.Body.Close()
+		if i == 0 {
+			<-started
+		}
+	}
+	resp := postJob(t, srv, `{"experiment":"fig3"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	// depth 1, workers 1, ewma 4 s: (1+1)*4/1 = 8 s until the queue drains.
+	if got := resp.Header.Get("Retry-After"); got != "8" {
+		t.Errorf("Retry-After = %q, want \"8\" (ewma-derived)", got)
+	}
+}
+
+type healthBody struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason"`
+}
+
+func getHealth(t *testing.T, url string) (int, healthBody) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, h
+}
+
+// TestHTTPLivezReadyzDuringDrain: during a graceful drain the daemon is
+// alive but not ready — orchestrators must stop routing without restarting
+// it (a restart would abort the in-flight jobs the drain is waiting for).
+func TestHTTPLivezReadyzDuringDrain(t *testing.T) {
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	svc, srv := newTestAPI(t, Config{Workers: 1, Execute: blockingExecute(started, release)})
+
+	if code, h := getHealth(t, srv.URL+"/readyz"); code != http.StatusOK || !h.Ready {
+		t.Fatalf("idle readyz = %d %+v, want 200 ready", code, h)
+	}
+
+	if _, err := svc.Submit(specFig3()); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = svc.Shutdown(context.Background())
+	}()
+	// The drain flag flips before Shutdown returns; poll briefly.
+	deadline := time.After(5 * time.Second)
+	for !svc.Draining() {
+		select {
+		case <-deadline:
+			t.Fatal("service never started draining")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	if code, h := getHealth(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || h.Ready || h.Status != "draining" {
+		t.Errorf("draining readyz = %d %+v, want 503 not-ready draining", code, h)
+	}
+	if code, h := getHealth(t, srv.URL+"/healthz"); code != http.StatusServiceUnavailable || h.Ready {
+		t.Errorf("draining healthz = %d %+v, want 503 (alias of readyz)", code, h)
+	}
+	if code, h := getHealth(t, srv.URL+"/livez"); code != http.StatusOK || h.Status != "alive" {
+		t.Errorf("draining livez = %d %+v, want 200 alive", code, h)
+	}
+
+	close(release)
+	<-done
+}
+
+// TestHTTPReadyzJournalBroken: when the WAL cannot persist records the
+// daemon must advertise not-ready — accepting jobs it cannot make durable
+// would silently void the recovery guarantee — while staying alive.
+func TestHTTPReadyzJournalBroken(t *testing.T) {
+	svc, err := Open(Config{DataDir: t.TempDir(), Execute: instantExecute(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+
+	if code, h := getHealth(t, srv.URL+"/readyz"); code != http.StatusOK || !h.Ready {
+		t.Fatalf("healthy readyz = %d %+v, want 200 ready", code, h)
+	}
+
+	// Break the journal underneath the service (as a full or yanked disk
+	// would) and trip it with a submission.
+	svc.journal.f.Close()
+	resp := postJob(t, srv, `{"experiment":"fig3"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("submit with broken journal = %d, want 500", resp.StatusCode)
+	}
+
+	code, h := getHealth(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || h.Ready || h.Reason == "" {
+		t.Errorf("broken-journal readyz = %d %+v, want 503 with reason", code, h)
+	}
+	if code, h := getHealth(t, srv.URL+"/livez"); code != http.StatusOK || h.Status != "alive" {
+		t.Errorf("broken-journal livez = %d %+v, want 200 alive", code, h)
+	}
+}

@@ -6,25 +6,33 @@ import (
 	"encoding/hex"
 	"sync"
 	"time"
+
+	"mobic/internal/experiment"
 )
 
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle: queued -> running -> succeeded | failed | canceled.
-// A queued job canceled before a worker picks it up goes straight to
-// canceled.
+// Job lifecycle: queued -> running -> succeeded | failed | canceled |
+// poisoned. A queued job canceled before a worker picks it up goes straight
+// to canceled. With retries enabled (Config.Retry.MaxAttempts > 1) a failed
+// attempt moves the job back to queued until its attempts are exhausted, at
+// which point it is quarantined as poisoned.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateSucceeded State = "succeeded"
 	StateFailed    State = "failed"
 	StateCanceled  State = "canceled"
+	// StatePoisoned quarantines a job that failed Retry.MaxAttempts times:
+	// it is terminal and will never be re-enqueued — not even across a
+	// daemon restart — so one bad spec cannot busy-loop the worker pool.
+	StatePoisoned State = "poisoned"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled || s == StatePoisoned
 }
 
 // StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream:
@@ -49,8 +57,9 @@ type StreamEvent struct {
 // away, so streams see every completed cell. Its length is bounded by the
 // job's cell count (seeds × sweep points) plus two transitions.
 type Job struct {
-	id   string
-	spec JobSpec
+	id      string
+	spec    JobSpec
+	idemKey string // immutable after construction
 
 	mu       sync.Mutex
 	notify   chan struct{}
@@ -59,6 +68,7 @@ type Job struct {
 	state    State
 	done     int
 	total    int
+	attempt  int // executions started so far (journaled, survives restarts)
 	errMsg   string
 	output   *Output
 	created  time.Time
@@ -66,16 +76,26 @@ type Job struct {
 	finished time.Time
 	cancel   context.CancelFunc
 	wantStop bool
+	// cps is the contiguous prefix of completed-and-checkpointed sweep
+	// cells; a retry or a post-crash resume restarts from len(cps).
+	cps []experiment.CellStats
 }
 
 // newJob creates a queued job with a fresh random ID.
-func newJob(spec JobSpec, now time.Time) *Job {
+func newJob(spec JobSpec, idemKey string, now time.Time) *Job {
+	return rehydrate(newJobID(), spec, idemKey, now)
+}
+
+// rehydrate builds a queued job with a known ID — the journal replay path.
+// Attempt counts and checkpoints are layered on by the replayer.
+func rehydrate(id string, spec JobSpec, idemKey string, created time.Time) *Job {
 	return &Job{
-		id:      newJobID(),
+		id:      id,
 		spec:    spec,
+		idemKey: idemKey,
 		notify:  make(chan struct{}),
 		state:   StateQueued,
-		created: now,
+		created: created,
 		events:  []StreamEvent{{Type: "status", State: StateQueued}},
 	}
 }
@@ -115,6 +135,63 @@ func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) bool {
 	j.events = append(j.events, StreamEvent{Type: "status", State: StateRunning})
 	j.changed()
 	return true
+}
+
+// beginAttempt bumps and returns the execution-attempt counter; the worker
+// calls it once per run, right after the queued -> running transition.
+func (j *Job) beginAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempt++
+	return j.attempt
+}
+
+// setRetrying moves a failed running job back to queued for another
+// attempt, keeping the last error visible while it waits. Returns false if
+// the job was canceled or already terminal — the caller must finish it
+// instead of retrying.
+func (j *Job) setRetrying(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wantStop || j.state.Terminal() {
+		return false
+	}
+	j.state = StateQueued
+	j.cancel = nil
+	j.errMsg = reason
+	j.events = append(j.events, StreamEvent{Type: "status", State: StateQueued})
+	j.changed()
+	return true
+}
+
+// addCheckpoint records the next completed sweep cell. Out-of-order calls
+// are ignored: checkpoints are only meaningful as a contiguous prefix.
+func (j *Job) addCheckpoint(cell int, cs experiment.CellStats) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cell == len(j.cps) {
+		j.cps = append(j.cps, cs)
+	}
+}
+
+// checkpointed returns a copy of the contiguous completed-cell prefix.
+func (j *Job) checkpointed() []experiment.CellStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.cps) == 0 {
+		return nil
+	}
+	out := make([]experiment.CellStats, len(j.cps))
+	copy(out, j.cps)
+	return out
+}
+
+// CancelRequested reports whether a caller asked this job to stop — what
+// distinguishes a user cancellation from a shutdown abort.
+func (j *Job) CancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wantStop
 }
 
 // setProgress records cell completion; safe to call from runner workers.
@@ -185,6 +262,9 @@ type Status struct {
 	// Done/Total count completed simulation cells (seeds × sweep points).
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Attempt is the number of execution attempts started so far (0 while
+	// the job has never run). It survives daemon restarts via the journal.
+	Attempt int `json:"attempt,omitempty"`
 	// Error is the failure reason (context.Canceled for canceled jobs,
 	// context.DeadlineExceeded for timeouts).
 	Error      string     `json:"error,omitempty"`
@@ -212,6 +292,7 @@ func (j *Job) statusLocked() Status {
 		Spec:      j.spec,
 		Done:      j.done,
 		Total:     j.total,
+		Attempt:   j.attempt,
 		Error:     j.errMsg,
 		CreatedAt: j.created,
 	}

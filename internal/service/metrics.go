@@ -20,16 +20,24 @@ const (
 
 // Metrics aggregates service observability counters, exposed by
 // GET /metrics in Prometheus text format.
+// ewmaAlpha weighs the newest job duration in the moving average behind
+// the 429 Retry-After hint; ~0.2 remembers the last handful of jobs.
+const ewmaAlpha = 0.2
+
 type Metrics struct {
 	submitted atomic.Uint64
 	rejected  atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	canceled  atomic.Uint64
+	retried   atomic.Uint64
+	poisoned  atomic.Uint64
 	inFlight  atomic.Int64
 
 	mu      sync.Mutex
 	latency *stats.Histogram
+	ewma    float64 // exponentially weighted mean job duration, seconds
+	ewmaSet bool
 }
 
 // NewMetrics returns a zeroed metrics set.
@@ -46,6 +54,19 @@ func (m *Metrics) ObserveLatency(seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.latency.Add(seconds)
+	if !m.ewmaSet {
+		m.ewma, m.ewmaSet = seconds, true
+	} else {
+		m.ewma = ewmaAlpha*seconds + (1-ewmaAlpha)*m.ewma
+	}
+}
+
+// LatencyEWMA returns the exponentially weighted mean job duration in
+// seconds, or 0 before any job has finished.
+func (m *Metrics) LatencyEWMA() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewma
 }
 
 // WriteTo renders the metrics in Prometheus text exposition format.
@@ -60,6 +81,8 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth, stored int) error {
 		{"mobicd_jobs_completed_total", "Jobs finished successfully.", m.completed.Load()},
 		{"mobicd_jobs_failed_total", "Jobs finished with an error (timeouts included).", m.failed.Load()},
 		{"mobicd_jobs_canceled_total", "Jobs canceled by callers or shutdown.", m.canceled.Load()},
+		{"mobicd_jobs_retried_total", "Failed attempts re-queued under the retry policy.", m.retried.Load()},
+		{"mobicd_jobs_poisoned_total", "Jobs quarantined after exhausting Retry.MaxAttempts.", m.poisoned.Load()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",

@@ -3,7 +3,11 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"mobic/internal/experiment"
@@ -16,11 +20,48 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	// ErrShuttingDown is returned by Submit once Shutdown began (503).
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrJobPanicked tags executor panics caught by the worker's recover;
+	// the panic value and stack are preserved in the job's error.
+	ErrJobPanicked = errors.New("service: job panicked")
 )
 
 // ExecuteFunc runs one job spec; the default is JobSpec.run on the real
-// simulator. Tests and benchmarks substitute stubs.
+// simulator. Tests and benchmarks substitute stubs. The runner passed in
+// carries the service-wide defaults plus, for sweep jobs, the
+// checkpoint/resume wiring (StartCell, Resume, Checkpoint).
 type ExecuteFunc func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error)
+
+// RetryPolicy caps how often a failing job is re-executed. Attempt counts
+// are journaled, so they survive daemon restarts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions a job may consume,
+	// the first run included. <= 1 disables retries: any failure is
+	// terminal StateFailed. With MaxAttempts > 1, a job whose last
+	// allowed attempt also fails is quarantined as StatePoisoned.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 500 ms).
+	// It doubles per failed attempt, is capped at MaxDelay (default
+	// 30 s), and gets ±25% jitter so a burst of failures doesn't
+	// re-converge on the queue in lockstep.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+}
+
+// backoff returns the jittered delay before retrying after the given
+// failed attempt (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Full-jitter would lose the floor; ±25% keeps ordering roughly fair.
+	jitter := 0.75 + 0.5*rand.Float64()
+	return time.Duration(float64(d) * jitter)
+}
 
 // Config parameterizes a Service.
 type Config struct {
@@ -42,6 +83,19 @@ type Config struct {
 	Execute ExecuteFunc
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
+	// DataDir, when non-empty, enables the durability layer: Open
+	// journals every job lifecycle transition to an fsync'd write-ahead
+	// log under this directory, replays it on boot, re-enqueues jobs
+	// that were queued or running at crash time, and resumes sweeps from
+	// their last completed-cell checkpoint. Empty keeps the original
+	// purely in-memory mode.
+	DataDir string
+	// Retry governs re-execution of failed attempts. The zero value
+	// disables retries (MaxAttempts 1).
+	Retry RetryPolicy
+	// CompactBytes triggers journal compaction from the janitor once the
+	// WAL grows past this size (default 8 MiB; only with DataDir).
+	CompactBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,29 +124,52 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry.MaxAttempts = 1
+	}
+	if c.Retry.BaseDelay <= 0 {
+		c.Retry.BaseDelay = 500 * time.Millisecond
+	}
+	if c.Retry.MaxDelay <= 0 {
+		c.Retry.MaxDelay = 30 * time.Second
+	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 8 << 20
+	}
 	return c
 }
 
 // Service is the simulation-as-a-service backend: a bounded FIFO queue, a
-// worker pool over experiment.Runner, and a TTL-evicted job store.
+// worker pool over experiment.Runner, a TTL-evicted job store and, with
+// Config.DataDir set, a write-ahead journal that makes all of it survive a
+// crash.
 type Service struct {
 	cfg     Config
 	store   *Store
 	queue   chan *Job
 	metrics *Metrics
+	journal *Journal
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workersWG  chan struct{} // closed when all workers exited
 	janitorWG  chan struct{} // closed when the janitor exited
+	retryWG    chan struct{} // 0-counter signal; see retryDone
+	retryN     chan int      // serialized retry-goroutine counter
+	draining   chan struct{} // closed when Shutdown begins
 
-	submitMu chan struct{} // 1-token semaphore guarding closed+enqueue
-	closed   bool
+	submitMu  chan struct{} // 1-token semaphore guarding closed+enqueue
+	closed    bool
+	recovered int
 }
 
-// New builds a Service; call Start before submitting.
+// New builds an in-memory Service; call Start before submitting. For the
+// durable, journal-backed mode use Open.
 func New(cfg Config) *Service {
-	cfg = cfg.withDefaults()
+	return newService(cfg.withDefaults())
+}
+
+func newService(cfg Config) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
@@ -103,9 +180,131 @@ func New(cfg Config) *Service {
 		baseCancel: cancel,
 		workersWG:  make(chan struct{}),
 		janitorWG:  make(chan struct{}),
+		retryN:     make(chan int, 1),
+		draining:   make(chan struct{}),
 		submitMu:   make(chan struct{}, 1),
 	}
+	s.retryN <- 0
 	return s
+}
+
+// Open builds a Service and, when cfg.DataDir is set, replays its journal:
+// torn tails are truncated, jobs that already finished are restored as
+// queryable terminal jobs (TTL permitting), and jobs that were queued or
+// running when the previous process died are re-enqueued — sweeps resume
+// from their last completed-cell checkpoint, so the recovered run's output
+// is identical to an uninterrupted one. Call Start afterwards.
+func Open(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := newService(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	j, recs, err := openJournal(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	pending := s.restore(recs)
+	// Boot compaction: rewrite the WAL from the restored state, dropping
+	// records of expired jobs and whatever the torn-tail truncation left.
+	if err := j.Compact(s.snapshotRecords()); err != nil {
+		return nil, err
+	}
+	// Recovered jobs may exceed the configured queue bound; grow the
+	// channel so they all fit. Submit sheds against cfg.QueueCapacity
+	// (not the channel cap), so backpressure semantics are unchanged.
+	if len(pending) > cap(s.queue) {
+		s.queue = make(chan *Job, len(pending)+cfg.QueueCapacity)
+	}
+	for _, job := range pending {
+		s.queue <- job
+	}
+	s.recovered = len(pending)
+	return s, nil
+}
+
+// restore folds replayed records into store state and returns the
+// non-terminal jobs to re-enqueue, in submission order.
+func (s *Service) restore(recs []record) []*Job {
+	now := s.cfg.Clock()
+	jobs := make(map[string]*Job)
+	var order []*Job
+	// finished remembers terminal records so TTL filtering and terminal
+	// reconstruction happen after the whole log is folded.
+	type terminal struct {
+		state    State
+		errMsg   string
+		output   *Output
+		finished time.Time
+	}
+	ends := make(map[string]terminal)
+	for _, rec := range recs {
+		switch rec.Type {
+		case recSubmit:
+			if rec.Spec == nil || jobs[rec.Job] != nil {
+				continue
+			}
+			job := rehydrate(rec.Job, *rec.Spec, rec.Key, rec.Time)
+			jobs[rec.Job] = job
+			order = append(order, job)
+		case recStart, recRetry:
+			if job := jobs[rec.Job]; job != nil {
+				job.attempt = rec.Attempt
+			}
+		case recCheckpoint:
+			if job := jobs[rec.Job]; job != nil && rec.Stats != nil {
+				job.addCheckpoint(rec.Cell, *rec.Stats)
+			}
+		case recFinish:
+			if jobs[rec.Job] != nil {
+				ends[rec.Job] = terminal{rec.State, rec.Error, rec.Output, rec.Time}
+			}
+		}
+	}
+	var pending []*Job
+	for _, job := range order {
+		end, done := ends[job.id]
+		if done {
+			if now.Sub(end.finished) >= s.cfg.TTL {
+				continue // expired while the daemon was down
+			}
+			job.finish(end.state, end.output, end.errMsg, end.finished)
+			s.store.Put(job)
+			continue
+		}
+		if s.cfg.Retry.MaxAttempts > 1 && job.attempt >= s.cfg.Retry.MaxAttempts {
+			// Crash-looped through its whole budget: quarantine at boot
+			// instead of letting it take the pool down again.
+			s.metrics.poisoned.Add(1)
+			job.finish(StatePoisoned, nil,
+				fmt.Sprintf("poisoned at recovery after %d attempts", job.attempt), now)
+			s.store.Put(job)
+			continue
+		}
+		s.store.Put(job)
+		pending = append(pending, job)
+	}
+	return pending
+}
+
+// snapshotRecords renders the whole store as logical journal records —
+// the compaction image.
+func (s *Service) snapshotRecords() []record {
+	var recs []record
+	for _, job := range s.store.All() {
+		recs = append(recs, jobRecords(job)...)
+	}
+	return recs
+}
+
+// journalAppend appends rec when the journal is enabled, ignoring the
+// error: Append already latched it for the readiness probe, and a job in
+// flight is better finished in memory than aborted halfway.
+func (s *Service) journalAppend(rec record) {
+	if s.journal != nil {
+		_ = s.journal.Append(rec)
+	}
 }
 
 // Metrics exposes the service counters.
@@ -119,6 +318,52 @@ func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
 
 // StoredJobs returns the number of jobs currently in the store.
 func (s *Service) StoredJobs() int { return s.store.Len() }
+
+// RecoveredJobs returns how many interrupted jobs Open re-enqueued.
+func (s *Service) RecoveredJobs() int { return s.recovered }
+
+// Ready reports whether the service should receive traffic: false while
+// draining and false when the journal cannot persist records. The reason
+// string is human-readable for the /readyz body.
+func (s *Service) Ready() (bool, string) {
+	if s.Draining() {
+		return false, "draining"
+	}
+	if s.journal != nil {
+		if err := s.journal.Err(); err != nil {
+			return false, err.Error()
+		}
+	}
+	return true, ""
+}
+
+// RetryAfterHint estimates, in whole seconds, how long a shed client
+// should wait before resubmitting: the queue's expected drain time from
+// the EWMA of recent job durations, floored at 1 s and capped at 30 s.
+func (s *Service) RetryAfterHint() int {
+	return retryAfterSeconds(s.QueueDepth(), s.cfg.Workers, s.metrics.LatencyEWMA())
+}
+
+// retryAfterSeconds is the pure computation behind RetryAfterHint.
+func retryAfterSeconds(depth, workers int, ewmaSeconds float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if ewmaSeconds <= 0 {
+		// No completed job yet: nothing to extrapolate from, suggest the
+		// minimum.
+		return 1
+	}
+	wait := ewmaSeconds * float64(depth+1) / float64(workers)
+	secs := int(math.Ceil(wait))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
 
 // Start launches the worker pool and the TTL janitor.
 func (s *Service) Start() {
@@ -149,6 +394,9 @@ func (s *Service) Start() {
 				return
 			case <-ticker.C:
 				s.store.EvictExpired(s.cfg.Clock())
+				if s.journal != nil && s.journal.Size() > s.cfg.CompactBytes {
+					_ = s.journal.Compact(s.snapshotRecords())
+				}
 			}
 		}
 	}()
@@ -157,28 +405,52 @@ func (s *Service) Start() {
 // Submit validates the spec and enqueues a job. It never blocks: a full
 // queue fails fast with ErrQueueFull so the HTTP layer can shed load.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	job, _, err := s.SubmitKey(spec, "")
+	return job, err
+}
+
+// SubmitKey is Submit with an optional idempotency key: when key is
+// non-empty and a job with the same key is already stored (any state), that
+// job is returned with existed=true instead of double-submitting. Keys are
+// journaled with the submission, so replay protection survives a restart;
+// they are released when the job's TTL evicts it.
+func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, err error) {
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	job := newJob(spec, s.cfg.Clock())
 
 	// The semaphore serializes the closed-check with the enqueue so no
-	// job can slip into the queue after Shutdown closed it.
+	// job can slip into the queue after Shutdown closed it; it also makes
+	// idempotency lookups race-free against concurrent retries of the
+	// same key.
 	s.submitMu <- struct{}{}
 	defer func() { <-s.submitMu }()
 	if s.closed {
-		return nil, ErrShuttingDown
+		return nil, false, ErrShuttingDown
+	}
+	if key != "" {
+		if prev, ok := s.store.ByKey(key); ok {
+			return prev, true, nil
+		}
+	}
+	// Every queue producer holds submitMu and the channel never shrinks
+	// below QueueCapacity, so this check guarantees the send below cannot
+	// block.
+	if len(s.queue) >= s.cfg.QueueCapacity {
+		s.metrics.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	job = newJob(spec, key, s.cfg.Clock())
+	if s.journal != nil {
+		// WAL contract: durable before acknowledged.
+		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: job.created, Spec: &spec, Key: key}); err != nil {
+			return nil, false, err
+		}
 	}
 	s.store.Put(job)
-	select {
-	case s.queue <- job:
-		s.metrics.submitted.Add(1)
-		return job, nil
-	default:
-		s.store.Delete(job.ID())
-		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
-	}
+	s.queue <- job
+	s.metrics.submitted.Add(1)
+	return job, false, nil
 }
 
 // Get looks a job up by ID.
@@ -198,34 +470,76 @@ func (s *Service) Cancel(id string) (*Job, bool) {
 
 // Draining reports whether Shutdown has begun.
 func (s *Service) Draining() bool {
-	s.submitMu <- struct{}{}
-	defer func() { <-s.submitMu }()
-	return s.closed
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
 }
 
 // Shutdown drains gracefully: no new submissions, queued and in-flight
-// jobs run to completion. If ctx expires first, every remaining job is
-// canceled and Shutdown returns ctx.Err() once workers exit.
+// jobs run to completion (pending backoff retries are abandoned — in
+// durable mode the journal re-runs them on the next boot). If ctx expires
+// first, every remaining job is canceled and Shutdown returns ctx.Err()
+// once workers exit.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.submitMu <- struct{}{}
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.draining)
 	}
 	<-s.submitMu
 
+	finish := func() {
+		s.baseCancel() // stop the janitor and wake pending retry timers
+		s.waitRetries()
+		<-s.janitorWG
+		if s.journal != nil {
+			_ = s.journal.Close()
+		}
+	}
 	select {
 	case <-s.workersWG:
-		s.baseCancel() // stop the janitor
-		<-s.janitorWG
+		finish()
 		return nil
 	case <-ctx.Done():
 		// Drain deadline hit: abort in-flight jobs and the janitor.
 		s.baseCancel()
 		<-s.workersWG
-		<-s.janitorWG
+		finish()
 		return ctx.Err()
 	}
+}
+
+// addRetry / doneRetry / waitRetries track in-flight retry goroutines with
+// a channel-based counter (the codebase avoids sync.WaitGroup re-use
+// pitfalls around Shutdown's two paths).
+func (s *Service) addRetry()  { n := <-s.retryN; s.retryN <- n + 1 }
+func (s *Service) doneRetry() { n := <-s.retryN; s.retryN <- n - 1 }
+func (s *Service) waitRetries() {
+	for {
+		n := <-s.retryN
+		s.retryN <- n
+		if n == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// safeExecute invokes the executor with panic isolation: a panicking job
+// surfaces as ErrJobPanicked (value and stack preserved) on its own job
+// instead of killing the daemon and every other in-flight job with it.
+func (s *Service) safeExecute(ctx context.Context, spec JobSpec, runner experiment.Runner, progress func(done, total int)) (out *Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, r, debug.Stack())
+		}
+	}()
+	return s.cfg.Execute(ctx, spec, runner, progress)
 }
 
 // runJob executes one popped job end to end and classifies the outcome.
@@ -242,12 +556,30 @@ func (s *Service) runJob(job *Job) {
 	if !job.setRunning(cancel, now) {
 		// Canceled while queued: never ran.
 		s.metrics.canceled.Add(1)
+		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()})
 		job.finish(StateCanceled, nil, context.Canceled.Error(), now)
 		return
 	}
+	attempt := job.beginAttempt()
+	s.journalAppend(record{Type: recStart, Job: job.ID(), Time: now, Attempt: attempt})
+
+	runner := s.cfg.Runner
+	if job.spec.Sweep != nil {
+		// Checkpoint/resume only applies to sweep jobs: they make exactly
+		// one RunCells call, so the journaled contiguous cell prefix maps
+		// 1:1 onto a StartCell offset. Named experiments re-run whole.
+		if cps := job.checkpointed(); len(cps) > 0 {
+			runner.StartCell = len(cps)
+			runner.Resume = cps
+		}
+		runner.Checkpoint = func(cell int, cs experiment.CellStats) {
+			s.journalAppend(record{Type: recCheckpoint, Job: job.ID(), Time: s.cfg.Clock(), Cell: cell, Stats: &cs})
+			job.addCheckpoint(cell, cs)
+		}
+	}
 
 	s.metrics.inFlight.Add(1)
-	out, err := s.cfg.Execute(jobCtx, job.spec, s.cfg.Runner, job.setProgress)
+	out, err := s.safeExecute(jobCtx, job.spec, runner, job.setProgress)
 	s.metrics.inFlight.Add(-1)
 
 	end := s.cfg.Clock()
@@ -255,14 +587,94 @@ func (s *Service) runJob(job *Job) {
 	switch {
 	case err == nil:
 		s.metrics.completed.Add(1)
+		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateSucceeded, Output: out})
 		job.finish(StateSucceeded, out, "", end)
 	case errors.Is(err, context.Canceled):
 		s.metrics.canceled.Add(1)
+		if job.CancelRequested() {
+			s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateCanceled, Error: err.Error()})
+		}
+		// A shutdown abort (baseCtx canceled without a user request) is
+		// deliberately NOT journaled as terminal: the WAL still shows the
+		// job mid-flight, so the next boot re-enqueues and resumes it.
 		job.finish(StateCanceled, nil, err.Error(), end)
-	default:
-		// Timeouts (context.DeadlineExceeded) and simulation errors both
-		// count as failures; the reason is preserved verbatim.
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job consumed its own wall-clock budget; retrying would just
+		// burn it again.
 		s.metrics.failed.Add(1)
+		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateFailed, Error: err.Error()})
 		job.finish(StateFailed, nil, err.Error(), end)
+	default:
+		s.failAttempt(job, attempt, err, end)
 	}
+}
+
+// failAttempt classifies a failed execution: re-queue with backoff while
+// attempts remain, quarantine as poisoned once they are exhausted (retries
+// enabled), plain failure otherwise.
+func (s *Service) failAttempt(job *Job, attempt int, cause error, now time.Time) {
+	maxAttempts := s.cfg.Retry.MaxAttempts
+	if attempt < maxAttempts && !s.Draining() {
+		s.journalAppend(record{Type: recRetry, Job: job.ID(), Time: now, Attempt: attempt, Error: cause.Error()})
+		if job.setRetrying(cause.Error()) {
+			s.metrics.retried.Add(1)
+			s.scheduleRetry(job, attempt, cause)
+			return
+		}
+		// Canceled between the failure and the retry decision.
+		s.metrics.canceled.Add(1)
+		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()})
+		job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		return
+	}
+	if maxAttempts > 1 && attempt >= maxAttempts {
+		s.metrics.poisoned.Add(1)
+		msg := fmt.Sprintf("poisoned after %d attempts: %v", attempt, cause)
+		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StatePoisoned, Error: msg})
+		job.finish(StatePoisoned, nil, msg, now)
+		return
+	}
+	s.metrics.failed.Add(1)
+	s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateFailed, Error: cause.Error()})
+	job.finish(StateFailed, nil, cause.Error(), now)
+}
+
+// scheduleRetry re-enqueues job after a capped, jittered exponential
+// backoff. Shutdown abandons the wait: the in-memory job finishes
+// canceled, and in durable mode the journal's retry record re-runs it on
+// the next boot.
+func (s *Service) scheduleRetry(job *Job, attempt int, cause error) {
+	delay := s.cfg.Retry.backoff(attempt)
+	s.addRetry()
+	go func() {
+		defer s.doneRetry()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-s.draining:
+		case <-s.baseCtx.Done():
+		}
+		for {
+			s.submitMu <- struct{}{}
+			if s.closed {
+				<-s.submitMu
+				s.metrics.canceled.Add(1)
+				job.finish(StateCanceled, nil,
+					fmt.Sprintf("retry %d abandoned by shutdown (last error: %v)", attempt+1, cause), s.cfg.Clock())
+				return
+			}
+			select {
+			case s.queue <- job:
+				<-s.submitMu
+				return
+			default: // queue momentarily full; yield and try again
+			}
+			<-s.submitMu
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-s.draining:
+			}
+		}
+	}()
 }

@@ -7,23 +7,29 @@ import (
 
 // Store is the in-memory job index. Terminal jobs are evicted once their
 // TTL elapses so an always-on daemon's memory stays bounded; running and
-// queued jobs are never evicted.
+// queued jobs are never evicted. Jobs submitted with an Idempotency-Key are
+// additionally indexed by that key so a client retry maps back to the
+// original job instead of double-submitting.
 type Store struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
+	keys map[string]string // idempotency key -> job ID
 	ttl  time.Duration
 }
 
 // NewStore returns a store evicting terminal jobs ttl after they finish.
 func NewStore(ttl time.Duration) *Store {
-	return &Store{jobs: make(map[string]*Job), ttl: ttl}
+	return &Store{jobs: make(map[string]*Job), keys: make(map[string]string), ttl: ttl}
 }
 
-// Put indexes a job.
+// Put indexes a job (and its idempotency key, if any).
 func (s *Store) Put(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.jobs[j.ID()] = j
+	if j.idemKey != "" {
+		s.keys[j.idemKey] = j.ID()
+	}
 }
 
 // Get looks a job up by ID.
@@ -34,10 +40,25 @@ func (s *Store) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// ByKey looks a job up by its idempotency key.
+func (s *Store) ByKey(key string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.keys[key]
+	if !ok {
+		return nil, false
+	}
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
 // Delete removes a job (used when enqueueing fails after Put).
 func (s *Store) Delete(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.idemKey != "" {
+		delete(s.keys, j.idemKey)
+	}
 	delete(s.jobs, id)
 }
 
@@ -48,9 +69,22 @@ func (s *Store) Len() int {
 	return len(s.jobs)
 }
 
+// All returns the indexed jobs in unspecified order; journal compaction
+// snapshots each one's logical records from it.
+func (s *Store) All() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
 // EvictExpired removes terminal jobs that finished more than TTL before
 // now and returns how many were evicted. The janitor calls it
-// periodically; tests call it directly with a synthetic clock.
+// periodically; tests call it directly with a synthetic clock. Evicting a
+// job also frees its idempotency key for reuse.
 func (s *Store) EvictExpired(now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -58,6 +92,9 @@ func (s *Store) EvictExpired(now time.Time) int {
 	for id, j := range s.jobs {
 		st, _, _ := j.Snapshot()
 		if st.State.Terminal() && st.FinishedAt != nil && now.Sub(*st.FinishedAt) >= s.ttl {
+			if j.idemKey != "" {
+				delete(s.keys, j.idemKey)
+			}
 			delete(s.jobs, id)
 			evicted++
 		}

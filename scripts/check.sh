@@ -19,6 +19,11 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== fuzz smoke (5s per target, seeded from checked-in corpora)"
+go test -run='^$' -fuzz='^FuzzSpec$' -fuzztime=5s ./internal/service
+go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=5s ./internal/service
+go test -run='^$' -fuzz='^FuzzEngineInvariants$' -fuzztime=5s ./internal/cluster
+
 echo "== benchmark smoke + regression gate"
 ./scripts/bench.sh check
 
