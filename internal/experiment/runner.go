@@ -45,9 +45,10 @@ type Runner struct {
 	// Checkpoint, when set, is called as the contiguous prefix of
 	// completed cells grows: once for each cell index in increasing
 	// order, after every replication of that cell (and of all cells
-	// before it) has finished. It runs on a worker goroutine with the
-	// runner's internal lock held, so it must not call back into the
-	// runner; durable callers use it to journal per-cell progress.
+	// before it) has finished. Calls are serialized and made outside the
+	// runner's internal lock, so a slow callback — a durable caller's
+	// per-cell fsync, say — delays only the single draining worker, not
+	// the whole pool; durable callers use it to journal progress.
 	Checkpoint func(cell int, stats CellStats)
 }
 
@@ -92,6 +93,14 @@ type cellJob struct {
 	rep  int
 	seed uint64
 	cfg  simnet.Config
+}
+
+// checkpointEntry is one pending Checkpoint callback: a newly completed
+// cell of the contiguous frontier waiting to be delivered outside the
+// aggregation lock.
+type checkpointEntry struct {
+	cell  int
+	stats CellStats
 }
 
 // RunCells executes every (params, algorithm) cell over all seeds, in
@@ -159,7 +168,39 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 		done     int
 		frontier = r.StartCell
 		wg       sync.WaitGroup
+		// Checkpoint delivery is decoupled from the aggregation lock:
+		// frontier advances enqueue cells under mu (so the queue carries
+		// the strictly increasing frontier order), and whichever worker
+		// finds entries pending drains them after unlocking. cpDraining
+		// makes the drain single-flight, which keeps callbacks serialized
+		// and in order while every other worker keeps simulating instead
+		// of stalling behind a slow callback (a per-cell fsync, say).
+		cpQueue    []checkpointEntry
+		cpDraining bool
 	)
+	// drainCheckpoints delivers pending checkpoints in order. Callers must
+	// not hold mu. If another worker is already draining, it returns at
+	// once — the active drainer re-checks the queue before finishing, so
+	// nothing is stranded.
+	drainCheckpoints := func() {
+		mu.Lock()
+		if cpDraining {
+			mu.Unlock()
+			return
+		}
+		cpDraining = true
+		for len(cpQueue) > 0 {
+			batch := cpQueue
+			cpQueue = nil
+			mu.Unlock()
+			for _, e := range batch {
+				r.Checkpoint(e.cell, e.stats)
+			}
+			mu.Lock()
+		}
+		cpDraining = false
+		mu.Unlock()
+	}
 	jobCh := make(chan cellJob)
 	for w := 0; w < r.Workers; w++ {
 		wg.Add(1)
@@ -193,7 +234,7 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 						// finish out of order, checkpoints never do.
 						for frontier < len(cells) && completed[frontier] {
 							if r.Checkpoint != nil {
-								r.Checkpoint(frontier, out[frontier])
+								cpQueue = append(cpQueue, checkpointEntry{frontier, out[frontier]})
 							}
 							frontier++
 						}
@@ -204,6 +245,9 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 				total := len(jobs)
 				d := done
 				mu.Unlock()
+				if r.Checkpoint != nil {
+					drainCheckpoints()
+				}
 				if progress != nil {
 					progress(d, total)
 				}

@@ -223,9 +223,26 @@ func (j *Journal) Size() int64 {
 	return j.size
 }
 
+// countingWriter counts the bytes that pass through to w. Compact uses it
+// to know the compacted WAL's size without any post-rename syscall — the
+// rename is the point of no return, so nothing after it may fail.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // Compact atomically replaces the WAL with the given logical records:
 // write temp file, fsync, rename over the journal, fsync the directory.
-// Appends block for the duration, so no record can race the swap.
+// Appends block for the duration, so no record can race the swap. Callers
+// that snapshot live state must externally exclude appenders between
+// taking the snapshot and calling Compact (see Service.compactMu), or a
+// record appended in between is erased by the rewrite.
 func (j *Journal) Compact(recs []record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -235,34 +252,38 @@ func (j *Journal) Compact(recs []record) error {
 		j.lastErr = fmt.Errorf("journal: compact: %w", err)
 		return j.lastErr
 	}
+	// fail is only valid before the rename: once tmp has replaced the
+	// journal it IS the live WAL and must not be closed or unlinked.
 	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		j.lastErr = fmt.Errorf("journal: compact: %w", err)
 		return j.lastErr
 	}
-	if _, err := tmp.Write(journalMagic); err != nil {
+	cw := &countingWriter{w: tmp}
+	if _, err := cw.Write(journalMagic); err != nil {
 		return fail(err)
 	}
 	for _, rec := range recs {
-		if err := encodeFrame(tmp, rec); err != nil {
+		if err := encodeFrame(cw, rec); err != nil {
 			return fail(err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(err)
 	}
+	// CreateTemp made the file 0600; without this the first compaction
+	// would silently tighten the 0644 the journal was created with.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
 	if err := os.Rename(tmp.Name(), j.path); err != nil {
 		return fail(err)
 	}
 	syncDir(dir)
-	off, err := tmp.Seek(0, io.SeekEnd)
-	if err != nil {
-		return fail(err)
-	}
 	j.f.Close()
 	j.f = tmp
-	j.size = off
+	j.size = cw.n
 	j.lastErr = nil
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"mobic/internal/experiment"
@@ -161,6 +162,15 @@ type Service struct {
 	submitMu  chan struct{} // 1-token semaphore guarding closed+enqueue
 	closed    bool
 	recovered int
+
+	// compactMu makes journal compaction atomic with respect to the
+	// append+update pairs that make a record durable and then reflect it
+	// in the store. Writers of state (SubmitKey, journalApply) hold the
+	// read side across both steps; the janitor holds the write side
+	// across snapshot-and-swap. Without it, a snapshot taken between an
+	// fsync'd Append and its store update misses the record, and the
+	// rewrite erases a durably acknowledged job from the WAL.
+	compactMu sync.RWMutex
 }
 
 // New builds an in-memory Service; call Start before submitting. For the
@@ -300,11 +310,31 @@ func (s *Service) snapshotRecords() []record {
 
 // journalAppend appends rec when the journal is enabled, ignoring the
 // error: Append already latched it for the readiness probe, and a job in
-// flight is better finished in memory than aborted halfway.
+// flight is better finished in memory than aborted halfway. It is only for
+// records whose store-visible effect is already in memory (start, retry) —
+// losing such a record to a concurrent compaction loses no information,
+// because the snapshot renders the state the record carries. Records that
+// precede their in-memory update must go through journalApply instead.
 func (s *Service) journalAppend(rec record) {
 	if s.journal != nil {
 		_ = s.journal.Append(rec)
 	}
+}
+
+// journalApply journals rec and then runs the in-memory update it pairs
+// with, holding the compaction read-lock across both. That closes the
+// window the janitor's snapshot could otherwise slip into — record durably
+// in the WAL, store not yet updated — where compaction would rewrite the
+// log without the record and a crash would silently undo an acknowledged
+// transition (a finished job re-running, a checkpoint lost). Append errors
+// are ignored for the same reason as journalAppend.
+func (s *Service) journalApply(rec record, apply func()) {
+	s.compactMu.RLock()
+	defer s.compactMu.RUnlock()
+	if s.journal != nil {
+		_ = s.journal.Append(rec)
+	}
+	apply()
 }
 
 // Metrics exposes the service counters.
@@ -395,7 +425,14 @@ func (s *Service) Start() {
 			case <-ticker.C:
 				s.store.EvictExpired(s.cfg.Clock())
 				if s.journal != nil && s.journal.Size() > s.cfg.CompactBytes {
+					// The write side of compactMu excludes every in-flight
+					// append+update pair, so the snapshot and the WAL swap
+					// are atomic with respect to SubmitKey/journalApply: no
+					// record fsync'd before the swap can be missing from
+					// the snapshot that replaces it.
+					s.compactMu.Lock()
 					_ = s.journal.Compact(s.snapshotRecords())
+					s.compactMu.Unlock()
 				}
 			}
 		}
@@ -441,13 +478,20 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 		return nil, false, ErrQueueFull
 	}
 	job = newJob(spec, key, s.cfg.Clock())
+	// Append and Put under the compaction read-lock: once the submit
+	// record is durable the store must reflect the job before any
+	// compaction snapshot runs, or the janitor would rewrite the WAL
+	// without it and a crash would lose an acknowledged job.
+	s.compactMu.RLock()
 	if s.journal != nil {
 		// WAL contract: durable before acknowledged.
 		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: job.created, Spec: &spec, Key: key}); err != nil {
+			s.compactMu.RUnlock()
 			return nil, false, err
 		}
 	}
 	s.store.Put(job)
+	s.compactMu.RUnlock()
 	s.queue <- job
 	s.metrics.submitted.Add(1)
 	return job, false, nil
@@ -556,8 +600,9 @@ func (s *Service) runJob(job *Job) {
 	if !job.setRunning(cancel, now) {
 		// Canceled while queued: never ran.
 		s.metrics.canceled.Add(1)
-		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()})
-		job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()}, func() {
+			job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		})
 		return
 	}
 	attempt := job.beginAttempt()
@@ -573,8 +618,9 @@ func (s *Service) runJob(job *Job) {
 			runner.Resume = cps
 		}
 		runner.Checkpoint = func(cell int, cs experiment.CellStats) {
-			s.journalAppend(record{Type: recCheckpoint, Job: job.ID(), Time: s.cfg.Clock(), Cell: cell, Stats: &cs})
-			job.addCheckpoint(cell, cs)
+			s.journalApply(record{Type: recCheckpoint, Job: job.ID(), Time: s.cfg.Clock(), Cell: cell, Stats: &cs}, func() {
+				job.addCheckpoint(cell, cs)
+			})
 		}
 	}
 
@@ -587,12 +633,16 @@ func (s *Service) runJob(job *Job) {
 	switch {
 	case err == nil:
 		s.metrics.completed.Add(1)
-		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateSucceeded, Output: out})
-		job.finish(StateSucceeded, out, "", end)
+		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateSucceeded, Output: out}, func() {
+			job.finish(StateSucceeded, out, "", end)
+		})
 	case errors.Is(err, context.Canceled):
 		s.metrics.canceled.Add(1)
 		if job.CancelRequested() {
-			s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateCanceled, Error: err.Error()})
+			s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateCanceled, Error: err.Error()}, func() {
+				job.finish(StateCanceled, nil, err.Error(), end)
+			})
+			return
 		}
 		// A shutdown abort (baseCtx canceled without a user request) is
 		// deliberately NOT journaled as terminal: the WAL still shows the
@@ -602,8 +652,9 @@ func (s *Service) runJob(job *Job) {
 		// The job consumed its own wall-clock budget; retrying would just
 		// burn it again.
 		s.metrics.failed.Add(1)
-		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: end, State: StateFailed, Error: err.Error()})
-		job.finish(StateFailed, nil, err.Error(), end)
+		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateFailed, Error: err.Error()}, func() {
+			job.finish(StateFailed, nil, err.Error(), end)
+		})
 	default:
 		s.failAttempt(job, attempt, err, end)
 	}
@@ -623,20 +674,23 @@ func (s *Service) failAttempt(job *Job, attempt int, cause error, now time.Time)
 		}
 		// Canceled between the failure and the retry decision.
 		s.metrics.canceled.Add(1)
-		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()})
-		job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()}, func() {
+			job.finish(StateCanceled, nil, context.Canceled.Error(), now)
+		})
 		return
 	}
 	if maxAttempts > 1 && attempt >= maxAttempts {
 		s.metrics.poisoned.Add(1)
 		msg := fmt.Sprintf("poisoned after %d attempts: %v", attempt, cause)
-		s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StatePoisoned, Error: msg})
-		job.finish(StatePoisoned, nil, msg, now)
+		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StatePoisoned, Error: msg}, func() {
+			job.finish(StatePoisoned, nil, msg, now)
+		})
 		return
 	}
 	s.metrics.failed.Add(1)
-	s.journalAppend(record{Type: recFinish, Job: job.ID(), Time: now, State: StateFailed, Error: cause.Error()})
-	job.finish(StateFailed, nil, cause.Error(), now)
+	s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateFailed, Error: cause.Error()}, func() {
+		job.finish(StateFailed, nil, cause.Error(), now)
+	})
 }
 
 // scheduleRetry re-enqueues job after a capped, jittered exponential
