@@ -17,7 +17,7 @@ vet:
 bench:
 	go test -bench=. -benchtime=1x .
 
-# Rewrite BENCH_harness.json from this machine's benchmark costs.
+# Rewrite BENCH_engine.json and BENCH_harness.json from this machine's benchmark costs.
 bench-baseline:
 	./scripts/bench.sh baseline
 

@@ -23,6 +23,10 @@ type Node struct {
 	// head-head conflict will be resolved (MOBIC's CCI timers).
 	contention map[int32]float64
 
+	// rivalBuf is scratch reused by stepHead so the per-beacon decision
+	// round allocates nothing at steady state.
+	rivalBuf []NeighborView
+
 	onRoleChange RoleChangeFunc
 	onHeadChange HeadChangeFunc
 }
@@ -146,12 +150,13 @@ func (n *Node) Step(now float64, self Weight, neighbors []NeighborView) {
 // incidental contacts between passing clusters.
 func (n *Node) stepHead(now float64, neighbors []NeighborView) {
 	// Collect rival heads currently in range.
-	var rivals []NeighborView
+	rivals := n.rivalBuf[:0]
 	for _, nb := range neighbors {
 		if nb.Role == RoleHead {
 			rivals = append(rivals, nb)
 		}
 	}
+	n.rivalBuf = rivals
 	// Drop contention timers for rivals that left range or resigned: the
 	// contact was incidental, exactly what CCI is for.
 	if len(n.contention) > 0 {

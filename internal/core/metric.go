@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"mobic/internal/stats"
 )
@@ -105,6 +106,15 @@ type Tracker struct {
 	pairAlpha float64
 	// scratch avoids a per-Aggregate allocation on the simulator hot path.
 	scratch []float64
+	// idScratch holds the sorted neighbor ids Pairwise iterates over, so
+	// the variance fold is independent of map iteration order (floating-
+	// point addition is not associative; a canonical order keeps repeated
+	// runs bit-identical).
+	idScratch []int32
+	// free recycles expired samples: under a lossy MAC, neighbors expire
+	// and reappear every few beacons, and re-allocating their history
+	// records would be the last allocation on the simulator hot path.
+	free []*sample
 }
 
 // NewTracker returns an empty tracker.
@@ -124,7 +134,14 @@ func (tr *Tracker) Observe(id int32, t, rxPr float64) error {
 	}
 	s, ok := tr.neighbors[id]
 	if !ok {
-		s = &sample{}
+		if k := len(tr.free); k > 0 {
+			s = tr.free[k-1]
+			tr.free[k-1] = nil
+			tr.free = tr.free[:k-1]
+			*s = sample{}
+		} else {
+			s = &sample{}
+		}
 		tr.neighbors[id] = s
 	}
 	s.prevPr, s.prevT = s.lastPr, s.lastT
@@ -148,7 +165,10 @@ func (tr *Tracker) Observe(id int32, t, rxPr float64) error {
 
 // Forget drops neighbor id entirely (e.g., on an explicit leave).
 func (tr *Tracker) Forget(id int32) {
-	delete(tr.neighbors, id)
+	if s, ok := tr.neighbors[id]; ok {
+		delete(tr.neighbors, id)
+		tr.free = append(tr.free, s)
+	}
 }
 
 // Expire purges neighbors not heard since now-timeout and returns how many
@@ -160,6 +180,7 @@ func (tr *Tracker) Expire(now, timeout float64) int {
 	for id, s := range tr.neighbors {
 		if s.lastT < now-timeout {
 			delete(tr.neighbors, id)
+			tr.free = append(tr.free, s)
 			dropped++
 		}
 	}
@@ -182,12 +203,20 @@ func (tr *Tracker) EligibleCount() int {
 }
 
 // Pairwise appends the pairwise relative mobility (dB) for every eligible
-// neighbor to dst and returns the extended slice. Order is unspecified.
+// neighbor to dst, in ascending neighbor-id order, and returns the extended
+// slice. The canonical order matters: the aggregate sums these values, and
+// summing in Go's randomized map order would make the last bits of M — and
+// therefore election outcomes — depend on iteration luck.
 func (tr *Tracker) Pairwise(dst []float64) []float64 {
-	for _, s := range tr.neighbors {
-		if s.count < 2 {
-			continue
+	tr.idScratch = tr.idScratch[:0]
+	for id, s := range tr.neighbors {
+		if s.count >= 2 {
+			tr.idScratch = append(tr.idScratch, id)
 		}
+	}
+	slices.Sort(tr.idScratch)
+	for _, id := range tr.idScratch {
+		s := tr.neighbors[id]
 		if s.smoothed {
 			dst = append(dst, s.smoothedRel)
 			continue
@@ -217,6 +246,9 @@ func (tr *Tracker) Aggregate() float64 {
 
 // Reset clears all neighbor history and smoother state.
 func (tr *Tracker) Reset() {
+	for _, s := range tr.neighbors {
+		tr.free = append(tr.free, s)
+	}
 	clear(tr.neighbors)
 	if tr.smoother != nil {
 		tr.smoother.Reset()

@@ -15,15 +15,38 @@ import (
 type Adjacency struct {
 	n   int
 	adj [][]int32
+	// seen and queue are BFS scratch reused by ComponentStats, so the
+	// simulator's periodic topology sample allocates nothing once warm.
+	seen  []bool
+	queue []int32
 }
 
 // FromPositions builds the unit-disk graph: nodes i and j are adjacent iff
 // their distance is <= radius. O(n^2); snapshots are small.
 func FromPositions(pos []geom.Point, radius float64) *Adjacency {
+	g := &Adjacency{}
+	g.Rebuild(pos, radius)
+	return g
+}
+
+// Rebuild re-derives the unit-disk graph over pos in place, reusing the
+// adjacency lists' backing arrays. The periodic topology sampler calls this
+// every few simulated seconds; rebuilding in place keeps it allocation-free
+// at steady state.
+func (g *Adjacency) Rebuild(pos []geom.Point, radius float64) {
 	n := len(pos)
-	g := &Adjacency{n: n, adj: make([][]int32, n)}
+	g.n = n
+	if cap(g.adj) < n {
+		adj := make([][]int32, n)
+		copy(adj, g.adj)
+		g.adj = adj
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
 	if radius < 0 {
-		return g
+		return
 	}
 	rSq := radius * radius
 	for i := 0; i < n; i++ {
@@ -34,7 +57,6 @@ func FromPositions(pos []geom.Point, radius float64) *Adjacency {
 			}
 		}
 	}
-	return g
 }
 
 // N returns the number of nodes.
@@ -108,6 +130,41 @@ func (g *Adjacency) Components() [][]int32 {
 		comps = append(comps, comp)
 	}
 	return comps
+}
+
+// ComponentStats returns the number of connected components and the size of
+// the largest one without materializing the component lists. It reuses
+// internal BFS scratch, so a caller sampling topology every few simulated
+// seconds allocates nothing once the graph has been sized.
+func (g *Adjacency) ComponentStats() (count, largest int) {
+	if cap(g.seen) < g.n {
+		g.seen = make([]bool, g.n)
+	}
+	g.seen = g.seen[:g.n]
+	clear(g.seen)
+	for s := 0; s < g.n; s++ {
+		if g.seen[s] {
+			continue
+		}
+		count++
+		size := 0
+		g.queue = append(g.queue[:0], int32(s))
+		g.seen[s] = true
+		for qi := 0; qi < len(g.queue); qi++ {
+			u := g.queue[qi]
+			size++
+			for _, v := range g.adj[u] {
+				if !g.seen[v] {
+					g.seen[v] = true
+					g.queue = append(g.queue, v)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return count, largest
 }
 
 // Connected reports whether the graph has exactly one component (true for

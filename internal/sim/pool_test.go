@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFiredVsCanceledDistinct pins the contract that firing and cancellation
+// are mutually exclusive outcomes: canceling an event that already ran is a
+// no-op, and the event keeps reporting Fired. Before this contract existed,
+// Cancel on a fired event flipped Canceled() to true, making the handle lie
+// about what actually happened.
+func TestFiredVsCanceledDistinct(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	ev, err := s.At(1, func(float64) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Fired() || ev.Canceled() {
+		t.Fatal("fresh event should be neither fired nor canceled")
+	}
+	s.Drain()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	if !ev.Fired() || ev.Canceled() {
+		t.Fatalf("after firing: Fired=%v Canceled=%v, want true/false", ev.Fired(), ev.Canceled())
+	}
+	// Cancel after the fact must not rewrite history.
+	s.Cancel(ev)
+	if !ev.Fired() || ev.Canceled() {
+		t.Errorf("after late Cancel: Fired=%v Canceled=%v, want true/false", ev.Fired(), ev.Canceled())
+	}
+
+	// The converse: a canceled event never fires and never reports Fired.
+	ev2, err := s.After(1, func(float64) { t.Error("canceled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(ev2)
+	s.Drain()
+	if ev2.Fired() || !ev2.Canceled() {
+		t.Errorf("after cancel: Fired=%v Canceled=%v, want false/true", ev2.Fired(), ev2.Canceled())
+	}
+}
+
+// TestCancelInsideOwnCallback: by the time the callback runs the event is
+// fired, so a self-cancel from inside it must be a no-op.
+func TestCancelInsideOwnCallback(t *testing.T) {
+	s := NewScheduler()
+	var ev *Event
+	var err error
+	ev, err = s.At(1, func(float64) { s.Cancel(ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if !ev.Fired() || ev.Canceled() {
+		t.Errorf("self-cancel rewrote state: Fired=%v Canceled=%v", ev.Fired(), ev.Canceled())
+	}
+}
+
+// TestReschedulePeriodic drives one persistent event through the periodic
+// pattern the hello protocol uses: bind the callback once, re-arm from inside
+// it every round.
+func TestReschedulePeriodic(t *testing.T) {
+	s := NewScheduler()
+	var times []float64
+	var ev *Event
+	ev = s.NewEvent(func(now float64) {
+		times = append(times, now)
+		if len(times) < 4 {
+			if err := s.Reschedule(ev, now+2); err != nil {
+				t.Errorf("re-arm failed: %v", err)
+			}
+		}
+	})
+	if ev.Fired() || ev.Canceled() {
+		t.Fatal("detached event should be neither fired nor canceled")
+	}
+	if err := s.Reschedule(ev, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	want := []float64{1, 3, 5, 7}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", times, want)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after chain ended, want 0", s.Pending())
+	}
+}
+
+// TestRescheduleMovesQueuedEvent: rescheduling an event still in the queue
+// moves it instead of queueing a duplicate — the fix for the doubled beacon
+// chain when a node recovered while its stale tick was still pending.
+func TestRescheduleMovesQueuedEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	ev := s.NewEvent(func(float64) { fired++ })
+	if err := s.Reschedule(ev, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reschedule(ev, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after moving a queued event, want 1", s.Pending())
+	}
+	s.RunUntil(1)
+	if fired != 0 {
+		t.Fatal("event fired before its moved time")
+	}
+	s.RunUntil(100)
+	if fired != 1 {
+		t.Errorf("event fired %d times, want exactly 1", fired)
+	}
+}
+
+// TestRescheduleRevivesCanceledEvent: Reschedule clears a cancellation,
+// whether the canceled event is still queued or already reaped.
+func TestRescheduleRevivesCanceledEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	ev := s.NewEvent(func(float64) { fired++ })
+	if err := s.Reschedule(ev, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(ev)
+	if err := s.Reschedule(ev, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Canceled() {
+		t.Error("reschedule should clear the canceled flag")
+	}
+	if s.canceledQueued != 0 {
+		t.Errorf("canceledQueued = %d after reviving, want 0", s.canceledQueued)
+	}
+	s.Drain()
+	if fired != 1 {
+		t.Errorf("revived event fired %d times, want 1", fired)
+	}
+}
+
+// TestRescheduleErrors: no callback, past times and NaN are rejected.
+func TestRescheduleErrors(t *testing.T) {
+	s := NewScheduler()
+	if err := s.Reschedule(nil, 1); !errors.Is(err, ErrNilCallback) {
+		t.Errorf("nil event: err = %v, want ErrNilCallback", err)
+	}
+	ev := s.NewEvent(func(float64) {})
+	if _, err := s.At(5, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(5)
+	if err := s.Reschedule(ev, 4); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past reschedule: err = %v, want ErrPastEvent", err)
+	}
+}
+
+// TestPooledEventsRecycle: a fire-and-forget chain through AtPooled reuses
+// the same Event object instead of growing the heap or the pool.
+func TestPooledEventsRecycle(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var chain func(now float64)
+	chain = func(now float64) {
+		count++
+		if count < 100 {
+			if err := s.AfterPooled(1, chain); err != nil {
+				t.Errorf("pooled re-arm failed: %v", err)
+			}
+		}
+	}
+	if err := s.AtPooled(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1000)
+	if count != 100 {
+		t.Fatalf("chain fired %d times, want 100", count)
+	}
+	// The whole chain should have cycled through a single pooled event.
+	if len(s.free) != 1 {
+		t.Errorf("free list holds %d events after a serial chain, want 1", len(s.free))
+	}
+	// The recycled event must not retain its last closure.
+	if s.free[0].fire != nil {
+		t.Error("recycled event still holds its callback")
+	}
+}
+
+// TestPooledRejectsPast mirrors the At contract for the pooled variants.
+func TestPooledRejectsPast(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.At(3, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(3)
+	if err := s.AtPooled(2, func(float64) {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("past AtPooled: err = %v, want ErrPastEvent", err)
+	}
+	if len(s.free) != 0 {
+		t.Errorf("failed AtPooled leaked %d events into the free list", len(s.free))
+	}
+}
+
+// TestEagerReapCompactsQueue: once canceled events dominate a non-trivial
+// queue they are reaped immediately rather than lingering until popped.
+func TestEagerReapCompactsQueue(t *testing.T) {
+	s := NewScheduler()
+	events := make([]*Event, 0, 200)
+	for i := 0; i < 200; i++ {
+		ev, err := s.At(float64(i+1), func(float64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	// Cancel three quarters. The reap triggers as soon as canceled events
+	// reach both the absolute floor and a majority of the queue — at the
+	// 100th cancel here — so the queue must shrink well below the 200
+	// scheduled even while 50 late cancels (below the floor) stay lazy.
+	for i := 0; i < 150; i++ {
+		s.Cancel(events[i])
+	}
+	if s.Pending() != 100 {
+		t.Errorf("Pending = %d after eager reap, want 100 (50 live + 50 sub-floor canceled)", s.Pending())
+	}
+	if s.canceledQueued != 50 {
+		t.Errorf("canceledQueued = %d, want 50 still awaiting lazy drop", s.canceledQueued)
+	}
+	// The survivors must still fire in order.
+	s.Drain()
+	if got := s.Fired(); got != 50 {
+		t.Errorf("Fired = %d, want 50", got)
+	}
+}
+
+// TestReapBelowThresholdIsLazy: small queues are not compacted; canceled
+// events wait to be dropped on pop.
+func TestReapBelowThresholdIsLazy(t *testing.T) {
+	s := NewScheduler()
+	events := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		ev, err := s.At(float64(i+1), func(float64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	for i := 0; i < 15; i++ {
+		s.Cancel(events[i])
+	}
+	if s.Pending() != 20 {
+		t.Errorf("Pending = %d, want 20 (lazy below the reap floor)", s.Pending())
+	}
+	s.Drain()
+	if got := s.Fired(); got != 5 {
+		t.Errorf("Fired = %d, want 5", got)
+	}
+}
+
+// TestRescheduleAllocFree: the steady-state periodic pattern — one persistent
+// event re-armed every round — performs no allocations.
+func TestRescheduleAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	s := NewScheduler()
+	ev := s.NewEvent(func(now float64) {})
+	if err := s.Reschedule(ev, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Reschedule(ev, s.Now()+1); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("reschedule cycle allocates %.1f objects per round, want 0", allocs)
+	}
+}
+
+// BenchmarkSchedulerReschedule measures the persistent-event periodic cycle
+// that replaced the closure-per-beacon pattern on the simulator hot path.
+func BenchmarkSchedulerReschedule(b *testing.B) {
+	s := NewScheduler()
+	ev := s.NewEvent(func(now float64) { sinkFloat = now })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reschedule(ev, s.Now()+1); err != nil {
+			b.Fatal(err)
+		}
+		s.Step()
+	}
+}

@@ -1,0 +1,51 @@
+package simnet
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+// TestSteadyStateTickAllocs is the allocation regression gate for the
+// engine hot path: once a static network has converged, advancing the
+// simulation — beacons, MAC airtime deferrals, deliveries, tracker updates,
+// clustering steps and the periodic cluster sampler — must allocate nothing.
+// Every object on that path (events, receptions, neighbor entries, candidate
+// and view buffers, sampler tables, the topology graph) is pooled or reused;
+// a regression in any of them shows up here as a nonzero count.
+func TestSteadyStateTickAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	area := geom.Square(670)
+	cfg := Config{
+		N:               50,
+		Area:            area,
+		Duration:        900,
+		Seed:            11,
+		Algorithm:       cluster.MOBIC,
+		Mobility:        &mobility.Static{Area: area},
+		TxRange:         250,
+		HelloCollisions: true,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge: cluster roles settle within a minute, but the pools'
+	// high-water marks (simultaneous in-flight receptions, per-node expired
+	// samples) keep creeping for a while under MAC losses, and each creep
+	// is an append-doubling allocation. Five simulated minutes flattens
+	// them all.
+	net.RunUntil(300)
+
+	interval := net.Config().BroadcastInterval
+	allocs := testing.AllocsPerRun(20, func() {
+		net.sched.RunUntil(net.sched.Now() + interval)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state beacon interval allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -91,8 +91,9 @@ func (a *appAPI) Neighbors(id int32) []int32 {
 }
 
 func (a *appAPI) After(delay float64, fn func(now float64)) error {
-	_, err := a.n.sched.After(delay, fn)
-	return err
+	// Apps get no cancel handle, so the event can come from the
+	// scheduler's free list.
+	return a.n.sched.AfterPooled(delay, fn)
 }
 
 // Broadcast schedules delivery at every in-range node after the hop delay.
@@ -109,7 +110,7 @@ func (a *appAPI) Broadcast(from int32, payload Payload) int {
 		}
 		receivers++
 		rxID := rx.id
-		if _, err := n.sched.After(n.cfg.HopDelay, func(t float64) {
+		if err := n.sched.AfterPooled(n.cfg.HopDelay, func(t float64) {
 			for _, app := range n.cfg.Apps {
 				app.OnBroadcast(t, from, rxID, payload)
 			}
@@ -130,7 +131,7 @@ func (a *appAPI) Unicast(from, to int32, payload Payload) bool {
 	if !n.reachableAt(from, n.nodes[to], txPos) {
 		return false
 	}
-	if _, err := n.sched.After(n.cfg.HopDelay, func(t float64) {
+	if err := n.sched.AfterPooled(n.cfg.HopDelay, func(t float64) {
 		for _, app := range n.cfg.Apps {
 			app.OnUnicast(t, from, to, payload)
 		}

@@ -1,0 +1,81 @@
+package simnet
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+// benchDuration bounds how much simulated time one benchmark network can
+// serve; trajectories are generated eagerly, so this cannot be "infinite".
+// Long -benchtime runs rebuild the network (off the timer) when it runs out.
+const benchDuration = 3600.0
+
+// benchNetwork builds the broadcast-delivery benchmark scenario: the paper's
+// Table 1 density with the MAC collision model on, so every beacon walks the
+// full hot path (grid query, threshold test, airtime deferral, neighbor-table
+// update) and warms it past the listen-only first round.
+func benchNetwork(b *testing.B, collisions bool) *Network {
+	b.Helper()
+	area := geom.Square(670)
+	cfg := Config{
+		N:               50,
+		Area:            area,
+		Duration:        benchDuration, // the benchmark advances the clock itself
+		Seed:            1,
+		Algorithm:       cluster.MOBIC,
+		Mobility:        &mobility.RandomWaypoint{Area: area, MaxSpeed: 20},
+		TxRange:         250,
+		SampleInterval:  5,
+		HelloCollisions: collisions,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: let tables, pools and scratch buffers reach steady state.
+	net.sched.RunUntil(30)
+	return net
+}
+
+// BenchmarkBroadcastDelivery measures one steady-state beacon interval of the
+// full 50-node network — every node ticks, broadcasts, and delivers through
+// the collision-model airtime path. This is the per-beacon hot loop every
+// experiment and every mobicd job spends its cycles in; allocs/op is the
+// gated number (see BENCH_engine.json).
+func BenchmarkBroadcastDelivery(b *testing.B) {
+	runBeaconIntervals(b, true)
+}
+
+// BenchmarkBroadcastDeliveryNoMAC is the same loop with the collision model
+// off: deliveries apply synchronously, isolating the grid-query plus
+// applyHello path from the airtime deferral machinery.
+func BenchmarkBroadcastDeliveryNoMAC(b *testing.B) {
+	runBeaconIntervals(b, false)
+}
+
+// runBeaconIntervals advances the network one beacon interval per benchmark
+// op, rebuilding (off-timer) when the bounded trajectories run out.
+func runBeaconIntervals(b *testing.B, collisions bool) {
+	b.Helper()
+	net := benchNetwork(b, collisions)
+	interval := net.cfg.BroadcastInterval
+	var fired uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.sched.Now()+interval > benchDuration-1 {
+			b.StopTimer()
+			fired += net.sched.Fired()
+			net = benchNetwork(b, collisions)
+			b.StartTimer()
+		}
+		net.sched.RunUntil(net.sched.Now() + interval)
+	}
+	b.StopTimer()
+	if fired+net.sched.Fired() == 0 {
+		b.Fatal("no events fired")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"mobic/internal/cluster"
 	"mobic/internal/core"
 	"mobic/internal/geom"
+	"mobic/internal/graph"
 	"mobic/internal/metrics"
 	"mobic/internal/mobility"
 	"mobic/internal/radio"
@@ -37,6 +39,12 @@ type runtimeNode struct {
 	// lastM caches the aggregate mobility computed at the last tick, for
 	// inspection and the adaptive-BI extension.
 	lastM float64
+	// tickEv is the node's persistent hello-protocol event: the callback is
+	// bound once at construction and the same event is rescheduled for
+	// every beacon, so a steady beacon stream allocates neither events nor
+	// closures. Recovery after a crash reschedules it too, which moves any
+	// stale queued beacon instead of starting a second chain.
+	tickEv *sim.Event
 	// pendingRx holds in-flight beacon receptions when the MAC collision
 	// model is enabled.
 	pendingRx []*reception
@@ -45,12 +53,19 @@ type runtimeNode struct {
 }
 
 // reception is one in-flight beacon at a receiver (collision model only).
+// Receptions are pooled on the Network and each carries its own persistent
+// end-of-airtime event, so the MAC model's per-delivery bookkeeping is
+// allocation-free at steady state.
 type reception struct {
 	tx       int32
 	end      float64
 	pr       float64
 	adv      advertisement
 	collided bool
+	// rx is the receiving node; set while the reception is in flight.
+	rx *runtimeNode
+	// ev fires endReception for this object at rec.end.
+	ev *sim.Event
 }
 
 // Network is one fully wired simulation run.
@@ -71,9 +86,28 @@ type Network struct {
 	// beaconJitter randomizes each beacon's phase when the collision
 	// model is on (nil otherwise).
 	beaconJitter *rand.Rand
-	// scratch buffers reused across broadcasts.
+	// sampleEv is the persistent cluster-sampler event.
+	sampleEv *sim.Event
+	// scratch buffers reused across broadcasts and ticks.
 	candBuf []int32
 	viewBuf []cluster.NeighborView
+	// idBuf holds the sorted neighbor ids of the node currently ticking.
+	// The canonical ascending order makes timeout emission, the neighbor
+	// views handed to the clustering step, and the oracle-mobility fold all
+	// independent of Go's randomized map iteration.
+	idBuf []int32
+	// rxFree and entryFree recycle MAC receptions and neighbor-table
+	// entries.
+	rxFree    []*reception
+	entryFree []*neighborEntry
+	// sampler scratch: cluster sizes indexed by head id, the list of head
+	// ids touched this sample, the sizes handed to the recorder, the
+	// position snapshot, and the reusable topology graph.
+	sizeCount []int32
+	touched   []int32
+	sizesBuf  []int
+	topoPos   []geom.Point
+	topo      *graph.Adjacency
 }
 
 // emit records ev in the trace ring buffer and feeds the observer hook.
@@ -116,6 +150,7 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simnet: building spatial index: %w", err)
 	}
+	grid.Reserve(cfg.N)
 
 	weights := cfg.CustomWeights
 	if cfg.Algorithm.WeightKind == cluster.KindCustom && weights == nil {
@@ -181,16 +216,19 @@ func New(cfg Config) (*Network, error) {
 	}
 
 	// Arm the hello protocol and the cluster-count sampler now so callers
-	// can interleave RunUntil with inspection before calling Run.
+	// can interleave RunUntil with inspection before calling Run. Each
+	// node's tick event is created once and rescheduled forever after.
 	jitter := streams.Named("hello-jitter")
 	for _, rn := range n.nodes {
 		rn := rn
+		rn.tickEv = n.sched.NewEvent(func(now float64) { n.tick(rn, now) })
 		start := jitter.Float64() * cfg.BroadcastInterval
-		if _, err := n.sched.At(start, func(now float64) { n.tick(rn, now) }); err != nil {
+		if err := n.sched.Reschedule(rn.tickEv, start); err != nil {
 			return nil, fmt.Errorf("simnet: scheduling initial beacon: %w", err)
 		}
 	}
-	if _, err := n.sched.At(cfg.SampleInterval, n.sampleClusters); err != nil {
+	n.sampleEv = n.sched.NewEvent(n.sampleClusters)
+	if err := n.sched.Reschedule(n.sampleEv, cfg.SampleInterval); err != nil {
 		return nil, fmt.Errorf("simnet: scheduling sampler: %w", err)
 	}
 	for _, app := range cfg.Apps {
@@ -221,8 +259,15 @@ func (n *Network) crash(rn *runtimeNode, now float64) {
 	rn.down = true
 	rn.cnode.Reset(now)
 	rn.tracker.Reset()
+	for _, e := range rn.table {
+		n.releaseEntry(e)
+	}
 	clear(rn.table)
-	rn.pendingRx = nil
+	for _, rec := range rn.pendingRx {
+		n.sched.Cancel(rec.ev)
+		n.releaseReception(rec)
+	}
+	rn.pendingRx = rn.pendingRx[:0]
 	rn.lastM = 0
 	n.emit(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
 }
@@ -235,7 +280,9 @@ func (n *Network) recover(rn *runtimeNode, now float64) {
 	}
 	rn.down = false
 	rn.ticks = 0 // listen-only first beacon again
-	if _, err := n.sched.After(0, func(t float64) { n.tick(rn, t) }); err != nil {
+	// Rescheduling the persistent event moves any still-queued stale beacon
+	// to now instead of starting a second, doubled beacon chain.
+	if err := n.sched.Reschedule(rn.tickEv, now); err != nil {
 		return
 	}
 }
@@ -319,6 +366,12 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 // tick is one hello-protocol round for one node: purge stale neighbors,
 // compute the fresh weight, run the clustering decision, broadcast, and
 // schedule the next tick.
+//
+// The whole round walks the neighbor table in ascending-id order through a
+// single sorted scratch pass: timeouts are emitted canonically, the views
+// handed to the clustering step are id-ordered, and the surviving id list
+// feeds the oracle-mobility fold. Nothing here depends on Go's randomized
+// map iteration, so repeated runs are bit-identical.
 func (n *Network) tick(rn *runtimeNode, now float64) {
 	if rn.down {
 		return // crashed: the beacon chain stops until recovery
@@ -326,24 +379,36 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	// Purge neighbors that missed their beacons (Table 1: TP).
 	tp := n.cfg.TimeoutPeriod
 	rn.tracker.Expire(now, tp)
-	for id, e := range rn.table {
+	ids := n.idBuf[:0]
+	for id := range rn.table {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	live := ids[:0] // compact survivors into the same backing array
+	for _, id := range ids {
+		e := rn.table[id]
 		if e.lastHeard < now-tp {
 			delete(rn.table, id)
+			n.releaseEntry(e)
 			n.emit(trace.Event{
 				T: now, Kind: trace.KindTimeout, Node: rn.id, Other: id,
 			})
+			continue
 		}
+		live = append(live, id)
 	}
+	n.idBuf = ids
 
 	rn.lastM = rn.tracker.Aggregate()
-	weight := n.weightOf(rn)
+	weight := n.weightOf(rn, live)
 
 	// The first tick is listen-only: the node has had no chance to hear
 	// anyone, and electing heads blind would register a storm of spurious
 	// clusterhead changes for every algorithm alike.
 	if rn.ticks > 0 {
 		views := n.viewBuf[:0]
-		for id, e := range rn.table {
+		for _, id := range live {
+			e := rn.table[id]
 			views = append(views, cluster.NeighborView{
 				ID:     id,
 				Weight: e.weight,
@@ -370,7 +435,7 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 		// collide persistently under the MAC model.
 		interval *= 1 + 0.2*(n.beaconJitter.Float64()-0.5)
 	}
-	if _, err := n.sched.After(interval, func(t float64) { n.tick(rn, t) }); err != nil {
+	if err := n.sched.Reschedule(rn.tickEv, now+interval); err != nil {
 		// Scheduling forward from a valid now cannot fail; if it does, the
 		// simulation is corrupt and stopping beacons is the safest course.
 		n.emit(trace.Event{T: now, Kind: trace.KindDrop, Node: rn.id, Other: -1})
@@ -378,8 +443,9 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 }
 
 // weightOf computes the node's current election weight per the algorithm's
-// weight kind.
-func (n *Network) weightOf(rn *runtimeNode) cluster.Weight {
+// weight kind. neighborIDs is the node's current neighbor-id list in
+// ascending order (tick's post-purge survivors).
+func (n *Network) weightOf(rn *runtimeNode, neighborIDs []int32) cluster.Weight {
 	switch n.cfg.Algorithm.WeightKind {
 	case cluster.KindID:
 		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
@@ -398,7 +464,7 @@ func (n *Network) weightOf(rn *runtimeNode) cluster.Weight {
 	case cluster.KindCustom:
 		return cluster.Weight{Value: rn.customW, ID: rn.id}
 	case cluster.KindOracleMobility:
-		return cluster.Weight{Value: n.oracleMobility(rn), ID: rn.id}
+		return cluster.Weight{Value: n.oracleMobility(rn, neighborIDs), ID: rn.id}
 	default:
 		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
 	}
@@ -408,7 +474,11 @@ func (n *Network) weightOf(rn *runtimeNode) cluster.Weight {
 // mobility: the variance about zero of the ground-truth range rate (m/s)
 // toward every neighbor currently in the hello table. It measures exactly
 // what the RxPr-ratio metric estimates, but from the trajectories directly.
-func (n *Network) oracleMobility(rn *runtimeNode) float64 {
+//
+// neighborIDs must be in ascending order: floating-point addition is not
+// associative, so folding sumSq in map order would make the low bits of the
+// weight — and with them election outcomes — vary run to run.
+func (n *Network) oracleMobility(rn *runtimeNode, neighborIDs []int32) float64 {
 	const dt = 0.5 // range-rate differencing window in seconds
 	now := n.sched.Now()
 	t0 := now - dt
@@ -421,19 +491,17 @@ func (n *Network) oracleMobility(rn *runtimeNode) float64 {
 	selfNow := rn.traj.At(now)
 	selfThen := rn.traj.At(t0)
 	var sumSq float64
-	count := 0
-	for id := range rn.table {
+	for _, id := range neighborIDs {
 		other := n.nodes[id]
 		dNow := selfNow.Dist(other.traj.At(now))
 		dThen := selfThen.Dist(other.traj.At(t0))
 		rate := (dNow - dThen) / (now - t0)
 		sumSq += rate * rate
-		count++
 	}
-	if count == 0 {
+	if len(neighborIDs) == 0 {
 		return 0
 	}
-	return sumSq / float64(count)
+	return sumSq / float64(len(neighborIDs))
 }
 
 // helloBytes is the payload size of one hello beacon. The base carries the
@@ -518,11 +586,51 @@ func (n *Network) tryDeliver(tx, rx *runtimeNode, txPos geom.Point, now float64,
 	n.applyHello(tx.id, rx, now, pr, adv)
 }
 
+// newReception draws a reception from the pool. A reception's end-of-airtime
+// event is created once, bound to the object for life, and re-armed with
+// Reschedule on every reuse.
+func (n *Network) newReception() *reception {
+	if k := len(n.rxFree); k > 0 {
+		rec := n.rxFree[k-1]
+		n.rxFree[k-1] = nil
+		n.rxFree = n.rxFree[:k-1]
+		return rec
+	}
+	rec := &reception{}
+	rec.ev = n.sched.NewEvent(func(t float64) { n.endReception(rec, t) })
+	return rec
+}
+
+// releaseReception returns a no-longer-pending reception to the pool.
+func (n *Network) releaseReception(rec *reception) {
+	rec.rx = nil
+	rec.collided = false
+	n.rxFree = append(n.rxFree, rec)
+}
+
+// newEntry draws a neighbor-table entry from the pool.
+func (n *Network) newEntry() *neighborEntry {
+	if k := len(n.entryFree); k > 0 {
+		e := n.entryFree[k-1]
+		n.entryFree[k-1] = nil
+		n.entryFree = n.entryFree[:k-1]
+		return e
+	}
+	return &neighborEntry{}
+}
+
+// releaseEntry returns a purged neighbor-table entry to the pool.
+func (n *Network) releaseEntry(e *neighborEntry) {
+	*e = neighborEntry{}
+	n.entryFree = append(n.entryFree, e)
+}
+
 // deferDelivery models the beacon's airtime: the packet is handed up only
 // at the end of its transmission, and any overlapping reception at the same
 // receiver destroys both (no capture).
 func (n *Network) deferDelivery(tx, rx *runtimeNode, now, pr float64, adv advertisement) {
-	rec := &reception{tx: tx.id, end: now + n.cfg.HelloAirtime, pr: pr, adv: adv}
+	rec := n.newReception()
+	rec.tx, rec.end, rec.pr, rec.adv, rec.rx = tx.id, now+n.cfg.HelloAirtime, pr, adv, rx
 	// Mark collisions against still-in-flight receptions and prune the
 	// rest lazily.
 	live := rx.pendingRx[:0]
@@ -534,25 +642,36 @@ func (n *Network) deferDelivery(tx, rx *runtimeNode, now, pr float64, adv advert
 		}
 	}
 	rx.pendingRx = append(live, rec)
-	if _, err := n.sched.At(rec.end, func(t float64) {
-		// Remove rec from the pending list.
-		for i, r := range rx.pendingRx {
-			if r == rec {
-				rx.pendingRx = append(rx.pendingRx[:i], rx.pendingRx[i+1:]...)
-				break
-			}
+	if err := n.sched.Reschedule(rec.ev, rec.end); err != nil {
+		rx.pendingRx = rx.pendingRx[:len(rx.pendingRx)-1]
+		n.releaseReception(rec)
+	}
+}
+
+// endReception is a reception's end-of-airtime: the packet is handed up to
+// the receiver unless it collided (or the receiver crashed mid-airtime), and
+// the reception object goes back to the pool either way.
+func (n *Network) endReception(rec *reception, t float64) {
+	rx := rec.rx
+	for i, r := range rx.pendingRx {
+		if r == rec {
+			rx.pendingRx = append(rx.pendingRx[:i], rx.pendingRx[i+1:]...)
+			break
 		}
-		if rec.collided {
-			n.rec.CountCollision()
-			n.emit(trace.Event{
-				T: t, Kind: trace.KindDrop, Node: rec.tx, Other: rx.id, Value: rec.pr,
-			})
-			return
-		}
-		n.applyHello(rec.tx, rx, t, rec.pr, rec.adv)
-	}); err != nil {
+	}
+	txID, pr, adv, collided := rec.tx, rec.pr, rec.adv, rec.collided
+	n.releaseReception(rec)
+	if rx.down {
 		return
 	}
+	if collided {
+		n.rec.CountCollision()
+		n.emit(trace.Event{
+			T: t, Kind: trace.KindDrop, Node: txID, Other: rx.id, Value: pr,
+		})
+		return
+	}
+	n.applyHello(txID, rx, t, pr, adv)
 }
 
 // applyHello is the receiver's MAC handing up one successfully received
@@ -569,7 +688,7 @@ func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv a
 	}
 	e, ok := rx.table[txID]
 	if !ok {
-		e = &neighborEntry{}
+		e = n.newEntry()
 		rx.table[txID] = e
 	}
 	e.lastHeard = now
@@ -579,20 +698,40 @@ func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv a
 }
 
 // sampleClusters periodically counts heads, gateways and cluster sizes for
-// Figure 4 and the size-distribution metrics.
+// Figure 4 and the size-distribution metrics. All bookkeeping runs over
+// reused buffers — cluster sizes in a dense head-indexed table instead of a
+// per-sample map, topology through an in-place graph rebuild — so the
+// sampler costs no allocations at steady state.
 func (n *Network) sampleClusters(now float64) {
-	heads, gateways := 0, 0
-	sizeByHead := make(map[int32]int)
+	heads, gateways, noHead := 0, 0, 0
+	if cap(n.sizeCount) < len(n.nodes) {
+		n.sizeCount = make([]int32, len(n.nodes))
+	}
+	sizeCount := n.sizeCount[:len(n.nodes)]
+	touched := n.touched[:0]
 	for _, rn := range n.nodes {
 		if rn.down {
 			continue
 		}
 		switch rn.cnode.Role() {
 		case cluster.RoleHead:
+			if sizeCount[rn.id] == 0 {
+				touched = append(touched, rn.id)
+			}
+			sizeCount[rn.id]++
 			heads++
-			sizeByHead[rn.id]++
 		case cluster.RoleMember:
-			sizeByHead[rn.cnode.Head()]++
+			if h := rn.cnode.Head(); h >= 0 && int(h) < len(sizeCount) {
+				if sizeCount[h] == 0 {
+					touched = append(touched, h)
+				}
+				sizeCount[h]++
+			} else {
+				// A member without a head violates the state-machine
+				// invariant; count it as its own degenerate cluster the way
+				// the NoHead map bucket used to.
+				noHead++
+			}
 			audible := 0
 			for _, e := range rn.table {
 				if e.role == cluster.RoleHead {
@@ -605,23 +744,33 @@ func (n *Network) sampleClusters(now float64) {
 		}
 	}
 	n.rec.SampleClusters(now, heads, gateways)
-	if len(sizeByHead) > 0 {
-		sizes := make([]int, 0, len(sizeByHead))
-		for _, s := range sizeByHead {
-			sizes = append(sizes, s)
+	if len(touched) > 0 || noHead > 0 {
+		sizes := n.sizesBuf[:0]
+		for _, h := range touched {
+			sizes = append(sizes, int(sizeCount[h]))
+			sizeCount[h] = 0
 		}
+		if noHead > 0 {
+			sizes = append(sizes, noHead)
+		}
+		n.sizesBuf = sizes
 		n.rec.SampleClusterSizes(now, sizes)
 	}
-	comps := n.Topology().Components()
-	largest := 0
-	for _, c := range comps {
-		if len(c) > largest {
-			largest = len(c)
-		}
+	n.touched = touched[:0]
+
+	pos := n.topoPos[:0]
+	for _, rn := range n.nodes {
+		pos = append(pos, rn.traj.At(now))
 	}
-	n.rec.SampleTopology(now, len(comps), largest, len(n.nodes))
+	n.topoPos = pos
+	if n.topo == nil {
+		n.topo = &graph.Adjacency{}
+	}
+	n.topo.Rebuild(pos, n.cfg.TxRange)
+	comps, largest := n.topo.ComponentStats()
+	n.rec.SampleTopology(now, comps, largest, len(n.nodes))
 	if now+n.cfg.SampleInterval <= n.cfg.Duration {
-		if _, err := n.sched.After(n.cfg.SampleInterval, n.sampleClusters); err != nil {
+		if err := n.sched.Reschedule(n.sampleEv, now+n.cfg.SampleInterval); err != nil {
 			return
 		}
 	}

@@ -12,14 +12,14 @@ import (
 // of center, excluding `exclude`, in ascending id order.
 func bruteForce(g *Grid, center geom.Point, radius float64, exclude int32) []int32 {
 	var out []int32
-	for id, p := range g.pos {
+	g.ForEach(func(id int32, p geom.Point) {
 		if id == exclude {
-			continue
+			return
 		}
 		if p.DistSq(center) <= radius*radius {
 			out = append(out, id)
 		}
-	}
+	})
 	sortIDs(out)
 	return out
 }

@@ -190,3 +190,31 @@ func BenchmarkQueryRange(b *testing.B) {
 		buf = g.QueryRange(geom.Point{X: 335, Y: 335}, 250, -1, buf[:0])
 	}
 }
+
+// BenchmarkQueryRangeDense measures the per-candidate cost of QueryRange on
+// a dense neighborhood with a reused destination buffer — the exact shape of
+// the broadcast hot path, where every candidate costs one position lookup
+// plus one distance test. The allocs/op gate (BENCH_engine.json) pins this
+// at zero.
+func BenchmarkQueryRangeDense(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g, err := NewGrid(geom.Square(670), 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		g.Update(int32(i), geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670})
+	}
+	buf := make([]int32, 0, 256)
+	centers := [4]geom.Point{
+		{X: 100, Y: 100}, {X: 335, Y: 335}, {X: 600, Y: 200}, {X: 50, Y: 650},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.QueryRange(centers[i%4], 250, int32(i%200), buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty query")
+	}
+}

@@ -1,30 +1,47 @@
 #!/bin/sh
-# bench.sh — run the whole Benchmark* suite once (-benchtime=1x) and feed it
-# to the benchgate regression gate.
+# bench.sh — run the Benchmark* suite once (-benchtime=1x) and feed it to the
+# benchgate regression gate, in two tiers:
 #
-#   scripts/bench.sh baseline   rewrite BENCH_harness.json from this machine
-#   scripts/bench.sh check      compare against the committed baseline
+#   engine   internal/sim, internal/spatial, internal/simnet — the per-beacon
+#            hot path. Gated against BENCH_engine.json with a tight
+#            allocation tolerance: the pooled-event/zero-alloc design is a
+#            pinned property of the engine, not a best effort.
+#   harness  everything else (experiment suite, service, substrates), gated
+#            against BENCH_harness.json with the default tolerances.
+#
+#   scripts/bench.sh baseline   rewrite both baselines from this machine
+#   scripts/bench.sh check      compare against the committed baselines
 #                               (default; exit 1 on regression)
 #
-# Tolerances come from BENCH_NS_TOL / BENCH_ALLOC_TOL (see cmd/benchgate).
+# Tolerances come from BENCH_NS_TOL / BENCH_ALLOC_TOL (see cmd/benchgate);
+# BENCH_ENGINE_ALLOC_TOL (default 0.10) tightens the engine alloc gate.
 set -eu
 cd "$(dirname "$0")/.."
 
 mode="${1:-check}"
-out=BENCH_harness.json
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+engine_pkgs="./internal/sim ./internal/spatial ./internal/simnet"
+harness_pkgs="$(go list ./... | grep -v \
+    -e '/internal/sim$' -e '/internal/spatial$' -e '/internal/simnet$')"
 
-echo "== go test -run=NONE -bench=. -benchtime=1x ./..."
-go test -run=NONE -bench=. -benchtime=1x ./... | tee "$tmp"
+tmp_engine="$(mktemp)"
+tmp_harness="$(mktemp)"
+trap 'rm -f "$tmp_engine" "$tmp_harness"' EXIT
+
+echo "== engine: go test -run=NONE -bench=. -benchtime=1x $engine_pkgs"
+go test -run=NONE -bench=. -benchtime=1x $engine_pkgs | tee "$tmp_engine"
+echo "== harness: go test -run=NONE -bench=. -benchtime=1x <remaining packages>"
+go test -run=NONE -bench=. -benchtime=1x $harness_pkgs | tee "$tmp_harness"
 
 case "$mode" in
 baseline)
-    go run ./cmd/benchgate -emit -file "$out" <"$tmp"
+    go run ./cmd/benchgate -emit -file BENCH_engine.json <"$tmp_engine"
+    go run ./cmd/benchgate -emit -file BENCH_harness.json <"$tmp_harness"
     ;;
 check)
-    go run ./cmd/benchgate -check -file "$out" <"$tmp"
+    go run ./cmd/benchgate -check -file BENCH_engine.json \
+        -alloc-tol "${BENCH_ENGINE_ALLOC_TOL:-0.10}" <"$tmp_engine"
+    go run ./cmd/benchgate -check -file BENCH_harness.json <"$tmp_harness"
     ;;
 *)
     echo "usage: $0 [baseline|check]" >&2

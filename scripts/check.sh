@@ -19,6 +19,9 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== allocation regression (hot path must stay zero-alloc; skipped under -race above)"
+go test -run='^TestSteadyStateTickAllocs$' -count=1 -v ./internal/simnet | grep -E 'PASS|FAIL|allocates'
+
 echo "== fuzz smoke (5s per target, seeded from checked-in corpora)"
 go test -run='^$' -fuzz='^FuzzSpec$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=5s ./internal/service
