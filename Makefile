@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test race vet bench bench-baseline bench-check check
+.PHONY: build test race vet cover bench bench-baseline bench-check check
 
 build:
 	go build ./...
@@ -13,6 +13,14 @@ race:
 
 vet:
 	go vet ./...
+	go vet -tags race ./...
+
+# Line-coverage profile plus a browsable HTML report (coverage.html).
+cover:
+	go test -count=1 -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -1
+	go tool cover -html=coverage.out -o coverage.html
+	@echo "wrote coverage.html"
 
 bench:
 	go test -bench=. -benchtime=1x .

@@ -11,9 +11,17 @@
 // exponential backoff; a job that fails that many times is quarantined as
 // "poisoned".
 //
+// Observability: GET /v1/jobs/{id} reports live progress (fraction + ETA),
+// /metrics merges the engine/experiment telemetry families (mobic_sim_*,
+// mobic_net_*, mobic_experiment_*) with the service's own, logs are
+// structured (-log-format text|json), and -debug-addr opts into a second
+// listener serving net/http/pprof plus /debug/obs/spans (the sampled
+// wall-clock span window).
+//
 // Examples:
 //
 //	mobicd -addr :8080 -data-dir /var/lib/mobicd -max-attempts 3
+//	mobicd -addr :8080 -log-format json -debug-addr 127.0.0.1:6060
 //	curl -XPOST localhost:8080/v1/jobs -H 'Idempotency-Key: run-42' \
 //	     -d '{"experiment":"fig3","seeds":1}'
 //	curl localhost:8080/v1/jobs/<id>
@@ -22,22 +30,27 @@
 //	curl localhost:8080/livez
 //	curl localhost:8080/readyz
 //	curl localhost:8080/metrics
+//	go tool pprof localhost:6060/debug/pprof/profile
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"mobic/internal/experiment"
+	"mobic/internal/obs"
 	"mobic/internal/service"
 	"mobic/internal/simnet"
 )
@@ -47,6 +60,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mobicd:", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger. format is "text" or
+// "json"; anything else is an error so a typo fails at boot, not silently.
+func newLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// newDebugHandler builds the opt-in diagnostics mux served on -debug-addr:
+// the full net/http/pprof suite plus the registry's sampled span window as
+// JSON. It is a separate listener on purpose — pprof handlers expose heap
+// contents and must never ride the public API port.
+func newDebugHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/obs/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Spans())
+	})
+	return mux
 }
 
 func run(args []string, logw io.Writer) error {
@@ -61,11 +107,18 @@ func run(args []string, logw io.Writer) error {
 		quick      = fs.Bool("quick", false, "trim every simulation to 300 s (smoke/demo mode)")
 		dataDir    = fs.String("data-dir", "", "journal directory for durable jobs (empty = in-memory)")
 		maxTries   = fs.Int("max-attempts", 1, "executions per job before it is poisoned (1 = no retries)")
+		logFormat  = fs.String("log-format", "text", "structured log format (text or json)")
+		debugAddr  = fs.String("debug-addr", "", "opt-in listen address for net/http/pprof and /debug/obs/spans (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := newLogger(logw, *logFormat)
+	if err != nil {
+		return err
+	}
 
+	registry := obs.NewRegistry()
 	runner := experiment.Runner{Seeds: *seeds}
 	if *quick {
 		runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
@@ -77,12 +130,13 @@ func run(args []string, logw io.Writer) error {
 		Runner:        runner,
 		DataDir:       *dataDir,
 		Retry:         service.RetryPolicy{MaxAttempts: *maxTries},
+		Obs:           registry,
 	})
 	if err != nil {
 		return err
 	}
 	if n := svc.RecoveredJobs(); n > 0 {
-		fmt.Fprintf(logw, "mobicd: recovered %d interrupted job(s) from %s\n", n, *dataDir)
+		logger.Info("recovered interrupted jobs", "count", n, "data_dir", *dataDir)
 	}
 	svc.Start()
 
@@ -97,8 +151,27 @@ func run(args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "mobicd: listening on %s (queue %d, workers %d, seeds %d)\n",
-		ln.Addr(), *queueCap, *workers, *seeds)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"queue", *queueCap, "workers", *workers, "seeds", *seeds)
+
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugServer = &http.Server{
+			Handler:           newDebugHandler(registry),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		logger.Info("debug listener up (pprof + obs spans)", "addr", dln.Addr().String())
+		go func() {
+			if err := debugServer.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -115,17 +188,20 @@ func run(args []string, logw io.Writer) error {
 	// Graceful drain: refuse new jobs and let queued/in-flight ones
 	// finish within the grace period (hard-canceling past it), then close
 	// the HTTP side — by now every stream has seen its terminal status.
-	fmt.Fprintf(logw, "mobicd: draining (grace %s)\n", *drainGrace)
+	logger.Info("draining", "grace", drainGrace.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := svc.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(logw, "mobicd: drain incomplete, jobs canceled: %v\n", err)
+		logger.Warn("drain incomplete, jobs canceled", "err", err)
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := server.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(logw, "mobicd: http shutdown: %v\n", err)
+		logger.Error("http shutdown", "err", err)
 	}
-	fmt.Fprintln(logw, "mobicd: bye")
+	if debugServer != nil {
+		_ = debugServer.Close()
+	}
+	logger.Info("bye")
 	return nil
 }

@@ -1,8 +1,20 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"mobic/internal/obs"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -24,5 +36,197 @@ func TestRunRejectsBadDataDir(t *testing.T) {
 	// /dev/null is a file, so no journal directory can be created under it.
 	if err := run([]string{"-addr", "127.0.0.1:0", "-data-dir", "/dev/null/journal"}, &log); err == nil {
 		t.Error("unwritable data dir should error at boot, not at first submit")
+	}
+}
+
+func TestRunRejectsBadLogFormat(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-log-format", "yaml"}, &log); err == nil {
+		t.Error("unknown log format should error at boot")
+	}
+}
+
+func TestRunRejectsBadDebugAddr(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "999.999.999.999:0"}, &log); err == nil {
+		t.Error("unlistenable debug address should error at boot")
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: run() writes from its own
+// goroutine while the test polls for the listener addresses.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunServesAndShutsDown boots the real daemon on ephemeral ports,
+// checks the public API answers, that /metrics carries the engine telemetry
+// families next to the service's own, that the opt-in debug listener serves
+// the span window — then delivers SIGTERM and expects a clean exit.
+func TestRunServesAndShutsDown(t *testing.T) {
+	var log syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+			"-quick",
+			"-drain", "5s",
+		}, &log)
+	}()
+
+	// The chosen ports only exist in the boot log: first the API listener,
+	// then the debug one.
+	addrRe := regexp.MustCompile(`addr=(127\.0\.0\.1:\d+)`)
+	var addrs []string
+	deadline := time.Now().Add(10 * time.Second)
+	for len(addrs) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("listeners never came up; log:\n%s", log.String())
+		}
+		addrs = nil
+		for _, m := range addrRe.FindAllStringSubmatch(log.String(), -1) {
+			addrs = append(addrs, m[1])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	api, debug := "http://"+addrs[0], "http://"+addrs[1]
+
+	resp, err := http.Get(api + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("livez status = %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(api + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"mobicd_jobs_submitted_total",  // service metrics
+		"mobic_sim_events_fired_total", // engine kernel
+		"mobic_net_beacons_sent_total", // network layer
+		"mobic_experiment_progress_ratio",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	dresp, err := http.Get(debug + "/debug/obs/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("debug spans status = %d", dresp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if !strings.Contains(log.String(), "msg=bye") {
+		t.Errorf("shutdown log missing; log:\n%s", log.String())
+	}
+}
+
+// TestNewLoggerFormats checks both handler shapes: text is logfmt-ish,
+// json emits one valid JSON object per line with the standard slog keys.
+func TestNewLoggerFormats(t *testing.T) {
+	var text strings.Builder
+	logger, err := newLogger(&text, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("listening", "addr", ":0")
+	if got := text.String(); !strings.Contains(got, "msg=listening") || !strings.Contains(got, "addr=:0") {
+		t.Errorf("text log = %q", got)
+	}
+
+	var jsonBuf strings.Builder
+	logger, err = newLogger(&jsonBuf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("listening", "addr", ":0")
+	sc := bufio.NewScanner(strings.NewReader(jsonBuf.String()))
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("json log line %q: %v", sc.Text(), err)
+		}
+		if line["msg"] != "listening" || line["addr"] != ":0" || line["level"] != "INFO" {
+			t.Errorf("json log line = %v", line)
+		}
+	}
+
+	if _, err := newLogger(&text, ""); err != nil {
+		t.Errorf("empty format should default to text, got %v", err)
+	}
+}
+
+// TestDebugHandler exercises the opt-in diagnostics mux: the pprof index
+// and one profile endpoint respond, and /debug/obs/spans serves the
+// registry's sampled span window as JSON.
+func TestDebugHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Span(obs.SpanJob, 0, 3e9)
+	srv := httptest.NewServer(newDebugHandler(reg))
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/obs/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("spans Content-Type = %q", ct)
+	}
+	var spans []obs.SpanRecord
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Kind != "job" || spans[0].Seconds != 3 {
+		t.Errorf("spans = %+v, want one 3 s job span", spans)
 	}
 }

@@ -147,3 +147,9 @@ func TestAllBelow(t *testing.T) {
 		t.Error("length mismatch should fail")
 	}
 }
+
+func TestIsUnimodalEmpty(t *testing.T) {
+	if IsUnimodal(nil, 0.05) {
+		t.Error("empty series should not count as unimodal")
+	}
+}

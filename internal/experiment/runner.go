@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"mobic/internal/cluster"
 	"mobic/internal/metrics"
+	"mobic/internal/obs"
 	"mobic/internal/scenario"
 	"mobic/internal/simnet"
 	"mobic/internal/stats"
@@ -42,6 +44,12 @@ type Runner struct {
 	// Resume supplies the stats of the skipped prefix; entry i stands in
 	// for cells[i] (i < StartCell). Missing entries are zero stats.
 	Resume []CellStats
+	// Obs receives sweep telemetry (per-cell progress fraction, cells
+	// completed/failed/resumed, per-replication wall time) and is injected
+	// into every cell's simnet config so engine metrics flow to the same
+	// recorder. Defaults to obs.Nop. A cell config that already carries its
+	// own recorder keeps it.
+	Obs obs.Recorder
 	// Checkpoint, when set, is called as the contiguous prefix of
 	// completed cells grows: once for each cell index in increasing
 	// order, after every replication of that cell (and of all cells
@@ -62,6 +70,9 @@ func (r Runner) withDefaults() Runner {
 	}
 	if r.Workers <= 0 {
 		r.Workers = runtime.GOMAXPROCS(0)
+	}
+	if r.Obs == nil {
+		r.Obs = obs.Nop{}
 	}
 	return r
 }
@@ -145,6 +156,9 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 			if r.Mutate != nil {
 				r.Mutate(&cfg)
 			}
+			if cfg.Obs == nil {
+				cfg.Obs = r.Obs
+			}
 			jobs = append(jobs, cellJob{cell: ci, rep: s, seed: p.Seed, cfg: cfg})
 		}
 	}
@@ -153,6 +167,10 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 	for ci := 0; ci < r.StartCell && ci < len(r.Resume); ci++ {
 		out[ci] = r.Resume[ci]
 	}
+	if r.StartCell > 0 {
+		r.Obs.Add(obs.ExpCellsResumed, int64(r.StartCell))
+	}
+	instrumented := r.Obs.Enabled()
 
 	// Replications are stored by seed index, not completion order, so the
 	// per-cell aggregation is deterministic regardless of worker count.
@@ -209,6 +227,10 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 			for job := range jobCh {
 				err := runCtx.Err()
 				var res *simnet.Result
+				var cellStart time.Time
+				if instrumented {
+					cellStart = time.Now()
+				}
 				if err == nil {
 					var net *simnet.Network
 					net, err = simnet.New(job.cfg)
@@ -216,8 +238,14 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 						res, err = net.RunContext(runCtx)
 					}
 				}
+				if instrumented && err == nil {
+					cellEnd := time.Now()
+					r.Obs.Observe(obs.ExpCellSeconds, cellEnd.Sub(cellStart).Seconds())
+					r.Obs.Span(obs.SpanCell, cellStart.UnixNano(), cellEnd.UnixNano())
+				}
 				mu.Lock()
 				if err != nil {
+					r.Obs.Add(obs.ExpCellsFailed, 1)
 					// Skips caused by our own abort are not errors; the
 					// one that triggered the abort is already recorded.
 					if firstErr == nil {
@@ -230,6 +258,7 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 					if counts[job.cell] == r.Seeds {
 						out[job.cell] = aggregate(results[job.cell])
 						completed[job.cell] = true
+						r.Obs.Add(obs.ExpCellsCompleted, 1)
 						// Advance the contiguous completed prefix; cells
 						// finish out of order, checkpoints never do.
 						for frontier < len(cells) && completed[frontier] {
@@ -245,6 +274,9 @@ func (r Runner) RunCells(ctx context.Context, cells []Cell) ([]CellStats, error)
 				total := len(jobs)
 				d := done
 				mu.Unlock()
+				if total > 0 {
+					r.Obs.Set(obs.ExpProgress, float64(d)/float64(total))
+				}
 				if r.Checkpoint != nil {
 					drainCheckpoints()
 				}

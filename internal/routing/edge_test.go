@@ -1,0 +1,59 @@
+package routing
+
+import (
+	"testing"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+)
+
+func TestCoverageEmptyTopology(t *testing.T) {
+	if c := (FloodResult{}).Coverage(); c != 0 {
+		t.Errorf("empty Coverage = %g, want 0 (not NaN)", c)
+	}
+	if c := (FloodResult{Reached: 3, N: 4}).Coverage(); c != 0.75 {
+		t.Errorf("Coverage = %g, want 0.75", c)
+	}
+}
+
+func TestHopsEmptyPath(t *testing.T) {
+	if h := (Path{}).Hops(); h != 0 {
+		t.Errorf("empty path Hops = %d, want 0", h)
+	}
+	if h := (Path{1}).Hops(); h != 0 {
+		t.Errorf("single-node path Hops = %d, want 0", h)
+	}
+	if h := (Path{1, 2, 3}).Hops(); h != 2 {
+		t.Errorf("Hops = %d, want 2", h)
+	}
+}
+
+// TestDiscoveryCostErrors covers the propagated-error branches: an
+// out-of-range source must fail for both the flat and the backbone flood.
+func TestDiscoveryCostErrors(t *testing.T) {
+	// Nodes 0-1 linked, node 2 isolated.
+	g := graph.FromPositions([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 50, Y: 50}}, 2)
+	heads := []int32{0, 0, 2}
+	for _, backbone := range []bool{false, true} {
+		if _, err := DiscoveryCost(g, heads, 99, backbone); err == nil {
+			t.Errorf("backbone=%v: out-of-range source should error", backbone)
+		}
+	}
+	// And the happy paths agree with the floods they delegate to.
+	flat, err := DiscoveryCost(g, heads, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, _ := FlatFlood(g, 0)
+	if flat != ff.Transmissions {
+		t.Errorf("flat cost = %d, want %d", flat, ff.Transmissions)
+	}
+	bb, err := DiscoveryCost(g, heads, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, _ := ClusterFlood(g, heads, 0)
+	if bb != cf.Transmissions {
+		t.Errorf("backbone cost = %d, want %d", bb, cf.Transmissions)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -206,5 +207,13 @@ func (a *api) readyz(w http.ResponseWriter, r *http.Request) {
 
 func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = a.svc.Metrics().WriteTo(w, a.svc.QueueDepth(), a.svc.StoredJobs())
+	if err := a.svc.Metrics().WriteTo(w, a.svc.QueueDepth(), a.svc.StoredJobs()); err != nil {
+		return
+	}
+	// Engine/experiment telemetry families (mobic_sim_*, mobic_net_*,
+	// mobic_experiment_*) follow the service's own when a Registry is
+	// installed; obs.Nop has no exposition and is skipped.
+	if wt, ok := a.svc.Observability().(io.WriterTo); ok {
+		_, _ = wt.WriteTo(w)
+	}
 }

@@ -271,6 +271,93 @@ func TestHTTPStream(t *testing.T) {
 	}
 }
 
+// TestHTTPProgressMonotonic drives a five-cell job step by step and polls
+// GET /v1/jobs/{id} after each completed cell: the reported progress
+// fraction must match done/total exactly, never decrease across polls, and
+// the final NDJSON stream event must report 100%. Running polls with
+// done>0 must also carry an ETA.
+func TestHTTPProgressMonotonic(t *testing.T) {
+	const cells = 5
+	step := make(chan struct{})
+	stepped := make(chan struct{})
+	execute := func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+		for i := 1; i <= cells; i++ {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			progress(i, cells)
+			stepped <- struct{}{}
+		}
+		return &Output{Result: &experiment.Result{ID: "stub", Title: "stub"}}, nil
+	}
+	_, srv := newTestAPI(t, Config{Workers: 1, Execute: execute})
+
+	resp := postJob(t, srv, `{"experiment":"fig3"}`)
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if st.Progress != 0 {
+		t.Errorf("progress at submit = %g, want 0", st.Progress)
+	}
+
+	// Attach the stream before any cell completes so it sees full history.
+	sresp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	prev := 0.0
+	for i := 1; i <= cells; i++ {
+		step <- struct{}{}
+		<-stepped // progress(i, cells) has been applied
+		gresp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poll := decodeStatus(t, gresp.Body)
+		gresp.Body.Close()
+		if want := float64(i) / cells; poll.Progress != want {
+			t.Errorf("poll %d: progress = %g, want %g", i, poll.Progress, want)
+		}
+		if poll.Progress < prev {
+			t.Errorf("poll %d: progress decreased %g -> %g", i, prev, poll.Progress)
+		}
+		prev = poll.Progress
+		if poll.State == StateRunning && i < cells && poll.ETASeconds <= 0 {
+			t.Errorf("poll %d: running with done>0 but no ETA (%g)", i, poll.ETASeconds)
+		}
+	}
+
+	final := getStatus(t, srv, st.ID)
+	if final.State != StateSucceeded || final.Progress != 1 {
+		t.Fatalf("final: state=%s progress=%g, want succeeded at 1", final.State, final.Progress)
+	}
+	if final.ETASeconds != 0 {
+		t.Errorf("terminal status carries ETA %g, want omitted", final.ETASeconds)
+	}
+
+	// The stream's terminal event must agree: 100% on the result line.
+	var lastEv StreamEvent
+	scanner := bufio.NewScanner(sresp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if err := json.Unmarshal(scanner.Bytes(), &lastEv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lastEv.Type != "result" || lastEv.Stat == nil {
+		t.Fatalf("terminal event = %+v", lastEv)
+	}
+	if lastEv.Stat.Progress != 1 {
+		t.Errorf("stream result progress = %g, want 1", lastEv.Stat.Progress)
+	}
+}
+
 func TestHTTPHealthzAndMetrics(t *testing.T) {
 	svc, srv := newTestAPI(t, Config{Execute: instantExecute(1)})
 

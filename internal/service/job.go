@@ -76,6 +76,9 @@ type Job struct {
 	finished time.Time
 	cancel   context.CancelFunc
 	wantStop bool
+	// nowFn supplies wall time for the ETA estimate (overridden by the
+	// service clock, so tests with fake clocks get deterministic ETAs).
+	nowFn func() time.Time
 	// cps is the contiguous prefix of completed-and-checkpointed sweep
 	// cells; a retry or a post-crash resume restarts from len(cps).
 	cps []experiment.CellStats
@@ -96,6 +99,7 @@ func rehydrate(id string, spec JobSpec, idemKey string, created time.Time) *Job 
 		notify:  make(chan struct{}),
 		state:   StateQueued,
 		created: created,
+		nowFn:   time.Now,
 		events:  []StreamEvent{{Type: "status", State: StateQueued}},
 	}
 }
@@ -262,6 +266,14 @@ type Status struct {
 	// Done/Total count completed simulation cells (seeds × sweep points).
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Progress is the job's completed fraction in [0, 1]: Done/Total while
+	// cells are reporting, pinned to 1 once the job succeeded. It is
+	// monotonic non-decreasing across polls of a running job.
+	Progress float64 `json:"progress"`
+	// ETASeconds extrapolates the remaining wall-clock seconds from the
+	// cell-completion cadence of the current attempt. Present only while
+	// the job is running and at least one cell has completed.
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
 	// Attempt is the number of execution attempts started so far (0 while
 	// the job has never run). It survives daemon restarts via the journal.
 	Attempt int `json:"attempt,omitempty"`
@@ -306,6 +318,19 @@ func (j *Job) statusLocked() Status {
 	}
 	if j.output != nil {
 		st.Output = *j.output
+	}
+	switch {
+	case j.state == StateSucceeded:
+		st.Progress = 1
+	case j.total > 0:
+		st.Progress = float64(j.done) / float64(j.total)
+	}
+	// ETA from the cell-completion cadence: with done cells in (now -
+	// started) seconds, the remaining total-done extrapolate linearly.
+	if j.state == StateRunning && j.done > 0 && j.total > j.done && !j.started.IsZero() {
+		if elapsed := j.nowFn().Sub(j.started).Seconds(); elapsed > 0 {
+			st.ETASeconds = elapsed * float64(j.total-j.done) / float64(j.done)
+		}
 	}
 	return st
 }

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobic/internal/experiment"
+)
+
+// fakeClock is a hand-advanced clock shared by both daemon generations in
+// the restore test, so journaled start/finish times carry real durations.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// scrapeMetrics fetches /metrics through the real HTTP handler.
+func scrapeMetrics(t *testing.T, svc *Service) string {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestRestoreMetricsConsistency is the regression test for the recovery
+// blind spot where a rebooted daemon reported factory-fresh metrics: a
+// store holding N jobs alongside /metrics claiming zero submissions, and a
+// Retry-After hint restarted at the 1 s floor despite journaled evidence of
+// multi-second jobs. It kills a daemon mid-queue (one job finished, one
+// running, two queued, plus one finished job whose TTL lapsed during the
+// outage) and checks the reopened daemon's /metrics against its store.
+func TestRestoreMetricsConsistency(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+
+	// Every execution hands the test a private release channel, so the test
+	// decides per job whether (and at what fake time) it finishes.
+	starts := make(chan chan struct{})
+	execute := func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+		release := make(chan struct{})
+		select {
+		case starts <- release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		select {
+		case <-release:
+			return &Output{Result: &experiment.Result{ID: "stub", Title: "stub"}}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cfg := Config{
+		DataDir:       dir,
+		Workers:       1,
+		QueueCapacity: 4,
+		TTL:           time.Hour,
+		Execute:       execute,
+		Clock:         clock.Now,
+	}
+	svc1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Start()
+
+	submit := func(n int) *Job {
+		t.Helper()
+		job, err := svc1.Submit(JobSpec{Experiment: "fig3", Seeds: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+
+	// Job E: finishes after 2 s, then the daemon stays down long enough for
+	// its TTL to lapse — the reopened daemon must not count it anywhere.
+	expired := submit(1)
+	rel := <-starts
+	clock.Advance(2 * time.Second)
+	close(rel)
+	waitTerminal(t, expired)
+	clock.Advance(2 * time.Hour)
+
+	// Job A: an 8 s success inside the TTL window — the duration the
+	// reopened Retry-After hint must extrapolate from.
+	finished := submit(2)
+	rel = <-starts
+	clock.Advance(8 * time.Second)
+	close(rel)
+	waitTerminal(t, finished)
+
+	// Job B running, C and D queued when the "SIGKILL" lands.
+	running := submit(3)
+	<-starts // B is executing; its release channel is deliberately dropped
+	queued1 := submit(4)
+	queued2 := submit(5)
+
+	// Abandon svc1 without Shutdown; the bounded cleanup only unwedges the
+	// leaked worker goroutine after the test.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		_ = svc1.Shutdown(ctx)
+	})
+
+	cfg.Execute = instantExecute(1)
+	svc2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc2.RecoveredJobs(); got != 3 {
+		t.Fatalf("recovered %d jobs, want 3 (running + 2 queued)", got)
+	}
+	if _, ok := svc2.Get(expired.ID()); ok {
+		t.Error("TTL-expired job survived the reboot")
+	}
+
+	// Before any post-boot work: /metrics must already agree with the store.
+	body := scrapeMetrics(t, svc2)
+	for _, want := range []string{
+		"mobicd_jobs_submitted_total 4", // E is expired, not merely unfinished
+		"mobicd_jobs_completed_total 1",
+		"mobicd_jobs_failed_total 0",
+		"mobicd_queue_depth 3",
+		"mobicd_jobs_stored 4",
+		"mobicd_job_latency_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("rebooted /metrics missing %q:\n%s", want, body)
+		}
+	}
+	if got := svc2.Metrics().LatencyEWMA(); got != 8 {
+		t.Errorf("EWMA after reboot = %g s, want 8 (job A's journaled duration)", got)
+	}
+	// depth 3, 1 worker, 8 s EWMA: ceil(8*4/1)=32, capped at 30 — anything
+	// at the 1 s floor means the EWMA was not re-seeded.
+	if got := svc2.RetryAfterHint(); got != 30 {
+		t.Errorf("RetryAfterHint after reboot = %d s, want 30", got)
+	}
+
+	// Drain the recovered queue and re-check: counters keep accumulating on
+	// top of the restored baseline instead of drifting from the store.
+	svc2.Start()
+	defer svc2.Shutdown(context.Background())
+	for _, job := range []*Job{running, queued1, queued2} {
+		j, ok := svc2.Get(job.ID())
+		if !ok {
+			t.Fatalf("job %s not restored", job.ID())
+		}
+		if st := waitTerminal(t, j); st.State != StateSucceeded {
+			t.Fatalf("recovered job %s: %s (%s)", job.ID(), st.State, st.Error)
+		}
+	}
+	body = scrapeMetrics(t, svc2)
+	for _, want := range []string{
+		"mobicd_jobs_submitted_total 4",
+		"mobicd_jobs_completed_total 4",
+		"mobicd_queue_depth 0",
+		"mobicd_jobs_stored 4",
+		fmt.Sprintf("mobicd_job_latency_seconds_count %d", 4),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("drained /metrics missing %q:\n%s", want, body)
+		}
+	}
+}

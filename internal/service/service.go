@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mobic/internal/experiment"
+	"mobic/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -97,6 +98,11 @@ type Config struct {
 	// CompactBytes triggers journal compaction from the janitor once the
 	// WAL grows past this size (default 8 MiB; only with DataDir).
 	CompactBytes int64
+	// Obs receives engine and sweep telemetry from every job this service
+	// runs (threaded through experiment.Runner into each simulation).
+	// Defaults to obs.Nop; mobicd installs an obs.Registry and merges its
+	// families into /metrics.
+	Obs obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactBytes <= 0 {
 		c.CompactBytes = 8 << 20
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Nop{}
+	}
+	if c.Runner.Obs == nil {
+		c.Runner.Obs = c.Obs
 	}
 	return c
 }
@@ -236,6 +248,14 @@ func Open(cfg Config) (*Service, error) {
 
 // restore folds replayed records into store state and returns the
 // non-terminal jobs to re-enqueue, in submission order.
+//
+// It also re-seeds the observability counters and the Retry-After EWMA
+// from the replayed log: a freshly booted daemon whose store holds N jobs
+// must not report zero submissions on /metrics, and its 429 Retry-After
+// hint must extrapolate from the journaled durations of jobs that finished
+// before the crash rather than restarting blind at the 1 s floor. Jobs
+// whose TTL expired while the daemon was down are dropped without touching
+// any counter, so /metrics stays consistent with store contents.
 func (s *Service) restore(recs []record) []*Job {
 	now := s.cfg.Clock()
 	jobs := make(map[string]*Job)
@@ -249,6 +269,7 @@ func (s *Service) restore(recs []record) []*Job {
 		finished time.Time
 	}
 	ends := make(map[string]terminal)
+	starts := make(map[string]time.Time)
 	for _, rec := range recs {
 		switch rec.Type {
 		case recSubmit:
@@ -256,11 +277,13 @@ func (s *Service) restore(recs []record) []*Job {
 				continue
 			}
 			job := rehydrate(rec.Job, *rec.Spec, rec.Key, rec.Time)
+			job.nowFn = s.cfg.Clock
 			jobs[rec.Job] = job
 			order = append(order, job)
 		case recStart, recRetry:
 			if job := jobs[rec.Job]; job != nil {
 				job.attempt = rec.Attempt
+				starts[rec.Job] = rec.Time
 			}
 		case recCheckpoint:
 			if job := jobs[rec.Job]; job != nil && rec.Stats != nil {
@@ -275,9 +298,29 @@ func (s *Service) restore(recs []record) []*Job {
 	var pending []*Job
 	for _, job := range order {
 		end, done := ends[job.id]
+		if done && now.Sub(end.finished) >= s.cfg.TTL {
+			continue // expired while the daemon was down; invisible to /metrics
+		}
+		s.metrics.submitted.Add(1)
 		if done {
-			if now.Sub(end.finished) >= s.cfg.TTL {
-				continue // expired while the daemon was down
+			if st, ok := starts[job.id]; ok {
+				job.started = st
+			}
+			switch end.state {
+			case StateSucceeded:
+				s.metrics.completed.Add(1)
+			case StateFailed:
+				s.metrics.failed.Add(1)
+			case StateCanceled:
+				s.metrics.canceled.Add(1)
+			case StatePoisoned:
+				s.metrics.poisoned.Add(1)
+			}
+			// Re-seed the Retry-After EWMA from the journaled run, so the
+			// first post-boot 429 extrapolates drain time from real
+			// durations instead of the floor.
+			if st, ok := starts[job.id]; ok && end.finished.After(st) {
+				s.metrics.ObserveLatency(end.finished.Sub(st).Seconds())
 			}
 			job.finish(end.state, end.output, end.errMsg, end.finished)
 			s.store.Put(job)
@@ -339,6 +382,12 @@ func (s *Service) journalApply(rec record, apply func()) {
 
 // Metrics exposes the service counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Observability exposes the engine/sweep telemetry recorder the service
+// threads into every job (obs.Nop unless Config.Obs installed one). The
+// HTTP layer type-asserts it to io.WriterTo to merge the engine families
+// into /metrics.
+func (s *Service) Observability() obs.Recorder { return s.cfg.Obs }
 
 // QueueDepth returns the number of jobs waiting for a worker.
 func (s *Service) QueueDepth() int { return len(s.queue) }
@@ -478,6 +527,7 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 		return nil, false, ErrQueueFull
 	}
 	job = newJob(spec, key, s.cfg.Clock())
+	job.nowFn = s.cfg.Clock
 	// Append and Put under the compaction read-lock: once the submit
 	// record is durable the store must reflect the job before any
 	// compaction snapshot runs, or the janitor would rewrite the WAL
@@ -630,6 +680,9 @@ func (s *Service) runJob(job *Job) {
 
 	end := s.cfg.Clock()
 	s.metrics.ObserveLatency(end.Sub(now).Seconds())
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Span(obs.SpanJob, now.UnixNano(), end.UnixNano())
+	}
 	switch {
 	case err == nil:
 		s.metrics.completed.Add(1)

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"mobic/internal/obs"
 )
 
 // Event is a scheduled callback. Fire runs at the event's timestamp with the
@@ -112,11 +114,25 @@ type Scheduler struct {
 	// past a threshold they are reaped eagerly instead of lazily on pop,
 	// so cancel-heavy workloads don't bloat the heap.
 	canceledQueued int
+	// rec receives kernel telemetry (events fired/canceled/pooled, heap
+	// depth). Never nil — obs.Nop by default — and never consulted for
+	// anything that feeds back into scheduling, so instrumentation cannot
+	// perturb determinism.
+	rec obs.Recorder
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{rec: obs.Nop{}}
+}
+
+// SetRecorder installs the telemetry recorder (obs.Nop disables). Passing
+// nil restores the no-op default.
+func (s *Scheduler) SetRecorder(rec obs.Recorder) {
+	if rec == nil {
+		rec = obs.Nop{}
+	}
+	s.rec = rec
 }
 
 // Now returns the current simulated time in seconds.
@@ -228,6 +244,7 @@ func (s *Scheduler) Cancel(ev *Event) {
 		return
 	}
 	ev.canceled = true
+	s.rec.Add(obs.SimEventsCanceled, 1)
 	if ev.index >= 0 {
 		s.canceledQueued++
 		s.maybeReap()
@@ -271,6 +288,7 @@ func (s *Scheduler) recycle(ev *Event) {
 	}
 	ev.fire = nil // drop the closure so its captures are collectable
 	s.free = append(s.free, ev)
+	s.rec.Add(obs.SimEventsPooled, 1)
 }
 
 // Step pops and fires the earliest pending event. It returns false when the
@@ -289,6 +307,8 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = ev.time
 		s.fired++
+		s.rec.Add(obs.SimEventsFired, 1)
+		s.rec.Set(obs.SimHeapDepth, float64(len(s.queue)))
 		// Mark fired before running so a Cancel from inside the callback
 		// is correctly a no-op, and a Reschedule re-arms cleanly.
 		ev.fired = true

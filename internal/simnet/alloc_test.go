@@ -6,19 +6,14 @@ import (
 	"mobic/internal/cluster"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
+	"mobic/internal/obs"
 )
 
-// TestSteadyStateTickAllocs is the allocation regression gate for the
-// engine hot path: once a static network has converged, advancing the
-// simulation — beacons, MAC airtime deferrals, deliveries, tracker updates,
-// clustering steps and the periodic cluster sampler — must allocate nothing.
-// Every object on that path (events, receptions, neighbor entries, candidate
-// and view buffers, sampler tables, the topology graph) is pooled or reused;
-// a regression in any of them shows up here as a nonzero count.
-func TestSteadyStateTickAllocs(t *testing.T) {
-	if raceEnabled {
-		t.Skip("allocation counting is unreliable under the race detector")
-	}
+// steadyStateAllocs builds the static 50-node gate scenario with the given
+// recorder installed, converges it, and returns the allocations per
+// steady-state beacon interval.
+func steadyStateAllocs(t *testing.T, rec obs.Recorder) float64 {
+	t.Helper()
 	area := geom.Square(670)
 	cfg := Config{
 		N:               50,
@@ -29,6 +24,7 @@ func TestSteadyStateTickAllocs(t *testing.T) {
 		Mobility:        &mobility.Static{Area: area},
 		TxRange:         250,
 		HelloCollisions: true,
+		Obs:             rec,
 	}
 	net, err := New(cfg)
 	if err != nil {
@@ -42,10 +38,53 @@ func TestSteadyStateTickAllocs(t *testing.T) {
 	net.RunUntil(300)
 
 	interval := net.Config().BroadcastInterval
-	allocs := testing.AllocsPerRun(20, func() {
+	return testing.AllocsPerRun(20, func() {
 		net.sched.RunUntil(net.sched.Now() + interval)
 	})
-	if allocs > 0 {
+}
+
+// TestSteadyStateTickAllocs is the allocation regression gate for the
+// engine hot path: once a static network has converged, advancing the
+// simulation — beacons, MAC airtime deferrals, deliveries, tracker updates,
+// clustering steps and the periodic cluster sampler — must allocate nothing.
+// Every object on that path (events, receptions, neighbor entries, candidate
+// and view buffers, sampler tables, the topology graph) is pooled or reused;
+// a regression in any of them shows up here as a nonzero count.
+func TestSteadyStateTickAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	if allocs := steadyStateAllocs(t, nil); allocs > 0 {
 		t.Errorf("steady-state beacon interval allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSteadyStateTickAllocsNopRecorder runs the same gate with an explicit
+// obs.Nop installed: the instrumentation hooks themselves (counter adds,
+// gauge sets on every fired event and delivery) must add zero allocations
+// per interval when telemetry is disabled.
+func TestSteadyStateTickAllocsNopRecorder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	if allocs := steadyStateAllocs(t, obs.Nop{}); allocs > 0 {
+		t.Errorf("noop-instrumented beacon interval allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSteadyStateTickAllocsRegistry tightens the contract further: even with
+// a live obs.Registry aggregating every hook, the hot path stays
+// allocation-free — the registry records into preallocated atomic arrays.
+func TestSteadyStateTickAllocsRegistry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	reg := obs.NewRegistry()
+	if allocs := steadyStateAllocs(t, reg); allocs > 0 {
+		t.Errorf("registry-instrumented beacon interval allocates %.1f objects, want 0", allocs)
+	}
+	// Sanity: the hooks actually fired during convergence.
+	if reg.Counter(obs.SimEventsFired) == 0 || reg.Counter(obs.NetBeaconsSent) == 0 {
+		t.Error("registry recorded no engine activity; hooks are disconnected")
 	}
 }

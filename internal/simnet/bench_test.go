@@ -6,6 +6,7 @@ import (
 	"mobic/internal/cluster"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
+	"mobic/internal/obs"
 )
 
 // benchDuration bounds how much simulated time one benchmark network can
@@ -18,6 +19,11 @@ const benchDuration = 3600.0
 // full hot path (grid query, threshold test, airtime deferral, neighbor-table
 // update) and warms it past the listen-only first round.
 func benchNetwork(b *testing.B, collisions bool) *Network {
+	return benchNetworkObs(b, collisions, nil)
+}
+
+// benchNetworkObs is benchNetwork with a recorder installed.
+func benchNetworkObs(b *testing.B, collisions bool, rec obs.Recorder) *Network {
 	b.Helper()
 	area := geom.Square(670)
 	cfg := Config{
@@ -30,6 +36,7 @@ func benchNetwork(b *testing.B, collisions bool) *Network {
 		TxRange:         250,
 		SampleInterval:  5,
 		HelloCollisions: collisions,
+		Obs:             rec,
 	}
 	net, err := New(cfg)
 	if err != nil {
@@ -56,11 +63,25 @@ func BenchmarkBroadcastDeliveryNoMAC(b *testing.B) {
 	runBeaconIntervals(b, false)
 }
 
+// BenchmarkInstrumentedBroadcastDelivery is BenchmarkBroadcastDelivery with
+// a live obs.Registry installed, measuring the full cost of enabled
+// telemetry on the hot loop. Its ns/op and allocs/op are gated against the
+// uninstrumented baseline in BENCH_engine.json: the delta is the true price
+// of observability, and allocs/op must stay 0.
+func BenchmarkInstrumentedBroadcastDelivery(b *testing.B) {
+	runBeaconIntervalsObs(b, true, obs.NewRegistry())
+}
+
 // runBeaconIntervals advances the network one beacon interval per benchmark
 // op, rebuilding (off-timer) when the bounded trajectories run out.
 func runBeaconIntervals(b *testing.B, collisions bool) {
+	runBeaconIntervalsObs(b, collisions, nil)
+}
+
+// runBeaconIntervalsObs is runBeaconIntervals with a recorder installed.
+func runBeaconIntervalsObs(b *testing.B, collisions bool, rec obs.Recorder) {
 	b.Helper()
-	net := benchNetwork(b, collisions)
+	net := benchNetworkObs(b, collisions, rec)
 	interval := net.cfg.BroadcastInterval
 	var fired uint64
 	b.ReportAllocs()
@@ -69,7 +90,7 @@ func runBeaconIntervals(b *testing.B, collisions bool) {
 		if net.sched.Now()+interval > benchDuration-1 {
 			b.StopTimer()
 			fired += net.sched.Fired()
-			net = benchNetwork(b, collisions)
+			net = benchNetworkObs(b, collisions, rec)
 			b.StartTimer()
 		}
 		net.sched.RunUntil(net.sched.Now() + interval)

@@ -14,6 +14,7 @@ import (
 	"mobic/internal/cluster"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
+	"mobic/internal/obs"
 	"mobic/internal/radio"
 	"mobic/internal/trace"
 )
@@ -122,6 +123,14 @@ type Config struct {
 	// callback runs on the simulation goroutine and must not retain the
 	// event beyond the call.
 	Observer func(trace.Event)
+	// Obs receives engine telemetry (beacons, receptions, collisions,
+	// neighbor churn, clusterhead changes, kernel event counts, sim-rate).
+	// Defaults to obs.Nop, which is allocation-free and keeps the hot path
+	// at its zero-alloc steady state; mobicd installs an obs.Registry to
+	// merge these families into /metrics. Telemetry is strictly
+	// write-only — nothing recorded feeds back into the simulation — so
+	// trace digests are identical with or without a recorder.
+	Obs obs.Recorder
 	// CustomWeights supplies per-node static weights for the DCA
 	// algorithm (KindCustom). When nil, distinct uniform weights are
 	// drawn from the seed.
@@ -201,6 +210,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.IdealDegree == 0 {
 		cfg.IdealDegree = 8
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Nop{}
 	}
 	return cfg
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"slices"
+	"time"
 
 	"mobic/internal/cluster"
 	"mobic/internal/core"
@@ -12,6 +13,7 @@ import (
 	"mobic/internal/graph"
 	"mobic/internal/metrics"
 	"mobic/internal/mobility"
+	"mobic/internal/obs"
 	"mobic/internal/radio"
 	"mobic/internal/sim"
 	"mobic/internal/spatial"
@@ -77,6 +79,8 @@ type Network struct {
 	grid     *spatial.Grid
 	rxThresh float64
 	rec      *metrics.Recorder
+	// obsRec receives engine telemetry; obs.Nop unless Config.Obs set one.
+	obsRec obs.Recorder
 	// bruteForce disables the spatial-index candidate query for
 	// propagation models (shadowing) whose delivery range is unbounded.
 	bruteForce bool
@@ -168,12 +172,14 @@ func New(cfg Config) (*Network, error) {
 		grid:       grid,
 		rxThresh:   thresh,
 		rec:        newRecorder(cfg),
+		obsRec:     cfg.Obs,
 		bruteForce: shadowing || cfg.ForceBruteForce,
 		// Nodes can move for up to one full interval between index
 		// refreshes; 35 m/s covers every scenario in the paper with
 		// margin. Stale candidates are filtered by the exact power test.
 		candidateSlack: 35 * cfg.BroadcastInterval * 2,
 	}
+	n.sched.SetRecorder(n.obsRec)
 	if cfg.HelloCollisions {
 		n.beaconJitter = streams.Named("beacon-jitter")
 	}
@@ -199,6 +205,7 @@ func New(cfg Config) (*Network, error) {
 		}
 		rn.cnode.OnRoleChange(func(now float64, old, newRole cluster.Role) {
 			n.rec.RoleChange(now, id, old, newRole)
+			n.obsRec.Add(obs.NetRoleChanges, 1)
 			n.emit(trace.Event{
 				T: now, Kind: trace.KindRoleChange, Node: id, Other: -1,
 				Value: float64(newRole),
@@ -206,6 +213,7 @@ func New(cfg Config) (*Network, error) {
 		})
 		rn.cnode.OnHeadChange(func(now float64, oldHead, newHead int32) {
 			n.rec.HeadChange(now, id, oldHead, newHead)
+			n.obsRec.Add(obs.NetHeadChanges, 1)
 			n.emit(trace.Event{
 				T: now, Kind: trace.KindHeadChange, Node: id, Other: newHead,
 				Value: float64(oldHead),
@@ -336,6 +344,11 @@ const runChunk = 10.0
 // scheduler chunks so a canceled or timed-out caller stops promptly
 // mid-run. It returns ctx.Err() when interrupted.
 func (n *Network) RunContext(ctx context.Context) (*Result, error) {
+	// The wall-clock reads exist only to feed telemetry (sim-rate gauge,
+	// sampled chunk spans); they are gated on Enabled so the uninstrumented
+	// path does no timing work at all. Telemetry never affects the
+	// simulation itself.
+	instrumented := n.obsRec.Enabled()
 	for now := n.sched.Now(); now < n.cfg.Duration; now = n.sched.Now() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -344,7 +357,17 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 		if horizon > n.cfg.Duration {
 			horizon = n.cfg.Duration
 		}
+		if !instrumented {
+			n.sched.RunUntil(horizon)
+			continue
+		}
+		wallStart := time.Now()
 		n.sched.RunUntil(horizon)
+		wallEnd := time.Now()
+		if wall := wallEnd.Sub(wallStart).Seconds(); wall > 0 {
+			n.obsRec.Set(obs.SimRate, (horizon-now)/wall)
+		}
+		n.obsRec.Span(obs.SpanSimChunk, wallStart.UnixNano(), wallEnd.UnixNano())
 	}
 	n.rec.Finalize(n.cfg.Duration)
 
@@ -390,6 +413,7 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 		if e.lastHeard < now-tp {
 			delete(rn.table, id)
 			n.releaseEntry(e)
+			n.obsRec.Add(obs.NetNeighborTimeouts, 1)
 			n.emit(trace.Event{
 				T: now, Kind: trace.KindTimeout, Node: rn.id, Other: id,
 			})
@@ -524,6 +548,7 @@ func (n *Network) helloBytes() int {
 // the threshold, subject to the loss model.
 func (n *Network) broadcast(rn *runtimeNode, now float64) {
 	n.rec.CountBroadcast(n.helloBytes())
+	n.obsRec.Add(obs.NetBeaconsSent, 1)
 	txPos := rn.traj.At(now)
 	n.grid.Update(rn.id, txPos)
 	n.emit(trace.Event{
@@ -574,6 +599,7 @@ func (n *Network) tryDeliver(tx, rx *runtimeNode, txPos geom.Point, now float64,
 	}
 	if n.cfg.Loss.Drops(tx.id, rx.id, now) {
 		n.rec.CountDrop()
+		n.obsRec.Add(obs.NetDrops, 1)
 		n.emit(trace.Event{
 			T: now, Kind: trace.KindDrop, Node: tx.id, Other: rx.id, Value: pr,
 		})
@@ -666,6 +692,7 @@ func (n *Network) endReception(rec *reception, t float64) {
 	}
 	if collided {
 		n.rec.CountCollision()
+		n.obsRec.Add(obs.NetCollisions, 1)
 		n.emit(trace.Event{
 			T: t, Kind: trace.KindDrop, Node: txID, Other: rx.id, Value: pr,
 		})
@@ -679,6 +706,7 @@ func (n *Network) endReception(rec *reception, t float64) {
 // neighbor table with the advertised clustering state.
 func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv advertisement) {
 	n.rec.CountDelivery()
+	n.obsRec.Add(obs.NetDeliveries, 1)
 	n.emit(trace.Event{
 		T: now, Kind: trace.KindDeliver, Node: txID, Other: rx.id, Value: pr,
 	})
@@ -690,6 +718,7 @@ func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv a
 	if !ok {
 		e = n.newEntry()
 		rx.table[txID] = e
+		n.obsRec.Add(obs.NetNeighborAdds, 1)
 	}
 	e.lastHeard = now
 	e.weight = adv.weight

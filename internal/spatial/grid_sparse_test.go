@@ -1,0 +1,129 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+
+	"mobic/internal/geom"
+)
+
+func sparseGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(geom.Square(100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSparseIDFallback drives the map-backed slow path with ids outside the
+// dense range (negative and >= maxDenseID): insert, in-cell move,
+// cross-cell move, query visibility, Position, ForEach and Remove must all
+// behave exactly like the dense path.
+func TestSparseIDFallback(t *testing.T) {
+	g := sparseGrid(t)
+	const big = int32(maxDenseID + 7)
+	g.Update(-5, geom.Point{X: 10, Y: 10})
+	g.Update(big, geom.Point{X: 12, Y: 10})
+	g.Update(3, geom.Point{X: 14, Y: 10}) // dense neighbor in the same cell block
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+
+	// In-cell move then cross-cell move.
+	g.Update(big, geom.Point{X: 13, Y: 11})
+	g.Update(big, geom.Point{X: 90, Y: 90})
+	if g.Len() != 3 {
+		t.Fatalf("Len after moves = %d, want 3", g.Len())
+	}
+	if p, ok := g.Position(big); !ok || p.X != 90 || p.Y != 90 {
+		t.Errorf("Position(big) = %v,%v", p, ok)
+	}
+	if p, ok := g.Position(-5); !ok || p.X != 10 {
+		t.Errorf("Position(-5) = %v,%v", p, ok)
+	}
+	if _, ok := g.Position(int32(maxDenseID + 99)); ok {
+		t.Error("absent sparse id reported present")
+	}
+
+	got := g.QueryRange(geom.Point{X: 11, Y: 10}, 5, -1000, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != -5 || got[1] != 3 {
+		t.Errorf("query near origin = %v, want [-5 3]", got)
+	}
+	got = g.QueryRange(geom.Point{X: 90, Y: 90}, 5, -1000, nil)
+	if len(got) != 1 || got[0] != big {
+		t.Errorf("query near far corner = %v, want [%d]", got, big)
+	}
+
+	var seen []int32
+	g.ForEach(func(id int32, p geom.Point) { seen = append(seen, id) })
+	sort.Slice(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	if len(seen) != 3 || seen[0] != -5 || seen[1] != 3 || seen[2] != big {
+		t.Errorf("ForEach ids = %v", seen)
+	}
+
+	g.Remove(big)
+	g.Remove(-5)
+	g.Remove(-5) // absent sparse id: no-op
+	if g.Len() != 1 {
+		t.Errorf("Len after sparse removes = %d, want 1", g.Len())
+	}
+	if _, ok := g.Position(big); ok {
+		t.Error("removed sparse id still positioned")
+	}
+}
+
+func TestRemoveAbsentDense(t *testing.T) {
+	g := sparseGrid(t)
+	g.Update(0, geom.Point{X: 5, Y: 5})
+	g.Remove(9) // beyond the dense tables: no-op
+	g.Remove(0)
+	g.Remove(0) // present tables, noCell slot: no-op
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+	if _, ok := g.Position(9); ok {
+		t.Error("never-inserted dense id reported present")
+	}
+	if _, ok := g.Position(0); ok {
+		t.Error("removed dense id reported present")
+	}
+}
+
+// TestReserve checks pre-sizing: the dense tables grow once, new slots read
+// as absent, and undersized or oversized reservations are no-ops.
+func TestReserve(t *testing.T) {
+	g := sparseGrid(t)
+	g.Reserve(50)
+	if len(g.pos) != 50 || len(g.cellOf) != 50 {
+		t.Fatalf("dense tables sized %d/%d, want 50", len(g.pos), len(g.cellOf))
+	}
+	for id := int32(0); id < 50; id++ {
+		if _, ok := g.Position(id); ok {
+			t.Fatalf("reserved slot %d reads as present", id)
+		}
+	}
+	g.Reserve(10) // smaller than current: no-op
+	if len(g.pos) != 50 {
+		t.Errorf("shrinking Reserve resized tables to %d", len(g.pos))
+	}
+	g.Reserve(maxDenseID + 1) // absurd: refused rather than allocating GBs
+	if len(g.pos) != 50 {
+		t.Errorf("out-of-bounds Reserve resized tables to %d", len(g.pos))
+	}
+	g.Update(49, geom.Point{X: 1, Y: 1})
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+
+	// Growth within existing capacity reslices instead of reallocating.
+	g2 := sparseGrid(t)
+	g2.Reserve(50)
+	g2.pos = g2.pos[:20]
+	g2.cellOf = g2.cellOf[:20]
+	g2.growDense(30)
+	if len(g2.pos) != 31 || g2.cellOf[25] != noCell {
+		t.Errorf("in-capacity growth: len=%d cellOf[25]=%d", len(g2.pos), g2.cellOf[25])
+	}
+}

@@ -130,3 +130,16 @@ func TestManySeriesMarkersCycle(t *testing.T) {
 		t.Errorf("later markers missing:\n%s", out)
 	}
 }
+
+func TestClampBounds(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int }{
+		{-3, 0, 10, 0},
+		{15, 0, 10, 10},
+		{5, 0, 10, 5},
+	}
+	for _, c := range cases {
+		if got := clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("clamp(%d, %d, %d) = %d, want %d", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

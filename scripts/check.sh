@@ -13,14 +13,27 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go vet ./..."
+echo "== go vet tag matrix (race off / race on)"
+# The engine carries //go:build race / !race files (raceEnabled const); vet
+# both halves so neither bitrots.
 go vet ./...
+go vet -tags race ./...
 
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== allocation regression (hot path must stay zero-alloc; skipped under -race above)"
-go test -run='^TestSteadyStateTickAllocs$' -count=1 -v ./internal/simnet | grep -E 'PASS|FAIL|allocates'
+echo "== coverage gate (floor: COVERAGE.txt)"
+floor="$(cat COVERAGE.txt)"
+go test -count=1 -coverprofile=coverage.out ./... > /dev/null
+total="$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')"
+echo "total coverage: ${total}% (floor ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+    echo "coverage ${total}% fell below the ${floor}% floor in COVERAGE.txt" >&2
+    exit 1
+}
+
+echo "== allocation regression (hot path must stay zero-alloc, bare and instrumented; skipped under -race above)"
+go test -run='^TestSteadyStateTickAllocs' -count=1 -v ./internal/simnet | grep -E 'PASS|FAIL|allocates'
 
 echo "== fuzz smoke (5s per target, seeded from checked-in corpora)"
 go test -run='^$' -fuzz='^FuzzSpec$' -fuzztime=5s ./internal/service
