@@ -11,6 +11,19 @@
 // exponential backoff; a job that fails that many times is quarantined as
 // "poisoned".
 //
+// With -cache-entries > 0 (the default), results are content-addressed:
+// every job spec is reduced to a canonical SHA-256 digest, a digest already
+// cached answers the submission immediately with a finished job, and
+// concurrent identical submissions collapse onto a single execution. With
+// -data-dir the cache also persists to disk under <data-dir>/cache.
+//
+// With -coordinator the daemon runs no simulations itself: it places each
+// job on one of the -peers workers by consistent-hashing its spec digest,
+// proxies the /v1/jobs API transparently, health-checks the peers, and when
+// a worker dies re-dispatches its interrupted jobs to the ring successor —
+// shipping the checkpoint prefix observed so far so sweeps resume instead
+// of restarting (see DESIGN.md S28).
+//
 // Observability: GET /v1/jobs/{id} reports live progress (fraction + ETA),
 // /metrics merges the engine/experiment telemetry families (mobic_sim_*,
 // mobic_net_*, mobic_experiment_*) with the service's own, logs are
@@ -22,6 +35,7 @@
 //
 //	mobicd -addr :8080 -data-dir /var/lib/mobicd -max-attempts 3
 //	mobicd -addr :8080 -log-format json -debug-addr 127.0.0.1:6060
+//	mobicd -addr :9090 -coordinator -peers http://10.0.0.1:8080,http://10.0.0.2:8080
 //	curl -XPOST localhost:8080/v1/jobs -H 'Idempotency-Key: run-42' \
 //	     -d '{"experiment":"fig3","seeds":1}'
 //	curl localhost:8080/v1/jobs/<id>
@@ -46,9 +60,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"mobic/internal/cache"
+	"mobic/internal/dispatch"
 	"mobic/internal/experiment"
 	"mobic/internal/obs"
 	"mobic/internal/service"
@@ -109,6 +127,11 @@ func run(args []string, logw io.Writer) error {
 		maxTries   = fs.Int("max-attempts", 1, "executions per job before it is poisoned (1 = no retries)")
 		logFormat  = fs.String("log-format", "text", "structured log format (text or json)")
 		debugAddr  = fs.String("debug-addr", "", "opt-in listen address for net/http/pprof and /debug/obs/spans (empty = off)")
+		compactAt  = fs.Int64("wal-compact-bytes", 8<<20, "journal size that triggers compaction (with -data-dir)")
+		cacheSize  = fs.Int("cache-entries", 256, "in-memory result-cache entries (0 disables the cache)")
+		cacheDisk  = fs.Int64("cache-disk-mb", 256, "on-disk result-cache budget in MiB (with -data-dir)")
+		coordMode  = fs.Bool("coordinator", false, "run as a cluster coordinator instead of a worker (requires -peers)")
+		peerList   = fs.String("peers", "", "comma-separated worker base URLs for -coordinator mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,30 +142,86 @@ func run(args []string, logw io.Writer) error {
 	}
 
 	registry := obs.NewRegistry()
-	runner := experiment.Runner{Seeds: *seeds}
-	if *quick {
-		runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
+
+	// The digest-keyed result layer, shared shape for both modes: memory
+	// LRU always (unless disabled), disk layer only with a data dir.
+	var results *cache.Cache
+	if *cacheSize > 0 {
+		cc := cache.Config{MaxEntries: *cacheSize, Obs: registry}
+		if *dataDir != "" {
+			cc.Dir = filepath.Join(*dataDir, "cache")
+			cc.MaxDiskBytes = *cacheDisk << 20
+		}
+		results, err = cache.Open(cc)
+		if err != nil {
+			return err
+		}
 	}
-	svc, err := service.Open(service.Config{
-		QueueCapacity: *queueCap,
-		Workers:       *workers,
-		TTL:           *ttl,
-		Runner:        runner,
-		DataDir:       *dataDir,
-		Retry:         service.RetryPolicy{MaxAttempts: *maxTries},
-		Obs:           registry,
-	})
-	if err != nil {
-		return err
+
+	// drain is filled in per mode and runs on SIGTERM/SIGINT before the
+	// HTTP listener closes.
+	var handler http.Handler
+	var drain func()
+
+	if *coordMode {
+		peers := strings.FieldsFunc(*peerList, func(r rune) bool { return r == ',' })
+		coord, err := dispatch.New(dispatch.Config{
+			Peers:          peers,
+			WorkersPerPeer: *workers,
+			TTL:            *ttl,
+			Cache:          results,
+			Obs:            registry,
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+		coord.Start()
+		logger.Info("coordinator mode", "peers", len(peers))
+		handler = dispatch.NewHandler(coord)
+		drain = func() {
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+			defer cancel()
+			if err := coord.Shutdown(drainCtx); err != nil {
+				logger.Warn("coordinator drain incomplete", "err", err)
+			}
+		}
+	} else {
+		runner := experiment.Runner{Seeds: *seeds}
+		if *quick {
+			runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
+		}
+		svc, err := service.Open(service.Config{
+			QueueCapacity: *queueCap,
+			Workers:       *workers,
+			TTL:           *ttl,
+			Runner:        runner,
+			DataDir:       *dataDir,
+			Retry:         service.RetryPolicy{MaxAttempts: *maxTries},
+			CompactBytes:  *compactAt,
+			Obs:           registry,
+			Cache:         results,
+		})
+		if err != nil {
+			return err
+		}
+		if n := svc.RecoveredJobs(); n > 0 {
+			logger.Info("recovered interrupted jobs", "count", n, "data_dir", *dataDir)
+		}
+		svc.Start()
+		handler = service.NewHandler(svc)
+		drain = func() {
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+			defer cancel()
+			if err := svc.Shutdown(drainCtx); err != nil {
+				logger.Warn("drain incomplete, jobs canceled", "err", err)
+			}
+		}
 	}
-	if n := svc.RecoveredJobs(); n > 0 {
-		logger.Info("recovered interrupted jobs", "count", n, "data_dir", *dataDir)
-	}
-	svc.Start()
 
 	server := &http.Server{
 		Addr:    *addr,
-		Handler: service.NewHandler(svc),
+		Handler: handler,
 		// Streams are long-lived; only bound the read side.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -189,11 +268,7 @@ func run(args []string, logw io.Writer) error {
 	// finish within the grace period (hard-canceling past it), then close
 	// the HTTP side — by now every stream has seen its terminal status.
 	logger.Info("draining", "grace", drainGrace.String())
-	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
-	defer cancel()
-	if err := svc.Shutdown(drainCtx); err != nil {
-		logger.Warn("drain incomplete, jobs canceled", "err", err)
-	}
+	drain()
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := server.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

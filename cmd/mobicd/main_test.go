@@ -78,6 +78,7 @@ func (s *syncBuffer) String() string {
 // the span window — then delivers SIGTERM and expects a clean exit.
 func TestRunServesAndShutsDown(t *testing.T) {
 	var log syncBuffer
+	dir := t.TempDir()
 	done := make(chan error, 1)
 	go func() {
 		done <- run([]string{
@@ -85,6 +86,10 @@ func TestRunServesAndShutsDown(t *testing.T) {
 			"-debug-addr", "127.0.0.1:0",
 			"-quick",
 			"-drain", "5s",
+			"-data-dir", dir,
+			"-wal-compact-bytes", "1048576",
+			"-cache-entries", "32",
+			"-cache-disk-mb", "8",
 		}, &log)
 	}()
 
@@ -228,5 +233,163 @@ func TestDebugHandler(t *testing.T) {
 	}
 	if len(spans) != 1 || spans[0].Kind != "job" || spans[0].Seconds != 3 {
 		t.Errorf("spans = %+v, want one 3 s job span", spans)
+	}
+}
+
+func TestRunRejectsCoordinatorWithoutPeers(t *testing.T) {
+	var log strings.Builder
+	if err := run([]string{"-addr", "127.0.0.1:0", "-coordinator"}, &log); err == nil {
+		t.Error("coordinator mode without -peers should error at boot")
+	}
+}
+
+// TestRunCoordinatorMode boots a real worker daemon and a real coordinator
+// daemon in-process, submits a sweep through the coordinator, waits for the
+// proxied result, and checks that an identical resubmission is eventually
+// answered from the coordinator's result cache (fresh job ID, terminal on
+// arrival). SIGTERM then shuts both daemons down cleanly.
+func TestRunCoordinatorMode(t *testing.T) {
+	bootAddr := func(args []string) (string, *syncBuffer, chan error) {
+		var log syncBuffer
+		done := make(chan error, 1)
+		go func() { done <- run(args, &log) }()
+		addrRe := regexp.MustCompile(`addr=(127\.0\.0\.1:\d+)`)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if m := addrRe.FindStringSubmatch(log.String()); m != nil {
+				return m[1], &log, done
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("listener never came up; log:\n%s", log.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	workerAddr, workerLog, workerDone := bootAddr([]string{
+		"-addr", "127.0.0.1:0", "-workers", "1", "-drain", "5s",
+	})
+	coordAddr, coordLog, coordDone := bootAddr([]string{
+		"-addr", "127.0.0.1:0", "-coordinator",
+		"-peers", "http://" + workerAddr,
+		"-drain", "5s",
+	})
+	api := "http://" + coordAddr
+
+	// Wait for the coordinator's first health pass to admit the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(api + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never became ready; log:\n%s", coordLog.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	spec := `{"seeds":1,"sweep":{"scenario":{"n":10,"duration":5},"algorithms":["mobic"]}}`
+	resp, err := http.Post(api+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit via coordinator: status %d", resp.StatusCode)
+	}
+
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(api + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err == nil && cur.State == "succeeded" {
+			break
+		}
+		if err == nil && (cur.State == "failed" || cur.State == "poisoned") {
+			t.Fatalf("proxied job %s: %s", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("proxied job never finished; worker log:\n%s", workerLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Identical resubmission: once the coordinator's poll loop internalizes
+	// the completion, the answer comes from its cache — succeeded on
+	// arrival under a fresh job ID.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Post(api+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&again)
+		resp.Body.Close()
+		if err == nil && again.State == "succeeded" && again.ID != st.ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resubmission never served from cache (last: id=%s state=%s)", again.ID, again.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	mresp, err := http.Get(api + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{
+		"mobic_cache_hits_total",
+		"mobic_dispatch_forwarded_total",
+		"mobic_dispatch_peer_up",
+	} {
+		if !strings.Contains(string(mbody), family) {
+			t.Errorf("coordinator /metrics missing %s", family)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"worker": workerDone, "coordinator": coordDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("%s run returned %v, want clean shutdown", name, err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("%s did not shut down on SIGTERM", name)
+		}
+	}
+	if !strings.Contains(coordLog.String(), "coordinator mode") {
+		t.Errorf("coordinator boot log missing mode line:\n%s", coordLog.String())
 	}
 }

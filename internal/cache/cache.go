@@ -1,0 +1,351 @@
+// Package cache is the content-addressed result cache behind mobicd's
+// duplicate-submission collapse: finished job outputs are stored under the
+// canonical spec digest (service.JobSpec.Digest), so resubmitting an
+// identical sweep — the common case under heavy traffic — returns the
+// finished result in O(1) instead of re-simulating it.
+//
+// Two layers share one key space. An in-memory LRU bounded by entry count
+// serves the hot set; an optional on-disk layer bounded by total bytes
+// survives restarts. Disk writes are atomic (temp file + rename) and disk
+// reads are CRC-checked, so a torn write or bit rot degrades to a cache
+// miss, never to a corrupt result. The digest identity argument makes both
+// layers safe: the simulator is deterministic per spec (golden trace
+// digests, resume-equals-rerun), so a value stored under a digest is THE
+// result of that spec, whichever worker computed it and however long ago.
+//
+// Flight is the companion singleflight map: it collapses concurrent
+// identical submissions onto the one in-flight job so a burst of duplicate
+// sweeps costs one simulation.
+package cache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mobic/internal/obs"
+)
+
+// fileMagic heads every on-disk cache entry; bump the digit on any format
+// change so stale files read as misses, not garbage.
+var fileMagic = []byte("MOBICCACHE1\n")
+
+// fileSuffix names cache entries on disk, keeping the scan cheap and
+// temp files (different suffix) invisible to it.
+const fileSuffix = ".res"
+
+// maxValueBytes bounds a single cached value; larger payloads and
+// impossible on-disk length prefixes are treated as corruption. The output
+// of the largest admissible sweep stays far below it.
+const maxValueBytes = 64 << 20
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxEntries bounds the in-memory LRU (default 256).
+	MaxEntries int
+	// Dir, when non-empty, enables the on-disk layer under this directory
+	// (created if needed). Empty keeps the cache memory-only.
+	Dir string
+	// MaxDiskBytes bounds the on-disk layer's total payload bytes
+	// (default 256 MiB; only with Dir).
+	MaxDiskBytes int64
+	// Obs receives cache telemetry (hits, misses, evictions). Defaults to
+	// obs.Nop.
+	Obs obs.Recorder
+}
+
+// memEntry is one in-memory LRU slot.
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// diskEntry tracks one on-disk file for the byte-bounded eviction order.
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// Cache is the two-layer content-addressed store. All methods are safe for
+// concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu sync.Mutex
+	// In-memory LRU: most recent at the list front.
+	mem    *list.List
+	memIdx map[string]*list.Element
+	// On-disk LRU over payload bytes, same orientation.
+	disk      *list.List
+	diskIdx   map[string]*list.Element
+	diskBytes int64
+}
+
+// Open builds a cache and, when cfg.Dir is set, indexes the entries a
+// previous process left there (ordered oldest-first by modification time,
+// so the byte bound evicts stale results before fresh ones). Unreadable or
+// torn files are deleted on first access, not at open: the scan stays a
+// stat-only pass.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 256
+	}
+	if cfg.MaxDiskBytes <= 0 {
+		cfg.MaxDiskBytes = 256 << 20
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.Nop{}
+	}
+	c := &Cache{
+		cfg:     cfg,
+		mem:     list.New(),
+		memIdx:  make(map[string]*list.Element),
+		disk:    list.New(),
+		diskIdx: make(map[string]*list.Element),
+	}
+	if cfg.Dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var fs []found
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		key := strings.TrimSuffix(name, fileSuffix)
+		if !validKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		fs = append(fs, found{key, info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].mtime < fs[j].mtime })
+	for _, f := range fs {
+		c.diskIdx[f.key] = c.disk.PushFront(diskEntry{key: f.key, size: f.size})
+		c.diskBytes += f.size
+	}
+	c.evictDiskLocked()
+	return c, nil
+}
+
+// validKey restricts keys to lowercase-hex digests, which is both the only
+// key the service produces and a guarantee the key is a safe file name.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		ch := key[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the cached value for key and whether it was present, checking
+// the in-memory layer first and falling back to a CRC-verified disk read
+// (which promotes the value back into memory). Every lookup records a hit
+// or a miss into the configured obs recorder.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.memIdx[key]; ok {
+		c.mem.MoveToFront(el)
+		val := el.Value.(memEntry).val
+		c.mu.Unlock()
+		c.cfg.Obs.Add(obs.CacheHits, 1)
+		return val, true
+	}
+	el, onDisk := c.diskIdx[key]
+	c.mu.Unlock()
+	if !onDisk {
+		c.cfg.Obs.Add(obs.CacheMisses, 1)
+		return nil, false
+	}
+	val, err := readEntry(c.path(key))
+	c.mu.Lock()
+	if err != nil {
+		// Torn or rotten file: drop it so the next write starts clean.
+		if cur, ok := c.diskIdx[key]; ok && cur == el {
+			c.removeDiskLocked(cur)
+			os.Remove(c.path(key))
+		}
+		c.mu.Unlock()
+		c.cfg.Obs.Add(obs.CacheMisses, 1)
+		return nil, false
+	}
+	if cur, ok := c.diskIdx[key]; ok {
+		c.disk.MoveToFront(cur)
+	}
+	c.putMemLocked(key, val)
+	c.mu.Unlock()
+	c.cfg.Obs.Add(obs.CacheHits, 1)
+	return val, true
+}
+
+// Put stores val under key in both layers. Oversized values and malformed
+// keys are ignored — the cache is an optimization, never a correctness
+// dependency. Disk failures likewise degrade silently to memory-only.
+func (c *Cache) Put(key string, val []byte) {
+	if !validKey(key) || len(val) == 0 || int64(len(val)) > maxValueBytes {
+		return
+	}
+	c.mu.Lock()
+	c.putMemLocked(key, val)
+	if c.cfg.Dir == "" {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// The write happens outside the lock — rename is atomic, and last
+	// writer wins with an identical value by digest identity.
+	err := writeEntry(c.cfg.Dir, c.path(key), val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		return
+	}
+	if el, ok := c.diskIdx[key]; ok {
+		c.diskBytes += int64(len(val)) - el.Value.(diskEntry).size
+		el.Value = diskEntry{key: key, size: int64(len(val))}
+		c.disk.MoveToFront(el)
+	} else {
+		c.diskIdx[key] = c.disk.PushFront(diskEntry{key: key, size: int64(len(val))})
+		c.diskBytes += int64(len(val))
+	}
+	c.evictDiskLocked()
+}
+
+// putMemLocked inserts or refreshes the in-memory entry and applies the
+// entry bound. Callers must hold mu.
+func (c *Cache) putMemLocked(key string, val []byte) {
+	if el, ok := c.memIdx[key]; ok {
+		el.Value = memEntry{key: key, val: val}
+		c.mem.MoveToFront(el)
+		return
+	}
+	c.memIdx[key] = c.mem.PushFront(memEntry{key: key, val: val})
+	for c.mem.Len() > c.cfg.MaxEntries {
+		oldest := c.mem.Back()
+		ent := oldest.Value.(memEntry)
+		c.mem.Remove(oldest)
+		delete(c.memIdx, ent.key)
+		// Falling out of memory only counts as an eviction when the entry
+		// is not still serveable from disk.
+		if _, onDisk := c.diskIdx[ent.key]; !onDisk {
+			c.cfg.Obs.Add(obs.CacheEvictions, 1)
+		}
+	}
+}
+
+// evictDiskLocked enforces the byte bound, oldest entries first. Callers
+// must hold mu.
+func (c *Cache) evictDiskLocked() {
+	for c.diskBytes > c.cfg.MaxDiskBytes && c.disk.Len() > 0 {
+		oldest := c.disk.Back()
+		ent := oldest.Value.(diskEntry)
+		c.removeDiskLocked(oldest)
+		os.Remove(c.path(ent.key))
+		c.cfg.Obs.Add(obs.CacheEvictions, 1)
+	}
+}
+
+// removeDiskLocked drops one disk-index element. Callers must hold mu.
+func (c *Cache) removeDiskLocked(el *list.Element) {
+	ent := el.Value.(diskEntry)
+	c.disk.Remove(el)
+	delete(c.diskIdx, ent.key)
+	c.diskBytes -= ent.size
+}
+
+// path returns key's on-disk file name.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.cfg.Dir, key+fileSuffix)
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mem.Len()
+}
+
+// DiskBytes returns the on-disk layer's indexed payload bytes.
+func (c *Cache) DiskBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskBytes
+}
+
+// writeEntry atomically persists one framed value: temp file in the same
+// directory, fsync, rename over the final name. A crash at any point leaves
+// either the old entry or the new one, never a torn file under the live
+// name (a stray temp file is skipped by the open scan).
+func writeEntry(dir, path string, val []byte) error {
+	tmp, err := os.CreateTemp(dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(val)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(val))
+	if _, err := tmp.Write(fileMagic); err == nil {
+		if _, err = tmp.Write(hdr[:]); err == nil {
+			_, err = tmp.Write(val)
+		}
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readEntry loads and verifies one framed value.
+func readEntry(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(fileMagic)+8 || string(data[:len(fileMagic)]) != string(fileMagic) {
+		return nil, fmt.Errorf("cache: %s: bad header", path)
+	}
+	body := data[len(fileMagic):]
+	n := binary.LittleEndian.Uint32(body[0:])
+	sum := binary.LittleEndian.Uint32(body[4:])
+	if n > maxValueBytes || int(n) != len(body)-8 {
+		return nil, fmt.Errorf("cache: %s: bad length", path)
+	}
+	val := body[8:]
+	if crc32.ChecksumIEEE(val) != sum {
+		return nil, fmt.Errorf("cache: %s: checksum mismatch", path)
+	}
+	return val, nil
+}

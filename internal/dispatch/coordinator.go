@@ -1,0 +1,506 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"mobic/internal/cache"
+	"mobic/internal/experiment"
+	"mobic/internal/obs"
+	"mobic/internal/service"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Peers is the list of worker base URLs (e.g. "http://10.0.0.1:8080").
+	// At least one is required.
+	Peers []string
+	// VNodes is the number of virtual nodes per peer on the placement ring
+	// (default 64).
+	VNodes int
+	// Client performs control-plane calls: submits, status polls, health
+	// checks, restores. Default: 5 s timeout. Streams use a derived client
+	// without the overall timeout (a stream lives as long as its job).
+	Client *http.Client
+	// HealthEvery is the /readyz probe period (default 2 s).
+	HealthEvery time.Duration
+	// PollEvery is the tracked-job status/checkpoint poll period
+	// (default 1 s).
+	PollEvery time.Duration
+	// FailAfter is the number of consecutive failed health probes that
+	// mark a peer down and trigger failover (default 2). One blip on a
+	// loaded network should not re-dispatch every job on the box.
+	FailAfter int
+	// WorkersPerPeer scales the cluster-wide Retry-After hint (default 2,
+	// the worker daemon's own default pool size).
+	WorkersPerPeer int
+	// TTL is how long terminal jobs stay queryable at the coordinator
+	// (default 15 min, matching the workers').
+	TTL time.Duration
+	// Cache, when non-nil, is the coordinator's digest-keyed result layer:
+	// finished outputs are published into it and identical resubmissions
+	// are answered without touching any worker.
+	Cache *cache.Cache
+	// Obs receives dispatch telemetry (forwards, failovers, shipped
+	// checkpoints, healthy-peer gauge). Defaults to obs.Nop.
+	Obs obs.Recorder
+	// Logger receives operational events (peer transitions, failovers).
+	// Defaults to a discard logger.
+	Logger *slog.Logger
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = 2 * time.Second
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.WorkersPerPeer <= 0 {
+		c.WorkersPerPeer = 2
+	}
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Nop{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// remoteJob is the coordinator's record of one dispatched job: enough to
+// answer status queries for terminal jobs locally, and enough to re-create
+// the job on a successor worker when its current one dies.
+type remoteJob struct {
+	id     string
+	digest string
+	key    string
+	spec   service.JobSpec
+	// peer is the worker currently responsible for the job.
+	peer string
+	// cps is the last checkpoint prefix observed by the poll loop — what
+	// failover ships. Always version-stamped (possibly empty).
+	cps experiment.CheckpointSet
+	// synthetic marks a job the coordinator answered from its own cache;
+	// no worker has ever heard of its ID.
+	synthetic bool
+	terminal  bool
+	final     *service.Status
+	created   time.Time
+	finished  time.Time
+}
+
+// Coordinator places jobs on workers, tracks them to completion, and fails
+// them over. All exported methods are safe for concurrent use.
+type Coordinator struct {
+	cfg          Config
+	ring         *Ring
+	flights      *cache.Flight
+	streamClient *http.Client
+
+	mu        sync.Mutex
+	peerFails map[string]int
+	peerDown  map[string]bool
+	jobs      map[string]*remoteJob
+	ewma      float64 // seconds per job, for cluster Retry-After hints
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New builds a Coordinator over the configured peers. Call Start to begin
+// health checking and job tracking.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ring := NewRing(cfg.Peers, cfg.VNodes)
+	if len(ring.Peers()) == 0 {
+		return nil, fmt.Errorf("dispatch: no peers configured")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    ring,
+		flights: cache.NewFlight(),
+		// Same transport, no overall timeout: streams outlive any fixed cap.
+		streamClient: &http.Client{Transport: cfg.Client.Transport},
+		peerFails:    make(map[string]int),
+		peerDown:     make(map[string]bool),
+		jobs:         make(map[string]*remoteJob),
+		ctx:          ctx,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+	}
+	return c, nil
+}
+
+// Start performs one synchronous health pass (so placement has a live view
+// before the first submit) and launches the background loop.
+func (c *Coordinator) Start() {
+	c.healthPass()
+	go c.loop()
+}
+
+// Shutdown stops the background loop.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.cancel()
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *Coordinator) loop() {
+	defer close(c.done)
+	health := time.NewTicker(c.cfg.HealthEvery)
+	defer health.Stop()
+	poll := time.NewTicker(c.cfg.PollEvery)
+	defer poll.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-health.C:
+			c.healthPass()
+		case <-poll.C:
+			c.pollPass()
+		}
+	}
+}
+
+// HealthyPeers returns the peers currently passing /readyz.
+func (c *Coordinator) HealthyPeers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var up []string
+	for _, p := range c.ring.Peers() {
+		if !c.peerDown[p] {
+			up = append(up, p)
+		}
+	}
+	return up
+}
+
+// TrackedJobs returns how many jobs the coordinator is tracking.
+func (c *Coordinator) TrackedJobs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobs)
+}
+
+// shippedCheckpoints reports the total checkpoint records shipped across
+// all failovers so far (test hook; /metrics carries the same counter).
+func (c *Coordinator) shippedCheckpoints() int64 {
+	if r, ok := c.cfg.Obs.(*obs.Registry); ok {
+		return r.Counter(obs.DispatchCheckpointsShipped)
+	}
+	return 0
+}
+
+func (c *Coordinator) isDown(peer string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerDown[peer]
+}
+
+// healthPass probes every peer's /readyz, updates the down set, publishes
+// the healthy gauge, retries failover for stranded jobs, and prunes
+// expired terminal jobs.
+func (c *Coordinator) healthPass() {
+	type result struct {
+		peer string
+		ok   bool
+	}
+	peers := c.ring.Peers()
+	results := make(chan result, len(peers))
+	for _, p := range peers {
+		go func(p string) {
+			ok := false
+			req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, p+"/readyz", nil)
+			if err == nil {
+				resp, err := c.cfg.Client.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					ok = resp.StatusCode == http.StatusOK
+				}
+			}
+			results <- result{p, ok}
+		}(p)
+	}
+	healthy := 0
+	for range peers {
+		r := <-results
+		c.mu.Lock()
+		wasDown := c.peerDown[r.peer]
+		if r.ok {
+			c.peerFails[r.peer] = 0
+			c.peerDown[r.peer] = false
+			healthy++
+			if wasDown {
+				c.cfg.Logger.Info("peer recovered", "peer", r.peer)
+			}
+		} else {
+			c.peerFails[r.peer]++
+			if c.peerFails[r.peer] >= c.cfg.FailAfter && !wasDown {
+				c.peerDown[r.peer] = true
+				c.cfg.Logger.Warn("peer marked down", "peer", r.peer, "fails", c.peerFails[r.peer])
+			}
+		}
+		c.mu.Unlock()
+	}
+	c.cfg.Obs.Set(obs.DispatchPeersHealthy, float64(healthy))
+	c.failoverStranded()
+	c.pruneExpired()
+}
+
+// failoverStranded re-dispatches every non-terminal job whose peer is down
+// to the ring successor, shipping the last observed checkpoint prefix. It
+// runs every health pass, so a failover that could not land (successor
+// also down, transient error) is retried until it does.
+func (c *Coordinator) failoverStranded() {
+	c.mu.Lock()
+	var stranded []*remoteJob
+	for _, j := range c.jobs {
+		if !j.terminal && !j.synthetic && c.peerDown[j.peer] {
+			stranded = append(stranded, j)
+		}
+	}
+	c.mu.Unlock()
+	for _, j := range stranded {
+		c.failover(j)
+	}
+}
+
+// failover ships job's spec, key and checkpoint prefix to the first
+// healthy peer in ring-successor order and repoints the job there.
+func (c *Coordinator) failover(j *remoteJob) {
+	start := c.cfg.Clock()
+	c.mu.Lock()
+	oldPeer := j.peer
+	cps := j.cps
+	c.mu.Unlock()
+
+	target := c.ring.Owner(j.digest, c.isDown)
+	if target == "" || target == oldPeer {
+		return
+	}
+	body, err := json.Marshal(struct {
+		Spec        service.JobSpec          `json:"spec"`
+		Key         string                   `json:"key,omitempty"`
+		Checkpoints experiment.CheckpointSet `json:"checkpoints"`
+	}{j.spec, j.key, cps})
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
+		target+"/v1/jobs/"+j.id+"/restore", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.cfg.Logger.Warn("failover restore failed", "job", j.id, "target", target, "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		c.cfg.Logger.Warn("failover restore rejected", "job", j.id, "target", target, "status", resp.StatusCode)
+		return
+	}
+	c.mu.Lock()
+	j.peer = target
+	c.mu.Unlock()
+	end := c.cfg.Clock()
+	c.cfg.Obs.Add(obs.DispatchFailovers, 1)
+	c.cfg.Obs.Add(obs.DispatchCheckpointsShipped, int64(len(cps.Cells)))
+	if c.cfg.Obs.Enabled() {
+		c.cfg.Obs.Span(obs.SpanFailover, start.UnixNano(), end.UnixNano())
+	}
+	c.cfg.Logger.Info("job failed over", "job", j.id, "from", oldPeer, "to", target,
+		"checkpoints", len(cps.Cells))
+}
+
+// pruneExpired drops terminal jobs past their TTL.
+func (c *Coordinator) pruneExpired() {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, j := range c.jobs {
+		if j.terminal && now.Sub(j.finished) >= c.cfg.TTL {
+			delete(c.jobs, id)
+		}
+	}
+}
+
+// pollPass refreshes every tracked non-terminal job: status first (to
+// catch completion), then the checkpoint prefix (so a later failover ships
+// the freshest resume point).
+func (c *Coordinator) pollPass() {
+	c.mu.Lock()
+	var live []*remoteJob
+	for _, j := range c.jobs {
+		if !j.terminal && !j.synthetic {
+			live = append(live, j)
+		}
+	}
+	c.mu.Unlock()
+	for _, j := range live {
+		c.pollJob(j)
+	}
+}
+
+func (c *Coordinator) pollJob(j *remoteJob) {
+	c.mu.Lock()
+	peer := j.peer
+	c.mu.Unlock()
+	if c.isDown(peer) {
+		return // failover path owns it now
+	}
+	var st service.Status
+	if err := c.getJSON(peer+"/v1/jobs/"+j.id, &st); err != nil {
+		return // transient, or the health loop is about to notice
+	}
+	if st.State.Terminal() {
+		c.completeJob(j, &st)
+		return
+	}
+	if j.spec.Sweep == nil {
+		return // named experiments re-run whole; nothing to ship
+	}
+	var export service.CheckpointExport
+	if err := c.getJSON(peer+"/v1/jobs/"+j.id+"/checkpoints", &export); err != nil {
+		return
+	}
+	c.mu.Lock()
+	if len(export.Checkpoints.Cells) > len(j.cps.Cells) {
+		j.cps = export.Checkpoints
+	}
+	c.mu.Unlock()
+}
+
+// completeJob records a terminal status: publishes a successful output to
+// the coordinator cache, releases the digest flight, and feeds the
+// duration EWMA behind the cluster Retry-After hint.
+func (c *Coordinator) completeJob(j *remoteJob, st *service.Status) {
+	c.mu.Lock()
+	if j.terminal {
+		c.mu.Unlock()
+		return
+	}
+	j.terminal = true
+	j.final = st
+	j.finished = c.cfg.Clock()
+	if st.StartedAt != nil && st.FinishedAt != nil {
+		if d := st.FinishedAt.Sub(*st.StartedAt).Seconds(); d > 0 {
+			// Same smoothing the worker service uses for its own hint.
+			const alpha = 0.3
+			if c.ewma == 0 {
+				c.ewma = d
+			} else {
+				c.ewma = (1-alpha)*c.ewma + alpha*d
+			}
+		}
+	}
+	c.mu.Unlock()
+	if st.State == service.StateSucceeded && c.cfg.Cache != nil {
+		if data, err := json.Marshal(st.Output); err == nil {
+			c.cfg.Cache.Put(j.digest, data)
+		}
+	}
+	c.flights.End(j.digest)
+}
+
+// getJSON fetches url and decodes a JSON body; non-200 is an error.
+func (c *Coordinator) getJSON(url string, v any) error {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("dispatch: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// retryAfterHint is the cluster-wide analogue of the worker's hint:
+// expected drain time of the tracked in-flight jobs across the healthy
+// worker pool.
+func (c *Coordinator) retryAfterHint() int {
+	c.mu.Lock()
+	inflight := 0
+	for _, j := range c.jobs {
+		if !j.terminal {
+			inflight++
+		}
+	}
+	ewma := c.ewma
+	c.mu.Unlock()
+	workers := len(c.HealthyPeers()) * c.cfg.WorkersPerPeer
+	return service.RetryAfterSeconds(inflight, workers, ewma)
+}
+
+// track registers a job the coordinator just placed (or answered from
+// cache) and takes the digest flight slot if it is free.
+func (c *Coordinator) track(j *remoteJob) {
+	c.mu.Lock()
+	c.jobs[j.id] = j
+	c.mu.Unlock()
+	if !j.terminal {
+		c.flights.Begin(j.digest, j.id)
+	}
+}
+
+// lookup returns the tracked job for id, if any.
+func (c *Coordinator) lookup(id string) (*remoteJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// randomID mints a fresh 16-hex-char job ID for cache-answered
+// submissions, the same shape workers mint.
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("dispatch: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

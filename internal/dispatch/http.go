@@ -1,0 +1,426 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mobic/internal/experiment"
+	"mobic/internal/obs"
+	"mobic/internal/service"
+)
+
+// NewHandler exposes the coordinator under the same API surface as a
+// single worker, so clients need not know whether they talk to one daemon
+// or a cluster:
+//
+//	POST   /v1/jobs             place a job on its ring owner (202/200);
+//	                            identical specs are answered from the
+//	                            result cache or collapsed onto the job
+//	                            already in flight
+//	GET    /v1/jobs/{id}        status, proxied to the owning worker
+//	                            (answered locally once terminal)
+//	GET    /v1/jobs/{id}/stream NDJSON stream, proxied; on worker failover
+//	                            the stream reconnects to the successor and
+//	                            replays from the start (at-least-once lines)
+//	DELETE /v1/jobs/{id}        cancel, proxied
+//	GET    /livez               process liveness
+//	GET    /readyz              503 until at least one worker is healthy
+//	GET    /metrics             dispatch + cache telemetry
+func NewHandler(c *Coordinator) http.Handler {
+	h := &proxy{c: c}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", h.stream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /livez", h.livez)
+	mux.HandleFunc("GET /readyz", h.readyz)
+	mux.HandleFunc("GET /healthz", h.readyz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+type proxy struct {
+	c *Coordinator
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// parseRetryAfter reads a Retry-After header value as whole seconds,
+// accepting both the delta-seconds and HTTP-date forms. Returns 0 when
+// absent or unparseable.
+func parseRetryAfter(v string, now time.Time) int {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return secs
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now).Seconds(); d > 0 {
+			return int(math.Ceil(d))
+		}
+	}
+	return 0
+}
+
+// submit places one job. Order of resolution: coordinator result cache
+// (terminal answer, no worker touched), digest flight (attach to the
+// identical job already running), consistent-hash forward (ring owner
+// first, successors on connection failure).
+func (p *proxy) submit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	digest := spec.Digest()
+	key := r.Header.Get("Idempotency-Key")
+
+	if p.c.cfg.Cache != nil {
+		if data, ok := p.c.cfg.Cache.Get(digest); ok {
+			var out service.Output
+			if err := json.Unmarshal(data, &out); err == nil {
+				now := p.c.cfg.Clock()
+				st := service.Status{
+					ID:         randomID(),
+					State:      service.StateSucceeded,
+					Spec:       spec,
+					Progress:   1,
+					CreatedAt:  now,
+					FinishedAt: &now,
+					Output:     out,
+				}
+				p.c.track(&remoteJob{
+					id: st.ID, digest: digest, key: key, spec: spec,
+					synthetic: true, terminal: true, final: &st,
+					created: now, finished: now,
+				})
+				w.Header().Set("Location", "/v1/jobs/"+st.ID)
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+		}
+	}
+
+	// Identical spec already in flight at the coordinator level: hand back
+	// the leader instead of forwarding a duplicate (the worker's own flight
+	// map would collapse it too, but answering here spares the hop).
+	if leaderID, ok := p.c.flights.Leader(digest); ok {
+		if j, ok := p.c.lookup(leaderID); ok {
+			w.Header().Set("Location", "/v1/jobs/"+j.id)
+			p.serveTracked(w, r, j, http.StatusOK)
+			return
+		}
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for _, peer := range p.c.ring.Owners(digest) {
+		if p.c.isDown(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			peer+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := p.c.cfg.Client.Do(req)
+		if err != nil {
+			// Connection-level failure: walk to the ring successor. The
+			// health loop will mark the peer down on its own cadence.
+			p.c.cfg.Logger.Warn("submit forward failed", "peer", peer, "err", err)
+			continue
+		}
+		p.relaySubmit(w, resp, spec, digest, key, peer)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "dispatch: no healthy worker")
+}
+
+// relaySubmit finishes a forwarded submission: tracks accepted jobs,
+// merges Retry-After hints on shed, and passes everything else through.
+func (p *proxy) relaySubmit(w http.ResponseWriter, resp *http.Response, spec service.JobSpec, digest, key, peer string) {
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+		var st service.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			writeError(w, http.StatusBadGateway, "decoding worker response: %v", err)
+			return
+		}
+		j := &remoteJob{
+			id: st.ID, digest: digest, key: key, spec: spec,
+			peer: peer, created: p.c.cfg.Clock(),
+			cps: experiment.ExportCheckpoints(nil),
+		}
+		if st.State.Terminal() {
+			// The worker answered from its own cache: terminal on arrival.
+			j.terminal, j.final, j.finished = true, &st, p.c.cfg.Clock()
+		}
+		p.c.track(j)
+		p.c.cfg.Obs.Add(obs.DispatchForwarded, 1)
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, resp.StatusCode, st)
+	case http.StatusTooManyRequests:
+		// Shed: the cluster-wide hint and the owning worker's hint answer
+		// different questions (global drain vs. that queue's drain); a
+		// client obeying the max of both is safe either way. Always
+		// integer seconds.
+		hint := p.c.retryAfterHint()
+		if peerHint := parseRetryAfter(resp.Header.Get("Retry-After"), p.c.cfg.Clock()); peerHint > hint {
+			hint = peerHint
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(hint))
+		passthrough(w, resp)
+	default:
+		passthrough(w, resp)
+	}
+}
+
+// passthrough copies a worker response (status, content type, body) as-is.
+func passthrough(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// serveTracked answers a status query for a tracked job: locally once
+// terminal, proxied to the owning worker otherwise.
+func (p *proxy) serveTracked(w http.ResponseWriter, r *http.Request, j *remoteJob, code int) {
+	p.c.mu.Lock()
+	terminal, final, peer := j.terminal, j.final, j.peer
+	p.c.mu.Unlock()
+	if terminal && final != nil {
+		writeJSON(w, code, final)
+		return
+	}
+	var st service.Status
+	if err := p.c.getJSON(peer+"/v1/jobs/"+j.id, &st); err != nil {
+		writeError(w, http.StatusBadGateway, "worker unreachable: %v", err)
+		return
+	}
+	writeJSON(w, code, st)
+}
+
+func (p *proxy) status(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := p.c.lookup(id); ok {
+		p.serveTracked(w, r, j, http.StatusOK)
+		return
+	}
+	// Not ours — possibly submitted directly to a worker. Probe the
+	// healthy peers.
+	for _, peer := range p.c.HealthyPeers() {
+		var st service.Status
+		if err := p.c.getJSON(peer+"/v1/jobs/"+id, &st); err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no job %q (it may have expired)", id)
+}
+
+func (p *proxy) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	peers := p.c.HealthyPeers()
+	if j, ok := p.c.lookup(id); ok {
+		p.c.mu.Lock()
+		terminal, final, peer := j.terminal, j.final, j.peer
+		p.c.mu.Unlock()
+		if terminal && final != nil {
+			writeJSON(w, http.StatusOK, final)
+			return
+		}
+		peers = []string{peer}
+	}
+	for _, peer := range peers {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete,
+			peer+"/v1/jobs/"+id, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := p.c.cfg.Client.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			passthrough(w, resp)
+			resp.Body.Close()
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	writeError(w, http.StatusNotFound, "no job %q (it may have expired)", id)
+}
+
+// stream proxies the NDJSON event stream. If the owning worker dies
+// mid-stream, the proxy waits for failover and reconnects to the
+// successor, which replays the event log from the start — so across a
+// failover clients may see duplicated early lines (at-least-once); the
+// terminal "result" line still appears exactly once, last.
+func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, tracked := p.c.lookup(id)
+	if !tracked {
+		writeError(w, http.StatusNotFound, "no job %q (it may have expired)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	for {
+		p.c.mu.Lock()
+		terminal, final, peer := j.terminal, j.final, j.peer
+		p.c.mu.Unlock()
+		if terminal && final != nil {
+			// Answered locally (cache hit, or completion observed by the
+			// poll loop after the stream's worker died).
+			_ = enc.Encode(service.StreamEvent{Type: "result", State: final.State, Stat: final})
+			return
+		}
+		if done := p.copyStream(w, r, enc, flusher, peer, id); done {
+			return
+		}
+		// Stream broke before the result line: worker died or restarted.
+		// Wait a beat for health/failover to repoint the job, then retry.
+		select {
+		case <-r.Context().Done():
+			return
+		case <-p.c.ctx.Done():
+			return
+		case <-time.After(p.c.cfg.PollEvery):
+		}
+	}
+}
+
+// copyStream relays one upstream stream attempt, returning true once the
+// terminal result line was delivered.
+func (p *proxy) copyStream(w io.Writer, r *http.Request, enc *json.Encoder, flusher http.Flusher, peer, id string) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		peer+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.c.streamClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return true // client went away; nothing more to deliver
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		var ev service.StreamEvent
+		if json.Unmarshal(line, &ev) == nil && ev.Type == "result" {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *proxy) livez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// readyz reports coordinator readiness: able to place work, i.e. at least
+// one worker is passing health checks.
+func (p *proxy) readyz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status       string `json:"status"`
+		Ready        bool   `json:"ready"`
+		Reason       string `json:"reason,omitempty"`
+		PeersHealthy int    `json:"peers_healthy"`
+		PeersTotal   int    `json:"peers_total"`
+		TrackedJobs  int    `json:"tracked_jobs"`
+	}
+	healthy := len(p.c.HealthyPeers())
+	h := health{
+		Status:       "ok",
+		Ready:        healthy > 0,
+		PeersHealthy: healthy,
+		PeersTotal:   len(p.c.ring.Peers()),
+		TrackedJobs:  p.c.TrackedJobs(),
+	}
+	code := http.StatusOK
+	if !h.Ready {
+		h.Status = "no healthy workers"
+		h.Reason = h.Status
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// metrics serves the dispatch/cache telemetry families plus per-peer
+// liveness gauges.
+func (p *proxy) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if wt, ok := p.c.cfg.Obs.(io.WriterTo); ok {
+		_, _ = wt.WriteTo(w)
+	}
+	fmt.Fprintf(w, "# HELP mobic_dispatch_jobs_tracked Jobs currently tracked by the coordinator.\n")
+	fmt.Fprintf(w, "# TYPE mobic_dispatch_jobs_tracked gauge\n")
+	fmt.Fprintf(w, "mobic_dispatch_jobs_tracked %d\n", p.c.TrackedJobs())
+	fmt.Fprintf(w, "# HELP mobic_dispatch_peer_up Per-worker health (1 = passing /readyz).\n")
+	fmt.Fprintf(w, "# TYPE mobic_dispatch_peer_up gauge\n")
+	for _, peer := range p.c.ring.Peers() {
+		up := 1
+		if p.c.isDown(peer) {
+			up = 0
+		}
+		fmt.Fprintf(w, "mobic_dispatch_peer_up{peer=%q} %d\n", peer, up)
+	}
+}

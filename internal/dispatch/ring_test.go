@@ -1,0 +1,113 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	r1 := NewRing(peers, 64)
+	r2 := NewRing([]string{"http://c", "http://a", "http://b"}, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if o1, o2 := r1.Owner(key, nil), r2.Owner(key, nil); o1 != o2 {
+			t.Fatalf("key %s: owner depends on peer list order (%s vs %s)", key, o1, o2)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(peers, 64)
+	counts := make(map[string]int)
+	n := 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("%064x", i), nil)]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / float64(n)
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("peer %s owns %.1f%% of keys; virtual nodes not balancing", p, 100*share)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnFailure(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(peers, 64)
+	down := "http://b"
+	moved := 0
+	n := 1000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%064x", i)
+		before := r.Owner(key, nil)
+		after := r.Owner(key, func(p string) bool { return p == down })
+		if before != down && after != before {
+			t.Fatalf("key %s moved from healthy %s to %s when %s failed", key, before, after, down)
+		}
+		if before == down {
+			if after == down || after == "" {
+				t.Fatalf("key %s not reassigned off the failed peer (got %q)", key, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the failed peer; test is vacuous")
+	}
+}
+
+func TestRingSuccessorOrder(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 32)
+	key := fmt.Sprintf("%064x", 42)
+	owners := r.Owners(key)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %d peers, want 3", len(owners))
+	}
+	if owners[0] != r.Owner(key, nil) {
+		t.Fatalf("Owners[0] = %s, Owner = %s", owners[0], r.Owner(key, nil))
+	}
+	// Excluding the owner must yield the recorded successor.
+	succ := r.Owner(key, func(p string) bool { return p == owners[0] })
+	if succ != owners[1] {
+		t.Fatalf("successor = %s, Owners[1] = %s", succ, owners[1])
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 16)
+	if o := empty.Owner("abc", nil); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	dup := NewRing([]string{"http://a", "http://a", ""}, 8)
+	if len(dup.Peers()) != 1 {
+		t.Fatalf("duplicate/empty peers not collapsed: %v", dup.Peers())
+	}
+	allDown := NewRing([]string{"http://a", "http://b"}, 8)
+	if o := allDown.Owner("abc", func(string) bool { return true }); o != "" {
+		t.Fatalf("all-down owner = %q, want empty", o)
+	}
+}
+
+// BenchmarkDispatchPlacement measures one placement decision: hash a spec
+// digest onto the ring and walk to its owner. This is the coordinator's
+// per-submission routing cost.
+func BenchmarkDispatchPlacement(b *testing.B) {
+	peers := make([]string, 8)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	r := NewRing(peers, 64)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(keys[i%len(keys)], nil) == "" {
+			b.Fatal("empty owner")
+		}
+	}
+}

@@ -62,6 +62,24 @@ const (
 	// cell replication.
 	ExpCellSeconds
 
+	// CacheHits counts result-cache lookups served without simulation.
+	CacheHits
+	// CacheMisses counts result-cache lookups that fell through to a run.
+	CacheMisses
+	// CacheEvictions counts cached results dropped by the size bounds.
+	CacheEvictions
+
+	// DispatchForwarded counts jobs the coordinator placed on a worker.
+	DispatchForwarded
+	// DispatchFailovers counts interrupted jobs re-dispatched to a
+	// successor peer after a worker failure.
+	DispatchFailovers
+	// DispatchCheckpointsShipped counts checkpoint records the coordinator
+	// pulled from workers for failover (the WAL-shipping volume).
+	DispatchCheckpointsShipped
+	// DispatchPeersHealthy gauges the number of peers passing /readyz.
+	DispatchPeersHealthy
+
 	// NumMetrics is the number of defined metrics (array sizing).
 	NumMetrics
 )
@@ -107,6 +125,15 @@ var defs = [NumMetrics]Def{
 	ExpCellsResumed:     {"mobic_experiment_cells_resumed_total", "Cells skipped via checkpoint resume instead of re-simulated.", Counter},
 	ExpProgress:         {"mobic_experiment_progress_ratio", "Completed replication fraction of the most recently updated sweep.", Gauge},
 	ExpCellSeconds:      {"mobic_experiment_cell_seconds", "Wall-clock seconds per completed cell replication.", Histogram},
+
+	CacheHits:      {"mobic_cache_hits_total", "Result-cache lookups served without re-simulating.", Counter},
+	CacheMisses:    {"mobic_cache_misses_total", "Result-cache lookups that fell through to a real run.", Counter},
+	CacheEvictions: {"mobic_cache_evictions_total", "Cached results dropped by the entry or byte bounds.", Counter},
+
+	DispatchForwarded:          {"mobic_dispatch_forwarded_total", "Jobs the coordinator placed on a worker peer.", Counter},
+	DispatchFailovers:          {"mobic_dispatch_failovers_total", "Interrupted jobs re-dispatched to a successor peer.", Counter},
+	DispatchCheckpointsShipped: {"mobic_dispatch_checkpoints_shipped_total", "Checkpoint records pulled from workers for failover.", Counter},
+	DispatchPeersHealthy:       {"mobic_dispatch_peers_healthy", "Worker peers currently passing their readiness probe.", Gauge},
 }
 
 // Definition returns the exposition metadata for m.
@@ -124,13 +151,16 @@ const (
 	SpanCell
 	// SpanJob is one service job execution attempt.
 	SpanJob
+	// SpanFailover is one coordinator failover: worker declared dead
+	// through the interrupted job restored on its successor.
+	SpanFailover
 
 	// NumSpanKinds is the number of defined span kinds.
 	NumSpanKinds
 )
 
 // spanKindNames maps SpanKind to its wire name.
-var spanKindNames = [NumSpanKinds]string{"sim_chunk", "cell", "job"}
+var spanKindNames = [NumSpanKinds]string{"sim_chunk", "cell", "job", "failover"}
 
 // String returns the span kind's wire name.
 func (k SpanKind) String() string {

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"mobic/internal/experiment"
 )
 
 // NewHandler exposes the service as a JSON HTTP API:
@@ -16,6 +18,14 @@ import (
 //	                            submissions return the original job (200)
 //	GET    /v1/jobs/{id}        job status (+ result once finished)
 //	GET    /v1/jobs/{id}/stream NDJSON status stream until terminal
+//	GET    /v1/jobs/{id}/checkpoints
+//	                            portable checkpoint export: the job's spec,
+//	                            key and completed-cell prefix, the payload
+//	                            the coordinator ships on failover
+//	POST   /v1/jobs/{id}/restore
+//	                            re-create a job under the given ID seeded
+//	                            with a shipped checkpoint prefix; it resumes
+//	                            at the first incomplete cell
 //	DELETE /v1/jobs/{id}        request cancellation
 //	GET    /livez               liveness: 200 while the process serves
 //	GET    /readyz              readiness: 503 while draining or when the
@@ -28,6 +38,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", a.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", a.stream)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", a.checkpoints)
+	mux.HandleFunc("POST /v1/jobs/{id}/restore", a.restore)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
 	mux.HandleFunc("GET /livez", a.livez)
 	mux.HandleFunc("GET /readyz", a.readyz)
@@ -121,6 +133,83 @@ func (a *api) cancel(w http.ResponseWriter, r *http.Request) {
 	job.RequestCancel()
 	st, _, _ := job.Snapshot()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// CheckpointExport is the wire form of GET /v1/jobs/{id}/checkpoints:
+// everything a coordinator needs to re-create the job on another worker.
+type CheckpointExport struct {
+	ID          string                   `json:"id"`
+	Spec        JobSpec                  `json:"spec"`
+	Key         string                   `json:"key,omitempty"`
+	State       State                    `json:"state"`
+	Attempt     int                      `json:"attempt,omitempty"`
+	Checkpoints experiment.CheckpointSet `json:"checkpoints"`
+}
+
+// checkpoints handles GET /v1/jobs/{id}/checkpoints: the portable export
+// of the job's journaled completed-cell prefix.
+func (a *api) checkpoints(w http.ResponseWriter, r *http.Request) {
+	job, ok := a.job(w, r)
+	if !ok {
+		return
+	}
+	st, _, _ := job.Snapshot()
+	writeJSON(w, http.StatusOK, CheckpointExport{
+		ID:          job.ID(),
+		Spec:        job.Spec(),
+		Key:         job.IdempotencyKey(),
+		State:       st.State,
+		Attempt:     st.Attempt,
+		Checkpoints: experiment.ExportCheckpoints(job.checkpointed()),
+	})
+}
+
+// restoreRequest is the body of POST /v1/jobs/{id}/restore — a
+// CheckpointExport minus the redundant ID (the path carries it).
+type restoreRequest struct {
+	Spec        JobSpec                  `json:"spec"`
+	Key         string                   `json:"key,omitempty"`
+	Checkpoints experiment.CheckpointSet `json:"checkpoints"`
+}
+
+// restore handles POST /v1/jobs/{id}/restore: the failover entry point. A
+// job is created under the caller-chosen ID, pre-seeded with the shipped
+// contiguous checkpoint prefix, and enqueued; it resumes at the first
+// incomplete cell. Replaying the same restore is idempotent (200 with the
+// existing job). Backpressure matches submit: 429 + Retry-After.
+func (a *api) restore(w http.ResponseWriter, r *http.Request) {
+	var req restoreRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding restore request: %v", err)
+		return
+	}
+	cps, err := req.Checkpoints.Resume()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, existed, err := a.svc.Restore(r.PathValue("id"), req.Spec, req.Key, cps)
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(a.svc.RetryAfterHint()))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		st, _, _ := job.Snapshot()
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		code := http.StatusAccepted
+		if existed {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	}
 }
 
 // stream handles GET /v1/jobs/{id}/stream: one NDJSON StreamEvent line

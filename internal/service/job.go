@@ -60,6 +60,11 @@ type Job struct {
 	id      string
 	spec    JobSpec
 	idemKey string // immutable after construction
+	// digest is the spec's content address, set at submit time in cache
+	// mode (empty otherwise); flightLeader records whether this job holds
+	// the singleflight slot for that digest. Both immutable after submit.
+	digest       string
+	flightLeader bool
 
 	mu       sync.Mutex
 	notify   chan struct{}
@@ -116,6 +121,12 @@ func newJobID() string {
 
 // ID returns the immutable job identifier.
 func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's immutable submission spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// IdempotencyKey returns the key the job was submitted under ("" if none).
+func (j *Job) IdempotencyKey() string { return j.idemKey }
 
 // changed bumps the version and wakes every watcher. Callers must hold mu.
 func (j *Job) changed() {

@@ -463,3 +463,68 @@ func TestIdempotencyKeySurvivesRestart(t *testing.T) {
 		t.Errorf("replayed submit: existed=%v id=%s, want existed=true id=%s", existed, again.ID(), job.ID())
 	}
 }
+
+// TestCompactBytesThreshold checks that Config.CompactBytes actually gates
+// the janitor's compaction (the -wal-compact-bytes flag threads here): with
+// a tiny threshold the WAL shrinks to the live store's footprint once jobs
+// expire, while an effectively-infinite threshold leaves every historical
+// record on disk — and the compacted journal still replays cleanly.
+func TestCompactBytesThreshold(t *testing.T) {
+	load := func(threshold int64) (*Service, string) {
+		dir := t.TempDir()
+		svc, err := Open(Config{
+			DataDir:      dir,
+			Workers:      2,
+			EvictEvery:   2 * time.Millisecond,
+			TTL:          5 * time.Millisecond,
+			CompactBytes: threshold,
+			Execute:      instantExecute(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Start()
+		for i := 0; i < 30; i++ {
+			job, _, err := svc.SubmitKey(specFig3(), fmt.Sprintf("compact-%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitTerminal(t, job)
+		}
+		return svc, dir
+	}
+
+	tiny, tinyDir := load(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for tiny.journal.Size() > 1024 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tiny threshold never compacted: WAL still %d bytes", tiny.journal.Size())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := tiny.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	huge, _ := load(1 << 30)
+	time.Sleep(20 * time.Millisecond) // several janitor ticks; must NOT compact
+	if got := huge.journal.Size(); got < 4096 {
+		t.Errorf("huge threshold compacted anyway: WAL %d bytes", got)
+	}
+	if err := huge.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The aggressively compacted journal must still boot.
+	re, err := Open(Config{DataDir: tinyDir, Execute: instantExecute(1)})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	if n := re.RecoveredJobs(); n != 0 {
+		t.Errorf("recovered %d jobs from a fully-terminal compacted WAL, want 0", n)
+	}
+	re.Start()
+	if err := re.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

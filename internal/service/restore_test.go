@@ -1,0 +1,155 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mobic/internal/experiment"
+)
+
+func sweepTwoCells() JobSpec {
+	return JobSpec{
+		Seeds: 1,
+		Sweep: &SweepSpec{
+			Algorithms: []string{"mobic"},
+			TxRanges:   []float64{100, 150},
+		},
+	}
+}
+
+func TestRestoreResumesFromPrefix(t *testing.T) {
+	var startCell atomic.Int64
+	capture := func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+		startCell.Store(int64(base.StartCell))
+		return &Output{}, nil
+	}
+	svc := New(Config{Execute: capture})
+	svc.Start()
+	defer func() { _ = svc.Shutdown(context.Background()) }()
+
+	cps := []experiment.CellStats{{CHChanges: 1}}
+	job, existed, err := svc.Restore("ffee00112233aabb", sweepTwoCells(), "", cps)
+	if err != nil || existed {
+		t.Fatalf("Restore: existed=%v err=%v", existed, err)
+	}
+	if job.ID() != "ffee00112233aabb" {
+		t.Fatalf("restored job got ID %s", job.ID())
+	}
+	if st := waitTerminal(t, job); st.State != StateSucceeded {
+		t.Fatalf("restored job %s: %s", st.State, st.Error)
+	}
+	if sc := startCell.Load(); sc != 1 {
+		t.Fatalf("runner StartCell = %d, want 1 (resume past shipped prefix)", sc)
+	}
+
+	// Replaying the restore is idempotent.
+	again, existed, err := svc.Restore("ffee00112233aabb", sweepTwoCells(), "", cps)
+	if err != nil || !existed || again.ID() != job.ID() {
+		t.Fatalf("replayed Restore: job=%v existed=%v err=%v", again, existed, err)
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	svc := New(Config{Execute: instantExecute(1)})
+	svc.Start()
+	defer func() { _ = svc.Shutdown(context.Background()) }()
+
+	cases := []struct {
+		name string
+		id   string
+		spec JobSpec
+		cps  []experiment.CellStats
+	}{
+		{"empty id", "", sweepTwoCells(), nil},
+		{"long id", strings.Repeat("a", 65), sweepTwoCells(), nil},
+		{"invalid spec", "abc123", JobSpec{}, nil},
+		{"checkpoints on experiment", "abc123", JobSpec{Experiment: "fig3"}, []experiment.CellStats{{}}},
+		{"too many checkpoints", "abc123", sweepTwoCells(), []experiment.CellStats{{}, {}, {}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := svc.Restore(tc.id, tc.spec, "", tc.cps); err == nil {
+			t.Errorf("%s: Restore accepted", tc.name)
+		}
+	}
+}
+
+func TestHTTPCheckpointExportAndRestore(t *testing.T) {
+	// Worker A runs a sweep partway (its journal holds checkpoints); the
+	// coordinator exports them and restores onto worker B, which resumes.
+	var startCell atomic.Int64
+	checkpointing := func(ctx context.Context, spec JobSpec, base experiment.Runner, progress func(done, total int)) (*Output, error) {
+		startCell.Store(int64(base.StartCell))
+		if base.Checkpoint != nil && base.StartCell == 0 {
+			base.Checkpoint(0, experiment.CellStats{CHChanges: 1})
+		}
+		return &Output{}, nil
+	}
+	_, srvA := newTestAPI(t, Config{Execute: checkpointing})
+	_, srvB := newTestAPI(t, Config{Execute: checkpointing})
+
+	body, _ := json.Marshal(sweepTwoCells())
+	resp, err := http.Post(srvA.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	getStatus(t, srvA, st.ID)
+
+	resp, err = http.Get(srvA.URL + "/v1/jobs/" + st.ID + "/checkpoints")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoints status = %d", resp.StatusCode)
+	}
+	var export CheckpointExport
+	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(export.Checkpoints.Cells) != 1 {
+		t.Fatalf("exported %d checkpoints, want 1", len(export.Checkpoints.Cells))
+	}
+
+	// Ship the export to worker B under the same job ID.
+	restoreBody, _ := json.Marshal(map[string]any{
+		"spec":        export.Spec,
+		"key":         export.Key,
+		"checkpoints": export.Checkpoints,
+	})
+	resp, err = http.Post(srvB.URL+"/v1/jobs/"+export.ID+"/restore", "application/json", bytes.NewReader(restoreBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("restore status = %d", resp.StatusCode)
+	}
+	restored := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if restored.ID != export.ID {
+		t.Fatalf("restored under ID %s, want %s", restored.ID, export.ID)
+	}
+	if fin := getStatus(t, srvB, export.ID); fin.State != StateSucceeded {
+		t.Fatalf("restored job %s: %s", fin.State, fin.Error)
+	}
+	if sc := startCell.Load(); sc != 1 {
+		t.Fatalf("worker B StartCell = %d, want 1", sc)
+	}
+
+	// Version-mismatched payloads are rejected before touching the service.
+	bad := strings.Replace(string(restoreBody), `"version":1`, `"version":99`, 1)
+	resp, err = http.Post(srvB.URL+"/v1/jobs/otherid/restore", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("version-mismatch restore status = %d, want 400", resp.StatusCode)
+	}
+}

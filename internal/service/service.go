@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"mobic/internal/cache"
 	"mobic/internal/experiment"
 	"mobic/internal/obs"
 )
@@ -103,6 +105,13 @@ type Config struct {
 	// Defaults to obs.Nop; mobicd installs an obs.Registry and merges its
 	// families into /metrics.
 	Obs obs.Recorder
+	// Cache, when non-nil, enables the content-addressed result layer:
+	// submissions are keyed by JobSpec.Digest, a digest already cached
+	// returns a finished job immediately, concurrent identical submissions
+	// collapse onto one in-flight job, and every successful output is
+	// published back under its digest. Determinism makes this sound — the
+	// cached value IS the result of that spec (see DESIGN.md S28).
+	Cache *cache.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +171,7 @@ type Service struct {
 	queue   chan *Job
 	metrics *Metrics
 	journal *Journal
+	flights *cache.Flight // digest -> in-flight leader job (Cache mode)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -198,6 +208,7 @@ func newService(cfg Config) *Service {
 		store:      NewStore(cfg.TTL),
 		queue:      make(chan *Job, cfg.QueueCapacity),
 		metrics:    NewMetrics(),
+		flights:    cache.NewFlight(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		workersWG:  make(chan struct{}),
@@ -335,6 +346,12 @@ func (s *Service) restore(recs []record) []*Job {
 			s.store.Put(job)
 			continue
 		}
+		if s.cfg.Cache != nil {
+			// Re-enqueued jobs re-take their flight slot so duplicate
+			// submissions arriving after the reboot still collapse.
+			job.digest = job.spec.Digest()
+			_, job.flightLeader = s.flights.Begin(job.digest, job.id)
+		}
 		s.store.Put(job)
 		pending = append(pending, job)
 	}
@@ -423,7 +440,15 @@ func (s *Service) RetryAfterHint() int {
 	return retryAfterSeconds(s.QueueDepth(), s.cfg.Workers, s.metrics.LatencyEWMA())
 }
 
-// retryAfterSeconds is the pure computation behind RetryAfterHint.
+// RetryAfterSeconds is the pure computation behind RetryAfterHint,
+// exported so the coordinator can produce the same hint shape from its
+// cluster-wide view (tracked in-flight jobs over healthy workers).
+func RetryAfterSeconds(depth, workers int, ewmaSeconds float64) int {
+	return retryAfterSeconds(depth, workers, ewmaSeconds)
+}
+
+// retryAfterSeconds is the unexported original; kept so internal callers
+// and tests are undisturbed.
 func retryAfterSeconds(depth, workers int, ewmaSeconds float64) int {
 	if workers < 1 {
 		workers = 1
@@ -519,6 +544,21 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 			return prev, true, nil
 		}
 	}
+	var digest string
+	if s.cfg.Cache != nil {
+		digest = spec.Digest()
+		// Finished result already cached: serve it as an instantly
+		// terminal job, no queue slot and no simulation.
+		if job, ok := s.completeFromCache(spec, key, digest); ok {
+			return job, false, nil
+		}
+		// Identical submission already in flight: attach to the leader.
+		if leaderID, ok := s.flights.Leader(digest); ok {
+			if prev, ok := s.store.Get(leaderID); ok {
+				return prev, true, nil
+			}
+		}
+	}
 	// Every queue producer holds submitMu and the channel never shrinks
 	// below QueueCapacity, so this check guarantees the send below cannot
 	// block.
@@ -528,6 +568,10 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 	}
 	job = newJob(spec, key, s.cfg.Clock())
 	job.nowFn = s.cfg.Clock
+	if digest != "" {
+		job.digest = digest
+		_, job.flightLeader = s.flights.Begin(digest, job.ID())
+	}
 	// Append and Put under the compaction read-lock: once the submit
 	// record is durable the store must reflect the job before any
 	// compaction snapshot runs, or the janitor would rewrite the WAL
@@ -538,6 +582,132 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: job.created, Spec: &spec, Key: key}); err != nil {
 			s.compactMu.RUnlock()
 			return nil, false, err
+		}
+	}
+	s.store.Put(job)
+	s.compactMu.RUnlock()
+	s.queue <- job
+	s.metrics.submitted.Add(1)
+	return job, false, nil
+}
+
+// completeFromCache serves one submission from the result cache: a job is
+// created and immediately finished with the cached output, journaled like
+// any other completed job so it stays queryable across a restart. Callers
+// must hold submitMu. Returns false on a cache miss (or an undecodable
+// entry, which degrades to a miss).
+func (s *Service) completeFromCache(spec JobSpec, key, digest string) (*Job, bool) {
+	data, ok := s.cfg.Cache.Get(digest)
+	if !ok {
+		return nil, false
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, false
+	}
+	now := s.cfg.Clock()
+	job := newJob(spec, key, now)
+	job.nowFn = s.cfg.Clock
+	job.digest = digest
+	s.compactMu.RLock()
+	if s.journal != nil {
+		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: now, Spec: &spec, Key: key}); err != nil {
+			// The journal is wedged; fall through to the normal submit
+			// path, which surfaces the error to the caller.
+			s.compactMu.RUnlock()
+			return nil, false
+		}
+		_ = s.journal.Append(record{Type: recFinish, Job: job.ID(), Time: now, State: StateSucceeded, Output: &out})
+	}
+	job.finish(StateSucceeded, &out, "", now)
+	s.store.Put(job)
+	s.compactMu.RUnlock()
+	s.metrics.submitted.Add(1)
+	s.metrics.completed.Add(1)
+	return job, true
+}
+
+// settle closes out a job's content-addressed bookkeeping at its terminal
+// transition: a successful output is published to the result cache under
+// the job's digest, and the in-flight leadership (if this job held it) is
+// released so later identical submissions consult the cache instead of
+// attaching. No-op outside cache mode.
+func (s *Service) settle(job *Job, out *Output) {
+	if job.digest == "" {
+		return
+	}
+	if out != nil && s.cfg.Cache != nil {
+		if data, err := json.Marshal(out); err == nil {
+			s.cfg.Cache.Put(job.digest, data)
+		}
+	}
+	if job.flightLeader {
+		s.flights.End(job.digest)
+	}
+}
+
+// Restore enqueues a job under a caller-chosen ID with a pre-seeded
+// checkpoint prefix: the coordinator's failover entry point. The job
+// resumes at cell len(cps) exactly as a local crash recovery would, so its
+// output — and its per-cell trace digests — are identical to an
+// uninterrupted run (resume-equals-rerun, proven in the recovery tests).
+// If a job with the same ID (or idempotency key) already exists, that job
+// is returned with existed=true, which makes failover re-dispatch
+// idempotent. Backpressure matches Submit: a full queue sheds with
+// ErrQueueFull.
+func (s *Service) Restore(id string, spec JobSpec, key string, cps []experiment.CellStats) (job *Job, existed bool, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	if id == "" || len(id) > 64 {
+		return nil, false, invalidf("restore id %q must be 1-64 characters", id)
+	}
+	if len(cps) > 0 {
+		if spec.Sweep == nil {
+			return nil, false, invalidf("checkpoints only apply to sweep jobs")
+		}
+		cells := len(spec.Sweep.Algorithms) * max(1, len(spec.Sweep.TxRanges))
+		if len(cps) > cells {
+			return nil, false, invalidf("%d checkpoints exceed the sweep's %d cells", len(cps), cells)
+		}
+	}
+
+	s.submitMu <- struct{}{}
+	defer func() { <-s.submitMu }()
+	if s.closed {
+		return nil, false, ErrShuttingDown
+	}
+	if prev, ok := s.store.Get(id); ok {
+		return prev, true, nil
+	}
+	if key != "" {
+		if prev, ok := s.store.ByKey(key); ok {
+			return prev, true, nil
+		}
+	}
+	if len(s.queue) >= s.cfg.QueueCapacity {
+		s.metrics.rejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	now := s.cfg.Clock()
+	job = rehydrate(id, spec, key, now)
+	job.nowFn = s.cfg.Clock
+	for i, cs := range cps {
+		job.addCheckpoint(i, cs)
+	}
+	if s.cfg.Cache != nil {
+		job.digest = spec.Digest()
+		_, job.flightLeader = s.flights.Begin(job.digest, id)
+	}
+	s.compactMu.RLock()
+	if s.journal != nil {
+		if err := s.journal.Append(record{Type: recSubmit, Job: id, Time: now, Spec: &spec, Key: key}); err != nil {
+			s.compactMu.RUnlock()
+			return nil, false, err
+		}
+		for i := range cps {
+			cs := cps[i]
+			_ = s.journal.Append(record{Type: recCheckpoint, Job: id, Time: now, Cell: i, Stats: &cs})
 		}
 	}
 	s.store.Put(job)
@@ -653,6 +823,7 @@ func (s *Service) runJob(job *Job) {
 		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()}, func() {
 			job.finish(StateCanceled, nil, context.Canceled.Error(), now)
 		})
+		s.settle(job, nil)
 		return
 	}
 	attempt := job.beginAttempt()
@@ -689,18 +860,21 @@ func (s *Service) runJob(job *Job) {
 		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateSucceeded, Output: out}, func() {
 			job.finish(StateSucceeded, out, "", end)
 		})
+		s.settle(job, out)
 	case errors.Is(err, context.Canceled):
 		s.metrics.canceled.Add(1)
 		if job.CancelRequested() {
 			s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateCanceled, Error: err.Error()}, func() {
 				job.finish(StateCanceled, nil, err.Error(), end)
 			})
+			s.settle(job, nil)
 			return
 		}
 		// A shutdown abort (baseCtx canceled without a user request) is
 		// deliberately NOT journaled as terminal: the WAL still shows the
 		// job mid-flight, so the next boot re-enqueues and resumes it.
 		job.finish(StateCanceled, nil, err.Error(), end)
+		s.settle(job, nil)
 	case errors.Is(err, context.DeadlineExceeded):
 		// The job consumed its own wall-clock budget; retrying would just
 		// burn it again.
@@ -708,6 +882,7 @@ func (s *Service) runJob(job *Job) {
 		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: end, State: StateFailed, Error: err.Error()}, func() {
 			job.finish(StateFailed, nil, err.Error(), end)
 		})
+		s.settle(job, nil)
 	default:
 		s.failAttempt(job, attempt, err, end)
 	}
@@ -730,6 +905,7 @@ func (s *Service) failAttempt(job *Job, attempt int, cause error, now time.Time)
 		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateCanceled, Error: context.Canceled.Error()}, func() {
 			job.finish(StateCanceled, nil, context.Canceled.Error(), now)
 		})
+		s.settle(job, nil)
 		return
 	}
 	if maxAttempts > 1 && attempt >= maxAttempts {
@@ -738,12 +914,14 @@ func (s *Service) failAttempt(job *Job, attempt int, cause error, now time.Time)
 		s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StatePoisoned, Error: msg}, func() {
 			job.finish(StatePoisoned, nil, msg, now)
 		})
+		s.settle(job, nil)
 		return
 	}
 	s.metrics.failed.Add(1)
 	s.journalApply(record{Type: recFinish, Job: job.ID(), Time: now, State: StateFailed, Error: cause.Error()}, func() {
 		job.finish(StateFailed, nil, cause.Error(), now)
 	})
+	s.settle(job, nil)
 }
 
 // scheduleRetry re-enqueues job after a capped, jittered exponential
@@ -769,6 +947,7 @@ func (s *Service) scheduleRetry(job *Job, attempt int, cause error) {
 				s.metrics.canceled.Add(1)
 				job.finish(StateCanceled, nil,
 					fmt.Sprintf("retry %d abandoned by shutdown (last error: %v)", attempt+1, cause), s.cfg.Clock())
+				s.settle(job, nil)
 				return
 			}
 			select {

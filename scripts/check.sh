@@ -37,6 +37,7 @@ go test -run='^TestSteadyStateTickAllocs' -count=1 -v ./internal/simnet | grep -
 
 echo "== fuzz smoke (5s per target, seeded from checked-in corpora)"
 go test -run='^$' -fuzz='^FuzzSpec$' -fuzztime=5s ./internal/service
+go test -run='^$' -fuzz='^FuzzSpecDigest$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzEngineInvariants$' -fuzztime=5s ./internal/cluster
 
