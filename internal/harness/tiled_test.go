@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// loadGoldenDigests reads the committed golden digest file — the sequential
+// (Tiles = 1) anchor every tiled run is compared against.
+func loadGoldenDigests(t *testing.T) map[string]Digest {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (refresh with -update): %v", err)
+	}
+	var want map[string]Digest
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return want
+}
+
+// digestAllTiled runs every pinned (workload, algorithm, seed) cell on the
+// tiled scheduler with the given tile count and grid offset, in parallel.
+func digestAllTiled(t *testing.T, tiles, offset int) map[string]Digest {
+	t.Helper()
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out = make(map[string]Digest)
+	)
+	for _, w := range Workloads() {
+		for _, alg := range Algorithms() {
+			for _, seed := range GoldenSeeds() {
+				w, alg, seed := w, alg, seed
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cfg, err := w.Config(alg, seed)
+					if err != nil {
+						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+						return
+					}
+					cfg.Tiles = tiles
+					cfg.TileOffsetCells = offset
+					dig, _, err := DigestRun(cfg)
+					if err != nil {
+						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+						return
+					}
+					mu.Lock()
+					out[GoldenKey(w.Name, alg.Name, seed)] = dig
+					mu.Unlock()
+				}()
+			}
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// compareToGolden asserts every tiled digest matches its committed
+// sequential golden byte for byte.
+func compareToGolden(t *testing.T, want, got map[string]Digest, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: produced %d digests, golden file pins %d", label, len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: %s missing from tiled run", label, key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: %s diverged from the sequential golden\n  golden: %s (%d events)\n  tiled:  %s (%d events)",
+				label, key, w.SHA256, w.Events, g.SHA256, g.Events)
+		}
+	}
+}
+
+// TestTiledGoldenEquivalence is the PR's headline proof: all 18 golden
+// scenarios, run on the tiled-parallel scheduler at Tiles = 2, 4 and
+// GOMAXPROCS, produce SHA-256 trace digests bit-identical to the committed
+// sequential goldens. Together with TestGoldenDigests (Tiles = 1 vs the same
+// file) this closes the 1-tile == N-tile equivalence the conservative
+// scheduler promises, and it runs under -race in scripts/check.sh.
+func TestTiledGoldenEquivalence(t *testing.T) {
+	// Real worker pools even on single-CPU machines (the pool size derives
+	// from GOMAXPROCS; interleaved goroutines are what equivalence and the
+	// race detector need — physical cores only change wall-clock).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	want := loadGoldenDigests(t)
+	tileCounts := []int{2, 4, runtime.GOMAXPROCS(0)}
+	for _, tiles := range tileCounts {
+		compareToGolden(t, want, digestAllTiled(t, tiles, 0), GoldenKey("tiles", "all", uint64(tiles)))
+	}
+}
+
+// TestTiledOffsetMetamorphic is the tiling oracle: where the tile boundaries
+// fall is pure work partitioning, so translating (offsetting) the tile grid
+// over the arena — moving every boundary, rotating cell ownership between
+// tiles — must never change a digest. Odd tile counts additionally exercise
+// non-square tile factorizations.
+func TestTiledOffsetMetamorphic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	want := loadGoldenDigests(t)
+	cases := []struct {
+		tiles, offset int
+	}{
+		{4, 1}, {4, 3}, {3, 0}, {5, 2}, {7, 5},
+	}
+	for _, c := range cases {
+		label := GoldenKey("tiles-offset", "all", uint64(c.tiles*100+c.offset))
+		compareToGolden(t, want, digestAllTiled(t, c.tiles, c.offset), label)
+	}
+}

@@ -10,8 +10,9 @@ import (
 
 // specDigestVersion heads the hashed payload; bump it whenever the
 // canonical form changes, so old cache entries can never be served for a
-// semantically different spec.
-const specDigestVersion = "mobicspec1\n"
+// semantically different spec. v2 added the Tiles field (tiled-parallel
+// scheduler knob): every v1 cache entry misses cleanly under v2 keys.
+const specDigestVersion = "mobicspec2\n"
 
 // canonicalSpec is the normalized image of a JobSpec that Digest hashes.
 // It is a distinct struct — not JobSpec itself — so the wire format of
@@ -26,6 +27,7 @@ type canonicalSpec struct {
 	BaseSeed   uint64  `json:"base_seed"`
 	Duration   float64 `json:"duration"`
 	IncludeRaw bool    `json:"include_raw"`
+	Tiles      int     `json:"tiles"`
 
 	Sweep *canonicalSweep `json:"sweep,omitempty"`
 }
@@ -61,6 +63,11 @@ type canonicalSweep struct {
 //     scenario's own transmission range;
 //   - BaseSeed 0 becomes the runner default 1.
 //
+// Tiles is hashed as-is (0 = sequential, 1 is semantically the same but
+// kept distinct): the tiled scheduler is proven digest-identical to the
+// sequential one by the harness equivalence suite, but the cache stays
+// conservative and never relies on that proof for key identity.
+//
 // Two fields are deliberately treated asymmetrically: Seeds 0 is kept as
 // the "service default" sentinel (its resolution lives in daemon config, so
 // digest identity across a cluster assumes peers share -seeds — see
@@ -68,12 +75,13 @@ type canonicalSweep struct {
 // wall-clock budget changes whether a result is produced, never which one.
 func (s JobSpec) canonical() canonicalSpec {
 	c := canonicalSpec{
-		V:          1,
+		V:          2,
 		Experiment: s.Experiment,
 		Seeds:      s.Seeds,
 		BaseSeed:   s.BaseSeed,
 		Duration:   s.Duration,
 		IncludeRaw: s.IncludeRaw,
+		Tiles:      s.Tiles,
 	}
 	if c.BaseSeed == 0 {
 		c.BaseSeed = 1

@@ -46,6 +46,7 @@ var goldenSpecs = []struct{ name, spec string }{
 	{"sweep-explicit-table1", `{"sweep":{"scenario":{"n":50,"side":670,"max_speed":20,"tx_range":150,"bi":2,"tp":3,"cci":4,"duration":900},"algorithms":["mobic"]}}`},
 	{"sweep-two-algorithms", `{"sweep":{"scenario":{"n":50},"algorithms":["mobic","lowest-id"],"tx_ranges":[50,100,150]},"seeds":3}`},
 	{"sweep-include-raw", `{"sweep":{"scenario":{"n":50},"algorithms":["lcc"]},"include_raw":true,"duration":120}`},
+	{"experiment-fig3-tiled", `{"experiment":"fig3","tiles":8}`},
 }
 
 func TestSpecDigestGolden(t *testing.T) {
@@ -87,6 +88,26 @@ func TestSpecDigestGolden(t *testing.T) {
 		if got != entries[i].Digest {
 			t.Errorf("%s: digest changed\n  got  %s\n  want %s\nThe canonical form moved: bump specDigestVersion and regenerate with -update.",
 				g.name, got, entries[i].Digest)
+		}
+	}
+}
+
+// TestSpecDigestVersionMiss pins the cache-migration behavior of the
+// mobicspec1 -> mobicspec2 version bump (the Tiles field): the digests the
+// v1 canonicalization produced — frozen here from the v1 golden file — must
+// never come out of the current Digest, so every v1 cache entry misses
+// cleanly instead of being served for (or colliding with) a v2 spec.
+func TestSpecDigestVersionMiss(t *testing.T) {
+	v1 := []struct{ spec, digest string }{
+		{`{"experiment":"fig3"}`, "93537cc3133e2072b37fd0416bd73c7b819b5edd56fffbf74d7db284e5226e40"},
+		{`{"experiment":"fig3","seeds":5,"base_seed":7}`, "552fe14783939e8e3d95b00ec98d0d3140aa9f0aef009446dce3a5674765e595"},
+		{`{"sweep":{"scenario":{},"algorithms":["mobic"]}}`, "6b1c1628b66985b2c52112f5ee36afec9f76690efcb2adef8ffaaf86981ef870"},
+		{`{"sweep":{"scenario":{"n":50},"algorithms":["mobic","lowest-id"],"tx_ranges":[50,100,150]},"seeds":3}`, "f23a729a632304ff1b827963ad3beca653cf23236a645151bf2b63f2096da8be"},
+		{`{"sweep":{"scenario":{"n":50},"algorithms":["lcc"]},"include_raw":true,"duration":120}`, "d2662e04887415b345b277e74b98469fd43123cb42e4b7e51d46277f72c754ac"},
+	}
+	for _, c := range v1 {
+		if got := mustSpec(t, c.spec).Digest(); got == c.digest {
+			t.Errorf("spec %s still digests to its mobicspec1 value %s; stale cache entries would be served", c.spec, c.digest)
 		}
 	}
 }
@@ -144,6 +165,7 @@ func TestSpecDigestSensitivity(t *testing.T) {
 		{"different-seeds", `{"sweep":{"scenario":{"n":30},"algorithms":["mobic"],"tx_ranges":[100,150]},"seeds":4}`},
 		{"include-raw", `{"sweep":{"scenario":{"n":30},"algorithms":["mobic"],"tx_ranges":[100,150]},"seeds":3,"include_raw":true}`},
 		{"duration-override", `{"sweep":{"scenario":{"n":30},"algorithms":["mobic"],"tx_ranges":[100,150]},"seeds":3,"duration":60}`},
+		{"tiles-override", `{"sweep":{"scenario":{"n":30},"algorithms":["mobic"],"tx_ranges":[100,150]},"seeds":3,"tiles":4}`},
 		{"experiment-not-sweep", `{"experiment":"fig3"}`},
 	}
 	seen := map[string]string{mustSpec(t, base).Digest(): "base"}

@@ -30,6 +30,8 @@ const (
 	MaxAlgorithms = 8
 	// MaxSweepPoints bounds the sweep axis length.
 	MaxSweepPoints = 64
+	// MaxTiles bounds the tiled-scheduler tile count per job.
+	MaxTiles = 64
 )
 
 // JobSpec is one simulation request: exactly one of Experiment (a named
@@ -53,6 +55,14 @@ type JobSpec struct {
 	// IncludeRaw keeps the per-seed metrics snapshots in the returned
 	// cells (they are stripped by default to keep responses small).
 	IncludeRaw bool `json:"include_raw,omitempty"`
+	// Tiles, when > 1, runs every cell on the tiled-parallel engine
+	// scheduler with that many arena tiles. The tiled schedule is proven
+	// bit-identical to the sequential one (see the harness equivalence
+	// suite), so this only changes wall-clock — but it is still folded
+	// into the spec digest, conservatively: the cache never presumes an
+	// equivalence, it only serves results for byte-identical canonical
+	// specs. 0 (or 1) keeps the sequential scheduler.
+	Tiles int `json:"tiles,omitempty"`
 }
 
 // SweepSpec is a custom parameter sweep: one scenario template, swept over
@@ -142,6 +152,8 @@ func (s JobSpec) Validate() error {
 		return invalidf("duration %g outside [0, %g]", s.Duration, MaxDuration)
 	case s.TimeoutSeconds < 0:
 		return invalidf("timeout_seconds %g is negative", s.TimeoutSeconds)
+	case s.Tiles < 0 || s.Tiles > MaxTiles:
+		return invalidf("tiles %d outside [0, %d]", s.Tiles, MaxTiles)
 	}
 	if s.Experiment != "" {
 		if _, err := experiment.ByID(s.Experiment); err != nil {
@@ -205,6 +217,9 @@ func (s JobSpec) run(ctx context.Context, base experiment.Runner, progress func(
 	}
 	if s.BaseSeed > 0 {
 		r.BaseSeed = s.BaseSeed
+	}
+	if s.Tiles > 0 {
+		r.Tiles = s.Tiles
 	}
 	if s.Duration > 0 {
 		prev := r.Mutate

@@ -144,7 +144,7 @@ func (a *appAPI) Unicast(from, to int32, payload Payload) bool {
 // reachableAt applies the propagation threshold and the loss model for one
 // app-layer packet from -> rx transmitted from txPos at the current instant.
 func (n *Network) reachableAt(from int32, rx *runtimeNode, txPos geom.Point) bool {
-	if rx.down || n.nodes[from].down {
+	if n.down[rx.id] || n.down[from] {
 		return false
 	}
 	rxPos := rx.traj.At(n.sched.Now())

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"runtime"
 	"testing"
 
 	"mobic/internal/cluster"
@@ -70,6 +71,81 @@ func BenchmarkBroadcastDeliveryNoMAC(b *testing.B) {
 // of observability, and allocs/op must stay 0.
 func BenchmarkInstrumentedBroadcastDelivery(b *testing.B) {
 	runBeaconIntervalsObs(b, true, obs.NewRegistry())
+}
+
+// megaDuration bounds the 10k-node benchmark network's trajectories: long
+// enough for many measured intervals, short enough that the off-timer
+// trajectory generation stays cheap.
+const megaDuration = 240.0
+
+// megaNetwork builds the 10k-node mega-scenario: the paper's Table 1 node
+// density (50 nodes per 670 m square) scaled 200x, so per-node degree — and
+// therefore per-beacon work — matches the pinned workloads while total work
+// is 200x one. SampleInterval is stretched so the O(N^2) connectivity sampler
+// stays out of the measured beacon intervals.
+func megaNetwork(b *testing.B, tiles int) *Network {
+	b.Helper()
+	area := geom.Square(9475) // 670 * sqrt(200)
+	cfg := Config{
+		N:              10000,
+		Area:           area,
+		Duration:       megaDuration,
+		Seed:           1,
+		Algorithm:      cluster.MOBIC,
+		Mobility:       &mobility.RandomWaypoint{Area: area, MaxSpeed: 20},
+		TxRange:        250,
+		SampleInterval: 60,
+		Tiles:          tiles,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if net.tiled != nil {
+		net.tiled.start(net)
+		b.Cleanup(net.tiled.stop)
+	}
+	net.advance(6) // warm up past the listen-only first round
+	return net
+}
+
+// BenchmarkMegaScenario measures one steady-state beacon interval of the
+// 10k-node preset, sequentially and on the tiled-parallel scheduler — the
+// ROADMAP's million-node-engine gate. The tiled sub-benchmark's ns/op over
+// the sequential one is the wall-clock speedup; both are pinned in
+// BENCH_engine.json.
+func BenchmarkMegaScenario(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { runMegaIntervals(b, 0) })
+	b.Run("tiled", func(b *testing.B) {
+		tiles := 4 * runtime.GOMAXPROCS(0)
+		if tiles > 64 {
+			tiles = 64
+		}
+		runMegaIntervals(b, tiles)
+	})
+}
+
+// runMegaIntervals advances the mega network one beacon interval per op,
+// rebuilding (off-timer) when the bounded trajectories run out.
+func runMegaIntervals(b *testing.B, tiles int) {
+	net := megaNetwork(b, tiles)
+	interval := net.cfg.BroadcastInterval
+	var fired uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.sched.Now()+interval > megaDuration-1 {
+			b.StopTimer()
+			fired += net.sched.Fired()
+			net = megaNetwork(b, tiles)
+			b.StartTimer()
+		}
+		net.advance(net.sched.Now() + interval)
+	}
+	b.StopTimer()
+	if fired+net.sched.Fired() == 0 {
+		b.Fatal("no events fired")
+	}
 }
 
 // runBeaconIntervals advances the network one beacon interval per benchmark

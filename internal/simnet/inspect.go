@@ -45,10 +45,10 @@ func (n *Network) Snapshot() []NodeState {
 			Pos:       rn.traj.At(n.sched.Now()),
 			Role:      rn.cnode.Role(),
 			Head:      rn.cnode.Head(),
-			M:         rn.lastM,
+			M:         n.lastM[rn.id],
 			Gateway:   rn.cnode.Role() == cluster.RoleMember && heads >= 2,
 			Neighbors: len(rn.table),
-			Down:      rn.down,
+			Down:      n.down[rn.id],
 		})
 	}
 	return out

@@ -29,18 +29,18 @@ type neighborEntry struct {
 	head      int32
 }
 
-// runtimeNode is the per-node simulation state.
+// runtimeNode is the per-node simulation state that is inherently
+// reference-shaped (state machines, maps, events). The hot scalar state a
+// beacon tick reads and writes — down flag, cached mobility, tick count,
+// custom weight — lives in dense struct-of-arrays slices on the Network
+// instead (down, lastM, tickCount, customW), so the per-tile tick loop walks
+// cache-linear memory rather than chasing one pointer per node.
 type runtimeNode struct {
 	id      int32
 	cnode   *cluster.Node
 	tracker *core.Tracker
 	traj    *mobility.Trajectory
 	table   map[int32]*neighborEntry
-	customW float64
-	ticks   int
-	// lastM caches the aggregate mobility computed at the last tick, for
-	// inspection and the adaptive-BI extension.
-	lastM float64
 	// tickEv is the node's persistent hello-protocol event: the callback is
 	// bound once at construction and the same event is rescheduled for
 	// every beacon, so a steady beacon stream allocates neither events nor
@@ -50,8 +50,6 @@ type runtimeNode struct {
 	// pendingRx holds in-flight beacon receptions when the MAC collision
 	// model is enabled.
 	pendingRx []*reception
-	// down marks a crashed node: no beacons, no receptions, no state.
-	down bool
 }
 
 // reception is one in-flight beacon at a receiver (collision model only).
@@ -79,6 +77,18 @@ type Network struct {
 	grid     *spatial.Grid
 	rxThresh float64
 	rec      *metrics.Recorder
+	// Dense struct-of-arrays node state, indexed by node id (see
+	// runtimeNode). down marks crashed nodes; lastM caches the aggregate
+	// mobility computed at the last tick (inspection + adaptive BI);
+	// tickCount counts completed hello rounds (the first is listen-only);
+	// customW holds DCA static weights (nil unless the algorithm needs it).
+	down      []bool
+	lastM     []float64
+	tickCount []int32
+	customW   []float64
+	// tiled is the conservative-parallel window scheduler; nil when the
+	// run is sequential (Tiles <= 1 or a brute-force propagation model).
+	tiled *tiledRun
 	// obsRec receives engine telemetry; obs.Nop unless Config.Obs set one.
 	obsRec obs.Recorder
 	// bruteForce disables the spatial-index candidate query for
@@ -180,6 +190,10 @@ func New(cfg Config) (*Network, error) {
 		candidateSlack: 35 * cfg.BroadcastInterval * 2,
 	}
 	n.sched.SetRecorder(n.obsRec)
+	n.down = make([]bool, cfg.N)
+	n.lastM = make([]float64, cfg.N)
+	n.tickCount = make([]int32, cfg.N)
+	n.customW = weights
 	if cfg.HelloCollisions {
 		n.beaconJitter = streams.Named("beacon-jitter")
 	}
@@ -199,9 +213,6 @@ func New(cfg Config) (*Network, error) {
 			tracker: core.NewTracker(opts...),
 			traj:    trajs[i],
 			table:   make(map[int32]*neighborEntry),
-		}
-		if weights != nil {
-			rn.customW = weights[i]
 		}
 		rn.cnode.OnRoleChange(func(now float64, old, newRole cluster.Role) {
 			n.rec.RoleChange(now, id, old, newRole)
@@ -254,6 +265,16 @@ func New(cfg Config) (*Network, error) {
 			}
 		}
 	}
+	// The tiled-parallel scheduler needs a bounded candidate radius to plan
+	// deliveries ahead of time; stochastic propagation (shadowing) and
+	// forced brute force have none, so those runs stay sequential.
+	if cfg.Tiles > 1 && !n.bruteForce {
+		td, err := newTiledRun(n, cellSize)
+		if err != nil {
+			return nil, fmt.Errorf("simnet: building tiled scheduler: %w", err)
+		}
+		n.tiled = td
+	}
 	return n, nil
 }
 
@@ -261,10 +282,10 @@ func New(cfg Config) (*Network, error) {
 // loss), forgets all protocol state and stops participating. Its next tick
 // will see the down flag and stop rescheduling.
 func (n *Network) crash(rn *runtimeNode, now float64) {
-	if rn.down {
+	if n.down[rn.id] {
 		return
 	}
-	rn.down = true
+	n.down[rn.id] = true
 	rn.cnode.Reset(now)
 	rn.tracker.Reset()
 	for _, e := range rn.table {
@@ -276,18 +297,18 @@ func (n *Network) crash(rn *runtimeNode, now float64) {
 		n.releaseReception(rec)
 	}
 	rn.pendingRx = rn.pendingRx[:0]
-	rn.lastM = 0
+	n.lastM[rn.id] = 0
 	n.emit(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
 }
 
 // recover revives a crashed node as a fresh undecided participant and
 // restarts its beacon schedule.
 func (n *Network) recover(rn *runtimeNode, now float64) {
-	if !rn.down {
+	if !n.down[rn.id] {
 		return
 	}
-	rn.down = false
-	rn.ticks = 0 // listen-only first beacon again
+	n.down[rn.id] = false
+	n.tickCount[rn.id] = 0 // listen-only first beacon again
 	// Rescheduling the persistent event moves any still-queued stale beacon
 	// to now instead of starting a second, doubled beacon chain.
 	if err := n.sched.Reschedule(rn.tickEv, now); err != nil {
@@ -349,6 +370,11 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 	// path does no timing work at all. Telemetry never affects the
 	// simulation itself.
 	instrumented := n.obsRec.Enabled()
+	if n.tiled != nil {
+		n.tiled.start(n)
+		defer n.tiled.stop()
+		n.obsRec.Set(obs.TileCount, float64(n.tiled.tiling.Tiles()))
+	}
 	for now := n.sched.Now(); now < n.cfg.Duration; now = n.sched.Now() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -358,11 +384,11 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 			horizon = n.cfg.Duration
 		}
 		if !instrumented {
-			n.sched.RunUntil(horizon)
+			n.advance(horizon)
 			continue
 		}
 		wallStart := time.Now()
-		n.sched.RunUntil(horizon)
+		n.advance(horizon)
 		wallEnd := time.Now()
 		if wall := wallEnd.Sub(wallStart).Seconds(); wall > 0 {
 			n.obsRec.Set(obs.SimRate, (horizon-now)/wall)
@@ -396,7 +422,7 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 // feeds the oracle-mobility fold. Nothing here depends on Go's randomized
 // map iteration, so repeated runs are bit-identical.
 func (n *Network) tick(rn *runtimeNode, now float64) {
-	if rn.down {
+	if n.down[rn.id] {
 		return // crashed: the beacon chain stops until recovery
 	}
 	// Purge neighbors that missed their beacons (Table 1: TP).
@@ -423,13 +449,13 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	}
 	n.idBuf = ids
 
-	rn.lastM = rn.tracker.Aggregate()
+	n.lastM[rn.id] = rn.tracker.Aggregate()
 	weight := n.weightOf(rn, live)
 
 	// The first tick is listen-only: the node has had no chance to hear
 	// anyone, and electing heads blind would register a storm of spurious
 	// clusterhead changes for every algorithm alike.
-	if rn.ticks > 0 {
+	if n.tickCount[rn.id] > 0 {
 		views := n.viewBuf[:0]
 		for _, id := range live {
 			e := rn.table[id]
@@ -446,13 +472,13 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 		// Keep the advertised weight fresh even while listening.
 		rn.cnode.SetWeight(weight)
 	}
-	rn.ticks++
+	n.tickCount[rn.id]++
 
 	n.broadcast(rn, now)
 
 	interval := n.cfg.BroadcastInterval
 	if n.cfg.Adaptive != nil {
-		interval = n.cfg.Adaptive.Interval(rn.lastM)
+		interval = n.cfg.Adaptive.Interval(n.lastM[rn.id])
 	}
 	if n.beaconJitter != nil {
 		// Per-beacon phase jitter (±10%) so fixed schedules cannot
@@ -474,7 +500,7 @@ func (n *Network) weightOf(rn *runtimeNode, neighborIDs []int32) cluster.Weight 
 	case cluster.KindID:
 		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
 	case cluster.KindMobility:
-		value := rn.lastM
+		value := n.lastM[rn.id]
 		if c := n.cfg.CombinedDegreeWeight; c > 0 {
 			dev := len(rn.table) - n.cfg.IdealDegree
 			if dev < 0 {
@@ -486,7 +512,7 @@ func (n *Network) weightOf(rn *runtimeNode, neighborIDs []int32) cluster.Weight 
 	case cluster.KindDegree:
 		return cluster.Weight{Value: -float64(len(rn.table)), ID: rn.id}
 	case cluster.KindCustom:
-		return cluster.Weight{Value: rn.customW, ID: rn.id}
+		return cluster.Weight{Value: n.customW[rn.id], ID: rn.id}
 	case cluster.KindOracleMobility:
 		return cluster.Weight{Value: n.oracleMobility(rn, neighborIDs), ID: rn.id}
 	default:
@@ -545,10 +571,42 @@ func (n *Network) helloBytes() int {
 }
 
 // broadcast delivers rn's hello to every node whose received power clears
-// the threshold, subject to the loss model.
+// the threshold, subject to the loss model. Candidates are always visited in
+// ascending receiver-id order — the canonical delivery order every execution
+// mode (brute force, grid query, tiled plan) reproduces exactly, which is
+// what keeps the loss model's RNG draw sequence identical across them.
 func (n *Network) broadcast(rn *runtimeNode, now float64) {
 	n.rec.CountBroadcast(n.helloBytes())
 	n.obsRec.Add(obs.NetBeaconsSent, 1)
+
+	// On the tiled scheduler, a tile worker usually precomputed this tick's
+	// exact transmit position and threshold-passing receiver set during the
+	// window's parallel phase; consume the plan. A plan can legitimately be
+	// missing (the node's beacon was rescheduled mid-window by a crash
+	// recovery) — fall through to the inline path, which computes the same
+	// thing on the spot.
+	if td := n.tiled; td != nil {
+		if p := &td.plans[rn.id]; p.t == now {
+			n.obsRec.Add(obs.TilePlannedTicks, 1)
+			txPos := p.txPos
+			n.grid.Update(rn.id, txPos)
+			n.emit(trace.Event{
+				T: now, Kind: trace.KindBroadcast, Node: rn.id, Other: -1,
+				Value: rn.cnode.Weight().Value,
+			})
+			adv := advertisement{
+				weight: rn.cnode.Weight(),
+				role:   rn.cnode.Role(),
+				head:   rn.cnode.Head(),
+			}
+			for _, d := range p.deliveries {
+				n.deliverAboveThreshold(rn, n.nodes[d.id], now, d.pr, adv)
+			}
+			return
+		}
+		n.obsRec.Add(obs.TileFallbackTicks, 1)
+	}
+
 	txPos := rn.traj.At(now)
 	n.grid.Update(rn.id, txPos)
 	n.emit(trace.Event{
@@ -571,6 +629,7 @@ func (n *Network) broadcast(rn *runtimeNode, now float64) {
 		return
 	}
 	n.candBuf = n.grid.QueryRange(txPos, n.cfg.TxRange+n.candidateSlack, rn.id, n.candBuf[:0])
+	slices.Sort(n.candBuf) // canonical ascending delivery order
 	for _, id := range n.candBuf {
 		n.tryDeliver(rn, n.nodes[id], txPos, now, adv)
 	}
@@ -588,13 +647,26 @@ type advertisement struct {
 // if it clears the threshold, survives the loss model, and (when the MAC
 // collision model is on) does not overlap another reception.
 func (n *Network) tryDeliver(tx, rx *runtimeNode, txPos geom.Point, now float64, adv advertisement) {
-	if rx.down {
+	if n.down[rx.id] {
 		return
 	}
 	rxPos := rx.traj.At(now)
 	d := txPos.Dist(rxPos)
 	pr := n.cfg.Propagation.RxPower(n.cfg.TxPower, d)
 	if pr < n.rxThresh {
+		return
+	}
+	n.deliverAboveThreshold(tx, rx, now, pr, adv)
+}
+
+// deliverAboveThreshold is the post-threshold tail of a delivery: the loss
+// model's draw, then the MAC deferral or the immediate hand-up. The tiled
+// scheduler enters here directly with the received power a tile worker
+// precomputed; the down re-check makes a plan computed before a mid-window
+// crash land exactly like the sequential path (which checks down before the
+// power math — a pure computation, so the order is unobservable).
+func (n *Network) deliverAboveThreshold(tx, rx *runtimeNode, now, pr float64, adv advertisement) {
+	if n.down[rx.id] {
 		return
 	}
 	if n.cfg.Loss.Drops(tx.id, rx.id, now) {
@@ -687,7 +759,7 @@ func (n *Network) endReception(rec *reception, t float64) {
 	}
 	txID, pr, adv, collided := rec.tx, rec.pr, rec.adv, rec.collided
 	n.releaseReception(rec)
-	if rx.down {
+	if n.down[rx.id] {
 		return
 	}
 	if collided {
@@ -739,7 +811,7 @@ func (n *Network) sampleClusters(now float64) {
 	sizeCount := n.sizeCount[:len(n.nodes)]
 	touched := n.touched[:0]
 	for _, rn := range n.nodes {
-		if rn.down {
+		if n.down[rn.id] {
 			continue
 		}
 		switch rn.cnode.Role() {
@@ -787,17 +859,25 @@ func (n *Network) sampleClusters(now float64) {
 	}
 	n.touched = touched[:0]
 
-	pos := n.topoPos[:0]
-	for _, rn := range n.nodes {
-		pos = append(pos, rn.traj.At(now))
+	// The connectivity snapshot is the sampler's O(N^2) part; on the tiled
+	// scheduler a worker precomputed it for this exact instant during the
+	// window's parallel phase (the computation is pure in the trajectories,
+	// so the cached component stats are bit-identical to the inline ones).
+	if td := n.tiled; td != nil && td.samplePlan.t == now {
+		n.rec.SampleTopology(now, td.samplePlan.comps, td.samplePlan.largest, len(n.nodes))
+	} else {
+		pos := n.topoPos[:0]
+		for _, rn := range n.nodes {
+			pos = append(pos, rn.traj.At(now))
+		}
+		n.topoPos = pos
+		if n.topo == nil {
+			n.topo = &graph.Adjacency{}
+		}
+		n.topo.Rebuild(pos, n.cfg.TxRange)
+		comps, largest := n.topo.ComponentStats()
+		n.rec.SampleTopology(now, comps, largest, len(n.nodes))
 	}
-	n.topoPos = pos
-	if n.topo == nil {
-		n.topo = &graph.Adjacency{}
-	}
-	n.topo.Rebuild(pos, n.cfg.TxRange)
-	comps, largest := n.topo.ComponentStats()
-	n.rec.SampleTopology(now, comps, largest, len(n.nodes))
 	if now+n.cfg.SampleInterval <= n.cfg.Duration {
 		if err := n.sched.Reschedule(n.sampleEv, now+n.cfg.SampleInterval); err != nil {
 			return

@@ -1,0 +1,414 @@
+package simnet
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobic/internal/geom"
+	"mobic/internal/graph"
+	"mobic/internal/obs"
+	"mobic/internal/spatial"
+)
+
+// The tiled-parallel scheduler: conservative parallel discrete-event
+// simulation that is bit-identical to the sequential run by construction.
+//
+// Classic conservative PDES gives each tile an independent event queue and
+// lets tiles run ahead of each other by the lookahead. Hello beacons deliver
+// instantaneously here (propagation delay is below the float64 resolution of
+// the clock), so truly independent queues would have zero lookahead across
+// tile borders. Instead, the engine splits each synchronization window into
+// two phases:
+//
+//   - Phase A (parallel): tile workers precompute, for every beacon tick due
+//     in the window, the *pure* part of the tick — the exact transmit
+//     position and the threshold-passing receiver set with exact received
+//     powers — against an immutable position snapshot taken at the window
+//     start. Purity is what makes this safe: trajectories are functions of
+//     time, the propagation model is deterministic, and the candidate set is
+//     a superset filter over positions only.
+//   - Phase B (sequential): the single global event queue replays the window
+//     in exactly the sequential order; broadcast consumes a tick's plan when
+//     the plan's timestamp matches bit-for-bit, and otherwise recomputes
+//     inline. State mutation, the loss model's RNG draws, MAC deferrals and
+//     clustering steps all happen here, in the canonical ascending-receiver
+//     order both paths share.
+//
+// Anything impure — a receiver crashing mid-window, a recovered node's
+// rescheduled beacon — degrades a plan to "unused" or "mismatched", and
+// Phase B falls back to the inline computation. Correctness therefore never
+// depends on the lookahead or the tiling; they only decide how much work
+// Phase A can pull off the critical path. See DESIGN.md S29 for the full
+// argument.
+type tiledRun struct {
+	tiling *spatial.Tiling
+	snap   *spatial.Snapshot
+	// lookahead is the window length in simulated seconds: strictly below
+	// the minimum beacon interval so each node ticks at most once per
+	// window and every plan is consumed before the node's state changes.
+	lookahead float64
+	// queryRadius is TxRange plus the motion slack maxSpeed*lookahead (a
+	// transmitter and receiver each drift at most maxSpeed*lookahead from
+	// the snapshot taken at the window start) plus a float-rounding margin.
+	// Planning queries with it are supersets of the exact receiver set.
+	queryRadius float64
+	// haloPairs is the number of adjacent tile pairs whose halo cells
+	// overlap at queryRadius — the per-window boundary-state exchange
+	// volume reported to obs.
+	haloPairs int
+	// extraWorkers is the number of persistent worker goroutines; the
+	// coordinator goroutine also drains tasks, so parallelism is
+	// extraWorkers+1.
+	extraWorkers int
+	workCh       chan struct{}
+	wg           sync.WaitGroup
+	nextTask     atomic.Int32
+	numTasks     int32
+
+	// Per-window planning state. All of it is written by the coordinator
+	// before the workers are released (the channel send is the
+	// happens-before edge) or by exactly one task during Phase A.
+	posBuf    []geom.Point
+	tileTicks [][]dueTick
+	plans     []tickPlan
+	planned   []int32
+	// candBufs are per-drainer candidate scratch buffers; index
+	// extraWorkers belongs to the coordinator.
+	candBufs [][]int32
+
+	// Sampler plan (Phase A task 0): the connectivity snapshot for a
+	// cluster sample falling inside the window.
+	sampleDue  bool
+	sampleT    float64
+	samplePlan samplePlan
+	topoPos    []geom.Point
+	topo       *graph.Adjacency
+}
+
+// dueTick is one beacon tick collected at a window start.
+type dueTick struct {
+	id int32
+	t  float64
+}
+
+// tickPlan is the precomputed pure part of one beacon tick. t is NaN while
+// the plan is unset; broadcast consumes it only on a bit-exact time match.
+type tickPlan struct {
+	t          float64
+	txPos      geom.Point
+	deliveries []planDelivery
+}
+
+// planDelivery is one threshold-passing receiver with its exact received
+// power, in ascending-id order within a plan.
+type planDelivery struct {
+	id int32
+	pr float64
+}
+
+// samplePlan caches the component stats of the connectivity graph at sample
+// time t (NaN while unset).
+type samplePlan struct {
+	t              float64
+	comps, largest int
+}
+
+// newTiledRun builds the tiled scheduler for a validated network. cellSize
+// is the spatial grid's cell size, reused so tiles align with the dense
+// index layout.
+func newTiledRun(n *Network, cellSize float64) (*tiledRun, error) {
+	cfg := n.cfg
+	tiling, err := spatial.NewTiling(cfg.Area, cellSize, cfg.Tiles, cfg.TileOffsetCells)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := spatial.NewSnapshot(cfg.Area, cellSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// The window must be strictly shorter than any beacon interval so a
+	// node ticks at most once per window: intervals are at least the base
+	// interval (Adaptive.Min under adaptive BI), shrunk by at most 10%
+	// under per-beacon collision jitter.
+	base := cfg.BroadcastInterval
+	if cfg.Adaptive != nil {
+		base = cfg.Adaptive.Min
+	}
+	lookahead := 0.9 * base
+	if cfg.HelloCollisions {
+		lookahead = 0.81 * base
+	}
+
+	maxSpeed := 0.0
+	for _, rn := range n.nodes {
+		if s := rn.traj.MaxSpeed(); s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	// Transmitter and receiver each move at most maxSpeed*lookahead between
+	// the snapshot instant and the tick; 0.5 m absorbs float rounding at
+	// the exact-threshold boundary.
+	queryRadius := cfg.TxRange + 2*maxSpeed*lookahead + 0.5
+
+	workers := runtime.GOMAXPROCS(0)
+	if max := tiling.Tiles() + 1; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	td := &tiledRun{
+		tiling:       tiling,
+		snap:         snap,
+		lookahead:    lookahead,
+		queryRadius:  queryRadius,
+		haloPairs:    tiling.HaloPairs(queryRadius) / 2,
+		extraWorkers: workers - 1,
+		posBuf:       make([]geom.Point, cfg.N),
+		tileTicks:    make([][]dueTick, tiling.Tiles()),
+		plans:        make([]tickPlan, cfg.N),
+		candBufs:     make([][]int32, workers),
+		topo:         &graph.Adjacency{},
+	}
+	for i := range td.plans {
+		td.plans[i].t = math.NaN()
+	}
+	td.samplePlan.t = math.NaN()
+
+	// Pre-size every node's mobility tracker for the expected neighborhood
+	// so dense mega-scenarios don't pay incremental map growth mid-run.
+	if degree := expectedDegree(cfg); degree > 4 {
+		for _, rn := range n.nodes {
+			rn.tracker.Reserve(degree)
+		}
+	}
+	return td, nil
+}
+
+// expectedDegree estimates the mean neighbor count from node density and
+// transmission range, capped at N-1.
+func expectedDegree(cfg Config) int {
+	area := cfg.Area.Width() * cfg.Area.Height()
+	if area <= 0 {
+		return 0
+	}
+	d := int(math.Ceil(float64(cfg.N) * math.Pi * cfg.TxRange * cfg.TxRange / area))
+	if d > cfg.N-1 {
+		d = cfg.N - 1
+	}
+	return d
+}
+
+// start launches the persistent worker pool (idempotent).
+func (td *tiledRun) start(n *Network) {
+	if td.workCh != nil {
+		return
+	}
+	td.workCh = make(chan struct{}, td.extraWorkers)
+	for w := 0; w < td.extraWorkers; w++ {
+		go td.worker(n, w)
+	}
+}
+
+// stop shuts the worker pool down. Safe to call once after start.
+func (td *tiledRun) stop() {
+	if td.workCh != nil {
+		close(td.workCh)
+		td.workCh = nil
+	}
+}
+
+// worker drains planning tasks each time the coordinator releases a window
+// token. The goroutines are persistent so a synchronization window costs no
+// spawns and no allocations.
+func (td *tiledRun) worker(n *Network, w int) {
+	for range td.workCh {
+		n.drainPlanTasks(w)
+		td.wg.Done()
+	}
+}
+
+// advance runs the simulation to horizon h in tiled synchronization windows.
+func (n *Network) advance(h float64) {
+	if n.tiled == nil {
+		n.sched.RunUntil(h)
+		return
+	}
+	if n.tiled.workCh == nil {
+		// Defensive: the pool is wired up in RunContext; without it the
+		// sequential path is always correct.
+		n.sched.RunUntil(h)
+		return
+	}
+	for now := n.sched.Now(); now < h; now = n.sched.Now() {
+		wh := now + n.tiled.lookahead
+		if wh > h {
+			wh = h
+		}
+		n.runTiledWindow(wh)
+	}
+}
+
+// runTiledWindow executes one synchronization window ending at h: snapshot,
+// parallel plan, sequential replay.
+func (n *Network) runTiledWindow(h float64) {
+	td := n.tiled
+	nt, ok := n.sched.NextTime()
+	if !ok || nt > h {
+		// Nothing due in the window; just move the clock.
+		n.sched.RunUntil(h)
+		return
+	}
+
+	// Halo exchange, realized: every tile worker plans against the same
+	// immutable position snapshot, so the boundary state a tile needs from
+	// its halo neighbors is published here, once per window, before any
+	// worker starts. The obs counter reports the equivalent pairwise
+	// exchange volume.
+	pos := td.posBuf
+	t0 := n.sched.Now()
+	for i, rn := range n.nodes {
+		pos[i] = rn.traj.At(t0)
+	}
+	td.snap.Fill(pos)
+
+	// Collect the beacon ticks due in (t0, h], sharded by the tile owning
+	// the transmitter's snapshot position. A node's persistent tick event
+	// exposes exactly what we need: queued means not fired and not
+	// canceled, and its time is the next beacon instant.
+	for k := range td.tileTicks {
+		td.tileTicks[k] = td.tileTicks[k][:0]
+	}
+	td.planned = td.planned[:0]
+	for _, rn := range n.nodes {
+		ev := rn.tickEv
+		if n.down[rn.id] || ev.Fired() || ev.Canceled() {
+			continue
+		}
+		t := ev.Time()
+		if t > h {
+			continue
+		}
+		tile := td.tiling.TileOf(pos[rn.id])
+		td.tileTicks[tile] = append(td.tileTicks[tile], dueTick{id: rn.id, t: t})
+		td.planned = append(td.planned, rn.id)
+	}
+	td.sampleDue = false
+	if ev := n.sampleEv; ev != nil && !ev.Fired() && !ev.Canceled() && ev.Time() <= h {
+		td.sampleDue = true
+		td.sampleT = ev.Time()
+	}
+
+	// Phase A: release the workers and drain tasks alongside them. Task 0
+	// is the sampler's connectivity snapshot; task k+1 plans tile k.
+	td.numTasks = int32(len(td.tileTicks)) + 1
+	td.nextTask.Store(0)
+	td.wg.Add(td.extraWorkers)
+	for i := 0; i < td.extraWorkers; i++ {
+		td.workCh <- struct{}{}
+	}
+	n.drainPlanTasks(td.extraWorkers)
+	if n.obsRec.Enabled() {
+		waitStart := time.Now()
+		td.wg.Wait()
+		n.obsRec.Add(obs.TileBarrierWaitNanos, time.Since(waitStart).Nanoseconds())
+	} else {
+		td.wg.Wait()
+	}
+
+	// Phase B: replay the window on the global queue in sequential order.
+	n.sched.RunUntil(h)
+
+	// Reset consumed (or abandoned) plans for the next window.
+	for _, id := range td.planned {
+		td.plans[id].t = math.NaN()
+	}
+	td.samplePlan.t = math.NaN()
+	n.obsRec.Add(obs.TileWindows, 1)
+	n.obsRec.Add(obs.TileHaloExchanges, int64(td.haloPairs))
+}
+
+// drainPlanTasks pulls planning tasks until the window's task counter is
+// exhausted. w indexes the drainer's private candidate scratch buffer.
+func (n *Network) drainPlanTasks(w int) {
+	td := n.tiled
+	for {
+		task := td.nextTask.Add(1) - 1
+		if task >= td.numTasks {
+			return
+		}
+		if task == 0 {
+			if td.sampleDue {
+				n.planSample()
+			}
+			continue
+		}
+		for _, dt := range td.tileTicks[task-1] {
+			n.planTick(w, dt.id, dt.t)
+		}
+	}
+}
+
+// planTick precomputes the pure part of node id's beacon tick at time t: the
+// exact transmit position and the exact threshold-passing receiver set, in
+// canonical ascending-id order. Everything read here is immutable during
+// Phase A (trajectories, the position snapshot, config); the only writes go
+// to plans[id], which this window assigns to exactly one tile task.
+func (n *Network) planTick(w int, id int32, t float64) {
+	td := n.tiled
+	p := &td.plans[id]
+	txPos := n.nodes[id].traj.At(t)
+	cand := td.snap.QueryRange(txPos, td.queryRadius, id, td.candBufs[w][:0])
+	td.candBufs[w] = cand
+	dels := p.deliveries[:0]
+	for _, rxID := range cand {
+		rxPos := n.nodes[rxID].traj.At(t)
+		pr := n.cfg.Propagation.RxPower(n.cfg.TxPower, txPos.Dist(rxPos))
+		if pr < n.rxThresh {
+			continue
+		}
+		dels = append(dels, planDelivery{id: rxID, pr: pr})
+	}
+	// The snapshot returns candidates in cell order; restore the canonical
+	// ascending-receiver order the sequential path delivers in. Insertion
+	// sort: the list is nearly sorted (ascending within each cell) and
+	// must not allocate.
+	for i := 1; i < len(dels); i++ {
+		for j := i; j > 0 && dels[j].id < dels[j-1].id; j-- {
+			dels[j], dels[j-1] = dels[j-1], dels[j]
+		}
+	}
+	p.deliveries = dels
+	p.txPos = txPos
+	p.t = t
+}
+
+// planSample precomputes the sampler's connectivity component stats at the
+// sample instant. Pure in the trajectories, so bit-identical to the inline
+// rebuild it replaces.
+func (n *Network) planSample() {
+	td := n.tiled
+	pos := td.topoPos[:0]
+	for _, rn := range n.nodes {
+		pos = append(pos, rn.traj.At(td.sampleT))
+	}
+	td.topoPos = pos
+	td.topo.Rebuild(pos, n.cfg.TxRange)
+	comps, largest := td.topo.ComponentStats()
+	td.samplePlan = samplePlan{t: td.sampleT, comps: comps, largest: largest}
+}
+
+// TiledStats reports the tiled scheduler's static shape for inspection and
+// tests: tile count, window length, and planning query radius. ok is false
+// for sequential runs.
+func (n *Network) TiledStats() (tiles int, lookahead, queryRadius float64, ok bool) {
+	if n.tiled == nil {
+		return 0, 0, 0, false
+	}
+	return n.tiled.tiling.Tiles(), n.tiled.lookahead, n.tiled.queryRadius, true
+}

@@ -1,0 +1,283 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+	"mobic/internal/obs"
+	"mobic/internal/trace"
+)
+
+// runHashed executes cfg to completion and returns an order-sensitive FNV
+// hash of the complete trace-event stream plus the run result. This is a
+// stricter check than the harness digester (which canonicalizes same-instant
+// groups): the tiled scheduler replays the identical global event order, so
+// even the raw stream must match byte for byte.
+func runHashed(t testing.TB, cfg Config) (uint64, *Result) {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [25]byte
+	cfg.Observer = func(ev trace.Event) {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(ev.T))
+		buf[8] = byte(ev.Kind)
+		binary.LittleEndian.PutUint32(buf[9:], uint32(ev.Node))
+		binary.LittleEndian.PutUint32(buf[13:], uint32(ev.Other))
+		binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(ev.Value))
+		h.Write(buf[:])
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64(), res
+}
+
+// tiledCases are the scenario shapes the equivalence tests sweep: every
+// engine feature that interacts with the window scheduler (MAC collisions,
+// node churn, adaptive beacon intervals, plain RWP mobility).
+func tiledCases() map[string]Config {
+	area := geom.Square(670)
+	base := Config{
+		N:         60,
+		Area:      area,
+		Duration:  120,
+		Seed:      7,
+		Algorithm: cluster.MOBIC,
+		Mobility:  &mobility.RandomWaypoint{Area: area, MaxSpeed: 20},
+		TxRange:   250,
+	}
+	collisions := base
+	collisions.Seed = 8
+	collisions.HelloCollisions = true
+
+	churn := base
+	churn.Seed = 9
+	churn.Failures = []NodeFailure{
+		{Node: 3, At: 30},
+		{Node: 11, At: 40, RecoverAt: 75},
+		{Node: 25, At: 55.5, RecoverAt: 56},
+		{Node: 47, At: 90, RecoverAt: 110},
+	}
+
+	adaptive := base
+	adaptive.Seed = 10
+	adaptive.Adaptive = &AdaptiveBI{Min: 1, Max: 4, MRef: 2}
+
+	static := base
+	static.Seed = 11
+	static.Mobility = &mobility.Static{Area: area}
+	static.Algorithm = cluster.LCC
+
+	return map[string]Config{
+		"rwp-mobic":  base,
+		"collisions": collisions,
+		"churn":      churn,
+		"adaptive":   adaptive,
+		"static-lcc": static,
+	}
+}
+
+// TestTiledMatchesSequential is the engine-level differential oracle: for
+// every scenario shape, an N-tile run must produce the byte-identical event
+// stream and the deep-equal result of the sequential run, for several tile
+// counts and tile-grid offsets.
+func TestTiledMatchesSequential(t *testing.T) {
+	// The worker-pool size derives from GOMAXPROCS; force real workers even
+	// on single-CPU machines so the parallel phase actually runs
+	// concurrently (goroutine interleaving is enough for equivalence and
+	// race coverage — physical cores only affect speed).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for name, cfg := range tiledCases() {
+		t.Run(name, func(t *testing.T) {
+			wantHash, wantRes := runHashed(t, cfg)
+			variants := []struct {
+				tiles, offset int
+			}{
+				{2, 0}, {4, 0}, {4, 3}, {5, 1}, {runtime.GOMAXPROCS(0), 0},
+			}
+			for _, v := range variants {
+				tiled := cfg
+				tiled.Tiles = v.tiles
+				tiled.TileOffsetCells = v.offset
+				gotHash, gotRes := runHashed(t, tiled)
+				if gotHash != wantHash {
+					t.Errorf("tiles=%d offset=%d: event stream hash %x, sequential %x",
+						v.tiles, v.offset, gotHash, wantHash)
+				}
+				if !reflect.DeepEqual(gotRes, wantRes) {
+					t.Errorf("tiles=%d offset=%d: result diverged from sequential run",
+						v.tiles, v.offset)
+				}
+			}
+		})
+	}
+}
+
+// TestTiledSchedulerRaceSoak is the -race stress for the window scheduler:
+// a dense arena where every tile border carries traffic, a small lookahead
+// (collision jitter shrinks the window), and churn that invalidates plans
+// mid-window. Run under `go test -race` (scripts/check.sh race gate) this
+// proves Phase A's concurrent planning touches no shared mutable state; the
+// digest comparison proves it also changed nothing.
+func TestTiledSchedulerRaceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	// Force a real worker pool regardless of machine size; see
+	// TestTiledMatchesSequential.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	area := geom.Square(900)
+	cfg := Config{
+		N:                 200,
+		Area:              area,
+		Duration:          40,
+		Seed:              21,
+		Algorithm:         cluster.MOBIC,
+		Mobility:          &mobility.RandomWaypoint{Area: area, MaxSpeed: 25},
+		TxRange:           250,
+		HelloCollisions:   true,
+		BroadcastInterval: 1.0,
+		TimeoutPeriod:     1.5,
+		Failures: []NodeFailure{
+			{Node: 5, At: 10, RecoverAt: 20},
+			{Node: 60, At: 12.25, RecoverAt: 12.5},
+			{Node: 100, At: 15},
+			{Node: 150, At: 18, RecoverAt: 30},
+			{Node: 199, At: 25, RecoverAt: 26},
+		},
+	}
+	wantHash, wantRes := runHashed(t, cfg)
+	tiled := cfg
+	tiled.Tiles = 8
+	tiled.TileOffsetCells = 1
+	gotHash, gotRes := runHashed(t, tiled)
+	if gotHash != wantHash {
+		t.Errorf("soak: tiled event stream hash %x, sequential %x", gotHash, wantHash)
+	}
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Error("soak: tiled result diverged from sequential run")
+	}
+}
+
+// TestTiledFallbackOnRecovery pins the degraded path: a crash recovery
+// reschedules the node's beacon into the current window at a time no plan
+// covers, so broadcast must fall back inline — and the run must still match
+// the sequential one (checked by TestTiledMatchesSequential/churn). Here we
+// assert the fallback path actually fired, so it cannot silently bitrot.
+func TestTiledFallbackOnRecovery(t *testing.T) {
+	cfg := tiledCases()["churn"]
+	cfg.Tiles = 4
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter(obs.TilePlannedTicks) == 0 {
+		t.Error("tiled run planned no ticks; the parallel phase is disconnected")
+	}
+	if reg.Counter(obs.TileFallbackTicks) == 0 {
+		t.Error("recovery-heavy run hit no fallback ticks; the degraded path is untested")
+	}
+	if reg.Counter(obs.TileWindows) == 0 || reg.Counter(obs.TileHaloExchanges) == 0 {
+		t.Error("window/halo counters did not advance")
+	}
+	if reg.Gauge(obs.TileCount) != 4 {
+		t.Errorf("tile count gauge = %g, want 4", reg.Gauge(obs.TileCount))
+	}
+}
+
+// TestTiledDisabledWhereUnsound: stochastic propagation (and forced brute
+// force) have no bounded planning radius, so Tiles must be ignored there.
+func TestTiledDisabledWhereUnsound(t *testing.T) {
+	cfg := tiledCases()["rwp-mobic"]
+	cfg.Tiles = 4
+	cfg.ForceBruteForce = true
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := net.TiledStats(); ok {
+		t.Error("brute-force run built a tiled scheduler")
+	}
+	cfg.ForceBruteForce = false
+	net, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiles, lookahead, radius, ok := net.TiledStats(); !ok {
+		t.Error("tiled run did not build the tiled scheduler")
+	} else if tiles != 4 || lookahead <= 0 || radius < cfg.TxRange {
+		t.Errorf("tiled stats = (%d, %g, %g)", tiles, lookahead, radius)
+	}
+}
+
+// TestTiledConfigValidation: negative knobs are rejected.
+func TestTiledConfigValidation(t *testing.T) {
+	cfg := tiledCases()["rwp-mobic"]
+	cfg.Tiles = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative Tiles accepted")
+	}
+	cfg.Tiles = 2
+	cfg.TileOffsetCells = -3
+	if _, err := New(cfg); err == nil {
+		t.Error("negative TileOffsetCells accepted")
+	}
+}
+
+// TestSteadyStateTickAllocsTiled extends the allocation gate to the tiled
+// scheduler: once warm, a whole synchronization window — snapshot refill,
+// due-tick sharding, parallel planning across the persistent worker pool,
+// and the sequential replay — allocates nothing. The worker goroutines are
+// persistent and the per-window dispatch is channel tokens plus atomics, so
+// the per-tile tick stays 0 allocs/interval like the sequential path.
+func TestSteadyStateTickAllocsTiled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	// Build with a real worker pool (AllocsPerRun serializes execution, but
+	// the token dispatch and barrier still run) so the measurement covers
+	// the actual per-window coordination machinery.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	area := geom.Square(670)
+	cfg := Config{
+		N:               50,
+		Area:            area,
+		Duration:        900,
+		Seed:            11,
+		Algorithm:       cluster.MOBIC,
+		Mobility:        &mobility.Static{Area: area},
+		TxRange:         250,
+		HelloCollisions: true,
+		Tiles:           4,
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.tiled.start(net)
+	defer net.tiled.stop()
+	net.advance(300) // converge pools and plan buffers, same horizon as the sequential gate
+	interval := net.Config().BroadcastInterval
+	allocs := testing.AllocsPerRun(20, func() {
+		net.advance(net.sched.Now() + interval)
+	})
+	if allocs > 0 {
+		t.Errorf("tiled steady-state beacon interval allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,0 +1,356 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"mobic/internal/geom"
+)
+
+// Tiling partitions a uniform cell grid into K rectangular-ish tiles — the
+// spatial shard key of the tiled-parallel simulation engine. Each grid cell
+// (and through it, each position in the area) maps to exactly one tile;
+// ticking senders are grouped by tile so one goroutine plans a spatially
+// coherent batch of broadcasts against the same few Snapshot cells.
+//
+// Tile boundaries can be shifted by an offset (in cells). The offset rotates
+// the cell-to-tile assignment, which moves every boundary without changing
+// the partition property — the metamorphic oracle in internal/harness uses
+// it to prove that simulation results cannot depend on where tile edges
+// fall.
+//
+// A Tiling is immutable after construction and safe for concurrent use.
+type Tiling struct {
+	area     geom.Rect
+	cellSize float64
+	cols     int
+	rows     int
+	kx, ky   int
+	offX     int
+	offY     int
+	// halo caches the halo adjacency computed by Halo, keyed by the radius
+	// it was computed for (one radius per engine run).
+	haloRadius float64
+	halo       [][]int32
+}
+
+// NewTiling builds a tiling of the area's cell grid (the same cell geometry
+// NewGrid derives: ceil(extent/cellSize) per axis) into at most `tiles`
+// tiles, with tile boundaries shifted by offsetCells. The tile count is
+// factored into a kx x ky tile grid matching the area's aspect ratio and
+// clamped so no tile is empty; Tiles reports the count actually used.
+func NewTiling(area geom.Rect, cellSize float64, tiles, offsetCells int) (*Tiling, error) {
+	if !area.Valid() {
+		return nil, fmt.Errorf("spatial: invalid area %v", area)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		return nil, fmt.Errorf("spatial: invalid cell size %g", cellSize)
+	}
+	if tiles < 1 {
+		return nil, fmt.Errorf("spatial: tile count %d < 1", tiles)
+	}
+	if offsetCells < 0 {
+		return nil, fmt.Errorf("spatial: tile offset %d < 0", offsetCells)
+	}
+	cols := int(math.Ceil(area.Width() / cellSize))
+	rows := int(math.Ceil(area.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	kx, ky := splitTiles(tiles, cols, rows)
+	return &Tiling{
+		area:     area,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		kx:       kx,
+		ky:       ky,
+		offX:     offsetCells % cols,
+		offY:     offsetCells % rows,
+	}, nil
+}
+
+// splitTiles factors k into kx*ky with kx/ky tracking cols/rows (the longer
+// axis gets the larger factor), clamped so kx <= cols and ky <= rows. The
+// result may multiply to less than k when the grid is too small to hold k
+// non-empty tiles.
+func splitTiles(k, cols, rows int) (kx, ky int) {
+	// Largest divisor of k not exceeding sqrt(k); its cofactor is >= it.
+	small := 1
+	for d := 1; d*d <= k; d++ {
+		if k%d == 0 {
+			small = d
+		}
+	}
+	large := k / small
+	if cols >= rows {
+		kx, ky = large, small
+	} else {
+		kx, ky = small, large
+	}
+	if kx > cols {
+		kx = cols
+	}
+	if ky > rows {
+		ky = rows
+	}
+	return kx, ky
+}
+
+// Tiles returns the number of tiles in the partition.
+func (t *Tiling) Tiles() int { return t.kx * t.ky }
+
+// Cols and Rows return the underlying cell-grid dimensions.
+func (t *Tiling) Cols() int { return t.cols }
+
+// Rows returns the cell-grid row count.
+func (t *Tiling) Rows() int { return t.rows }
+
+// TileOfCell maps cell (col, row) to its tile. Out-of-range cells are
+// clamped, mirroring the grid's treatment of positions beyond the area.
+func (t *Tiling) TileOfCell(col, row int) int {
+	col = clampInt(col, 0, t.cols-1)
+	row = clampInt(row, 0, t.rows-1)
+	// The offset rotates the cell axes before the even division, so every
+	// boundary moves while each cell keeps exactly one tile.
+	tc := ((col + t.offX) % t.cols) * t.kx / t.cols
+	tr := ((row + t.offY) % t.rows) * t.ky / t.rows
+	return tr*t.kx + tc
+}
+
+// TileOf maps a position to its tile via the cell it falls in (positions
+// outside the area clamp to the boundary cells, like Grid.Update).
+func (t *Tiling) TileOf(p geom.Point) int {
+	c := t.area.Clamp(p)
+	col := int((c.X - t.area.MinX) / t.cellSize)
+	row := int((c.Y - t.area.MinY) / t.cellSize)
+	return t.TileOfCell(col, row)
+}
+
+// Halo returns, for every tile, the sorted list of other tiles owning at
+// least one cell within `radius` (in meters, measured in whole cells —
+// Chebyshev distance ceil(radius/cellSize)) of one of its cells. This is the
+// halo-exchange relation of the conservative engine: a tile's broadcasts can
+// only reach receivers in its own cells or in a halo neighbor's cells, so
+// the relation bounds which tiles must observe each other's boundary state
+// per synchronization window. The relation is symmetric by construction.
+//
+// The result is cached for the given radius; the engine queries one radius
+// per run.
+func (t *Tiling) Halo(radius float64) [][]int32 {
+	if t.halo != nil && t.haloRadius == radius {
+		return t.halo
+	}
+	h := 0
+	if radius > 0 {
+		h = int(math.Ceil(radius / t.cellSize))
+	}
+	k := t.Tiles()
+	adj := make([]map[int32]struct{}, k)
+	for i := range adj {
+		adj[i] = make(map[int32]struct{})
+	}
+	for row := 0; row < t.rows; row++ {
+		for col := 0; col < t.cols; col++ {
+			a := t.TileOfCell(col, row)
+			for dr := -h; dr <= h; dr++ {
+				nr := row + dr
+				if nr < 0 || nr >= t.rows {
+					continue
+				}
+				for dc := -h; dc <= h; dc++ {
+					nc := col + dc
+					if nc < 0 || nc >= t.cols {
+						continue
+					}
+					b := t.TileOfCell(nc, nr)
+					if a != b {
+						adj[a][int32(b)] = struct{}{}
+						adj[b][int32(a)] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	out := make([][]int32, k)
+	for tile, set := range adj {
+		lst := make([]int32, 0, len(set))
+		for b := range set {
+			lst = append(lst, b)
+		}
+		// Insertion sort: halo lists are tiny (<= k-1).
+		for i := 1; i < len(lst); i++ {
+			for j := i; j > 0 && lst[j] < lst[j-1]; j-- {
+				lst[j], lst[j-1] = lst[j-1], lst[j]
+			}
+		}
+		out[tile] = lst
+	}
+	t.haloRadius = radius
+	t.halo = out
+	return out
+}
+
+// HaloPairs returns the number of directed halo-exchange pairs for radius:
+// the sum of halo-neighbor counts over all tiles. The engine adds it to the
+// halo-exchange counter once per synchronization window.
+func (t *Tiling) HaloPairs(radius float64) int {
+	total := 0
+	for _, hs := range t.Halo(radius) {
+		total += len(hs)
+	}
+	return total
+}
+
+// Snapshot is an immutable CSR (compressed sparse row) position index over
+// one instant: node ids grouped by grid cell, with cells laid out row-major
+// and ids ascending within each cell. The tiled engine rebuilds one Snapshot
+// per synchronization window from the trajectory positions at the window
+// start and shares it read-only across all tile goroutines — the
+// "boundary-halo exchange" is a tile worker reading its halo neighbors'
+// cells in this shared structure, with no copying and no locks.
+//
+// Fill reuses the backing arrays, so a Snapshot refreshed every window
+// allocates nothing at steady state. Between Fill calls a Snapshot is safe
+// for concurrent readers.
+type Snapshot struct {
+	area     geom.Rect
+	cellSize float64
+	cols     int
+	rows     int
+	// start[c] .. start[c+1] indexes ids for cell c.
+	start []int32
+	ids   []int32
+	// pos is the caller's position slice, indexed by id; held, not copied.
+	pos []geom.Point
+	// cellOf is scratch for Fill: the cell of each id.
+	cellOf []int32
+}
+
+// NewSnapshot builds an empty snapshot index with the same cell geometry as
+// NewGrid over the area.
+func NewSnapshot(area geom.Rect, cellSize float64) (*Snapshot, error) {
+	if !area.Valid() {
+		return nil, fmt.Errorf("spatial: invalid area %v", area)
+	}
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		return nil, fmt.Errorf("spatial: invalid cell size %g", cellSize)
+	}
+	cols := int(math.Ceil(area.Width() / cellSize))
+	rows := int(math.Ceil(area.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Snapshot{
+		area:     area,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		start:    make([]int32, cols*rows+1),
+	}, nil
+}
+
+// Len returns the number of indexed nodes.
+func (s *Snapshot) Len() int { return len(s.ids) }
+
+func (s *Snapshot) cellIndex(p geom.Point) int32 {
+	c := s.area.Clamp(p)
+	col := int((c.X - s.area.MinX) / s.cellSize)
+	row := int((c.Y - s.area.MinY) / s.cellSize)
+	if col >= s.cols {
+		col = s.cols - 1
+	}
+	if row >= s.rows {
+		row = s.rows - 1
+	}
+	return int32(row*s.cols + col)
+}
+
+// Fill (re)builds the index over pos, where pos[id] is node id's position.
+// The slice is retained until the next Fill — callers must not mutate it
+// while the snapshot is in use. Three passes: count per cell, prefix-sum,
+// scatter in ascending id order (so each cell's id run is sorted).
+func (s *Snapshot) Fill(pos []geom.Point) {
+	s.pos = pos
+	n := len(pos)
+	if cap(s.ids) < n {
+		s.ids = make([]int32, n)
+		s.cellOf = make([]int32, n)
+	}
+	s.ids = s.ids[:n]
+	s.cellOf = s.cellOf[:n]
+	counts := s.start
+	for i := range counts {
+		counts[i] = 0
+	}
+	for id := 0; id < n; id++ {
+		c := s.cellIndex(pos[id])
+		s.cellOf[id] = c
+		counts[c+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	// counts now holds the start offsets; scatter advances a per-cell
+	// cursor stored in cellOf's place... a second cursor array would
+	// allocate, so scatter uses the offsets directly and restores them.
+	for id := 0; id < n; id++ {
+		c := s.cellOf[id]
+		s.ids[counts[c]] = int32(id)
+		counts[c]++
+	}
+	// counts[c] ended at start[c+1]; shift back down into start form.
+	copy(counts[1:], counts[:len(counts)-1])
+	counts[0] = 0
+}
+
+// Position returns the indexed position of id.
+func (s *Snapshot) Position(id int32) geom.Point { return s.pos[id] }
+
+// Cell returns the sorted ids in cell (col, row).
+func (s *Snapshot) Cell(col, row int) []int32 {
+	c := row*s.cols + col
+	return s.ids[s.start[c]:s.start[c+1]]
+}
+
+// QueryRange appends to dst the ids of all nodes within radius of center
+// (boundary inclusive), excluding `exclude` (negative excludes nothing), and
+// returns the extended slice — the same contract as Grid.QueryRange, over
+// the frozen positions. Results come out in cell order with ids ascending
+// within a cell; callers needing globally ascending ids must sort.
+func (s *Snapshot) QueryRange(center geom.Point, radius float64, exclude int32, dst []int32) []int32 {
+	if radius < 0 || math.IsNaN(radius) {
+		return dst
+	}
+	rSq := radius * radius
+	minCol, maxCol := 0, s.cols-1
+	minRow, maxRow := 0, s.rows-1
+	if !math.IsInf(radius, 1) {
+		minCol = clampInt(int(math.Floor((center.X-radius-s.area.MinX)/s.cellSize)), 0, s.cols-1)
+		maxCol = clampInt(int(math.Floor((center.X+radius-s.area.MinX)/s.cellSize)), 0, s.cols-1)
+		minRow = clampInt(int(math.Floor((center.Y-radius-s.area.MinY)/s.cellSize)), 0, s.rows-1)
+		maxRow = clampInt(int(math.Floor((center.Y+radius-s.area.MinY)/s.cellSize)), 0, s.rows-1)
+	}
+	pos := s.pos
+	for row := minRow; row <= maxRow; row++ {
+		base := row * s.cols
+		for col := minCol; col <= maxCol; col++ {
+			c := base + col
+			for _, id := range s.ids[s.start[c]:s.start[c+1]] {
+				if id == exclude {
+					continue
+				}
+				if pos[id].DistSq(center) <= rSq {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

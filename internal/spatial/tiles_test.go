@@ -1,0 +1,347 @@
+package spatial
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"mobic/internal/geom"
+)
+
+func TestSplitTilesMatchesAspect(t *testing.T) {
+	cases := []struct {
+		k, cols, rows, wantX, wantY int
+	}{
+		{1, 10, 10, 1, 1},
+		{2, 10, 5, 2, 1},
+		{2, 5, 10, 1, 2},
+		{4, 10, 10, 2, 2},
+		{6, 12, 4, 3, 2},
+		{8, 2, 16, 2, 4},
+		{7, 10, 10, 7, 1},
+		{16, 2, 2, 2, 2}, // clamped: grid too small for 16 tiles
+	}
+	for _, c := range cases {
+		kx, ky := splitTiles(c.k, c.cols, c.rows)
+		if kx != c.wantX || ky != c.wantY {
+			t.Errorf("splitTiles(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				c.k, c.cols, c.rows, kx, ky, c.wantX, c.wantY)
+		}
+	}
+}
+
+func TestTilingPartitionsEveryCell(t *testing.T) {
+	for _, offset := range []int{0, 1, 3, 17} {
+		tl, err := NewTiling(geom.Square(670), 100, 4, offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := tl.Tiles()
+		if k != 4 {
+			t.Fatalf("offset %d: got %d tiles, want 4", offset, k)
+		}
+		perTile := make([]int, k)
+		for row := 0; row < tl.Rows(); row++ {
+			for col := 0; col < tl.Cols(); col++ {
+				tile := tl.TileOfCell(col, row)
+				if tile < 0 || tile >= k {
+					t.Fatalf("offset %d: cell (%d,%d) mapped to tile %d of %d", offset, col, row, tile, k)
+				}
+				perTile[tile]++
+			}
+		}
+		for tile, n := range perTile {
+			if n == 0 {
+				t.Errorf("offset %d: tile %d owns no cells", offset, tile)
+			}
+		}
+	}
+}
+
+func TestTileOfAgreesWithCellAssignment(t *testing.T) {
+	tl, err := NewTiling(geom.NewRect(1000, 400), 150, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 500; i++ {
+		// Include points outside the area: they must clamp, not panic.
+		p := geom.Point{X: rng.Float64()*1200 - 100, Y: rng.Float64()*600 - 100}
+		c := geom.Rect{MaxX: 1000, MaxY: 400}.Clamp(p)
+		col := int(c.X / 150)
+		row := int(c.Y / 150)
+		if col >= tl.Cols() {
+			col = tl.Cols() - 1
+		}
+		if row >= tl.Rows() {
+			row = tl.Rows() - 1
+		}
+		if got, want := tl.TileOf(p), tl.TileOfCell(col, row); got != want {
+			t.Fatalf("TileOf(%v) = %d, cell (%d,%d) says %d", p, got, col, row, want)
+		}
+	}
+}
+
+func TestHaloSymmetricIrreflexive(t *testing.T) {
+	tl, err := NewTiling(geom.Square(2000), 250, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo := tl.Halo(300)
+	for a, hs := range halo {
+		for _, b := range hs {
+			if int(b) == a {
+				t.Errorf("tile %d lists itself as halo neighbor", a)
+			}
+			if !slices.Contains(halo[b], int32(a)) {
+				t.Errorf("halo asymmetric: %d -> %d but not %d -> %d", a, b, b, a)
+			}
+		}
+	}
+	if got := tl.HaloPairs(300); got == 0 {
+		t.Error("multi-tile tiling reports zero halo pairs")
+	}
+	// The cache must serve the same radius again.
+	if &tl.Halo(300)[0] == nil {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestNewTilingRejectsBadInputs(t *testing.T) {
+	if _, err := NewTiling(geom.Rect{}, 100, 4, 0); err == nil {
+		t.Error("invalid area accepted")
+	}
+	if _, err := NewTiling(geom.Square(100), 0, 4, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := NewTiling(geom.Square(100), 50, 0, 0); err == nil {
+		t.Error("zero tiles accepted")
+	}
+	if _, err := NewTiling(geom.Square(100), 50, 4, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := NewSnapshot(geom.Rect{}, 100); err == nil {
+		t.Error("snapshot: invalid area accepted")
+	}
+	if _, err := NewSnapshot(geom.Square(100), math.NaN()); err == nil {
+		t.Error("snapshot: NaN cell size accepted")
+	}
+}
+
+// TestSnapshotMatchesGrid is the differential oracle at the index level: a
+// Snapshot filled with the same positions as a Grid must answer every range
+// query with the same id set.
+func TestSnapshotMatchesGrid(t *testing.T) {
+	area := geom.Square(670)
+	grid, err := NewGrid(area, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(area, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 9))
+	pos := make([]geom.Point, 120)
+	for id := range pos {
+		pos[id] = geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670}
+		grid.Update(int32(id), pos[id])
+	}
+	snap.Fill(pos)
+	if snap.Len() != len(pos) {
+		t.Fatalf("snapshot holds %d nodes, want %d", snap.Len(), len(pos))
+	}
+	for i := 0; i < 200; i++ {
+		center := geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670}
+		radius := rng.Float64() * 400
+		exclude := int32(rng.IntN(len(pos)))
+		g := grid.QueryRange(center, radius, exclude, nil)
+		s := snap.QueryRange(center, radius, exclude, nil)
+		slices.Sort(g)
+		slices.Sort(s)
+		if !slices.Equal(g, s) {
+			t.Fatalf("query %v r=%g: grid %v, snapshot %v", center, radius, g, s)
+		}
+	}
+	// Infinite radius returns everyone but the excluded id.
+	all := snap.QueryRange(geom.Point{}, math.Inf(1), 5, nil)
+	if len(all) != len(pos)-1 {
+		t.Fatalf("infinite radius returned %d of %d ids", len(all), len(pos)-1)
+	}
+	// Negative and NaN radii return nothing.
+	if got := snap.QueryRange(geom.Point{}, -1, -1, nil); len(got) != 0 {
+		t.Fatalf("negative radius returned %d ids", len(got))
+	}
+	if got := snap.QueryRange(geom.Point{}, math.NaN(), -1, nil); len(got) != 0 {
+		t.Fatalf("NaN radius returned %d ids", len(got))
+	}
+}
+
+func TestSnapshotCellsSortedAndComplete(t *testing.T) {
+	snap, err := NewSnapshot(geom.Square(500), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 2))
+	pos := make([]geom.Point, 300)
+	for id := range pos {
+		pos[id] = geom.Point{X: rng.Float64() * 500, Y: rng.Float64() * 500}
+	}
+	snap.Fill(pos)
+	seen := make(map[int32]int)
+	for row := 0; row < snap.rows; row++ {
+		for col := 0; col < snap.cols; col++ {
+			cell := snap.Cell(col, row)
+			if !slices.IsSorted(cell) {
+				t.Fatalf("cell (%d,%d) ids not ascending: %v", col, row, cell)
+			}
+			for _, id := range cell {
+				seen[id]++
+				if got := snap.Position(id); got != pos[id] {
+					t.Fatalf("node %d position %v, want %v", id, got, pos[id])
+				}
+			}
+		}
+	}
+	if len(seen) != len(pos) {
+		t.Fatalf("cells cover %d of %d nodes", len(seen), len(pos))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("node %d appears in %d cells", id, n)
+		}
+	}
+}
+
+// TestSnapshotRefillAllocs pins the per-window cost of the tiled engine's
+// snapshot rebuild: after the first Fill sized the arrays, refilling (even
+// with moved positions) allocates nothing.
+func TestSnapshotRefillAllocs(t *testing.T) {
+	snap, err := NewSnapshot(geom.Square(670), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	pos := make([]geom.Point, 200)
+	for id := range pos {
+		pos[id] = geom.Point{X: rng.Float64() * 670, Y: rng.Float64() * 670}
+	}
+	snap.Fill(pos)
+	allocs := testing.AllocsPerRun(50, func() {
+		for id := range pos {
+			pos[id].X += 1.5
+		}
+		snap.Fill(pos)
+	})
+	if allocs > 0 {
+		t.Errorf("snapshot refill allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// FuzzTilePartition fuzzes arena geometry x tile count x node placement and
+// checks the invariants the tiled engine's correctness argument rests on:
+// every node lands in exactly one tile, halo sets are symmetric and
+// irreflexive, and a snapshot range query loses and duplicates nothing
+// against the brute-force oracle (the spatial-level form of "no lost or
+// duplicated deliveries").
+func FuzzTilePartition(f *testing.F) {
+	f.Add(670.0, 670.0, 250.0, 4, 0, 50, uint64(1))
+	f.Add(1000.0, 1000.0, 150.0, 8, 3, 80, uint64(2))
+	f.Add(9475.0, 9475.0, 250.0, 16, 0, 120, uint64(3))
+	f.Add(300.0, 40.0, 25.0, 6, 7, 30, uint64(4))
+	f.Fuzz(func(t *testing.T, w, h, cellSize float64, tiles, offset, n int, seed uint64) {
+		// Sanitize into the domain NewTiling accepts; the invariants must
+		// then hold for every input.
+		if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			w = 100
+		}
+		if math.IsNaN(h) || math.IsInf(h, 0) || h <= 0 {
+			h = 100
+		}
+		w = math.Min(w, 5000)
+		h = math.Min(h, 5000)
+		if math.IsNaN(cellSize) || math.IsInf(cellSize, 0) || cellSize <= 0 {
+			cellSize = 50
+		}
+		cellSize = math.Max(math.Min(cellSize, math.Max(w, h)), math.Max(w, h)/64)
+		tiles = clampInt(tiles, 1, 64)
+		offset = clampInt(offset, 0, 1000)
+		n = clampInt(n, 0, 200)
+
+		area := geom.NewRect(w, h)
+		tl, err := NewTiling(area, cellSize, tiles, offset)
+		if err != nil {
+			t.Fatalf("NewTiling(%gx%g, %g, %d, %d): %v", w, h, cellSize, tiles, offset, err)
+		}
+		k := tl.Tiles()
+		if k < 1 || k > tiles {
+			t.Fatalf("tile count %d outside [1, %d]", k, tiles)
+		}
+
+		// Every cell maps into range and no tile is empty.
+		perTile := make([]int, k)
+		for row := 0; row < tl.Rows(); row++ {
+			for col := 0; col < tl.Cols(); col++ {
+				tile := tl.TileOfCell(col, row)
+				if tile < 0 || tile >= k {
+					t.Fatalf("cell (%d,%d) -> tile %d of %d", col, row, tile, k)
+				}
+				perTile[tile]++
+			}
+		}
+		for tile, cells := range perTile {
+			if cells == 0 {
+				t.Fatalf("tile %d owns no cells (grid %dx%d, k %d, offset %d)",
+					tile, tl.Cols(), tl.Rows(), k, offset)
+			}
+		}
+
+		// Halo symmetry and irreflexivity at the engine's query radius.
+		radius := cellSize * 1.5
+		halo := tl.Halo(radius)
+		for a, hs := range halo {
+			for _, b := range hs {
+				if int(b) == a {
+					t.Fatalf("tile %d in its own halo", a)
+				}
+				if !slices.Contains(halo[b], int32(a)) {
+					t.Fatalf("halo asymmetric between %d and %d", a, b)
+				}
+			}
+		}
+
+		// Node placement: every node in exactly one tile (TileOf is total
+		// and single-valued by construction; check range), and snapshot
+		// queries match brute force with no loss or duplication.
+		rng := rand.New(rand.NewPCG(seed, 0xd1ce))
+		pos := make([]geom.Point, n)
+		for id := range pos {
+			// Sprinkle some out-of-area positions; they must clamp.
+			pos[id] = geom.Point{X: rng.Float64()*w*1.2 - 0.1*w, Y: rng.Float64()*h*1.2 - 0.1*h}
+			if tile := tl.TileOf(pos[id]); tile < 0 || tile >= k {
+				t.Fatalf("node %d at %v -> tile %d of %d", id, pos[id], tile, k)
+			}
+		}
+		snap, err := NewSnapshot(area, cellSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Fill(pos)
+		for q := 0; q < 4; q++ {
+			center := geom.Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+			got := snap.QueryRange(center, radius, -1, nil)
+			slices.Sort(got)
+			var want []int32
+			rSq := radius * radius
+			for id := range pos {
+				if pos[id].DistSq(center) <= rSq {
+					want = append(want, int32(id))
+				}
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("query %v r=%g: snapshot %v, oracle %v", center, radius, got, want)
+			}
+		}
+	})
+}

@@ -32,6 +32,9 @@ awk -v t="$total" -v f="$floor" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
     exit 1
 }
 
+echo "== tiled-scheduler race soak (explicit pass; also runs inside -race above)"
+go test -race -run='^TestTiledSchedulerRaceSoak$|^TestTiledMatchesSequential$' -count=1 -v ./internal/simnet | grep -E '^(=== RUN|--- (PASS|FAIL)|PASS|FAIL|ok)'
+
 echo "== allocation regression (hot path must stay zero-alloc, bare and instrumented; skipped under -race above)"
 go test -run='^TestSteadyStateTickAllocs' -count=1 -v ./internal/simnet | grep -E 'PASS|FAIL|allocates'
 
@@ -40,6 +43,7 @@ go test -run='^$' -fuzz='^FuzzSpec$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzSpecDigest$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzEngineInvariants$' -fuzztime=5s ./internal/cluster
+go test -run='^$' -fuzz='^FuzzTilePartition$' -fuzztime=5s ./internal/spatial
 
 echo "== benchmark smoke + regression gate"
 ./scripts/bench.sh check
