@@ -133,9 +133,26 @@ func run(args []string, logw io.Writer) error {
 		cacheDisk  = fs.Int64("cache-disk-mb", 256, "on-disk result-cache budget in MiB (with -data-dir)")
 		coordMode  = fs.Bool("coordinator", false, "run as a cluster coordinator instead of a worker (requires -peers)")
 		peerList   = fs.String("peers", "", "comma-separated worker base URLs for -coordinator mode")
+		replicate  = fs.Bool("replicate", false, "stream job checkpoints to the ring successor for fast failover (both modes)")
+		failAfter  = fs.Int("fail-after", 2, "consecutive failed health probes before a peer is marked down (-coordinator)")
+		pollEvery  = fs.Duration("poll-every", time.Second, "tracked-job status/checkpoint poll period (-coordinator)")
+		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive transport failures that open a peer's circuit breaker (-coordinator)")
+		brkCool    = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe (-coordinator)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *failAfter <= 0 {
+		return fmt.Errorf("-fail-after must be positive (got %d)", *failAfter)
+	}
+	if *pollEvery <= 0 {
+		return fmt.Errorf("-poll-every must be positive (got %s)", *pollEvery)
+	}
+	if *brkThresh <= 0 {
+		return fmt.Errorf("-breaker-threshold must be positive (got %d)", *brkThresh)
+	}
+	if *brkCool <= 0 {
+		return fmt.Errorf("-breaker-cooldown must be positive (got %s)", *brkCool)
 	}
 	logger, err := newLogger(logw, *logFormat)
 	if err != nil {
@@ -166,25 +183,49 @@ func run(args []string, logw io.Writer) error {
 
 	if *coordMode {
 		peers := strings.FieldsFunc(*peerList, func(r rune) bool { return r == ',' })
+		runner := experiment.Runner{Seeds: *seeds, Tiles: *tiles}
+		if *quick {
+			runner.Mutate = func(cfg *simnet.Config) { cfg.Duration = 300 }
+		}
+		// The embedded fallback keeps accepting jobs when every worker is
+		// unreachable: a degraded answer beats a 503. In-memory on purpose —
+		// the coordinator's durability story is the workers' journals.
+		local := service.New(service.Config{
+			QueueCapacity: *queueCap,
+			Workers:       *workers,
+			TTL:           *ttl,
+			Runner:        runner,
+			Obs:           registry,
+		})
+		local.Start()
 		coord, err := dispatch.New(dispatch.Config{
-			Peers:          peers,
-			WorkersPerPeer: *workers,
-			TTL:            *ttl,
-			Cache:          results,
-			Obs:            registry,
-			Logger:         logger,
+			Peers:            peers,
+			WorkersPerPeer:   *workers,
+			TTL:              *ttl,
+			PollEvery:        *pollEvery,
+			FailAfter:        *failAfter,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCool,
+			Replicate:        *replicate,
+			Local:            local,
+			Cache:            results,
+			Obs:              registry,
+			Logger:           logger,
 		})
 		if err != nil {
 			return err
 		}
 		coord.Start()
-		logger.Info("coordinator mode", "peers", len(peers))
+		logger.Info("coordinator mode", "peers", len(peers), "replicate", *replicate)
 		handler = dispatch.NewHandler(coord)
 		drain = func() {
 			drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 			defer cancel()
 			if err := coord.Shutdown(drainCtx); err != nil {
 				logger.Warn("coordinator drain incomplete", "err", err)
+			}
+			if err := local.Shutdown(drainCtx); err != nil {
+				logger.Warn("local fallback drain incomplete", "err", err)
 			}
 		}
 	} else {
@@ -200,6 +241,7 @@ func run(args []string, logw io.Writer) error {
 			DataDir:       *dataDir,
 			Retry:         service.RetryPolicy{MaxAttempts: *maxTries},
 			CompactBytes:  *compactAt,
+			Replicate:     *replicate,
 			Obs:           registry,
 			Cache:         results,
 		})

@@ -53,6 +53,22 @@ func TestRunRejectsBadDebugAddr(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadClusterKnobs(t *testing.T) {
+	for _, bad := range [][]string{
+		{"-fail-after", "0"},
+		{"-fail-after", "-1"},
+		{"-poll-every", "0s"},
+		{"-poll-every", "-1s"},
+		{"-breaker-threshold", "0"},
+		{"-breaker-cooldown", "-5s"},
+	} {
+		var log strings.Builder
+		if err := run(append([]string{"-addr", "127.0.0.1:0"}, bad...), &log); err == nil {
+			t.Errorf("%v should error at boot", bad)
+		}
+	}
+}
+
 // syncBuffer is a goroutine-safe log sink: run() writes from its own
 // goroutine while the test polls for the listener addresses.
 type syncBuffer struct {

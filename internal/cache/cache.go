@@ -40,6 +40,11 @@ var fileMagic = []byte("MOBICCACHE1\n")
 // temp files (different suffix) invisible to it.
 const fileSuffix = ".res"
 
+// corruptSuffix is appended to a cache file that failed its CRC or framing
+// check: the entry is quarantined for forensics instead of deleted, and the
+// open-time scan ignores it.
+const corruptSuffix = ".corrupt"
+
 // maxValueBytes bounds a single cached value; larger payloads and
 // impossible on-disk length prefixes are treated as corruption. The output
 // of the largest admissible sweep stays far below it.
@@ -186,10 +191,16 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	val, err := readEntry(c.path(key))
 	c.mu.Lock()
 	if err != nil {
-		// Torn or rotten file: drop it so the next write starts clean.
+		// Torn or rotten file: quarantine it under a .corrupt suffix —
+		// out of the lookup path (the next write starts clean) but kept
+		// on disk for forensics. The open-time scan skips the suffix, so
+		// a quarantined entry can never be served again.
 		if cur, ok := c.diskIdx[key]; ok && cur == el {
 			c.removeDiskLocked(cur)
-			os.Remove(c.path(key))
+			if os.Rename(c.path(key), c.path(key)+corruptSuffix) != nil {
+				os.Remove(c.path(key)) // quarantine failed: fall back to dropping
+			}
+			c.cfg.Obs.Add(obs.CacheCorrupt, 1)
 		}
 		c.mu.Unlock()
 		c.cfg.Obs.Add(obs.CacheMisses, 1)

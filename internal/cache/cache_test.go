@@ -114,16 +114,44 @@ func TestDiskCorruptionDegradesToMiss(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c2, err := Open(Config{Dir: dir})
+	reg := obs.NewRegistry()
+	c2, err := Open(Config{Dir: dir, Obs: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c2.Get(key(0)); ok {
 		t.Fatal("corrupt entry served as a hit")
 	}
-	// The bad file was deleted so a rewrite starts clean.
+	// The bad file was quarantined (not deleted) so a rewrite starts clean
+	// but the evidence survives for forensics.
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatalf("corrupt file not removed: %v", err)
+		t.Fatalf("corrupt file still in the lookup path: %v", err)
+	}
+	if _, err := os.Stat(path + corruptSuffix); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if n := reg.Counter(obs.CacheCorrupt); n != 1 {
+		t.Fatalf("CacheCorrupt = %d, want 1", n)
+	}
+	// The poisoned bytes can never be served again: a later Get is still a
+	// miss, and a fresh Open does not index the quarantined file.
+	if _, ok := c2.Get(key(0)); ok {
+		t.Fatal("quarantined entry re-served")
+	}
+	c3, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db := c3.DiskBytes(); db != 0 {
+		t.Fatalf("quarantined file indexed on reopen: DiskBytes = %d", db)
+	}
+	if _, ok := c3.Get(key(0)); ok {
+		t.Fatal("quarantined entry served after reopen")
+	}
+	// The slot itself still works: a fresh Put lands and reads back.
+	c3.Put(key(0), []byte("fresh value"))
+	if v, ok := c3.Get(key(0)); !ok || string(v) != "fresh value" {
+		t.Fatalf("rewrite after quarantine failed: %q %v", v, ok)
 	}
 }
 

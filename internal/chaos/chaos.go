@@ -1,0 +1,515 @@
+// Package chaos is a deterministic, seedable fault-injection framework for
+// exercising the distributed mobicd failure paths that production traffic
+// only finds at 3 a.m.: peer timeouts, connection resets, torn journal
+// writes, fsync failures, partitions and slow links.
+//
+// Faults come from a scripted Schedule — a small line-based DSL checked into
+// the test (or fuzzed) — so a chaos run is reproducible: the same schedule
+// against the same call sequence injects the same faults. Selectors count
+// matching operations per rule (nth=K, nth=K..M, every=N) and an optional
+// prob=P gate draws from a PRNG seeded by the schedule's seed and the rule's
+// index, never from global randomness.
+//
+// An Injector instantiates a Schedule with fresh counters and wraps the
+// three seams the cluster talks through:
+//
+//	inj.RoundTripper(base)  — coordinator→worker HTTP calls (latency,
+//	                          timeout, reset, error, cut=N mid-body)
+//	inj.Listener(l)         — inbound connections (reset, latency)
+//	inj.File(class, f)      — journal/cache writes and fsyncs (torn=N,
+//	                          error, latency)
+//
+// The wrappers are transparent when no rule matches, so the same test
+// harness runs clean or chaotic depending only on the schedule text.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobic/internal/obs"
+)
+
+// Layer names the interception seam a rule applies to.
+type Layer uint8
+
+// Interception layers.
+const (
+	// LayerHTTP intercepts outbound requests in the RoundTripper before
+	// they reach the transport.
+	LayerHTTP Layer = iota
+	// LayerBody intercepts successful HTTP response bodies (cut=N).
+	LayerBody
+	// LayerWrite intercepts file writes (torn=N, error, latency).
+	LayerWrite
+	// LayerFsync intercepts file syncs (error, latency).
+	LayerFsync
+	// LayerAccept intercepts accepted inbound connections.
+	LayerAccept
+
+	numLayers
+)
+
+var layerNames = [numLayers]string{"http", "body", "write", "fsync", "accept"}
+
+// String returns the layer's DSL keyword.
+func (l Layer) String() string {
+	if int(l) < len(layerNames) {
+		return layerNames[l]
+	}
+	return "unknown"
+}
+
+// Action is the fault a fired rule injects.
+type Action uint8
+
+// Fault actions.
+const (
+	// ActReset fails the operation with a connection-reset-shaped error.
+	ActReset Action = iota
+	// ActTimeout blocks an HTTP request until its context is done, the
+	// shape of a peer that accepted the connection and went silent.
+	ActTimeout
+	// ActError fails the operation with a generic injected error.
+	ActError
+	// ActLatency delays the operation by the rule's duration, then lets
+	// it proceed.
+	ActLatency
+	// ActTorn writes only the first N bytes of the payload, then fails —
+	// a power-loss-shaped partial write.
+	ActTorn
+	// ActCut delivers only the first N bytes of a response body, then
+	// fails the read — a peer dying mid-stream.
+	ActCut
+)
+
+var actionNames = map[Action]string{
+	ActReset: "reset", ActTimeout: "timeout", ActError: "error",
+	ActLatency: "latency", ActTorn: "torn", ActCut: "cut",
+}
+
+// String returns the action's DSL keyword (without its argument).
+func (a Action) String() string { return actionNames[a] }
+
+// Rule is one parsed schedule line: where to inject (layer, method,
+// pattern), when (nth range, every, prob), and what (action + argument).
+type Rule struct {
+	// Layer selects the interception seam.
+	Layer Layer
+	// Method filters HTTP/body rules by request method; "*" (or empty)
+	// matches any. Ignored on file and accept layers.
+	Method string
+	// Pattern is a *-glob matched against the operation key: "host/path"
+	// for HTTP and body, the file class ("journal", "cache") for write and
+	// fsync, the listener address for accept. '*' matches any run of
+	// characters, '/' included.
+	Pattern string
+	// From and To bound the 1-based match ordinals the rule fires on,
+	// inclusive; To = 0 means unbounded. The zero pair {0, 0} normalizes
+	// to every match.
+	From, To int
+	// Every fires on every Every-th match inside the range (0/1 = all).
+	Every int
+	// Prob gates each otherwise-selected match with a seeded coin flip in
+	// (0, 1]; 0 disables the gate.
+	Prob float64
+	// Act is the injected fault.
+	Act Action
+	// Dur is the latency argument (ActLatency).
+	Dur time.Duration
+	// N is the byte argument (ActTorn, ActCut).
+	N int
+}
+
+// String renders the rule back into its canonical DSL line.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Layer.String())
+	if r.Layer == LayerHTTP || r.Layer == LayerBody {
+		m := r.Method
+		if m == "" {
+			m = "*"
+		}
+		b.WriteString(" " + m)
+	}
+	b.WriteString(" " + r.Pattern)
+	switch {
+	case r.From == r.To && r.From > 0:
+		fmt.Fprintf(&b, " nth=%d", r.From)
+	case r.To > 0:
+		fmt.Fprintf(&b, " nth=%d..%d", r.From, r.To)
+	case r.From > 1:
+		fmt.Fprintf(&b, " nth=%d..", r.From)
+	}
+	if r.Every > 1 {
+		fmt.Fprintf(&b, " every=%d", r.Every)
+	}
+	if r.Prob > 0 {
+		fmt.Fprintf(&b, " prob=%g", r.Prob)
+	}
+	switch r.Act {
+	case ActLatency:
+		fmt.Fprintf(&b, " latency=%s", r.Dur)
+	case ActTorn:
+		fmt.Fprintf(&b, " torn=%d", r.N)
+	case ActCut:
+		fmt.Fprintf(&b, " cut=%d", r.N)
+	default:
+		b.WriteString(" " + r.Act.String())
+	}
+	return b.String()
+}
+
+// Schedule is a parsed fault script: an ordered rule list plus the PRNG
+// seed for prob= gates. Schedules are immutable; New instantiates one with
+// fresh counters.
+type Schedule struct {
+	// Seed feeds the per-rule PRNGs behind prob= selectors.
+	Seed uint64
+	// Rules fire first-match-wins per operation.
+	Rules []Rule
+}
+
+// String renders the schedule back into canonical DSL text; Parse of the
+// result yields an equal schedule (the fuzz harness pins this round trip).
+func (s *Schedule) String() string {
+	var b strings.Builder
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	}
+	for _, r := range s.Rules {
+		b.WriteString(r.String() + "\n")
+	}
+	return b.String()
+}
+
+// layerActions restricts which faults make sense per seam; Parse rejects
+// the rest so a schedule typo fails loudly instead of silently never firing.
+var layerActions = [numLayers]map[Action]bool{
+	LayerHTTP:   {ActReset: true, ActTimeout: true, ActError: true, ActLatency: true},
+	LayerBody:   {ActCut: true},
+	LayerWrite:  {ActTorn: true, ActError: true, ActLatency: true},
+	LayerFsync:  {ActError: true, ActLatency: true},
+	LayerAccept: {ActReset: true, ActLatency: true},
+}
+
+// Parse reads the schedule DSL: one rule per line,
+//
+//	seed <uint>
+//	http   <METHOD|*> <pattern> [nth=K|K..|K..M] [every=N] [prob=P] <fault>
+//	body   <METHOD|*> <pattern> [selectors]      cut=<bytes>
+//	write  <class-pattern>      [selectors]      torn=<bytes>|error|latency=<dur>
+//	fsync  <class-pattern>      [selectors]      error|latency=<dur>
+//	accept <addr-pattern>       [selectors]      reset|latency=<dur>
+//
+// with '#' comments and blank lines ignored. Faults: reset, timeout, error,
+// latency=<Go duration>, torn=<bytes>, cut=<bytes>.
+func Parse(src string) (*Schedule, error) {
+	s := &Schedule{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "seed" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("chaos: line %d: seed wants one integer", lineNo+1)
+			}
+			seed, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: line %d: seed: %v", lineNo+1, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		rule, err := parseRule(fields)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %v", lineNo+1, err)
+		}
+		s.Rules = append(s.Rules, rule)
+	}
+	return s, nil
+}
+
+// MustParse is Parse for schedules embedded in tests; it panics on error.
+func MustParse(src string) *Schedule {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	layer := -1
+	for l, name := range layerNames {
+		if fields[0] == name {
+			layer = l
+			break
+		}
+	}
+	if layer < 0 {
+		return r, fmt.Errorf("unknown layer %q", fields[0])
+	}
+	r.Layer = Layer(layer)
+	rest := fields[1:]
+	if r.Layer == LayerHTTP || r.Layer == LayerBody {
+		if len(rest) < 2 {
+			return r, fmt.Errorf("%s rule wants METHOD and pattern", r.Layer)
+		}
+		r.Method = rest[0]
+		if r.Method != "*" && r.Method != strings.ToUpper(r.Method) {
+			return r, fmt.Errorf("method %q must be upper-case or *", r.Method)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return r, fmt.Errorf("%s rule wants a pattern and a fault", r.Layer)
+	}
+	r.Pattern = rest[0]
+	rest = rest[1:]
+
+	// Everything between the pattern and the final fault token is a
+	// selector.
+	for _, tok := range rest[:len(rest)-1] {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return r, fmt.Errorf("selector %q wants key=value", tok)
+		}
+		switch key {
+		case "nth":
+			lo, hi, err := parseRange(val)
+			if err != nil {
+				return r, err
+			}
+			r.From, r.To = lo, hi
+		case "every":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return r, fmt.Errorf("every=%q wants a positive integer", val)
+			}
+			r.Every = n
+		case "prob":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return r, fmt.Errorf("prob=%q wants a probability in (0, 1]", val)
+			}
+			r.Prob = p
+		default:
+			return r, fmt.Errorf("unknown selector %q", key)
+		}
+	}
+
+	fault := rest[len(rest)-1]
+	name, arg, hasArg := strings.Cut(fault, "=")
+	found := false
+	for act, actName := range actionNames {
+		if name == actName {
+			r.Act, found = act, true
+			break
+		}
+	}
+	if !found {
+		return r, fmt.Errorf("unknown fault %q", name)
+	}
+	switch r.Act {
+	case ActLatency:
+		if !hasArg {
+			return r, fmt.Errorf("latency wants a duration argument")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil || d <= 0 {
+			return r, fmt.Errorf("latency=%q wants a positive duration", arg)
+		}
+		r.Dur = d
+	case ActTorn, ActCut:
+		if !hasArg {
+			return r, fmt.Errorf("%s wants a byte-count argument", name)
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return r, fmt.Errorf("%s=%q wants a non-negative byte count", name, arg)
+		}
+		r.N = n
+	default:
+		if hasArg {
+			return r, fmt.Errorf("fault %s takes no argument", name)
+		}
+	}
+	if !layerActions[r.Layer][r.Act] {
+		return r, fmt.Errorf("fault %s does not apply to the %s layer", name, r.Layer)
+	}
+	return r, nil
+}
+
+// parseRange parses "K", "K.." or "K..M" into an inclusive 1-based range.
+func parseRange(val string) (lo, hi int, err error) {
+	from, to, ranged := strings.Cut(val, "..")
+	lo, err = strconv.Atoi(from)
+	if err != nil || lo < 1 {
+		return 0, 0, fmt.Errorf("nth=%q wants a positive ordinal", val)
+	}
+	if !ranged {
+		return lo, lo, nil
+	}
+	if to == "" {
+		return lo, 0, nil // open-ended
+	}
+	hi, err = strconv.Atoi(to)
+	if err != nil || hi < lo {
+		return 0, 0, fmt.Errorf("nth=%q wants K..M with M >= K", val)
+	}
+	return lo, hi, nil
+}
+
+// matchGlob reports whether s matches pattern, where '*' matches any run of
+// characters ('/' included — URL paths are the common subject) and every
+// other byte matches itself.
+func matchGlob(pattern, s string) bool {
+	// Iterative greedy match with single-star backtracking.
+	var starP, starS = -1, 0
+	p, i := 0, 0
+	for i < len(s) {
+		switch {
+		case p < len(pattern) && pattern[p] == '*':
+			starP, starS = p, i
+			p++
+		case p < len(pattern) && pattern[p] == s[i]:
+			p++
+			i++
+		case starP >= 0:
+			starS++
+			p, i = starP+1, starS
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// ruleState is one rule plus its live counters.
+type ruleState struct {
+	Rule
+	seen  atomic.Int64 // operations that matched layer/method/pattern
+	fired atomic.Int64 // faults actually injected
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// Injector instantiates a Schedule with fresh counters and hands out the
+// seam wrappers. All methods are safe for concurrent use.
+type Injector struct {
+	rules []*ruleState
+	rec   obs.Recorder
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithRecorder routes injection telemetry (mobic_chaos_injected_total) into
+// rec.
+func WithRecorder(rec obs.Recorder) Option {
+	return func(i *Injector) { i.rec = rec }
+}
+
+// New instantiates sch with fresh counters and per-rule PRNGs derived from
+// the schedule seed, so two Injectors over the same schedule inject
+// identically against the same operation sequence.
+func New(sch *Schedule, opts ...Option) *Injector {
+	inj := &Injector{rec: obs.Nop{}}
+	for i, r := range sch.Rules {
+		rs := &ruleState{Rule: r}
+		if r.Prob > 0 {
+			rs.rng = rand.New(rand.NewPCG(sch.Seed, uint64(i)+1))
+		}
+		inj.rules = append(inj.rules, rs)
+	}
+	for _, o := range opts {
+		o(inj)
+	}
+	return inj
+}
+
+// pick returns the fault to inject for one operation, first-match-wins, or
+// ok=false when no rule fires. method is "" outside the HTTP layers.
+func (inj *Injector) pick(layer Layer, method, key string) (Rule, bool) {
+	for _, rs := range inj.rules {
+		if rs.Layer != layer {
+			continue
+		}
+		if (layer == LayerHTTP || layer == LayerBody) &&
+			rs.Method != "*" && rs.Method != "" && rs.Method != method {
+			continue
+		}
+		if !matchGlob(rs.Pattern, key) {
+			continue
+		}
+		n := rs.seen.Add(1)
+		if rs.From > 0 && n < int64(rs.From) {
+			continue
+		}
+		if rs.To > 0 && n > int64(rs.To) {
+			continue
+		}
+		if rs.Every > 1 && (n-int64(max(rs.From, 1)))%int64(rs.Every) != 0 {
+			continue
+		}
+		if rs.Prob > 0 {
+			rs.rngMu.Lock()
+			miss := rs.rng.Float64() >= rs.Prob
+			rs.rngMu.Unlock()
+			if miss {
+				continue
+			}
+		}
+		rs.fired.Add(1)
+		inj.rec.Add(obs.ChaosInjected, 1)
+		return rs.Rule, true
+	}
+	return Rule{}, false
+}
+
+// Fired returns the total faults injected so far.
+func (inj *Injector) Fired() int64 {
+	var n int64
+	for _, rs := range inj.rules {
+		n += rs.fired.Load()
+	}
+	return n
+}
+
+// FiredByRule returns per-rule injection counts, schedule order.
+func (inj *Injector) FiredByRule() []int64 {
+	out := make([]int64, len(inj.rules))
+	for i, rs := range inj.rules {
+		out[i] = rs.fired.Load()
+	}
+	return out
+}
+
+// errInjected tags every chaos-made error so tests (and retry loops) can
+// tell an injected fault from a real one.
+type errInjected struct{ msg string }
+
+func (e errInjected) Error() string { return e.msg }
+
+// IsInjected reports whether err was manufactured by a chaos injector,
+// unwrapping any %w chains the code under test added on the way up.
+func IsInjected(err error) bool {
+	var e errInjected
+	return errors.As(err, &e)
+}

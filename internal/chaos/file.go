@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"time"
+)
+
+// OSFile is the slice of *os.File the journal and disk cache write through.
+// It is deliberately minimal so any durable sink can be intercepted; the
+// service layer declares a structurally identical interface, which Go's
+// structural typing satisfies without either package importing the other.
+type OSFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// file intercepts writes and fsyncs on one open file.
+type file struct {
+	OSFile
+	inj   *Injector
+	class string
+}
+
+// File wraps f so writes and syncs consult the schedule. class is the
+// operation key matched by write/fsync rule patterns — "journal" and
+// "cache" are the conventional classes.
+//
+// A torn=N write persists only the first N bytes of the payload and then
+// fails — the on-disk shape of power loss mid-write. An fsync error fails
+// the sync without touching the data.
+func (inj *Injector) File(class string, f OSFile) OSFile {
+	return &file{OSFile: f, inj: inj, class: class}
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	r, ok := f.inj.pick(LayerWrite, "", f.class)
+	if !ok {
+		return f.OSFile.Write(p)
+	}
+	switch r.Act {
+	case ActLatency:
+		time.Sleep(r.Dur)
+		return f.OSFile.Write(p)
+	case ActTorn:
+		n := min(r.N, len(p))
+		if n > 0 {
+			if m, err := f.OSFile.Write(p[:n]); err != nil {
+				return m, err
+			}
+		}
+		return n, errInjected{"chaos: torn write"}
+	default: // ActError
+		return 0, errInjected{"chaos: injected write error"}
+	}
+}
+
+func (f *file) Sync() error {
+	r, ok := f.inj.pick(LayerFsync, "", f.class)
+	if !ok {
+		return f.OSFile.Sync()
+	}
+	switch r.Act {
+	case ActLatency:
+		time.Sleep(r.Dur)
+		return f.OSFile.Sync()
+	default: // ActError
+		return errInjected{"chaos: injected fsync error"}
+	}
+}

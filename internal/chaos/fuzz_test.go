@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzChaosSchedule pins the parser's robustness and the String/Parse round
+// trip: any schedule the parser accepts must render to canonical text that
+// reparses to the identical canonical text (a fixed point), and parsing must
+// never panic on arbitrary input.
+func FuzzChaosSchedule(f *testing.F) {
+	seeds := []string{
+		"seed 42\nhttp GET */v1/jobs/* nth=2..4 every=2 reset\n",
+		"http * * prob=0.25 latency=10ms\n",
+		"body POST */v1/jobs nth=1 cut=16\nwrite journal torn=5\n",
+		"fsync journal nth=3.. error\naccept 127.0.0.1:* reset\n",
+		"# only a comment\n\n",
+		"seed 18446744073709551615\nhttp DELETE /x nth=7 timeout\n",
+		"write * every=2 latency=1ms\n",
+		"http GET a*b*c nth=1..1 error\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %v\ninput: %q\ncanonical: %q", err, src, canon)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("String/Parse not a fixed point:\nfirst:  %q\nsecond: %q", canon, got)
+		}
+		// An instantiated injector must not panic when driven.
+		inj := New(s)
+		for i := 0; i < 4; i++ {
+			inj.pick(LayerHTTP, "GET", "host/v1/jobs/x")
+			inj.pick(LayerWrite, "", "journal")
+			inj.pick(LayerFsync, "", "cache")
+			inj.pick(LayerAccept, "", "127.0.0.1:1")
+			inj.pick(LayerBody, "POST", "host/v1/jobs")
+		}
+		_ = inj.Fired()
+		if strings.Count(canon, "\n") < len(s.Rules) {
+			t.Fatalf("canonical text lost rules: %q", canon)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"time"
+)
+
+// roundTripper injects scheduled faults in front of a real transport.
+type roundTripper struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+// RoundTripper wraps base so outbound requests consult the schedule first.
+// The operation key is "host/path" (no scheme, no query), matched together
+// with the request method; a nil base means http.DefaultTransport.
+//
+// Faults: latency delays then forwards; reset and error fail without
+// touching the network; timeout blocks until the request's context is done
+// (the caller's per-attempt deadline decides how long that is). A body rule
+// matching the same request lets the round trip succeed, then fails the
+// response body after N bytes.
+func (inj *Injector) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{inj: inj, base: base}
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := req.URL.Host + req.URL.Path
+	if r, ok := rt.inj.pick(LayerHTTP, req.Method, key); ok {
+		switch r.Act {
+		case ActLatency:
+			select {
+			case <-time.After(r.Dur):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		case ActTimeout:
+			// A peer that accepted the dial and went silent: nothing
+			// happens until the caller's deadline fires.
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		case ActReset:
+			return nil, errInjected{"chaos: connection reset by peer"}
+		case ActError:
+			return nil, errInjected{"chaos: injected transport error"}
+		}
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := rt.inj.pick(LayerBody, req.Method, key); ok && r.Act == ActCut {
+		resp.Body = &cutBody{rc: resp.Body, remain: r.N}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// cutBody delivers the first remain bytes of the wrapped body, then fails
+// the read mid-stream — the reader sees a peer dying partway through a
+// response.
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, errInjected{"chaos: connection cut mid-body"}
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= n
+	if err == io.EOF {
+		// The real body ended before the cut point; pass EOF through.
+		return n, err
+	}
+	if c.remain <= 0 && err == nil {
+		err = errInjected{"chaos: connection cut mid-body"}
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

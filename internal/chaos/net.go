@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"net"
+	"time"
+)
+
+// listener injects accept-side faults: connections matched by an accept
+// rule are reset (closed immediately after accept) or delayed before being
+// handed to the server.
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Listener wraps l so accepted connections consult the schedule. The
+// operation key is the listener's own address string, so a rule pattern of
+// "*" partitions the whole endpoint and "127.0.0.1:9001*" one peer.
+//
+// A reset closes the accepted connection immediately — the dialing client
+// sees its request die on an open socket, the shape of a one-sided network
+// partition. Latency holds the connection before the server sees it.
+func (inj *Injector) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, inj: inj}
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		r, ok := l.inj.pick(LayerAccept, "", l.Addr().String())
+		if !ok {
+			return conn, nil
+		}
+		switch r.Act {
+		case ActReset:
+			conn.Close()
+			// Swallow this connection and wait for the next; returning
+			// an error would tear down the whole Serve loop.
+			continue
+		case ActLatency:
+			time.Sleep(r.Dur)
+		}
+		return conn, nil
+	}
+}

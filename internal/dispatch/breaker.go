@@ -1,0 +1,130 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states, in escalation order. The numeric values are exported on
+// /metrics as mobic_dispatch_breaker_state{peer}.
+const (
+	// BreakerClosed passes calls through, counting consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses calls locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe call; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the state's metric label.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is a per-peer circuit breaker over coordinator→peer transport
+// errors. Consecutive failures past the threshold open it; while open,
+// calls are refused locally (sparing the per-attempt timeout wait against a
+// peer that is known dead); after the cooldown one half-open probe is
+// admitted, and its outcome either closes the breaker or re-opens it for
+// another cooldown.
+//
+// Only transport-level failures feed it: a peer that answers — even with a
+// 4xx/5xx — is alive and routable. Health probes deliberately bypass Allow
+// (they are the cluster's own probing mechanism) and do not feed outcomes,
+// so a peer can pass /readyz while its data-plane path stays open — exactly
+// the partial-partition shape chaos schedules produce.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// newBreaker builds a closed breaker tripping after threshold consecutive
+// failures and cooling down for cooldown before each probe.
+func newBreaker(threshold int, cooldown time.Duration, clock func() time.Time) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Allow reports whether a call may proceed now. In the open state it flips
+// to half-open once the cooldown has elapsed and admits that single probe;
+// a second caller arriving while the probe is in flight is refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call: the breaker closes and the failure
+// count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a transport-level failure and reports whether this one
+// tripped the breaker open (callers count trips as a metric). A failed
+// half-open probe re-opens immediately for another cooldown.
+func (b *Breaker) Failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the breaker's current position (open reported as half-open
+// once its cooldown has elapsed, since the next Allow would probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

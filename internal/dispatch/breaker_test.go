@@ -1,0 +1,104 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, time.Second, clock)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+	// Failures below the threshold keep the breaker closed.
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure(); tripped {
+			t.Fatalf("failure %d tripped the breaker before the threshold", i+1)
+		}
+		if !b.Allow() {
+			t.Fatalf("breaker refused calls while closed (failure %d)", i+1)
+		}
+	}
+	// The threshold-th consecutive failure trips it open.
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("threshold failure did not trip the breaker")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after trip = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+
+	// After the cooldown, exactly one half-open probe is admitted.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second call admitted while the half-open probe is in flight")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a call right after a failed probe")
+	}
+	now = now.Add(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker admitted a call before the second cooldown elapsed")
+	}
+
+	// A successful probe closes it and resets the failure count: the next
+	// trip needs a full threshold of fresh consecutive failures.
+	now = now.Add(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	b.Success() // consecutive-failure streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("three fresh consecutive failures did not trip the breaker")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+func TestBackoffDelayCappedAndJittered(t *testing.T) {
+	for i := 1; i <= 10; i++ {
+		for trial := 0; trial < 32; trial++ {
+			d := backoffDelay(i)
+			if d < 50*time.Millisecond || d > 3*time.Second {
+				t.Fatalf("backoffDelay(%d) = %v, want within [50ms, 3s]", i, d)
+			}
+		}
+	}
+}

@@ -3,12 +3,14 @@ package dispatch
 import (
 	"bytes"
 	"context"
-	"crypto/rand"
+	cryptorand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -40,6 +42,30 @@ type Config struct {
 	// mark a peer down and trigger failover (default 2). One blip on a
 	// loaded network should not re-dispatch every job on the box.
 	FailAfter int
+	// AttemptTimeout bounds each individual control-plane call attempt
+	// (default 5 s). A peer that hangs mid-request costs at most this
+	// long per attempt instead of wedging a poll pass.
+	AttemptTimeout time.Duration
+	// CallAttempts is how many attempts one logical control-plane call
+	// gets before failing (default 3). Attempts after the first wait out
+	// a capped exponential backoff with jitter (100 ms base, 2 s cap).
+	CallAttempts int
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a peer's circuit breaker (default 5). While open, calls to
+	// that peer fail locally instead of burning an attempt timeout each.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// admitting a single half-open probe (default 5 s).
+	BreakerCooldown time.Duration
+	// Replicate, when true, assigns every placed job a checkpoint-replica
+	// target — the first healthy distinct ring successor of its owner —
+	// via the X-Mobic-Replica header on submits and failover restores.
+	// Workers must run with replication enabled for the header to bite.
+	Replicate bool
+	// Local, when non-nil, is an embedded fallback service: a submission
+	// arriving while no worker is reachable runs locally (its status is
+	// flagged "degraded") instead of being bounced with a 503.
+	Local *service.Service
 	// WorkersPerPeer scales the cluster-wide Retry-After hint (default 2,
 	// the worker daemon's own default pool size).
 	WorkersPerPeer int
@@ -76,6 +102,18 @@ func (c Config) withDefaults() Config {
 	if c.FailAfter <= 0 {
 		c.FailAfter = 2
 	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 5 * time.Second
+	}
+	if c.CallAttempts <= 0 {
+		c.CallAttempts = 3
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.WorkersPerPeer <= 0 {
 		c.WorkersPerPeer = 2
 	}
@@ -110,10 +148,14 @@ type remoteJob struct {
 	// synthetic marks a job the coordinator answered from its own cache;
 	// no worker has ever heard of its ID.
 	synthetic bool
-	terminal  bool
-	final     *service.Status
-	created   time.Time
-	finished  time.Time
+	// local marks a degraded-mode job the coordinator ran on its embedded
+	// fallback service because no worker was reachable at submit time. It
+	// has no peer and never fails over.
+	local    bool
+	terminal bool
+	final    *service.Status
+	created  time.Time
+	finished time.Time
 }
 
 // Coordinator places jobs on workers, tracks them to completion, and fails
@@ -127,6 +169,7 @@ type Coordinator struct {
 	mu        sync.Mutex
 	peerFails map[string]int
 	peerDown  map[string]bool
+	breakers  map[string]*Breaker
 	jobs      map[string]*remoteJob
 	ewma      float64 // seconds per job, for cluster Retry-After hints
 
@@ -152,10 +195,14 @@ func New(cfg Config) (*Coordinator, error) {
 		streamClient: &http.Client{Transport: cfg.Client.Transport},
 		peerFails:    make(map[string]int),
 		peerDown:     make(map[string]bool),
+		breakers:     make(map[string]*Breaker),
 		jobs:         make(map[string]*remoteJob),
 		ctx:          ctx,
 		cancel:       cancel,
 		done:         make(chan struct{}),
+	}
+	for _, p := range ring.Peers() {
+		c.breakers[p] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock)
 	}
 	return c, nil
 }
@@ -290,7 +337,7 @@ func (c *Coordinator) failoverStranded() {
 	c.mu.Lock()
 	var stranded []*remoteJob
 	for _, j := range c.jobs {
-		if !j.terminal && !j.synthetic && c.peerDown[j.peer] {
+		if !j.terminal && !j.synthetic && !j.local && c.peerDown[j.peer] {
 			stranded = append(stranded, j)
 		}
 	}
@@ -321,13 +368,13 @@ func (c *Coordinator) failover(j *remoteJob) {
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost,
-		target+"/v1/jobs/"+j.id+"/restore", bytes.NewReader(body))
-	if err != nil {
-		return
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	if rt := c.replicaTarget(j.digest, target); rt != "" {
+		// The restored job streams its checkpoints onward too: a second
+		// failure must not be the one that loses progress.
+		hdr.Set("X-Mobic-Replica", rt)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.cfg.Client.Do(req)
+	resp, err := c.call(c.ctx, target, http.MethodPost, "/v1/jobs/"+j.id+"/restore", body, hdr)
 	if err != nil {
 		c.cfg.Logger.Warn("failover restore failed", "job", j.id, "target", target, "err", err)
 		return
@@ -376,7 +423,25 @@ func (c *Coordinator) pollPass() {
 	}
 	c.mu.Unlock()
 	for _, j := range live {
-		c.pollJob(j)
+		if j.local {
+			c.pollLocal(j)
+		} else {
+			c.pollJob(j)
+		}
+	}
+}
+
+// pollLocal checks a degraded-mode job against the embedded fallback
+// service — no HTTP involved.
+func (c *Coordinator) pollLocal(j *remoteJob) {
+	job, ok := c.cfg.Local.Get(j.id)
+	if !ok {
+		return
+	}
+	st, _, _ := job.Snapshot()
+	if st.State.Terminal() {
+		st.Degraded = true
+		c.completeJob(j, &st)
 	}
 }
 
@@ -388,7 +453,7 @@ func (c *Coordinator) pollJob(j *remoteJob) {
 		return // failover path owns it now
 	}
 	var st service.Status
-	if err := c.getJSON(peer+"/v1/jobs/"+j.id, &st); err != nil {
+	if err := c.getJSON(c.ctx, peer, "/v1/jobs/"+j.id, &st); err != nil {
 		return // transient, or the health loop is about to notice
 	}
 	if st.State.Terminal() {
@@ -399,7 +464,7 @@ func (c *Coordinator) pollJob(j *remoteJob) {
 		return // named experiments re-run whole; nothing to ship
 	}
 	var export service.CheckpointExport
-	if err := c.getJSON(peer+"/v1/jobs/"+j.id+"/checkpoints", &export); err != nil {
+	if err := c.getJSON(c.ctx, peer, "/v1/jobs/"+j.id+"/checkpoints", &export); err != nil {
 		return
 	}
 	c.mu.Lock()
@@ -441,22 +506,149 @@ func (c *Coordinator) completeJob(j *remoteJob, st *service.Status) {
 	c.flights.End(j.digest)
 }
 
-// getJSON fetches url and decodes a JSON body; non-200 is an error.
-func (c *Coordinator) getJSON(url string, v any) error {
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, url, nil)
+// errBreakerOpen marks a call refused locally by an open circuit breaker.
+var errBreakerOpen = errors.New("dispatch: circuit breaker open")
+
+// breaker returns the circuit breaker guarding peer, creating one lazily
+// for peers that joined after construction (tests, future membership).
+func (c *Coordinator) breaker(peer string) *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.breakers[peer]
+	if !ok {
+		b = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown, c.cfg.Clock)
+		c.breakers[peer] = b
+	}
+	return b
+}
+
+// backoffDelay is the wait before retry attempt i (1-based): capped
+// exponential from 100 ms with ±50% jitter, so a burst of polls against a
+// flapping peer does not retry in lockstep.
+func backoffDelay(i int) time.Duration {
+	d := 100 * time.Millisecond << (i - 1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// cancelBody ties an attempt's timeout context to the response body: the
+// caller's Close releases the context's timer along with the connection.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// attempt performs a single breaker-gated, timeout-bounded HTTP exchange
+// with peer. A transport-level failure feeds the breaker; an HTTP error
+// status does not (the peer answered — it is alive and routable).
+func (c *Coordinator) attempt(ctx context.Context, peer, method, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	br := c.breaker(peer)
+	if !br.Allow() {
+		c.cfg.Obs.Add(obs.DispatchBreakerShortCircuits, 1)
+		return nil, fmt.Errorf("%w: %s", errBreakerOpen, peer)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, peer+path, rd)
 	if err != nil {
-		return err
+		cancel()
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		if br.Failure() {
+			c.cfg.Obs.Add(obs.DispatchBreakerOpens, 1)
+			c.cfg.Logger.Warn("circuit breaker opened", "peer", peer, "err", err)
+		}
+		return nil, err
+	}
+	br.Success()
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// call performs one logical coordinator→peer exchange: up to
+// Config.CallAttempts breaker-gated attempts, each bounded by
+// AttemptTimeout, with capped jittered backoff between them. The body
+// bytes are re-read per attempt. A breaker refusal ends the call at once —
+// retrying against a peer known dead only stalls the caller.
+func (c *Coordinator) call(ctx context.Context, peer, method, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	var lastErr error
+	for i := 0; i < c.cfg.CallAttempts; i++ {
+		if i > 0 {
+			c.cfg.Obs.Add(obs.DispatchRetries, 1)
+			if err := sleepCtx(ctx, backoffDelay(i)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.attempt(ctx, peer, method, path, body, hdr)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, errBreakerOpen) || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// getJSON fetches peer+path through the retrying call path and decodes a
+// JSON body; non-200 is an error.
+func (c *Coordinator) getJSON(ctx context.Context, peer, path string, v any) error {
+	resp, err := c.call(ctx, peer, http.MethodGet, path, nil, nil)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return fmt.Errorf("dispatch: GET %s: status %d", url, resp.StatusCode)
+		return fmt.Errorf("dispatch: GET %s%s: status %d", peer, path, resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// replicaTarget picks a job's checkpoint-replica target: the first healthy
+// distinct peer after owner in ring-successor order — exactly the peer a
+// failover would land on, so the replica is already where the job goes
+// next. Empty when replication is off or the ring has no second peer up.
+func (c *Coordinator) replicaTarget(digest, owner string) string {
+	if !c.cfg.Replicate {
+		return ""
+	}
+	for _, p := range c.ring.Owners(digest) {
+		if p != owner && !c.isDown(p) {
+			return p
+		}
+	}
+	return ""
 }
 
 // retryAfterHint is the cluster-wide analogue of the worker's hint:
@@ -499,7 +691,7 @@ func (c *Coordinator) lookup(id string) (*remoteJob, bool) {
 // submissions, the same shape workers mint.
 func randomID() string {
 	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
+	if _, err := cryptorand.Read(b[:]); err != nil {
 		panic("dispatch: crypto/rand unavailable: " + err.Error())
 	}
 	return hex.EncodeToString(b[:])

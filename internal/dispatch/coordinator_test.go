@@ -78,22 +78,35 @@ type worker struct {
 	svc *service.Service
 	srv *httptest.Server
 	col *digestCollector
+	reg *obs.Registry
 }
 
 func newWorker(t *testing.T) *worker {
+	return newWorkerCfg(t, nil)
+}
+
+// newWorkerCfg builds a worker whose service config was run through mutate
+// (replication knobs, timers) before opening.
+func newWorkerCfg(t *testing.T, mutate func(*service.Config)) *worker {
 	t.Helper()
 	col := newDigestCollector()
-	svc, err := service.Open(service.Config{
+	reg := obs.NewRegistry()
+	cfg := service.Config{
 		DataDir: t.TempDir(),
 		Workers: 1,
 		Runner:  experiment.Runner{Seeds: 1, Workers: 1, Mutate: col.mutate},
-	})
+		Obs:     reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := service.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	svc.Start()
 	srv := httptest.NewServer(service.NewHandler(svc))
-	w := &worker{svc: svc, srv: srv, col: col}
+	w := &worker{svc: svc, srv: srv, col: col, reg: reg}
 	t.Cleanup(func() { w.kill() })
 	return w
 }
@@ -110,6 +123,12 @@ func (w *worker) kill() {
 // newCluster builds a coordinator over the given workers with test-fast
 // timers and a fresh obs registry, serving on an httptest server.
 func newCluster(t *testing.T, workers []*worker) (*Coordinator, *httptest.Server, *obs.Registry) {
+	return newClusterCfg(t, workers, nil)
+}
+
+// newClusterCfg is newCluster with the coordinator config run through
+// mutate first (chaos transports, replication, breaker knobs).
+func newClusterCfg(t *testing.T, workers []*worker, mutate func(*Config)) (*Coordinator, *httptest.Server, *obs.Registry) {
 	t.Helper()
 	peers := make([]string, len(workers))
 	for i, w := range workers {
@@ -120,14 +139,18 @@ func newCluster(t *testing.T, workers []*worker) (*Coordinator, *httptest.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	coord, err := New(Config{
+	cfg := Config{
 		Peers:       peers,
 		HealthEvery: 40 * time.Millisecond,
 		PollEvery:   20 * time.Millisecond,
 		FailAfter:   2,
 		Cache:       c,
 		Obs:         reg,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	coord, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

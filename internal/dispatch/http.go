@@ -2,7 +2,6 @@ package dispatch
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -149,20 +148,22 @@ func (p *proxy) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	if key != "" {
+		hdr.Set("Idempotency-Key", key)
+	}
 	for _, peer := range p.c.ring.Owners(digest) {
 		if p.c.isDown(peer) {
 			continue
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-			peer+"/v1/jobs", bytes.NewReader(body))
-		if err != nil {
-			continue
+		hdr.Del("X-Mobic-Replica")
+		if rt := p.c.replicaTarget(digest, peer); rt != "" {
+			hdr.Set("X-Mobic-Replica", rt)
 		}
-		req.Header.Set("Content-Type", "application/json")
-		if key != "" {
-			req.Header.Set("Idempotency-Key", key)
-		}
-		resp, err := p.c.cfg.Client.Do(req)
+		// Single breaker-gated attempt per peer: the ring walk itself is
+		// the retry, and an open breaker skips the peer without waiting
+		// out an attempt timeout.
+		resp, err := p.c.attempt(r.Context(), peer, http.MethodPost, "/v1/jobs", body, hdr)
 		if err != nil {
 			// Connection-level failure: walk to the ring successor. The
 			// health loop will mark the peer down on its own cadence.
@@ -172,7 +173,41 @@ func (p *proxy) submit(w http.ResponseWriter, r *http.Request) {
 		p.relaySubmit(w, resp, spec, digest, key, peer)
 		return
 	}
+	// Degraded mode: the ring has no live owner. Run the job on the
+	// embedded fallback service rather than bouncing the client.
+	if p.c.cfg.Local != nil {
+		p.submitLocal(w, spec, digest, key)
+		return
+	}
 	writeError(w, http.StatusServiceUnavailable, "dispatch: no healthy worker")
+}
+
+// submitLocal places a job on the coordinator's embedded fallback service
+// and tracks it as a degraded-mode local job. Statuses it serves carry
+// "degraded": true so callers can tell the answer was not cluster-placed.
+func (p *proxy) submitLocal(w http.ResponseWriter, spec service.JobSpec, digest, key string) {
+	job, existed, err := p.c.cfg.Local.SubmitWith(spec, service.SubmitOpts{Key: key})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "dispatch: degraded submit: %v", err)
+		return
+	}
+	if !existed {
+		p.c.track(&remoteJob{
+			id: job.ID(), digest: digest, key: key, spec: spec,
+			local: true, created: p.c.cfg.Clock(),
+			cps: experiment.ExportCheckpoints(nil),
+		})
+		p.c.cfg.Obs.Add(obs.DispatchDegraded, 1)
+		p.c.cfg.Logger.Warn("no healthy worker; running job locally", "job", job.ID())
+	}
+	st, _, _ := job.Snapshot()
+	st.Degraded = true
+	code := http.StatusAccepted
+	if existed || st.State.Terminal() {
+		code = http.StatusOK
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, code, st)
 }
 
 // relaySubmit finishes a forwarded submission: tracks accepted jobs,
@@ -228,14 +263,25 @@ func passthrough(w http.ResponseWriter, resp *http.Response) {
 // terminal, proxied to the owning worker otherwise.
 func (p *proxy) serveTracked(w http.ResponseWriter, r *http.Request, j *remoteJob, code int) {
 	p.c.mu.Lock()
-	terminal, final, peer := j.terminal, j.final, j.peer
+	terminal, final, peer, local := j.terminal, j.final, j.peer, j.local
 	p.c.mu.Unlock()
 	if terminal && final != nil {
 		writeJSON(w, code, final)
 		return
 	}
+	if local {
+		job, ok := p.c.cfg.Local.Get(j.id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no job %q (it may have expired)", j.id)
+			return
+		}
+		st, _, _ := job.Snapshot()
+		st.Degraded = true
+		writeJSON(w, code, st)
+		return
+	}
 	var st service.Status
-	if err := p.c.getJSON(peer+"/v1/jobs/"+j.id, &st); err != nil {
+	if err := p.c.getJSON(r.Context(), peer, "/v1/jobs/"+j.id, &st); err != nil {
 		writeError(w, http.StatusBadGateway, "worker unreachable: %v", err)
 		return
 	}
@@ -252,7 +298,7 @@ func (p *proxy) status(w http.ResponseWriter, r *http.Request) {
 	// healthy peers.
 	for _, peer := range p.c.HealthyPeers() {
 		var st service.Status
-		if err := p.c.getJSON(peer+"/v1/jobs/"+id, &st); err == nil {
+		if err := p.c.getJSON(r.Context(), peer, "/v1/jobs/"+id, &st); err == nil {
 			writeJSON(w, http.StatusOK, st)
 			return
 		}
@@ -265,21 +311,27 @@ func (p *proxy) cancel(w http.ResponseWriter, r *http.Request) {
 	peers := p.c.HealthyPeers()
 	if j, ok := p.c.lookup(id); ok {
 		p.c.mu.Lock()
-		terminal, final, peer := j.terminal, j.final, j.peer
+		terminal, final, peer, local := j.terminal, j.final, j.peer, j.local
 		p.c.mu.Unlock()
 		if terminal && final != nil {
 			writeJSON(w, http.StatusOK, final)
 			return
 		}
+		if local {
+			job, ok := p.c.cfg.Local.Cancel(id)
+			if !ok {
+				writeError(w, http.StatusNotFound, "no job %q (it may have expired)", id)
+				return
+			}
+			st, _, _ := job.Snapshot()
+			st.Degraded = true
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
 		peers = []string{peer}
 	}
 	for _, peer := range peers {
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete,
-			peer+"/v1/jobs/"+id, nil)
-		if err != nil {
-			continue
-		}
-		resp, err := p.c.cfg.Client.Do(req)
+		resp, err := p.c.call(r.Context(), peer, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 		if err != nil {
 			continue
 		}
@@ -314,12 +366,16 @@ func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
 
 	for {
 		p.c.mu.Lock()
-		terminal, final, peer := j.terminal, j.final, j.peer
+		terminal, final, peer, local := j.terminal, j.final, j.peer, j.local
 		p.c.mu.Unlock()
 		if terminal && final != nil {
 			// Answered locally (cache hit, or completion observed by the
 			// poll loop after the stream's worker died).
 			_ = enc.Encode(service.StreamEvent{Type: "result", State: final.State, Stat: final})
+			return
+		}
+		if local {
+			p.streamLocal(w, r, enc, flusher, j)
 			return
 		}
 		if done := p.copyStream(w, r, enc, flusher, peer, id); done {
@@ -372,6 +428,44 @@ func (p *proxy) copyStream(w io.Writer, r *http.Request, enc *json.Encoder, flus
 	return false
 }
 
+// streamLocal serves a degraded-mode job's event log straight from the
+// embedded fallback service — same replay loop a worker runs, with the
+// terminal status decorated as degraded.
+func (p *proxy) streamLocal(w http.ResponseWriter, r *http.Request, enc *json.Encoder, flusher http.Flusher, j *remoteJob) {
+	job, ok := p.c.cfg.Local.Get(j.id)
+	if !ok {
+		return
+	}
+	next := 0
+	for {
+		events, notify := job.EventsSince(next)
+		for _, ev := range events {
+			if ev.Type == "result" && ev.Stat != nil {
+				st := *ev.Stat
+				st.Degraded = true
+				ev.Stat = &st
+			}
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+			if ev.Type == "result" {
+				return
+			}
+		}
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		next += len(events)
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-p.c.ctx.Done():
+			return
+		}
+	}
+}
+
 func (p *proxy) livez(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
 }
@@ -396,7 +490,15 @@ func (p *proxy) readyz(w http.ResponseWriter, r *http.Request) {
 		TrackedJobs:  p.c.TrackedJobs(),
 	}
 	code := http.StatusOK
-	if !h.Ready {
+	switch {
+	case h.Ready:
+	case p.c.cfg.Local != nil:
+		// No worker up, but the embedded fallback can still run jobs:
+		// degraded, not down — routing traffic away would help nobody.
+		h.Ready = true
+		h.Status = "degraded"
+		h.Reason = "no healthy workers; submissions run locally"
+	default:
 		h.Status = "no healthy workers"
 		h.Reason = h.Status
 		code = http.StatusServiceUnavailable
@@ -422,5 +524,10 @@ func (p *proxy) metrics(w http.ResponseWriter, r *http.Request) {
 			up = 0
 		}
 		fmt.Fprintf(w, "mobic_dispatch_peer_up{peer=%q} %d\n", peer, up)
+	}
+	fmt.Fprintf(w, "# HELP mobic_dispatch_breaker_state Per-peer circuit breaker (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(w, "# TYPE mobic_dispatch_breaker_state gauge\n")
+	for _, peer := range p.c.ring.Peers() {
+		fmt.Fprintf(w, "mobic_dispatch_breaker_state{peer=%q} %d\n", peer, p.c.breaker(peer).State())
 	}
 }

@@ -98,6 +98,41 @@ const (
 	// TileCount gauges the number of tiles in the most recent tiled run.
 	TileCount
 
+	// CacheCorrupt counts disk-cache entries that failed their CRC or
+	// framing check and were quarantined.
+	CacheCorrupt
+
+	// ReplBatches counts checkpoint-replication batches a worker shipped
+	// to its ring successor.
+	ReplBatches
+	// ReplRecords counts individual checkpoint records acknowledged by a
+	// replica.
+	ReplRecords
+	// ReplFailures counts replication batch sends that failed (and will
+	// be retried on the next flush).
+	ReplFailures
+	// ReplApplied counts checkpoint records a replica accepted and stored.
+	ReplApplied
+	// ReplRestores counts restores that recovered checkpoints from the
+	// local replica store instead of (or beyond) the shipped prefix.
+	ReplRestores
+
+	// DispatchRetries counts coordinator→peer call attempts beyond the
+	// first (the bounded-retry volume).
+	DispatchRetries
+	// DispatchBreakerOpens counts per-peer circuit-breaker trips into the
+	// open state.
+	DispatchBreakerOpens
+	// DispatchBreakerShortCircuits counts calls refused locally because a
+	// peer's breaker was open.
+	DispatchBreakerShortCircuits
+	// DispatchDegraded counts jobs the coordinator ran locally because
+	// the ring had no live owner.
+	DispatchDegraded
+
+	// ChaosInjected counts faults injected by a chaos schedule.
+	ChaosInjected
+
 	// NumMetrics is the number of defined metrics (array sizing).
 	NumMetrics
 )
@@ -159,6 +194,21 @@ var defs = [NumMetrics]Def{
 	TileHaloExchanges:    {"mobic_tile_halo_exchanges_total", "Boundary-halo state exchanges between adjacent tiles.", Counter},
 	TileBarrierWaitNanos: {"mobic_tile_barrier_wait_nanos_total", "Wall-clock nanoseconds spent waiting on the tile-worker barrier.", Counter},
 	TileCount:            {"mobic_tile_count", "Tiles in the most recent tiled simulation run.", Gauge},
+
+	CacheCorrupt: {"mobic_cache_corrupt_total", "Disk-cache entries that failed CRC/framing and were quarantined.", Counter},
+
+	ReplBatches:  {"mobic_repl_batches_total", "Checkpoint-replication batches shipped to the ring successor.", Counter},
+	ReplRecords:  {"mobic_repl_records_total", "Checkpoint records acknowledged by a replica.", Counter},
+	ReplFailures: {"mobic_repl_failures_total", "Replication batch sends that failed and await retry.", Counter},
+	ReplApplied:  {"mobic_repl_applied_total", "Checkpoint records accepted into the local replica store.", Counter},
+	ReplRestores: {"mobic_repl_restores_total", "Restores recovered from the local replica store beyond the shipped prefix.", Counter},
+
+	DispatchRetries:              {"mobic_dispatch_retries_total", "Coordinator-to-peer call attempts beyond the first.", Counter},
+	DispatchBreakerOpens:         {"mobic_dispatch_breaker_opens_total", "Per-peer circuit-breaker trips into the open state.", Counter},
+	DispatchBreakerShortCircuits: {"mobic_dispatch_breaker_short_circuits_total", "Calls refused locally because the peer's breaker was open.", Counter},
+	DispatchDegraded:             {"mobic_dispatch_degraded_total", "Jobs run locally on the coordinator because the ring had no live owner.", Counter},
+
+	ChaosInjected: {"mobic_chaos_injected_total", "Faults injected by the active chaos schedule.", Counter},
 }
 
 // Definition returns the exposition metadata for m.

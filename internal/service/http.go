@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mobic/internal/experiment"
 )
@@ -41,6 +42,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", a.checkpoints)
 	mux.HandleFunc("POST /v1/jobs/{id}/restore", a.restore)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("POST /v1/replica/{id}", a.replicaPut)
+	mux.HandleFunc("GET /v1/replica/{id}", a.replicaGet)
 	mux.HandleFunc("GET /livez", a.livez)
 	mux.HandleFunc("GET /readyz", a.readyz)
 	mux.HandleFunc("GET /healthz", a.readyz)
@@ -83,7 +86,10 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
-	job, existed, err := a.svc.SubmitKey(spec, r.Header.Get("Idempotency-Key"))
+	job, existed, err := a.svc.SubmitWith(spec, SubmitOpts{
+		Key:     r.Header.Get("Idempotency-Key"),
+		Replica: r.Header.Get("X-Mobic-Replica"),
+	})
 	switch {
 	case errors.Is(err, ErrInvalidSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -190,7 +196,10 @@ func (a *api) restore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	job, existed, err := a.svc.Restore(r.PathValue("id"), req.Spec, req.Key, cps)
+	job, existed, err := a.svc.RestoreWith(r.PathValue("id"), req.Spec, SubmitOpts{
+		Key:     req.Key,
+		Replica: r.Header.Get("X-Mobic-Replica"),
+	}, cps)
 	switch {
 	case errors.Is(err, ErrInvalidSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -210,6 +219,43 @@ func (a *api) restore(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, code, st)
 	}
+}
+
+// replicaPut handles POST /v1/replica/{id}: one proactive-replication batch
+// (MOBICREPL1 magic + CRC-framed records) from a ring predecessor. The
+// response acks the record count now held, which the sender uses as its
+// high-water mark. Torn or corrupt frames end the batch's valid prefix
+// exactly like WAL replay; a batch with no intact submit record is a 400.
+func (a *api) replicaPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading replica batch: %v", err)
+		return
+	}
+	n, err := a.svc.Replicas().Apply(r.PathValue("id"), data, time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"records": n})
+}
+
+// replicaGet handles GET /v1/replica/{id}: the replica's current view in
+// CheckpointExport shape — what a failover restore would resume from. Used
+// by tests and operators to observe replication lag.
+func (a *api) replicaGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spec, key, cps, ok := a.svc.Replicas().Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no replica for job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointExport{
+		ID:          id,
+		Spec:        spec,
+		Key:         key,
+		Checkpoints: experiment.ExportCheckpoints(cps),
+	})
 }
 
 // stream handles GET /v1/jobs/{id}/stream: one NDJSON StreamEvent line

@@ -65,6 +65,10 @@ type Job struct {
 	// the singleflight slot for that digest. Both immutable after submit.
 	digest       string
 	flightLeader bool
+	// replica is the base URL of the ring successor this job's checkpoint
+	// records stream to (Replicate mode; "" otherwise). Immutable after
+	// submit.
+	replica string
 
 	mu       sync.Mutex
 	notify   chan struct{}
@@ -288,6 +292,10 @@ type Status struct {
 	// Attempt is the number of execution attempts started so far (0 while
 	// the job has never run). It survives daemon restarts via the journal.
 	Attempt int `json:"attempt,omitempty"`
+	// Degraded marks a job a coordinator ran locally because the ring had
+	// no live owner for its digest. The service itself never sets it; the
+	// dispatch layer decorates statuses of its local-fallback jobs.
+	Degraded bool `json:"degraded,omitempty"`
 	// Error is the failure reason (context.Canceled for canceled jobs,
 	// context.DeadlineExceeded for timeouts).
 	Error      string     `json:"error,omitempty"`

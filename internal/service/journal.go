@@ -38,6 +38,16 @@ import (
 // journalMagic heads every WAL file; bump the digit on any format change.
 var journalMagic = []byte("MOBICWAL1\n")
 
+// WALFile is the file surface the journal writes through — the slice of
+// *os.File it actually uses. Config.WrapWAL intercepts it, which is how the
+// chaos harness injects torn writes and fsync failures without the service
+// importing the injector.
+type WALFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
 // maxRecordBytes bounds a single record; longer length prefixes are treated
 // as corruption. Outputs of the largest admissible sweep stay far below it.
 const maxRecordBytes = 64 << 20
@@ -73,19 +83,26 @@ type record struct {
 	Output *Output `json:"output,omitempty"`
 }
 
-// encodeFrame writes one length+CRC framed record.
-func encodeFrame(w io.Writer, rec record) error {
+// frameBytes renders one record as a complete length+CRC frame.
+func frameBytes(rec record) ([]byte, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("journal: encode: %w", err)
+		return nil, fmt.Errorf("journal: encode: %w", err)
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(hdr[:]); err != nil {
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// encodeFrame writes one length+CRC framed record.
+func encodeFrame(w io.Writer, rec record) error {
+	buf, err := frameBytes(rec)
+	if err != nil {
 		return err
 	}
-	_, err = w.Write(payload)
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -95,10 +112,17 @@ func encodeFrame(w io.Writer, rec record) error {
 // magic header — is a torn tail the caller should truncate. It never fails:
 // corruption just ends the prefix.
 func decodeRecords(data []byte) ([]record, int) {
-	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != string(journalMagic) {
+	return decodeFrames(data, journalMagic)
+}
+
+// decodeFrames is decodeRecords parameterized over the magic header, so the
+// replication wire format (MOBICREPL1) reuses the exact framing and
+// torn-prefix semantics of the WAL.
+func decodeFrames(data, magic []byte) ([]record, int) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
 		return nil, 0
 	}
-	off := len(journalMagic)
+	off := len(magic)
 	var recs []record
 	for {
 		if len(data)-off < 8 {
@@ -125,17 +149,29 @@ func decodeRecords(data []byte) ([]record, int) {
 // Journal is the append-only, fsync'd WAL. All methods are safe for
 // concurrent use; Append holds the lock across the fsync, so the journal
 // serializes the record order the replayer will observe.
+//
+// Failure semantics: a failed append wedges the journal — every later
+// Append refuses with the original error until a successful Compact rebuilds
+// the file. The failed write may have left a partial frame at the tail;
+// appending a good frame after it would survive the fsync yet vanish at
+// replay (torn-tail truncation stops at the garbage), silently un-acking a
+// durable record. Wedging turns that silent loss into an explicit 503 via
+// Err until compaction rewrites the log from live state.
 type Journal struct {
 	mu      sync.Mutex
 	path    string
-	f       *os.File
+	f       WALFile
+	wrap    func(WALFile) WALFile
 	size    int64
 	lastErr error
 }
 
 // openJournal opens (creating if needed) dir's WAL, replays its records,
-// and truncates any torn tail so the file ends on a record boundary.
-func openJournal(dir string) (*Journal, []record, error) {
+// and truncates any torn tail so the file ends on a record boundary. wrap,
+// when non-nil, intercepts the live file handle (the chaos seam); the
+// replay/truncate setup above runs on the raw file first, so a schedule
+// only perturbs steady-state appends, not recovery itself.
+func openJournal(dir string, wrap func(WALFile) WALFile) (*Journal, []record, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
@@ -174,7 +210,12 @@ func openJournal(dir string) (*Journal, []record, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	syncDir(dir)
-	return &Journal{path: path, f: f, size: int64(valid)}, recs, nil
+	j := &Journal{path: path, f: f, size: int64(valid)}
+	if wrap != nil {
+		j.wrap = wrap
+		j.f = wrap(f)
+	}
+	return j, recs, nil
 }
 
 // syncDir fsyncs a directory so file creations and renames inside it are
@@ -188,12 +229,20 @@ func syncDir(dir string) {
 }
 
 // Append encodes, writes and fsyncs one record. The record is durable when
-// Append returns nil. Failures are remembered for Err (the readiness probe)
-// until a later append succeeds.
+// Append returns nil. A failure wedges the journal (see the type comment):
+// every later Append short-circuits with the same error — surfaced by Err,
+// which flips /readyz to 503 — until a Compact rebuilds the file from live
+// state and clears it.
 func (j *Journal) Append(rec record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	err := encodeFrame(j.f, rec)
+	if j.lastErr != nil {
+		return j.lastErr
+	}
+	buf, err := frameBytes(rec)
+	if err == nil {
+		_, err = j.f.Write(buf)
+	}
 	if err == nil {
 		err = j.f.Sync()
 	}
@@ -201,10 +250,7 @@ func (j *Journal) Append(rec record) error {
 		j.lastErr = fmt.Errorf("journal: append: %w", err)
 		return j.lastErr
 	}
-	j.lastErr = nil
-	if off, serr := j.f.Seek(0, io.SeekCurrent); serr == nil {
-		j.size = off
-	}
+	j.size += int64(len(buf))
 	return nil
 }
 
@@ -283,6 +329,9 @@ func (j *Journal) Compact(recs []record) error {
 	syncDir(dir)
 	j.f.Close()
 	j.f = tmp
+	if j.wrap != nil {
+		j.f = j.wrap(tmp)
+	}
 	j.size = cw.n
 	j.lastErr = nil
 	return nil

@@ -27,7 +27,7 @@ func sampleRecords() []record {
 
 func TestJournalAppendReplayRoundtrip(t *testing.T) {
 	dir := t.TempDir()
-	j, recs, err := openJournal(dir)
+	j, recs, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestJournalAppendReplayRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	j2, got, err := openJournal(dir)
+	j2, got, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestJournalAppendReplayRoundtrip(t *testing.T) {
 // before it.
 func TestJournalTornTail(t *testing.T) {
 	dir := t.TempDir()
-	j, _, err := openJournal(dir)
+	j, _, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestJournalTornTail(t *testing.T) {
 		if err := os.Truncate(path, full-cut); err != nil {
 			t.Fatal(err)
 		}
-		j2, got, err := openJournal(dir)
+		j2, got, err := openJournal(dir, nil)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -102,7 +102,7 @@ func TestJournalTornTail(t *testing.T) {
 		}
 		full = j2.Size()
 		j2.Close()
-		j3, again, err := openJournal(dir)
+		j3, again, err := openJournal(dir, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestJournalTornTail(t *testing.T) {
 // must reject that record and everything after it.
 func TestJournalCorruptPayload(t *testing.T) {
 	dir := t.TempDir()
-	j, _, err := openJournal(dir)
+	j, _, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestJournalCorruptPayload(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j2, got, err := openJournal(dir)
+	j2, got, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestJournalGarbageFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j, recs, err := openJournal(dir)
+	j, recs, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestJournalGarbageFile(t *testing.T) {
 
 func TestJournalCompact(t *testing.T) {
 	dir := t.TempDir()
-	j, _, err := openJournal(dir)
+	j, _, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestJournalCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	j2, got, err := openJournal(dir)
+	j2, got, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestJournalCompact(t *testing.T) {
 // Err (the readiness probe) and clear after recovery.
 func TestJournalErrLatch(t *testing.T) {
 	dir := t.TempDir()
-	j, _, err := openJournal(dir)
+	j, _, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

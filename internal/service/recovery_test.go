@@ -307,7 +307,7 @@ func TestRetryAttemptSurvivesRestart(t *testing.T) {
 // the worker pool again.
 func TestPoisonedAtBoot(t *testing.T) {
 	dir := t.TempDir()
-	j, _, err := openJournal(dir)
+	j, _, err := openJournal(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"net/http"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -112,6 +113,21 @@ type Config struct {
 	// published back under its digest. Determinism makes this sound — the
 	// cached value IS the result of that spec (see DESIGN.md S28).
 	Cache *cache.Cache
+	// WrapWAL, when non-nil, intercepts the journal's file handle — the
+	// chaos harness installs a fault injector here to exercise torn writes
+	// and fsync failures without the service importing it.
+	WrapWAL func(WALFile) WALFile
+	// Replicate enables proactive WAL replication: jobs submitted or
+	// restored with a replica target (the X-Mobic-Replica header, set by a
+	// coordinator to the job's ring successor) stream their checkpoint
+	// records to that peer as they are journaled, so a failover restores
+	// from a warm replica instead of the coordinator's last poll.
+	Replicate bool
+	// ReplicaFlushEvery is the replication batching window (default 25 ms):
+	// checkpoints landing within it coalesce into one batch.
+	ReplicaFlushEvery time.Duration
+	// ReplicaClient sends replication batches (default: 2 s timeout).
+	ReplicaClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -166,12 +182,14 @@ func (c Config) withDefaults() Config {
 // Config.DataDir set, a write-ahead journal that makes all of it survive a
 // crash.
 type Service struct {
-	cfg     Config
-	store   *Store
-	queue   chan *Job
-	metrics *Metrics
-	journal *Journal
-	flights *cache.Flight // digest -> in-flight leader job (Cache mode)
+	cfg      Config
+	store    *Store
+	queue    chan *Job
+	metrics  *Metrics
+	journal  *Journal
+	flights  *cache.Flight // digest -> in-flight leader job (Cache mode)
+	repl     *replicator   // checkpoint streaming to ring successors (Replicate mode)
+	replicas *ReplicaStore // checkpoint replicas received from ring predecessors
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -209,6 +227,7 @@ func newService(cfg Config) *Service {
 		queue:      make(chan *Job, cfg.QueueCapacity),
 		metrics:    NewMetrics(),
 		flights:    cache.NewFlight(),
+		replicas:   newReplicaStore(0, cfg.Obs),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		workersWG:  make(chan struct{}),
@@ -216,6 +235,9 @@ func newService(cfg Config) *Service {
 		retryN:     make(chan int, 1),
 		draining:   make(chan struct{}),
 		submitMu:   make(chan struct{}, 1),
+	}
+	if cfg.Replicate {
+		s.repl = newReplicator(cfg.ReplicaClient, cfg.ReplicaFlushEvery, cfg.Obs)
 	}
 	s.retryN <- 0
 	return s
@@ -233,7 +255,7 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.DataDir == "" {
 		return s, nil
 	}
-	j, recs, err := openJournal(cfg.DataDir)
+	j, recs, err := openJournal(cfg.DataDir, cfg.WrapWAL)
 	if err != nil {
 		return nil, err
 	}
@@ -498,7 +520,12 @@ func (s *Service) Start() {
 				return
 			case <-ticker.C:
 				s.store.EvictExpired(s.cfg.Clock())
-				if s.journal != nil && s.journal.Size() > s.cfg.CompactBytes {
+				s.replicas.Prune(s.cfg.TTL, s.cfg.Clock())
+				// Compact past the size bound — or to heal a wedged journal:
+				// after an append failure the WAL may end mid-frame, and only
+				// a rewrite from live state makes it appendable (and the
+				// daemon ready) again.
+				if s.journal != nil && (s.journal.Size() > s.cfg.CompactBytes || s.journal.Err() != nil) {
 					// The write side of compactMu excludes every in-flight
 					// append+update pair, so the snapshot and the WAL swap
 					// are atomic with respect to SubmitKey/journalApply: no
@@ -526,6 +553,23 @@ func (s *Service) Submit(spec JobSpec) (*Job, error) {
 // journaled with the submission, so replay protection survives a restart;
 // they are released when the job's TTL evicts it.
 func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, err error) {
+	return s.SubmitWith(spec, SubmitOpts{Key: key})
+}
+
+// SubmitOpts carries the optional submission parameters.
+type SubmitOpts struct {
+	// Key is the idempotency key ("" for none).
+	Key string
+	// Replica is the base URL of the peer this job's checkpoint records
+	// should be streamed to as they are journaled ("" for none). Only
+	// honored with Config.Replicate; a coordinator sets it to the job's
+	// ring successor via the X-Mobic-Replica header.
+	Replica string
+}
+
+// SubmitWith is SubmitKey with the full option set.
+func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed bool, err error) {
+	key := opts.Key
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
 	}
@@ -568,6 +612,9 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 	}
 	job = newJob(spec, key, s.cfg.Clock())
 	job.nowFn = s.cfg.Clock
+	if s.repl != nil {
+		job.replica = opts.Replica
+	}
 	if digest != "" {
 		job.digest = digest
 		_, job.flightLeader = s.flights.Begin(digest, job.ID())
@@ -588,6 +635,9 @@ func (s *Service) SubmitKey(spec JobSpec, key string) (job *Job, existed bool, e
 	s.compactMu.RUnlock()
 	s.queue <- job
 	s.metrics.submitted.Add(1)
+	if s.repl != nil {
+		s.repl.begin(job)
+	}
 	return job, false, nil
 }
 
@@ -656,11 +706,29 @@ func (s *Service) settle(job *Job, out *Output) {
 // idempotent. Backpressure matches Submit: a full queue sheds with
 // ErrQueueFull.
 func (s *Service) Restore(id string, spec JobSpec, key string, cps []experiment.CellStats) (job *Job, existed bool, err error) {
+	return s.RestoreWith(id, spec, SubmitOpts{Key: key}, cps)
+}
+
+// RestoreWith is Restore with the full option set. Before enqueueing it
+// consults the local replica store: when a ring predecessor streamed this
+// job's checkpoints here and that replica holds a longer contiguous prefix
+// than the shipped one (the coordinator's last poll may be stale — or
+// empty, if chaos interrupted the poller), the job resumes from the replica
+// instead. That is the payoff of proactive replication: progress journaled
+// after the coordinator's last observation survives the owner's death.
+func (s *Service) RestoreWith(id string, spec JobSpec, opts SubmitOpts, cps []experiment.CellStats) (job *Job, existed bool, err error) {
+	key := opts.Key
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
 	}
 	if id == "" || len(id) > 64 {
 		return nil, false, invalidf("restore id %q must be 1-64 characters", id)
+	}
+	if spec.Sweep != nil {
+		if rspec, _, rcps, ok := s.replicas.Lookup(id); ok && len(rcps) > len(cps) && rspec.Digest() == spec.Digest() {
+			cps = rcps
+			s.cfg.Obs.Add(obs.ReplRestores, 1)
+		}
 	}
 	if len(cps) > 0 {
 		if spec.Sweep == nil {
@@ -692,6 +760,9 @@ func (s *Service) Restore(id string, spec JobSpec, key string, cps []experiment.
 	now := s.cfg.Clock()
 	job = rehydrate(id, spec, key, now)
 	job.nowFn = s.cfg.Clock
+	if s.repl != nil {
+		job.replica = opts.Replica
+	}
 	for i, cs := range cps {
 		job.addCheckpoint(i, cs)
 	}
@@ -714,8 +785,15 @@ func (s *Service) Restore(id string, spec JobSpec, key string, cps []experiment.
 	s.compactMu.RUnlock()
 	s.queue <- job
 	s.metrics.submitted.Add(1)
+	if s.repl != nil {
+		s.repl.begin(job)
+	}
 	return job, false, nil
 }
+
+// Replicas exposes the checkpoint-replica store (the receiving side of
+// proactive WAL replication); the HTTP layer serves it at /v1/replica/{id}.
+func (s *Service) Replicas() *ReplicaStore { return s.replicas }
 
 // Get looks a job up by ID.
 func (s *Service) Get(id string) (*Job, bool) { return s.store.Get(id) }
@@ -760,6 +838,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.baseCancel() // stop the janitor and wake pending retry timers
 		s.waitRetries()
 		<-s.janitorWG
+		if s.repl != nil {
+			s.repl.close()
+		}
 		if s.journal != nil {
 			_ = s.journal.Close()
 		}
@@ -809,6 +890,15 @@ func (s *Service) safeExecute(ctx context.Context, spec JobSpec, runner experime
 // runJob executes one popped job end to end and classifies the outcome.
 func (s *Service) runJob(job *Job) {
 	now := s.cfg.Clock()
+	if s.repl != nil {
+		// A terminal job needs no replica: the successor would serve the
+		// result, not resume it. Retried jobs stay registered.
+		defer func() {
+			if st, _, _ := job.Snapshot(); st.State.Terminal() {
+				s.repl.finish(job.ID())
+			}
+		}()
+	}
 
 	jobCtx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -839,9 +929,15 @@ func (s *Service) runJob(job *Job) {
 			runner.Resume = cps
 		}
 		runner.Checkpoint = func(cell int, cs experiment.CellStats) {
-			s.journalApply(record{Type: recCheckpoint, Job: job.ID(), Time: s.cfg.Clock(), Cell: cell, Stats: &cs}, func() {
+			rec := record{Type: recCheckpoint, Job: job.ID(), Time: s.cfg.Clock(), Cell: cell, Stats: &cs}
+			s.journalApply(rec, func() {
 				job.addCheckpoint(cell, cs)
 			})
+			if s.repl != nil {
+				// Replication rides the same record the WAL just fsync'd, so
+				// the replica can never run ahead of local durability.
+				s.repl.checkpoint(job.ID(), rec)
+			}
 		}
 	}
 
