@@ -1,0 +1,260 @@
+// Command loadgen is a multi-tenant soak driver for mobicd: N concurrent
+// clients per tenant hammer POST /v1/jobs (each under its tenant's
+// X-Mobic-Tenant header), poll their jobs to completion, and at the end
+// the tool asserts that each tenant's share of completed jobs converged
+// to its configured weight share — the observable the weighted-fair-queue
+// scheduler promises under sustained backlog.
+//
+// With -addr it drives a running daemon (whose -tenants config must match
+// the -tenants weights given here). Without -addr it runs an embedded
+// service with a stub executor (-job-ms per job) on a loopback listener,
+// which makes it a self-contained fairness smoke for CI:
+//
+//	loadgen -tenants heavy:4,light:1 -duration 3s -tolerance 0.25
+//
+// Exit status 0 when every tenant's completed share is within
+// tolerance·share + 0.01 of its weight share; 1 otherwise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobic/internal/experiment"
+	"mobic/internal/fair"
+	"mobic/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// tenantLoad is one tenant's configuration and tally.
+type tenantLoad struct {
+	name   string
+	weight float64
+	done   atomic.Int64 // completions observed after warmup
+	shed   atomic.Int64 // 429s observed (informational)
+}
+
+// parseTenants parses "heavy:4,light:1" into tenant loads.
+func parseTenants(s string) ([]*tenantLoad, error) {
+	var out []*tenantLoad
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant %q: want name:weight", part)
+		}
+		w, err := strconv.ParseFloat(wstr, 64)
+		if err != nil || w <= 0 || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("tenant %q: weight must be a positive number", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate tenant %q", name)
+		}
+		seen[name] = true
+		out = append(out, &tenantLoad{name: name, weight: w})
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("need at least two tenants to measure fairness (got %d)", len(out))
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "base URL of a running daemon (empty = embedded service)")
+		tenantsF = fs.String("tenants", "heavy:4,light:1", "comma-separated name:weight tenant list")
+		clients  = fs.Int("clients", 4, "concurrent submitting clients per tenant")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window after warmup")
+		warmup   = fs.Duration("warmup", time.Second, "ramp-up excluded from the share check")
+		tol      = fs.Float64("tolerance", 0.10, "relative tolerance on each tenant's weight share")
+		jobMS    = fs.Int("job-ms", 20, "stub job duration in milliseconds (embedded mode)")
+		workers  = fs.Int("workers", 2, "embedded service worker count")
+		queueCap = fs.Int("queue", 256, "embedded service queue capacity")
+		verbose  = fs.Bool("v", false, "log per-client progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tenants, err := parseTenants(*tenantsF)
+	if err != nil {
+		return err
+	}
+	if *clients <= 0 || *duration <= 0 || *tol <= 0 {
+		return fmt.Errorf("-clients, -duration and -tolerance must be positive")
+	}
+
+	base := *addr
+	if base == "" {
+		cfg := make([]fair.Tenant, len(tenants))
+		for i, t := range tenants {
+			cfg[i] = fair.Tenant{Name: t.name, Weight: t.weight}
+		}
+		reg, err := fair.NewRegistry(nil, cfg, false)
+		if err != nil {
+			return err
+		}
+		svc := service.New(service.Config{
+			QueueCapacity: *queueCap,
+			Workers:       *workers,
+			TTL:           time.Minute,
+			Tenants:       reg,
+			Execute: func(ctx context.Context, spec service.JobSpec, base experiment.Runner, progress func(done, total int)) (*service.Output, error) {
+				select {
+				case <-time.After(time.Duration(*jobMS) * time.Millisecond):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				progress(1, 1)
+				return &service.Output{Result: &experiment.Result{ID: "loadgen", Title: "loadgen stub"}}, nil
+			},
+		})
+		svc.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		server := &http.Server{Handler: service.NewHandler(svc)}
+		go server.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = server.Shutdown(ctx)
+			_ = svc.Shutdown(ctx)
+		}()
+		fmt.Fprintf(out, "embedded service at %s (%d workers, %d ms/job)\n", base, *workers, *jobMS)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	start := time.Now()
+	warmupEnd := start.Add(*warmup)
+	deadline := start.Add(*warmup + *duration)
+	var seq atomic.Uint64 // uniquifies specs so the result cache never collapses them
+
+	var wg sync.WaitGroup
+	for _, t := range tenants {
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(t *tenantLoad, c int) {
+				defer wg.Done()
+				driveClient(client, base, t, &seq, warmupEnd, deadline, *verbose, out)
+			}(t, c)
+		}
+	}
+	wg.Wait()
+
+	var total, wsum float64
+	for _, t := range tenants {
+		total += float64(t.done.Load())
+		wsum += t.weight
+	}
+	if total == 0 {
+		return fmt.Errorf("no jobs completed in the measurement window")
+	}
+	fmt.Fprintf(out, "%-16s %8s %8s %10s %10s %8s\n", "tenant", "weight", "done", "share", "want", "shed")
+	failed := false
+	for _, t := range tenants {
+		share := float64(t.done.Load()) / total
+		want := t.weight / wsum
+		ok := math.Abs(share-want) <= *tol*want+0.01
+		mark := ""
+		if !ok {
+			failed = true
+			mark = "  <-- out of tolerance"
+		}
+		fmt.Fprintf(out, "%-16s %8.3g %8d %10.4f %10.4f %8d%s\n",
+			t.name, t.weight, t.done.Load(), share, want, t.shed.Load(), mark)
+	}
+	if failed {
+		return fmt.Errorf("completed-job shares diverged from weight shares beyond tolerance %g", *tol)
+	}
+	fmt.Fprintf(out, "fairness OK: %d jobs completed, every share within %g of its weight share\n", int(total), *tol)
+	return nil
+}
+
+// driveClient runs one client's submit→poll loop until the deadline.
+// Completions observed after warmupEnd count toward the tenant's share.
+func driveClient(client *http.Client, base string, t *tenantLoad, seq *atomic.Uint64, warmupEnd, deadline time.Time, verbose bool, out io.Writer) {
+	for time.Now().Before(deadline) {
+		spec := fmt.Sprintf(`{"sweep":{"scenario":{"n":10},"algorithms":["mobic"]},"seeds":1,"base_seed":%d}`, seq.Add(1))
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Mobic-Tenant", t.name)
+		resp, err := client.Do(req)
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var st service.Status
+		decodeErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			t.shed.Add(1)
+			// The daemon's Retry-After is in whole seconds — too coarse for
+			// a soak; back off briefly and let admission recover.
+			time.Sleep(25 * time.Millisecond)
+			continue
+		case resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK:
+			time.Sleep(20 * time.Millisecond)
+			continue
+		case decodeErr != nil:
+			continue
+		}
+		if pollJob(client, base, t.name, st.ID, deadline) && time.Now().After(warmupEnd) {
+			t.done.Add(1)
+			if verbose {
+				fmt.Fprintf(out, "%s: %s done\n", t.name, st.ID)
+			}
+		}
+	}
+}
+
+// pollJob polls one job until terminal or the deadline; true on terminal.
+func pollJob(client *http.Client, base, tenant, id string, deadline time.Time) bool {
+	for time.Now().Before(deadline.Add(time.Second)) {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return false
+		}
+		req.Header.Set("X-Mobic-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		var st service.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil && st.State.Terminal() {
+			return st.State == service.StateSucceeded
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTenants(t *testing.T) {
+	ts, err := parseTenants("heavy:4, light:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].name != "heavy" || ts[0].weight != 4 || ts[1].name != "light" || ts[1].weight != 1 {
+		t.Fatalf("parsed %+v", ts)
+	}
+	for _, bad := range []string{"", "solo:1", "a:1,a:2", "x:-1", "noweight", "w:zero"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEmbeddedSoak runs a short two-tenant 4:1 soak against the embedded
+// service and requires the completed-job shares to land within a loose
+// tolerance of the weight shares — the same check scripts/check.sh runs.
+func TestEmbeddedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak takes ~2s")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-tenants", "heavy:4,light:1",
+		"-clients", "4",
+		"-warmup", "300ms",
+		"-duration", "1500ms",
+		"-job-ms", "10",
+		"-workers", "2",
+		"-tolerance", "0.35",
+	}, &out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "fairness OK") {
+		t.Fatalf("missing fairness OK line:\n%s", out.String())
+	}
+}

@@ -24,6 +24,15 @@
 // shipping the checkpoint prefix observed so far so sweeps resume instead
 // of restarting (see DESIGN.md S28).
 //
+// With -tenants the API is multi-tenant: a JSON config file assigns each
+// tenant (identified by an Authorization API key or an explicit
+// X-Mobic-Tenant header) a fair-share weight, priority, queue/run quotas
+// and a token-bucket rate limit. Workers dequeue by weighted fair
+// queueing, so one tenant's flood cannot starve the others; over-quota
+// tenants are shed with per-tenant 429 + Retry-After. POST /v1/jobs:batch
+// admits up to 64 specs atomically (journaled as one WAL record — a crash
+// never admits half a batch).
+//
 // Observability: GET /v1/jobs/{id} reports live progress (fraction + ETA),
 // /metrics merges the engine/experiment telemetry families (mobic_sim_*,
 // mobic_net_*, mobic_experiment_*) with the service's own, logs are
@@ -68,6 +77,7 @@ import (
 	"mobic/internal/cache"
 	"mobic/internal/dispatch"
 	"mobic/internal/experiment"
+	"mobic/internal/fair"
 	"mobic/internal/obs"
 	"mobic/internal/service"
 	"mobic/internal/simnet"
@@ -138,9 +148,18 @@ func run(args []string, logw io.Writer) error {
 		pollEvery  = fs.Duration("poll-every", time.Second, "tracked-job status/checkpoint poll period (-coordinator)")
 		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive transport failures that open a peer's circuit breaker (-coordinator)")
 		brkCool    = fs.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe (-coordinator)")
+		tenantsCfg = fs.String("tenants", "", "JSON tenant config file: per-tenant weights, quotas and rate limits (empty = single default tenant)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tenants := fair.DefaultRegistry()
+	if *tenantsCfg != "" {
+		reg, err := fair.LoadConfig(*tenantsCfg)
+		if err != nil {
+			return err
+		}
+		tenants = reg
 	}
 	if *failAfter <= 0 {
 		return fmt.Errorf("-fail-after must be positive (got %d)", *failAfter)
@@ -196,6 +215,7 @@ func run(args []string, logw io.Writer) error {
 			TTL:           *ttl,
 			Runner:        runner,
 			Obs:           registry,
+			Tenants:       tenants,
 		})
 		local.Start()
 		coord, err := dispatch.New(dispatch.Config{
@@ -244,6 +264,7 @@ func run(args []string, logw io.Writer) error {
 			Replicate:     *replicate,
 			Obs:           registry,
 			Cache:         results,
+			Tenants:       tenants,
 		})
 		if err != nil {
 			return err

@@ -140,6 +140,10 @@ type remoteJob struct {
 	digest string
 	key    string
 	spec   service.JobSpec
+	// tenant is the canonical tenant name the owning worker admitted the
+	// job under; failover restores preserve it so the successor charges
+	// the same tenant's quota and fair share.
+	tenant string
 	// peer is the worker currently responsible for the job.
 	peer string
 	// cps is the last checkpoint prefix observed by the poll loop — what
@@ -363,8 +367,9 @@ func (c *Coordinator) failover(j *remoteJob) {
 	body, err := json.Marshal(struct {
 		Spec        service.JobSpec          `json:"spec"`
 		Key         string                   `json:"key,omitempty"`
+		Tenant      string                   `json:"tenant,omitempty"`
 		Checkpoints experiment.CheckpointSet `json:"checkpoints"`
-	}{j.spec, j.key, cps})
+	}{j.spec, j.key, j.tenant, cps})
 	if err != nil {
 		return
 	}

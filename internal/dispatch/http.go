@@ -2,7 +2,10 @@ package dispatch
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -23,19 +26,26 @@ import (
 //	                            identical specs are answered from the
 //	                            result cache or collapsed onto the job
 //	                            already in flight
+//	POST   /v1/jobs:batch       place a batch atomically on one ring owner
+//	                            (all-or-none, like the worker endpoint)
 //	GET    /v1/jobs/{id}        status, proxied to the owning worker
 //	                            (answered locally once terminal)
-//	GET    /v1/jobs/{id}/stream NDJSON stream, proxied; on worker failover
-//	                            the stream reconnects to the successor and
-//	                            replays from the start (at-least-once lines)
+//	GET    /v1/jobs/{id}/stream NDJSON stream, proxied; on reconnect the
+//	                            proxy skips the lines it already delivered,
+//	                            so clients see each event exactly once
 //	DELETE /v1/jobs/{id}        cancel, proxied
 //	GET    /livez               process liveness
 //	GET    /readyz              503 until at least one worker is healthy
 //	GET    /metrics             dispatch + cache telemetry
+//
+// Tenant identity (Authorization API key / X-Mobic-Tenant header) is
+// forwarded verbatim to the owning worker, which makes the admission
+// decision; per-tenant 429s and Retry-After hints pass back through.
 func NewHandler(c *Coordinator) http.Handler {
 	h := &proxy{c: c}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("POST /v1/jobs:batch", h.submitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", h.stream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
@@ -152,6 +162,7 @@ func (p *proxy) submit(w http.ResponseWriter, r *http.Request) {
 	if key != "" {
 		hdr.Set("Idempotency-Key", key)
 	}
+	copyTenantHeaders(hdr, r)
 	for _, peer := range p.c.ring.Owners(digest) {
 		if p.c.isDown(peer) {
 			continue
@@ -176,17 +187,30 @@ func (p *proxy) submit(w http.ResponseWriter, r *http.Request) {
 	// Degraded mode: the ring has no live owner. Run the job on the
 	// embedded fallback service rather than bouncing the client.
 	if p.c.cfg.Local != nil {
-		p.submitLocal(w, spec, digest, key)
+		p.submitLocal(w, r, spec, digest, key)
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, "dispatch: no healthy worker")
 }
 
+// copyTenantHeaders forwards the request's tenant credentials to a
+// worker, which owns the admission decision (the coordinator has no
+// tenant registry of its own).
+func copyTenantHeaders(hdr http.Header, r *http.Request) {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		hdr.Set("Authorization", auth)
+	}
+	if tn := r.Header.Get("X-Mobic-Tenant"); tn != "" {
+		hdr.Set("X-Mobic-Tenant", tn)
+	}
+}
+
 // submitLocal places a job on the coordinator's embedded fallback service
 // and tracks it as a degraded-mode local job. Statuses it serves carry
 // "degraded": true so callers can tell the answer was not cluster-placed.
-func (p *proxy) submitLocal(w http.ResponseWriter, spec service.JobSpec, digest, key string) {
-	job, existed, err := p.c.cfg.Local.SubmitWith(spec, service.SubmitOpts{Key: key})
+func (p *proxy) submitLocal(w http.ResponseWriter, r *http.Request, spec service.JobSpec, digest, key string) {
+	tenant := p.c.cfg.Local.ResolveTenant(r.Header.Get("Authorization"), r.Header.Get("X-Mobic-Tenant"))
+	job, existed, err := p.c.cfg.Local.SubmitWith(spec, service.SubmitOpts{Key: key, Tenant: tenant})
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "dispatch: degraded submit: %v", err)
 		return
@@ -210,6 +234,145 @@ func (p *proxy) submitLocal(w http.ResponseWriter, spec service.JobSpec, digest,
 	writeJSON(w, code, st)
 }
 
+// submitBatch proxies POST /v1/jobs:batch. The whole batch is placed on
+// one ring owner (keyed by the combined spec digest, so sibling jobs stay
+// co-located and the worker's single-WAL-frame atomicity holds for the
+// batch); the worker makes the all-or-none admission decision.
+func (p *proxy) submitBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []service.JobSpec `json:"jobs"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch must contain at least one job")
+		return
+	}
+	if len(req.Jobs) > service.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch of %d jobs exceeds the %d-job limit", len(req.Jobs), service.MaxBatchJobs)
+		return
+	}
+	for i := range req.Jobs {
+		if err := req.Jobs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
+			return
+		}
+	}
+	h := sha256.New()
+	for i := range req.Jobs {
+		io.WriteString(h, req.Jobs[i].Digest())
+	}
+	batchDigest := hex.EncodeToString(h.Sum(nil))
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	hdr := http.Header{"Content-Type": {"application/json"}}
+	copyTenantHeaders(hdr, r)
+	for _, peer := range p.c.ring.Owners(batchDigest) {
+		if p.c.isDown(peer) {
+			continue
+		}
+		resp, err := p.c.attempt(r.Context(), peer, http.MethodPost, "/v1/jobs:batch", body, hdr)
+		if err != nil {
+			p.c.cfg.Logger.Warn("batch forward failed", "peer", peer, "err", err)
+			continue
+		}
+		p.relayBatch(w, resp, req.Jobs, peer)
+		return
+	}
+	if p.c.cfg.Local != nil {
+		p.batchLocal(w, r, req.Jobs)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "dispatch: no healthy worker")
+}
+
+// relayBatch finishes a forwarded batch: tracks each accepted job under
+// its own spec digest, merges Retry-After hints on shed, and passes
+// everything else through.
+func (p *proxy) relayBatch(w http.ResponseWriter, resp *http.Response, specs []service.JobSpec, peer string) {
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var br struct {
+			Jobs []service.Status `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+			writeError(w, http.StatusBadGateway, "decoding worker response: %v", err)
+			return
+		}
+		now := p.c.cfg.Clock()
+		for i, st := range br.Jobs {
+			if i >= len(specs) {
+				break
+			}
+			p.c.track(&remoteJob{
+				id: st.ID, digest: specs[i].Digest(), spec: specs[i],
+				tenant: st.Tenant, peer: peer, created: now,
+				cps: experiment.ExportCheckpoints(nil),
+			})
+		}
+		p.c.cfg.Obs.Add(obs.DispatchForwarded, int64(len(br.Jobs)))
+		writeJSON(w, resp.StatusCode, br)
+	case http.StatusTooManyRequests:
+		hint := p.c.retryAfterHint()
+		if peerHint := parseRetryAfter(resp.Header.Get("Retry-After"), p.c.cfg.Clock()); peerHint > hint {
+			hint = peerHint
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(hint))
+		passthrough(w, resp)
+	default:
+		passthrough(w, resp)
+	}
+}
+
+// batchLocal runs a batch on the embedded fallback service in degraded
+// mode, preserving the all-or-none contract (the local service journals
+// the batch in one frame too).
+func (p *proxy) batchLocal(w http.ResponseWriter, r *http.Request, specs []service.JobSpec) {
+	tenant := p.c.cfg.Local.ResolveTenant(r.Header.Get("Authorization"), r.Header.Get("X-Mobic-Tenant"))
+	jobs, err := p.c.cfg.Local.SubmitBatch(specs, service.SubmitOpts{Tenant: tenant})
+	switch {
+	case errors.Is(err, service.ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrTenantQuota), errors.Is(err, service.ErrRateLimited):
+		retry := p.c.retryAfterHint()
+		var se *service.ShedError
+		if errors.As(err, &se) && se.RetryAfter > retry {
+			retry = se.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "dispatch: degraded batch: %v", err)
+		return
+	}
+	now := p.c.cfg.Clock()
+	statuses := make([]service.Status, len(jobs))
+	for i, job := range jobs {
+		p.c.track(&remoteJob{
+			id: job.ID(), digest: specs[i].Digest(), spec: specs[i],
+			tenant: tenant, local: true, created: now,
+			cps: experiment.ExportCheckpoints(nil),
+		})
+		statuses[i], _, _ = job.Snapshot()
+		statuses[i].Degraded = true
+	}
+	p.c.cfg.Obs.Add(obs.DispatchDegraded, int64(len(jobs)))
+	p.c.cfg.Logger.Warn("no healthy worker; running batch locally", "jobs", len(jobs))
+	writeJSON(w, http.StatusAccepted, struct {
+		Jobs []service.Status `json:"jobs"`
+	}{statuses})
+}
+
 // relaySubmit finishes a forwarded submission: tracks accepted jobs,
 // merges Retry-After hints on shed, and passes everything else through.
 func (p *proxy) relaySubmit(w http.ResponseWriter, resp *http.Response, spec service.JobSpec, digest, key, peer string) {
@@ -223,7 +386,7 @@ func (p *proxy) relaySubmit(w http.ResponseWriter, resp *http.Response, spec ser
 		}
 		j := &remoteJob{
 			id: st.ID, digest: digest, key: key, spec: spec,
-			peer: peer, created: p.c.cfg.Clock(),
+			tenant: st.Tenant, peer: peer, created: p.c.cfg.Clock(),
 			cps: experiment.ExportCheckpoints(nil),
 		}
 		if st.State.Terminal() {
@@ -347,10 +510,10 @@ func (p *proxy) cancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // stream proxies the NDJSON event stream. If the owning worker dies
-// mid-stream, the proxy waits for failover and reconnects to the
-// successor, which replays the event log from the start — so across a
-// failover clients may see duplicated early lines (at-least-once); the
-// terminal "result" line still appears exactly once, last.
+// mid-stream, the proxy waits for failover and reconnects; the upstream
+// replays its event log from the start, and the proxy skips the lines it
+// already delivered, so the client sees each event exactly once and the
+// terminal "result" line appears exactly once, last.
 func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, tracked := p.c.lookup(id)
@@ -362,8 +525,18 @@ func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Push the header out so a client attached to a queued job is not
+	// stuck in its transport waiting for the first byte.
+	if flusher != nil {
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 
+	// written counts the NDJSON lines already delivered to the client.
+	// Upstream replays its event log from the start on every attempt, so
+	// each reconnect skips exactly that many lines — without it, every
+	// reconnect duplicated the whole history the client had already seen.
+	written := 0
 	for {
 		p.c.mu.Lock()
 		terminal, final, peer, local := j.terminal, j.final, j.peer, j.local
@@ -378,7 +551,9 @@ func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
 			p.streamLocal(w, r, enc, flusher, j)
 			return
 		}
-		if done := p.copyStream(w, r, enc, flusher, peer, id); done {
+		delivered, done := p.copyStream(w, r, flusher, peer, id, written)
+		written += delivered
+		if done {
 			return
 		}
 		// Stream broke before the result line: worker died or restarted.
@@ -393,39 +568,58 @@ func (p *proxy) stream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// copyStream relays one upstream stream attempt, returning true once the
-// terminal result line was delivered.
-func (p *proxy) copyStream(w io.Writer, r *http.Request, enc *json.Encoder, flusher http.Flusher, peer, id string) bool {
+// copyStream relays one upstream stream attempt, skipping the first skip
+// lines (already delivered by a previous attempt). It returns how many
+// new lines it delivered and whether the terminal result line went out.
+//
+// The skip is sound because a reconnect to the same worker replays a
+// strict superset of the previous attempt's prefix. A failed-over
+// successor resumes from the last shipped checkpoint, so its log can be
+// shorter than what was already delivered; then the attempt delivers
+// nothing (even a replayed "result" line is consumed by the skip) and the
+// loop falls back to the poll path, which serves the terminal status from
+// the coordinator's own record — the result still reaches the client
+// exactly once.
+func (p *proxy) copyStream(w io.Writer, r *http.Request, flusher http.Flusher, peer, id string, skip int) (delivered int, done bool) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
 		peer+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
-		return false
+		return 0, false
 	}
 	resp, err := p.c.streamClient.Do(req)
 	if err != nil {
-		return false
+		return 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return false
+		return 0, false
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if _, err := w.Write(append(line, '\n')); err != nil {
-			return true // client went away; nothing more to deliver
+	br := bufio.NewReaderSize(resp.Body, 64*1024)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// The connection died mid-line (or closed cleanly): a partial
+			// tail is dropped, never forwarded — skip counts only complete
+			// delivered lines, so the reconnect replays the torn line whole.
+			return delivered, false
 		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		if _, err := w.Write(line); err != nil {
+			return delivered, true // client went away; nothing more to deliver
+		}
+		delivered++
 		if flusher != nil {
 			flusher.Flush()
 		}
 		var ev service.StreamEvent
 		if json.Unmarshal(line, &ev) == nil && ev.Type == "result" {
-			return true
+			return delivered, true
 		}
 	}
-	return false
 }
 
 // streamLocal serves a degraded-mode job's event log straight from the
@@ -448,12 +642,14 @@ func (p *proxy) streamLocal(w http.ResponseWriter, r *http.Request, enc *json.En
 			if err := enc.Encode(ev); err != nil {
 				return // client went away
 			}
+			// Same per-event flush as the worker's handler: a batch-end
+			// flush starved the client of the last line in every burst.
+			if flusher != nil {
+				flusher.Flush()
+			}
 			if ev.Type == "result" {
 				return
 			}
-		}
-		if len(events) > 0 && flusher != nil {
-			flusher.Flush()
 		}
 		next += len(events)
 		select {

@@ -1,0 +1,350 @@
+// Package fair is mobicd's multi-tenant admission layer: per-tenant
+// weighted fair queueing with priorities, per-tenant quotas (max queued,
+// max running) and token-bucket rate limits.
+//
+// A Registry maps request credentials (an Authorization API key or an
+// explicit X-Mobic-Tenant header) to a named Tenant policy; a Queue holds
+// one sub-queue per tenant and dequeues by virtual-time weighted fair
+// queueing, so a tenant flooding the daemon with sweeps cannot starve the
+// others — each backlogged tenant drains in proportion to its weight.
+// Shedding is per-tenant: a tenant over its quota or rate gets a typed
+// Shed (mapped to a 429 with a per-tenant Retry-After upstairs) while
+// every other tenant keeps being admitted.
+package fair
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultName is the exposition name of the catch-all tenant that
+// unauthenticated (or unrecognized) traffic lands on. Internally the
+// default tenant is keyed by the empty string so single-tenant deployments
+// keep their exact pre-multi-tenancy wire format.
+const DefaultName = "default"
+
+// MaxDynamicTenants bounds how many previously unknown X-Mobic-Tenant
+// names a dynamic registry will promote to their own fair-share queues;
+// past it, new names fold into the default tenant so an adversary cannot
+// grow per-tenant state without bound.
+const MaxDynamicTenants = 512
+
+// Tenant is one tenant's resolved admission policy.
+type Tenant struct {
+	// Name identifies the tenant ("" is the default tenant, exposed as
+	// DefaultName in metrics).
+	Name string
+	// Keys are the API keys (Authorization header values, with or without
+	// a "Bearer " prefix) that resolve to this tenant.
+	Keys []string
+	// Weight is the tenant's fair share (> 0). A backlogged tenant drains
+	// jobs in proportion to Weight relative to the other backlogged
+	// tenants.
+	Weight float64
+	// Priority orders tenants strictly: any eligible job of a
+	// higher-priority tenant dequeues before any lower-priority one; WFQ
+	// applies within a priority class.
+	Priority int
+	// MaxQueued caps the tenant's queued (not yet running) jobs. 0 (the
+	// zero value) means no per-tenant bound (the global queue capacity
+	// still applies); negative admits nothing — a fully shed tenant. In
+	// the JSON config an explicit "max_queued": 0 maps to the fully-shed
+	// form, since "unset" is expressed by omitting the field.
+	MaxQueued int
+	// MaxRunning caps the tenant's concurrently executing jobs; <= 0
+	// means unlimited. A tenant at its cap stays queued without blocking
+	// other tenants' dequeues.
+	MaxRunning int
+	// Rate is the sustained admission rate in jobs/second (token bucket);
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the token bucket size; defaulted to max(1, ceil(Rate))
+	// when Rate > 0.
+	Burst int
+}
+
+// normalize applies the documented defaults to a parsed tenant.
+func (t Tenant) normalize() Tenant {
+	if t.Weight <= 0 {
+		t.Weight = 1
+	}
+	if t.Rate > 0 && t.Burst <= 0 {
+		t.Burst = int(math.Max(1, math.Ceil(t.Rate)))
+	}
+	return t
+}
+
+// Registry resolves request credentials to tenant policies. All methods
+// are safe for concurrent use.
+type Registry struct {
+	def     Tenant
+	byName  map[string]Tenant
+	byKey   map[string]string // API key -> tenant name
+	dynamic bool
+
+	mu   sync.Mutex
+	dyn  map[string]struct{} // promoted dynamic tenant names
+	full bool                // dynamic cap reached
+}
+
+// NewRegistry builds a registry from a default-tenant policy (nil for
+// all-unlimited), the named tenants, and the dynamic flag (whether unknown
+// X-Mobic-Tenant names get their own default-policy fair share instead of
+// folding into the default tenant).
+func NewRegistry(def *Tenant, tenants []Tenant, dynamic bool) (*Registry, error) {
+	r := &Registry{
+		byName:  make(map[string]Tenant, len(tenants)),
+		byKey:   make(map[string]string),
+		dynamic: dynamic,
+		dyn:     make(map[string]struct{}),
+	}
+	var d Tenant
+	if def != nil {
+		d = *def
+	}
+	d.Name, d.Keys = "", nil
+	r.def = d.normalize()
+	for _, t := range tenants {
+		if err := validName(t.Name); err != nil {
+			return nil, err
+		}
+		if _, dup := r.byName[t.Name]; dup {
+			return nil, fmt.Errorf("fair: duplicate tenant %q", t.Name)
+		}
+		if t.Weight < 0 || math.IsNaN(t.Weight) || math.IsInf(t.Weight, 0) {
+			return nil, fmt.Errorf("fair: tenant %q: weight must be a finite non-negative number", t.Name)
+		}
+		if t.Rate < 0 || math.IsNaN(t.Rate) || math.IsInf(t.Rate, 0) {
+			return nil, fmt.Errorf("fair: tenant %q: rate must be a finite non-negative number", t.Name)
+		}
+		for _, k := range t.Keys {
+			if k == "" {
+				return nil, fmt.Errorf("fair: tenant %q: empty API key", t.Name)
+			}
+			if prev, dup := r.byKey[k]; dup {
+				return nil, fmt.Errorf("fair: API key shared by tenants %q and %q", prev, t.Name)
+			}
+			r.byKey[k] = t.Name
+		}
+		r.byName[t.Name] = t.normalize()
+	}
+	return r, nil
+}
+
+// validName rejects tenant names that would corrupt metric labels or log
+// lines: empty, too long, the reserved default, or containing
+// whitespace/control/quote characters.
+func validName(name string) error {
+	if name == "" {
+		return errors.New("fair: tenant name must be non-empty")
+	}
+	if name == DefaultName {
+		return fmt.Errorf("fair: tenant name %q is reserved (configure it via the top-level \"default\" policy)", DefaultName)
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("fair: tenant name %q exceeds 64 bytes", name)
+	}
+	for _, c := range name {
+		if c <= ' ' || c == '"' || c == '\\' || c == 0x7f {
+			return fmt.Errorf("fair: tenant name %q contains whitespace, quote or control characters", name)
+		}
+	}
+	return nil
+}
+
+// DefaultRegistry returns a registry with only the all-unlimited default
+// tenant — the single-tenant mode every pre-existing deployment runs in.
+func DefaultRegistry() *Registry {
+	r, err := NewRegistry(nil, nil, false)
+	if err != nil {
+		panic("fair: default registry: " + err.Error())
+	}
+	return r
+}
+
+// Resolve maps request credentials to a canonical tenant name. An explicit
+// X-Mobic-Tenant header wins; otherwise the Authorization header (with an
+// optional "Bearer " prefix) is looked up as an API key. Unknown
+// credentials fold into the default tenant ("") unless the registry is
+// dynamic, in which case unknown header names get their own fair share
+// (bounded by MaxDynamicTenants; API keys never mint dynamic tenants).
+func (r *Registry) Resolve(authorization, tenantHeader string) string {
+	if tenantHeader != "" {
+		return r.Canonical(tenantHeader)
+	}
+	if authorization != "" {
+		key := strings.TrimPrefix(authorization, "Bearer ")
+		if name, ok := r.byKey[key]; ok {
+			return name
+		}
+	}
+	return ""
+}
+
+// Canonical normalizes a tenant name: known names (and DefaultName/"")
+// pass through to their internal form, unknown names fold into the
+// default tenant unless dynamic promotion applies.
+func (r *Registry) Canonical(name string) string {
+	if name == "" || name == DefaultName {
+		return ""
+	}
+	if _, ok := r.byName[name]; ok {
+		return name
+	}
+	if !r.dynamic || validName(name) != nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dyn[name]; ok {
+		return name
+	}
+	if r.full || len(r.dyn) >= MaxDynamicTenants {
+		r.full = true
+		return ""
+	}
+	r.dyn[name] = struct{}{}
+	return name
+}
+
+// Lookup returns the policy for a canonical tenant name; unknown and ""
+// both yield the default policy (dynamic tenants run under it too, each
+// with its own sub-queue).
+func (r *Registry) Lookup(name string) Tenant {
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	t := r.def
+	t.Name = name
+	return t
+}
+
+// Names returns the configured tenant names, sorted (the default tenant
+// and dynamic tenants are not included).
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Display maps an internal tenant name to its exposition label.
+func Display(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// tenantJSON is the config-file form of one tenant. Pointer fields
+// distinguish "unset, take the default" from an explicit zero — required
+// so a zero-quota tenant ("max_queued": 0) is expressible.
+type tenantJSON struct {
+	Name       string   `json:"name"`
+	Keys       []string `json:"keys,omitempty"`
+	Weight     *float64 `json:"weight,omitempty"`
+	Priority   int      `json:"priority,omitempty"`
+	MaxQueued  *int     `json:"max_queued,omitempty"`
+	MaxRunning *int     `json:"max_running,omitempty"`
+	Rate       *float64 `json:"rate_per_sec,omitempty"`
+	Burst      *int     `json:"burst,omitempty"`
+}
+
+func (tj tenantJSON) tenant() Tenant {
+	t := Tenant{Name: tj.Name, Keys: tj.Keys, Priority: tj.Priority}
+	if tj.Weight != nil {
+		t.Weight = *tj.Weight
+	}
+	if tj.MaxQueued != nil {
+		// An explicit 0 (or any non-positive quota) is the fully shed
+		// tenant; omitting the field keeps the unlimited zero value.
+		if *tj.MaxQueued <= 0 {
+			t.MaxQueued = -1
+		} else {
+			t.MaxQueued = *tj.MaxQueued
+		}
+	}
+	if tj.MaxRunning != nil {
+		t.MaxRunning = *tj.MaxRunning
+	}
+	if tj.Rate != nil {
+		t.Rate = *tj.Rate
+	}
+	if tj.Burst != nil {
+		t.Burst = *tj.Burst
+	}
+	return t
+}
+
+// configJSON is the -tenants file format:
+//
+//	{
+//	  "dynamic": false,
+//	  "default": {"weight": 1, "max_queued": 64},
+//	  "tenants": [
+//	    {"name": "gold", "keys": ["k-gold-1"], "weight": 4,
+//	     "max_queued": 128, "max_running": 4, "rate_per_sec": 50}
+//	  ]
+//	}
+type configJSON struct {
+	Dynamic bool         `json:"dynamic,omitempty"`
+	Default *tenantJSON  `json:"default,omitempty"`
+	Tenants []tenantJSON `json:"tenants,omitempty"`
+}
+
+// ParseConfig builds a Registry from the -tenants JSON config format.
+// Unknown fields are errors so a typo'd quota cannot silently become
+// "unlimited".
+func ParseConfig(data []byte) (*Registry, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cfg configJSON
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("fair: parsing tenant config: %w", err)
+	}
+	// A second document in the stream is garbage, not config.
+	if dec.More() {
+		return nil, errors.New("fair: parsing tenant config: trailing data after config object")
+	}
+	var def *Tenant
+	if cfg.Default != nil {
+		if cfg.Default.Name != "" || len(cfg.Default.Keys) != 0 {
+			return nil, errors.New("fair: the default tenant takes no name or keys")
+		}
+		d := cfg.Default.tenant()
+		if d.Weight < 0 || math.IsNaN(d.Weight) || math.IsInf(d.Weight, 0) {
+			return nil, errors.New("fair: default tenant: weight must be a finite non-negative number")
+		}
+		if d.Rate < 0 || math.IsNaN(d.Rate) || math.IsInf(d.Rate, 0) {
+			return nil, errors.New("fair: default tenant: rate must be a finite non-negative number")
+		}
+		def = &d
+	}
+	tenants := make([]Tenant, 0, len(cfg.Tenants))
+	for _, tj := range cfg.Tenants {
+		tenants = append(tenants, tj.tenant())
+	}
+	return NewRegistry(def, tenants, cfg.Dynamic)
+}
+
+// LoadConfig reads and parses a -tenants config file.
+func LoadConfig(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fair: %w", err)
+	}
+	reg, err := ParseConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return reg, nil
+}

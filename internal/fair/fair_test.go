@@ -1,0 +1,206 @@
+package fair
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustRegistry(t *testing.T, def *Tenant, tenants []Tenant, dynamic bool) *Registry {
+	t.Helper()
+	r, err := NewRegistry(def, tenants, dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResolve(t *testing.T) {
+	r := mustRegistry(t, nil, []Tenant{
+		{Name: "gold", Keys: []string{"k-gold"}, Weight: 4},
+		{Name: "bronze", Keys: []string{"k-bronze"}, Weight: 1},
+	}, false)
+	cases := []struct {
+		auth, header, want string
+	}{
+		{"k-gold", "", "gold"},
+		{"Bearer k-gold", "", "gold"},
+		{"k-bronze", "", "bronze"},
+		{"", "", ""},
+		{"unknown-key", "", ""},        // unknown keys fold to default
+		{"k-gold", "bronze", "bronze"}, // explicit header wins over key
+		{"", "gold", "gold"},           // header alone
+		{"", "no-such-tenant", ""},     // unknown header folds (non-dynamic)
+		{"", DefaultName, ""},          // "default" is the default tenant
+		{"Bearer unknown", "", ""},
+	}
+	for _, c := range cases {
+		if got := r.Resolve(c.auth, c.header); got != c.want {
+			t.Errorf("Resolve(%q, %q) = %q, want %q", c.auth, c.header, got, c.want)
+		}
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	bad := []struct {
+		name    string
+		tenants []Tenant
+	}{
+		{"duplicate name", []Tenant{{Name: "a"}, {Name: "a"}}},
+		{"reserved default", []Tenant{{Name: DefaultName}}},
+		{"empty name", []Tenant{{Name: ""}}},
+		{"whitespace name", []Tenant{{Name: "a b"}}},
+		{"quote name", []Tenant{{Name: `a"b`}}},
+		{"long name", []Tenant{{Name: strings.Repeat("x", 65)}}},
+		{"negative weight", []Tenant{{Name: "a", Weight: -1}}},
+		{"negative rate", []Tenant{{Name: "a", Rate: -1}}},
+		{"empty key", []Tenant{{Name: "a", Keys: []string{""}}}},
+		{"shared key", []Tenant{{Name: "a", Keys: []string{"k"}}, {Name: "b", Keys: []string{"k"}}}},
+	}
+	for _, c := range bad {
+		if _, err := NewRegistry(nil, c.tenants, false); err == nil {
+			t.Errorf("%s: NewRegistry accepted", c.name)
+		}
+	}
+}
+
+func TestLookupDefaults(t *testing.T) {
+	r := mustRegistry(t, nil, []Tenant{{Name: "gold", Weight: 4, Rate: 2.5}}, false)
+	def := r.Lookup("")
+	if def.Weight != 1 || def.MaxQueued != 0 || def.MaxRunning != 0 || def.Rate != 0 {
+		t.Fatalf("default policy = %+v", def)
+	}
+	g := r.Lookup("gold")
+	if g.Weight != 4 {
+		t.Fatalf("gold weight = %g", g.Weight)
+	}
+	if g.Burst != 3 { // ceil(2.5)
+		t.Fatalf("gold burst defaulted to %d, want 3", g.Burst)
+	}
+	// Unknown names run under the default policy but keep their own name
+	// (their own sub-queue when dynamic).
+	u := r.Lookup("mystery")
+	if u.Name != "mystery" || u.Weight != 1 {
+		t.Fatalf("unknown policy = %+v", u)
+	}
+}
+
+func TestDynamicPromotion(t *testing.T) {
+	r := mustRegistry(t, nil, nil, true)
+	if got := r.Canonical("team-a"); got != "team-a" {
+		t.Fatalf("dynamic Canonical = %q", got)
+	}
+	// Idempotent.
+	if got := r.Canonical("team-a"); got != "team-a" {
+		t.Fatalf("second Canonical = %q", got)
+	}
+	// API keys never mint dynamic tenants.
+	if got := r.Resolve("some-unknown-key", ""); got != "" {
+		t.Fatalf("unknown key resolved to %q", got)
+	}
+	// The cap folds the overflow into the default tenant.
+	for i := 0; i < MaxDynamicTenants; i++ {
+		r.Canonical(fmt.Sprintf("dyn-%d", i))
+	}
+	if got := r.Canonical("one-too-many"); got != "" {
+		t.Fatalf("past-cap Canonical = %q, want default fold", got)
+	}
+	// Invalid names never promote.
+	r2 := mustRegistry(t, nil, nil, true)
+	if got := r2.Canonical("has space"); got != "" {
+		t.Fatalf("invalid name promoted to %q", got)
+	}
+}
+
+func TestStaticRegistryNeverPromotes(t *testing.T) {
+	r := mustRegistry(t, nil, nil, false)
+	if got := r.Canonical("anything"); got != "" {
+		t.Fatalf("static Canonical = %q", got)
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	if Display("") != DefaultName || Display("gold") != "gold" {
+		t.Fatal("Display mapping broken")
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	reg, err := ParseConfig([]byte(`{
+		"default": {"weight": 1, "max_queued": 8},
+		"tenants": [
+			{"name": "gold", "keys": ["k-gold"], "weight": 4, "max_running": 2, "rate_per_sec": 10},
+			{"name": "shed-me", "weight": 1, "max_queued": 0}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Resolve("k-gold", ""); got != "gold" {
+		t.Fatalf("key resolved to %q", got)
+	}
+	if q := reg.Lookup("shed-me").MaxQueued; q >= 0 {
+		t.Fatalf("explicit zero quota parsed as %d, want fully shed (<0)", q)
+	}
+	if q := reg.Lookup("gold").MaxQueued; q != 0 {
+		t.Fatalf("unset quota parsed as %d, want 0 (unlimited)", q)
+	}
+	if d := reg.Lookup(""); d.MaxQueued != 8 {
+		t.Fatalf("default max_queued = %d", d.MaxQueued)
+	}
+
+	bad := []string{
+		`{"tenants": [{"name": "a", "quota": 3}]}`,    // unknown field
+		`{"tenants": []} {"again": true}`,             // trailing data
+		`{"default": {"name": "x"}}`,                  // default takes no name
+		`{"default": {"keys": ["k"]}}`,                // default takes no keys
+		`{"tenants": [{"name": "default"}]}`,          // reserved
+		`{"tenants": [{"name": "a"}, {"name": "a"}]}`, // duplicate
+		`{"tenants": [{"name": "a", "weight": -3}]}`,  // bad weight
+		`not json`,
+	}
+	for _, b := range bad {
+		if _, err := ParseConfig([]byte(b)); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", b)
+		}
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	if got := r.Canonical("anything"); got != "" {
+		t.Fatalf("default registry promoted %q", got)
+	}
+	d := r.Lookup("")
+	if d.Weight != 1 || d.MaxQueued != 0 || d.Rate != 0 {
+		t.Fatalf("default registry policy = %+v, want all-unlimited", d)
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"gold","weight":4}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Lookup("gold").Weight != 4 {
+		t.Fatal("loaded registry missing gold tenant")
+	}
+
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tenants":[{"name":"default"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("bad config error %v does not name the file", err)
+	}
+}

@@ -1,0 +1,55 @@
+package fair
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTenantConfig throws arbitrary bytes at the -tenants config parser:
+// it must never panic, and any registry it does accept must uphold the
+// package invariants (normalized weights, resolvable keys, stable
+// canonicalization).
+func FuzzTenantConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dynamic": true}`))
+	f.Add([]byte(`{"default": {"weight": 2, "max_queued": 0}}`))
+	f.Add([]byte(`{"tenants": [{"name": "gold", "keys": ["k1", "k2"], "weight": 4, "priority": 1, "max_queued": 16, "max_running": 2, "rate_per_sec": 0.5, "burst": 3}]}`))
+	f.Add([]byte(`{"tenants": [{"name": "a"}, {"name": "b", "weight": 1e308}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"tenants": [{"name": "default"}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"x","max_queued":-5}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		for _, name := range append(reg.Names(), "") {
+			p := reg.Lookup(name)
+			if p.Weight <= 0 {
+				t.Fatalf("tenant %q: accepted weight %g", name, p.Weight)
+			}
+			if p.Rate > 0 && p.Burst < 1 {
+				t.Fatalf("tenant %q: rate %g with burst %d", name, p.Rate, p.Burst)
+			}
+			if name != "" {
+				if strings.ContainsAny(name, " \t\n\r\"\\") || len(name) > 64 {
+					t.Fatalf("accepted hostile tenant name %q", name)
+				}
+				if reg.Canonical(name) != name {
+					t.Fatalf("known tenant %q not canonical", name)
+				}
+			}
+			for _, k := range p.Keys {
+				if got := reg.Resolve(k, ""); got != name {
+					t.Fatalf("key %q of %q resolves to %q", k, name, got)
+				}
+			}
+		}
+		// Canonicalization is idempotent even for unknown names.
+		c := reg.Canonical("zz-unknown")
+		if reg.Canonical(c) != c {
+			t.Fatalf("Canonical not idempotent: %q -> %q", c, reg.Canonical(c))
+		}
+	})
+}

@@ -1,0 +1,302 @@
+package fair
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Shed reasons, surfaced on the typed admission error.
+const (
+	// ReasonQuota means the tenant's MaxQueued cap is reached (or zero).
+	ReasonQuota = "queued-quota"
+	// ReasonRate means the tenant's token bucket cannot cover the
+	// submission right now.
+	ReasonRate = "rate-limit"
+	// ReasonCapacity means the global queue bound is reached.
+	ReasonCapacity = "queue-full"
+)
+
+// Shed reports one refused admission: which tenant, why, and — for rate
+// sheds — how long until the bucket can cover the request. The HTTP layer
+// maps it to a per-tenant 429 + Retry-After.
+type Shed struct {
+	Tenant     string
+	Reason     string
+	RetryAfter float64 // seconds until a rate shed could succeed; 0 otherwise
+}
+
+// Error implements error.
+func (s *Shed) Error() string {
+	return fmt.Sprintf("fair: tenant %q shed: %s", Display(s.Tenant), s.Reason)
+}
+
+// item is one queued entry with its WFQ finish tag.
+type item[T any] struct {
+	v      T
+	finish float64
+}
+
+// tenantState is one tenant's sub-queue plus its WFQ, quota and
+// token-bucket accounting. All fields are guarded by the Queue mutex.
+type tenantState[T any] struct {
+	cfg        Tenant
+	items      []item[T]
+	head       int // index of the next item to pop
+	lastFinish float64
+	running    int
+	tokens     float64
+	lastRefill time.Time
+}
+
+func (ts *tenantState[T]) depth() int { return len(ts.items) - ts.head }
+
+func (ts *tenantState[T]) push(it item[T]) {
+	// Reclaim the popped prefix once it dominates the slice, so a
+	// long-lived tenant queue doesn't grow without bound.
+	if ts.head > 64 && ts.head*2 > len(ts.items) {
+		n := copy(ts.items, ts.items[ts.head:])
+		for i := n; i < len(ts.items); i++ {
+			ts.items[i] = item[T]{}
+		}
+		ts.items = ts.items[:n]
+		ts.head = 0
+	}
+	ts.items = append(ts.items, it)
+}
+
+func (ts *tenantState[T]) pop() item[T] {
+	it := ts.items[ts.head]
+	ts.items[ts.head] = item[T]{}
+	ts.head++
+	return it
+}
+
+// refill tops the token bucket up for the wall-clock elapsed since the
+// last refill, capped at Burst.
+func (ts *tenantState[T]) refill(now time.Time) {
+	if ts.cfg.Rate <= 0 {
+		return
+	}
+	if ts.lastRefill.IsZero() {
+		// First touch: the bucket boots full, so a fresh daemon does not
+		// shed the first burst after a restart.
+		ts.tokens = float64(ts.cfg.Burst)
+		ts.lastRefill = now
+		return
+	}
+	if dt := now.Sub(ts.lastRefill).Seconds(); dt > 0 {
+		ts.tokens += dt * ts.cfg.Rate
+		if limit := float64(ts.cfg.Burst); ts.tokens > limit {
+			ts.tokens = limit
+		}
+	}
+	ts.lastRefill = now
+}
+
+// Queue is a multi-tenant virtual-time weighted-fair queue: one FIFO
+// sub-queue per tenant, dequeued by priority class first and lowest WFQ
+// finish tag within a class. Admission (Admit) and entry (Enqueue) are
+// split so the caller can make a record durable between the decision and
+// the enqueue; the pair must be serialized per queue (the service's submit
+// semaphore provides this).
+//
+// All methods are safe for concurrent use; Pop blocks until an item is
+// eligible or the queue is closed and drained.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	reg     *Registry
+	cap     int // global queued bound; <= 0 unlimited
+	now     func() time.Time
+	closed  bool
+	queued  int
+	virtual float64 // global WFQ virtual time
+	tenants map[string]*tenantState[T]
+}
+
+// NewQueue builds a queue over the registry's tenant policies with the
+// given global capacity (<= 0 for unbounded) and clock (nil for
+// time.Now).
+func NewQueue[T any](reg *Registry, capacity int, now func() time.Time) *Queue[T] {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	if now == nil {
+		now = time.Now
+	}
+	q := &Queue[T]{reg: reg, cap: capacity, now: now, tenants: make(map[string]*tenantState[T])}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// state returns (creating on first touch) the sub-queue for a canonical
+// tenant name. Callers must hold mu.
+func (q *Queue[T]) state(tenant string) *tenantState[T] {
+	ts, ok := q.tenants[tenant]
+	if !ok {
+		ts = &tenantState[T]{cfg: q.reg.Lookup(tenant)}
+		q.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// Admit decides whether tenant may enqueue n more jobs right now,
+// consuming n rate tokens on success. A nil return is an admission the
+// caller completes with n Enqueue calls; the Admit/Enqueue pair must be
+// externally serialized against other admitters (concurrent Pops only
+// free space, never consume it, so they cannot invalidate an admission).
+func (q *Queue[T]) Admit(tenant string, n int) *Shed {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts := q.state(tenant)
+	switch {
+	case ts.cfg.MaxQueued < 0: // fully shed tenant
+		return &Shed{Tenant: tenant, Reason: ReasonQuota}
+	case ts.cfg.MaxQueued > 0 && ts.depth()+n > ts.cfg.MaxQueued:
+		return &Shed{Tenant: tenant, Reason: ReasonQuota}
+	}
+	if q.cap > 0 && q.queued+n > q.cap {
+		return &Shed{Tenant: tenant, Reason: ReasonCapacity}
+	}
+	if ts.cfg.Rate > 0 {
+		ts.refill(q.now())
+		if ts.tokens < float64(n) {
+			return &Shed{
+				Tenant:     tenant,
+				Reason:     ReasonRate,
+				RetryAfter: (float64(n) - ts.tokens) / ts.cfg.Rate,
+			}
+		}
+		ts.tokens -= float64(n)
+	}
+	return nil
+}
+
+// Enqueue appends v to tenant's sub-queue, stamping its WFQ finish tag.
+// It performs no admission checks — precede it with Admit (submissions)
+// or use Requeue (retries and crash recovery, which bypass admission).
+func (q *Queue[T]) Enqueue(tenant string, v T) {
+	q.Requeue(tenant, v)
+}
+
+// Requeue appends v to tenant's sub-queue without consuming quota or rate
+// tokens: the re-admission path for retried attempts and journal-recovered
+// jobs, which were already admitted once. It never fails; the sub-queue
+// may transiently exceed MaxQueued.
+func (q *Queue[T]) Requeue(tenant string, v T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ts := q.state(tenant)
+	start := q.virtual
+	if ts.lastFinish > start {
+		start = ts.lastFinish
+	}
+	fin := start + 1/ts.cfg.Weight
+	ts.lastFinish = fin
+	ts.push(item[T]{v: v, finish: fin})
+	q.queued++
+	q.cond.Broadcast()
+}
+
+// pick returns the tenant whose head item dequeues next, or nil when no
+// tenant is eligible (empty, or every backlogged tenant is at its
+// MaxRunning cap). Callers must hold mu.
+func (q *Queue[T]) pick() (best *tenantState[T], bestName string) {
+	for name, ts := range q.tenants {
+		if ts.depth() == 0 {
+			continue
+		}
+		if ts.cfg.MaxRunning > 0 && ts.running >= ts.cfg.MaxRunning {
+			continue
+		}
+		if best == nil {
+			best, bestName = ts, name
+			continue
+		}
+		switch {
+		case ts.cfg.Priority != best.cfg.Priority:
+			if ts.cfg.Priority > best.cfg.Priority {
+				best, bestName = ts, name
+			}
+		case ts.items[ts.head].finish != best.items[best.head].finish:
+			if ts.items[ts.head].finish < best.items[best.head].finish {
+				best, bestName = ts, name
+			}
+		case name < bestName: // deterministic tie-break
+			best, bestName = ts, name
+		}
+	}
+	return best, bestName
+}
+
+// Pop blocks until an item is eligible and returns it with its tenant,
+// charging the tenant one running slot (release with Release). After
+// Close, remaining items drain; ok = false means closed and empty.
+func (q *Queue[T]) Pop() (v T, tenant string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if ts, name := q.pick(); ts != nil {
+			it := ts.pop()
+			q.queued--
+			ts.running++
+			if it.finish > q.virtual {
+				q.virtual = it.finish
+			}
+			return it.v, name, true
+		}
+		if q.closed && q.queued == 0 {
+			return v, "", false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Release returns tenant's running slot taken by Pop, unblocking waiters
+// held back by its MaxRunning cap.
+func (q *Queue[T]) Release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ts, ok := q.tenants[tenant]; ok && ts.running > 0 {
+		ts.running--
+	}
+	q.cond.Broadcast()
+}
+
+// Close stops admissions at the caller's layer (the queue itself keeps
+// accepting Requeue until workers drain) and lets Pop return ok = false
+// once empty.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len returns the total queued (not running) items across tenants.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// Depth returns one tenant's queued item count.
+func (q *Queue[T]) Depth(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ts, ok := q.tenants[tenant]; ok {
+		return ts.depth()
+	}
+	return 0
+}
+
+// Running returns one tenant's Pop'd-but-not-Released count.
+func (q *Queue[T]) Running(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ts, ok := q.tenants[tenant]; ok {
+		return ts.running
+	}
+	return 0
+}

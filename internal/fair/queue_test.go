@@ -1,0 +1,269 @@
+package fair
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for rate-limit tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQueue(t *testing.T, tenants []Tenant, capacity int, clock func() time.Time) *Queue[int] {
+	t.Helper()
+	reg, err := NewRegistry(nil, tenants, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewQueue[int](reg, capacity, clock)
+}
+
+// fill admits and enqueues n items for tenant, failing the test on a shed.
+func fill(t *testing.T, q *Queue[int], tenant string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if sh := q.Admit(tenant, 1); sh != nil {
+			t.Fatalf("admit %s[%d]: %v", tenant, i, sh)
+		}
+		q.Enqueue(tenant, i)
+	}
+}
+
+func TestWFQWeightedShare(t *testing.T) {
+	q := newTestQueue(t, []Tenant{
+		{Name: "heavy", Weight: 3},
+		{Name: "light", Weight: 1},
+	}, 0, nil)
+	fill(t, q, "heavy", 40)
+	fill(t, q, "light", 40)
+
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		_, tenant, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		counts[tenant]++
+		q.Release(tenant)
+	}
+	// With both tenants backlogged, 40 pops split 3:1 up to tag
+	// discretization: 30 heavy, 10 light, ±1.
+	if counts["heavy"] < 29 || counts["heavy"] > 31 {
+		t.Fatalf("heavy got %d of 40 pops, want ~30 (counts %v)", counts["heavy"], counts)
+	}
+}
+
+func TestWFQFIFOWithinTenant(t *testing.T) {
+	q := newTestQueue(t, nil, 0, nil)
+	for i := 0; i < 10; i++ {
+		q.Enqueue("", i)
+	}
+	for i := 0; i < 10; i++ {
+		v, _, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d (ok=%v)", i, v, ok)
+		}
+		q.Release("")
+	}
+}
+
+func TestPriorityStrict(t *testing.T) {
+	q := newTestQueue(t, []Tenant{
+		{Name: "vip", Weight: 1, Priority: 1},
+		{Name: "batch", Weight: 100},
+	}, 0, nil)
+	fill(t, q, "batch", 5)
+	fill(t, q, "vip", 5)
+	// Every vip item dequeues before any batch item regardless of the
+	// weight gap: priority classes are strict.
+	for i := 0; i < 5; i++ {
+		if _, tenant, _ := q.Pop(); tenant != "vip" {
+			t.Fatalf("pop %d from %q, want vip", i, tenant)
+		}
+		q.Release("vip")
+	}
+	if _, tenant, _ := q.Pop(); tenant != "batch" {
+		t.Fatalf("after vip drained, pop from %q", tenant)
+	}
+}
+
+func TestQuotaShed(t *testing.T) {
+	q := newTestQueue(t, []Tenant{{Name: "small", Weight: 1, MaxQueued: 2}}, 0, nil)
+	fill(t, q, "small", 2)
+	sh := q.Admit("small", 1)
+	if sh == nil || sh.Reason != ReasonQuota {
+		t.Fatalf("over-quota admit: %+v", sh)
+	}
+	// Other tenants are unaffected.
+	if sh := q.Admit("", 1); sh != nil {
+		t.Fatalf("default tenant shed alongside: %v", sh)
+	}
+	// Draining small frees its quota again.
+	q.Pop()
+	if sh := q.Admit("small", 1); sh != nil {
+		t.Fatalf("post-drain admit: %v", sh)
+	}
+}
+
+func TestZeroQuotaAdmitsNothing(t *testing.T) {
+	q := newTestQueue(t, []Tenant{{Name: "banned", Weight: 1, MaxQueued: -1}}, 0, nil)
+	if sh := q.Admit("banned", 1); sh == nil || sh.Reason != ReasonQuota {
+		t.Fatalf("zero-quota admit: %+v", sh)
+	}
+}
+
+func TestBatchAdmitAllOrNone(t *testing.T) {
+	q := newTestQueue(t, []Tenant{{Name: "a", Weight: 1, MaxQueued: 3}}, 0, nil)
+	if sh := q.Admit("a", 4); sh == nil || sh.Reason != ReasonQuota {
+		t.Fatalf("batch over quota: %+v", sh)
+	}
+	if sh := q.Admit("a", 3); sh != nil {
+		t.Fatalf("batch at quota: %v", sh)
+	}
+}
+
+func TestGlobalCapacity(t *testing.T) {
+	q := newTestQueue(t, nil, 2, nil)
+	fill(t, q, "", 2)
+	sh := q.Admit("", 1)
+	if sh == nil || sh.Reason != ReasonCapacity {
+		t.Fatalf("over-capacity admit: %+v", sh)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQueue(t, []Tenant{{Name: "slow", Weight: 1, Rate: 1, Burst: 1}}, 0, clock.now)
+	if sh := q.Admit("slow", 1); sh != nil {
+		t.Fatalf("first admit (full bucket): %v", sh)
+	}
+	q.Enqueue("slow", 0)
+	sh := q.Admit("slow", 1)
+	if sh == nil || sh.Reason != ReasonRate {
+		t.Fatalf("empty-bucket admit: %+v", sh)
+	}
+	if sh.RetryAfter <= 0 || sh.RetryAfter > 1 {
+		t.Fatalf("RetryAfter = %g, want (0, 1]", sh.RetryAfter)
+	}
+	clock.advance(time.Second)
+	if sh := q.Admit("slow", 1); sh != nil {
+		t.Fatalf("post-refill admit: %v", sh)
+	}
+}
+
+func TestMaxRunningHoldsTenantBack(t *testing.T) {
+	q := newTestQueue(t, []Tenant{{Name: "capped", Weight: 100, MaxRunning: 1}}, 0, nil)
+	fill(t, q, "capped", 2)
+	fill(t, q, "", 1)
+	if _, tenant, _ := q.Pop(); tenant != "capped" {
+		t.Fatalf("first pop from %q", tenant)
+	}
+	// capped is at MaxRunning; its second item must not dequeue, the
+	// default tenant's must.
+	if _, tenant, _ := q.Pop(); tenant != "" {
+		t.Fatalf("second pop from %q, want default", tenant)
+	}
+	q.Release("capped")
+	if _, tenant, _ := q.Pop(); tenant != "capped" {
+		t.Fatalf("post-release pop from %q", tenant)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	q := newTestQueue(t, nil, 0, nil)
+	q.Enqueue("", 1)
+	q.Enqueue("", 2)
+	q.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d after close: not ok", i)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop on closed empty queue returned ok")
+	}
+}
+
+func TestLateTenantNotStarved(t *testing.T) {
+	// A tenant arriving after the virtual clock advanced far must not be
+	// able to monopolize (its start tag is the current virtual time, not
+	// zero) — and conversely must not be starved.
+	q := newTestQueue(t, []Tenant{
+		{Name: "early", Weight: 1},
+		{Name: "late", Weight: 1},
+	}, 0, nil)
+	fill(t, q, "early", 50)
+	for i := 0; i < 25; i++ {
+		q.Pop()
+		q.Release("early")
+	}
+	fill(t, q, "late", 25)
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		_, tenant, _ := q.Pop()
+		counts[tenant]++
+		q.Release(tenant)
+	}
+	if counts["late"] < 8 || counts["late"] > 12 {
+		t.Fatalf("late tenant got %d of 20 pops, want ~10 (%v)", counts["late"], counts)
+	}
+}
+
+func TestDepthAndRunningGauges(t *testing.T) {
+	q := newTestQueue(t, nil, 0, nil)
+	fill(t, q, "", 3)
+	if q.Len() != 3 || q.Depth("") != 3 {
+		t.Fatalf("Len=%d Depth=%d", q.Len(), q.Depth(""))
+	}
+	q.Pop()
+	if q.Len() != 2 || q.Running("") != 1 {
+		t.Fatalf("after pop: Len=%d Running=%d", q.Len(), q.Running(""))
+	}
+	q.Release("")
+	if q.Running("") != 0 {
+		t.Fatalf("after release: Running=%d", q.Running(""))
+	}
+}
+
+func TestShedError(t *testing.T) {
+	sh := &Shed{Tenant: "", Reason: ReasonQuota}
+	if msg := sh.Error(); !strings.Contains(msg, "default") || !strings.Contains(msg, ReasonQuota) {
+		t.Fatalf("shed message %q should name the display tenant and reason", msg)
+	}
+}
+
+func TestSubQueuePrefixReclaim(t *testing.T) {
+	// Drive one tenant's sub-queue through enough pop/push cycles to hit
+	// the popped-prefix reclaim, and check FIFO order survives it.
+	q := newTestQueue(t, nil, 0, nil)
+	next := 0
+	for i := 0; i < 80; i++ {
+		q.Enqueue("", i)
+	}
+	for i := 0; i < 70; i++ {
+		v, _, _ := q.Pop()
+		if v != next {
+			t.Fatalf("pop %d = %d", next, v)
+		}
+		next++
+		q.Release("")
+	}
+	// head is now 70 with 80 allocated: the next push compacts the slice.
+	for i := 80; i < 90; i++ {
+		q.Enqueue("", i)
+	}
+	for q.Len() > 0 {
+		v, _, _ := q.Pop()
+		if v != next {
+			t.Fatalf("post-reclaim pop %d = %d", next, v)
+		}
+		next++
+		q.Release("")
+	}
+	if next != 90 {
+		t.Fatalf("drained %d items, want 90", next)
+	}
+}

@@ -17,6 +17,10 @@ import (
 //	POST   /v1/jobs             submit a job (202, or 429 + Retry-After);
 //	                            an Idempotency-Key header makes retried
 //	                            submissions return the original job (200)
+//	POST   /v1/jobs:batch       submit up to MaxBatchJobs specs atomically:
+//	                            every spec validates and is journaled in one
+//	                            WAL record, or nothing is enqueued (400/429
+//	                            for the whole batch)
 //	GET    /v1/jobs/{id}        job status (+ result once finished)
 //	GET    /v1/jobs/{id}/stream NDJSON status stream until terminal
 //	GET    /v1/jobs/{id}/checkpoints
@@ -33,10 +37,17 @@ import (
 //	                            journal cannot persist records
 //	GET    /healthz             alias for /readyz (readiness + queue gauges)
 //	GET    /metrics             Prometheus text metrics
+//
+// Tenant identity comes from the X-Mobic-Tenant header (explicit name,
+// wins) or the Authorization header (API key, optionally "Bearer "-
+// prefixed); unauthenticated requests run as the default tenant. Over-
+// quota and over-rate tenants are shed with a per-tenant 429 +
+// Retry-After while other tenants keep being admitted.
 func NewHandler(svc *Service) http.Handler {
 	a := &api{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("POST /v1/jobs:batch", a.submitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", a.stream)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoints", a.checkpoints)
@@ -72,6 +83,30 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// tenant resolves the request's tenant identity for SubmitOpts.
+func (a *api) tenant(r *http.Request) string {
+	return a.svc.ResolveTenant(r.Header.Get("Authorization"), r.Header.Get("X-Mobic-Tenant"))
+}
+
+// shed writes the 429 for an admission refusal. A *ShedError carries the
+// per-tenant Retry-After (quota and rate sheds predict when that tenant
+// frees up); a bare ErrQueueFull falls back to the global queue hint.
+func (a *api) shed(w http.ResponseWriter, err error) {
+	retry := a.svc.RetryAfterHint()
+	var se *ShedError
+	if errors.As(err, &se) {
+		retry = se.RetryAfter
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
+// isShed reports whether err is any admission refusal (capacity, tenant
+// quota, or rate limit) — everything that maps to 429.
+func isShed(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQuota) || errors.Is(err, ErrRateLimited)
+}
+
 // submit handles POST /v1/jobs. Backpressure contract: when the queue is
 // full the request is shed with 429 and a Retry-After hint derived from the
 // queue depth and the EWMA of recent job durations. An Idempotency-Key
@@ -89,13 +124,13 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 	job, existed, err := a.svc.SubmitWith(spec, SubmitOpts{
 		Key:     r.Header.Get("Idempotency-Key"),
 		Replica: r.Header.Get("X-Mobic-Replica"),
+		Tenant:  a.tenant(r),
 	})
 	switch {
 	case errors.Is(err, ErrInvalidSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(a.svc.RetryAfterHint()))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case isShed(err):
+		a.shed(w, err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
@@ -108,6 +143,62 @@ func (a *api) submit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusOK
 		}
 		writeJSON(w, code, st)
+	}
+}
+
+// batchRequest is the body of POST /v1/jobs:batch.
+type batchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// batchResponse mirrors the request: one Status per submitted spec, in
+// order.
+type batchResponse struct {
+	Jobs []Status `json:"jobs"`
+}
+
+// decodeBatch parses a batch body. Factored out of the handler so the
+// fuzz target exercises exactly the wire decoder.
+func decodeBatch(r io.Reader) (batchRequest, error) {
+	var req batchRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return batchRequest{}, err
+	}
+	return req, nil
+}
+
+// submitBatch handles POST /v1/jobs:batch: all-or-none submission of up
+// to MaxBatchJobs specs. One invalid spec 400s the whole batch (naming
+// its index); admission is a single decision for the batch, so a 429
+// sheds every spec together. On 202 the response lists one Status per
+// spec, in request order.
+func (a *api) submitBatch(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeBatch(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	jobs, err := a.svc.SubmitBatch(req.Jobs, SubmitOpts{
+		Replica: r.Header.Get("X-Mobic-Replica"),
+		Tenant:  a.tenant(r),
+	})
+	switch {
+	case errors.Is(err, ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case isShed(err):
+		a.shed(w, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		resp := batchResponse{Jobs: make([]Status, len(jobs))}
+		for i, job := range jobs {
+			resp.Jobs[i], _, _ = job.Snapshot()
+		}
+		writeJSON(w, http.StatusAccepted, resp)
 	}
 }
 
@@ -175,6 +266,7 @@ func (a *api) checkpoints(w http.ResponseWriter, r *http.Request) {
 type restoreRequest struct {
 	Spec        JobSpec                  `json:"spec"`
 	Key         string                   `json:"key,omitempty"`
+	Tenant      string                   `json:"tenant,omitempty"`
 	Checkpoints experiment.CheckpointSet `json:"checkpoints"`
 }
 
@@ -196,16 +288,20 @@ func (a *api) restore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = a.tenant(r)
+	}
 	job, existed, err := a.svc.RestoreWith(r.PathValue("id"), req.Spec, SubmitOpts{
 		Key:     req.Key,
 		Replica: r.Header.Get("X-Mobic-Replica"),
+		Tenant:  tenant,
 	}, cps)
 	switch {
 	case errors.Is(err, ErrInvalidSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(a.svc.RetryAfterHint()))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case isShed(err):
+		a.shed(w, err)
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
@@ -272,6 +368,12 @@ func (a *api) stream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Push the response header out immediately: a client attaching to a
+	// queued job would otherwise see its GET hang in the transport until
+	// the first event happens to fill the write buffer.
+	if flusher != nil {
+		flusher.Flush()
+	}
 
 	enc := json.NewEncoder(w)
 	next := 0
@@ -281,12 +383,16 @@ func (a *api) stream(w http.ResponseWriter, r *http.Request) {
 			if err := enc.Encode(ev); err != nil {
 				return // client went away
 			}
+			// Flush per event, not per batch: batching delayed every line
+			// but the last in a burst, and a burst ending in "result"
+			// returned before flushing at all, leaving the final events
+			// stuck in the buffer until the handler's implicit close.
+			if flusher != nil {
+				flusher.Flush()
+			}
 			if ev.Type == "result" {
 				return
 			}
-		}
-		if len(events) > 0 && flusher != nil {
-			flusher.Flush()
 		}
 		next += len(events)
 		select {
@@ -351,4 +457,6 @@ func (a *api) metrics(w http.ResponseWriter, r *http.Request) {
 	if wt, ok := a.svc.Observability().(io.WriterTo); ok {
 		_, _ = wt.WriteTo(w)
 	}
+	// Per-tenant admission/fairness families (mobicd_tenant_*).
+	_, _ = a.svc.TenantMetrics().WriteTo(w)
 }

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postBatch posts a raw body to /v1/jobs:batch under a tenant header.
+func postBatch(t *testing.T, url, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs:batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Mobic-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, srv := newTestAPI(t, Config{Execute: instantExecute(1)})
+
+	// Happy path: every spec admitted, one Status per spec in order.
+	resp := postBatch(t, srv.URL, "", `{"jobs":[
+		{"sweep":{"scenario":{"n":10},"algorithms":["mobic"]},"seeds":1,"base_seed":1},
+		{"experiment":"fig3"}
+	]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, readAll(t, resp.Body))
+	}
+	var br struct {
+		Jobs []Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Jobs) != 2 {
+		t.Fatalf("batch returned %d statuses, want 2", len(br.Jobs))
+	}
+	seen := map[string]bool{}
+	for i, st := range br.Jobs {
+		if st.ID == "" || seen[st.ID] {
+			t.Fatalf("batch job %d has missing/duplicate id %q", i, st.ID)
+		}
+		seen[st.ID] = true
+	}
+
+	// One invalid spec rejects the whole batch, naming the offender.
+	resp = postBatch(t, srv.URL, "", `{"jobs":[{"experiment":"fig3"},{"experiment":"nope"}]}`)
+	body := readAll(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "jobs[1]") {
+		t.Fatalf("invalid batch: status %d body %s, want 400 naming jobs[1]", resp.StatusCode, body)
+	}
+
+	for name, bad := range map[string]string{
+		"empty-jobs":    `{"jobs":[]}`,
+		"missing-jobs":  `{}`,
+		"unknown-field": `{"jobs":[{"experiment":"fig3"}],"priority":9}`,
+		"not-json":      `jobs=fig3`,
+	} {
+		resp := postBatch(t, srv.URL, "", bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// Oversize batch: 400, not a partial admit.
+	var big strings.Builder
+	big.WriteString(`{"jobs":[`)
+	for i := 0; i <= MaxBatchJobs; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		fmt.Fprintf(&big, `{"experiment":"fig3","base_seed":%d}`, i+1)
+	}
+	big.WriteString("]}")
+	resp = postBatch(t, srv.URL, "", big.String())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// FuzzBatchBody hardens the batch wire decoder: arbitrary bodies must
+// never panic, and an accepted body must round-trip (re-encode, re-decode)
+// to the same spec count with every spec's Validate callable.
+func FuzzBatchBody(f *testing.F) {
+	f.Add(`{"jobs":[{"experiment":"fig3"}]}`)
+	f.Add(`{"jobs":[{"sweep":{"scenario":{"n":10},"algorithms":["mobic"]},"seeds":1}]}`)
+	f.Add(`{"jobs":[{"experiment":"fig3"},{"experiment":"fig3","seeds":5,"base_seed":7}]}`)
+	f.Add(`{"jobs":[]}`)
+	f.Add(`{}`)
+	f.Add(`{"jobs":null}`)
+	f.Add(`{"jobs":[{"sweep":{"scenario":{"n":-1},"algorithms":[]}}]}`)
+	f.Add(`[{"experiment":"fig3"}]`)
+	f.Add(`{"jobs":[{"unknown":"field"}]}`)
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := decodeBatch(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		for i := range req.Jobs {
+			_ = req.Jobs[i].Validate() // must not panic on any decoded spec
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding accepted batch: %v", err)
+		}
+		back, err := decodeBatch(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding %s: %v", enc, err)
+		}
+		if len(back.Jobs) != len(req.Jobs) {
+			t.Fatalf("round-trip changed job count: %d -> %d", len(req.Jobs), len(back.Jobs))
+		}
+	})
+}

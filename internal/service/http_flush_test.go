@@ -1,0 +1,81 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// flushRecorder wraps httptest.ResponseRecorder and counts Flush calls
+// and the writes-since-last-flush high-water mark.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes        int
+	unflushed      int // writes since the last flush
+	maxUnflushed   int
+	headerFlushed  bool // was there a flush before the first body write?
+	wroteBodyBytes bool
+}
+
+func (f *flushRecorder) Write(b []byte) (int, error) {
+	f.wroteBodyBytes = true
+	f.unflushed++
+	if f.unflushed > f.maxUnflushed {
+		f.maxUnflushed = f.unflushed
+	}
+	return f.ResponseRecorder.Write(b)
+}
+
+func (f *flushRecorder) Flush() {
+	f.flushes++
+	f.unflushed = 0
+	if !f.wroteBodyBytes {
+		f.headerFlushed = true
+	}
+	f.ResponseRecorder.Flush()
+}
+
+// TestStreamFlushesEveryEvent pins the stream-delivery bugfix: the handler
+// must flush right after WriteHeader (so a client attached to a queued job
+// sees headers immediately) and after every NDJSON event — in particular
+// the terminal "result" line must not sit in the buffer until the handler
+// returns.
+func TestStreamFlushesEveryEvent(t *testing.T) {
+	svc := New(Config{Execute: instantExecute(3)})
+	svc.Start()
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(JobSpec{Experiment: "fig3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+
+	handler := NewHandler(svc)
+	rec := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+job.ID()+"/stream", nil)
+	handler.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	lines := bytes.Count([]byte(body), []byte("\n"))
+	if lines < 2 || !strings.Contains(body, `"result"`) {
+		t.Fatalf("stream replayed %d lines without a result event:\n%s", lines, body)
+	}
+	if !rec.headerFlushed {
+		t.Error("no flush between WriteHeader and the first event: clients attached to a queued job would hang")
+	}
+	// Encoder writes once per event, so >1 unflushed write means some event
+	// sat in the buffer behind a later one.
+	if rec.maxUnflushed > 1 {
+		t.Errorf("up to %d events buffered between flushes, want every event flushed as written", rec.maxUnflushed)
+	}
+	if rec.flushes < lines {
+		t.Errorf("%d flushes for %d event lines: the final (result) line was left unflushed", rec.flushes, lines)
+	}
+}

@@ -69,6 +69,11 @@ type Job struct {
 	// records stream to (Replicate mode; "" otherwise). Immutable after
 	// submit.
 	replica string
+	// tenant is the canonical tenant name the job was admitted under (""
+	// for the default tenant). It keys the fair-queue sub-queue and the
+	// per-tenant metric families, is journaled with the submission, and is
+	// immutable after submit.
+	tenant string
 
 	mu       sync.Mutex
 	notify   chan struct{}
@@ -131,6 +136,10 @@ func (j *Job) Spec() JobSpec { return j.spec }
 
 // IdempotencyKey returns the key the job was submitted under ("" if none).
 func (j *Job) IdempotencyKey() string { return j.idemKey }
+
+// Tenant returns the canonical tenant name the job was admitted under (""
+// for the default tenant).
+func (j *Job) Tenant() string { return j.tenant }
 
 // changed bumps the version and wakes every watcher. Callers must hold mu.
 func (j *Job) changed() {
@@ -278,6 +287,10 @@ type Status struct {
 	ID    string  `json:"id"`
 	State State   `json:"state"`
 	Spec  JobSpec `json:"spec"`
+	// Tenant is the tenant the job was admitted under; omitted for the
+	// default tenant, so single-tenant deployments keep their exact
+	// pre-multi-tenancy wire format.
+	Tenant string `json:"tenant,omitempty"`
 	// Done/Total count completed simulation cells (seeds × sweep points).
 	Done  int `json:"done"`
 	Total int `json:"total"`
@@ -321,6 +334,7 @@ func (j *Job) statusLocked() Status {
 		ID:        j.id,
 		State:     j.state,
 		Spec:      j.spec,
+		Tenant:    j.tenant,
 		Done:      j.done,
 		Total:     j.total,
 		Attempt:   j.attempt,

@@ -59,7 +59,19 @@ const (
 	recCheckpoint = "checkpoint" // one sweep cell completed
 	recRetry      = "retry"      // an attempt failed; job re-queued
 	recFinish     = "finish"     // terminal transition (output for success)
+	// recBatch admits a whole POST /v1/jobs:batch submission in one frame.
+	// The frame is the atomicity unit of the WAL (length + CRC), so replay
+	// admits either every job of the batch or none of them — a crash
+	// between the ack and the next record can never leave half a batch
+	// durable.
+	recBatch = "batch"
 )
+
+// batchEntry is one job of a recBatch record.
+type batchEntry struct {
+	Job  string   `json:"job"`
+	Spec *JobSpec `json:"spec"`
+}
 
 // record is one journal entry. A single struct covers every type; unused
 // fields stay at their zero value and are omitted from the JSON payload.
@@ -70,6 +82,11 @@ type record struct {
 	// Submit fields.
 	Spec *JobSpec `json:"spec,omitempty"`
 	Key  string   `json:"key,omitempty"`
+	// Tenant is the canonical tenant name a submit or batch record admits
+	// its jobs under ("" = default tenant, omitted).
+	Tenant string `json:"tenant,omitempty"`
+	// Batch carries a recBatch record's jobs, admitted as a unit.
+	Batch []batchEntry `json:"batch,omitempty"`
 	// Attempt counts executions so far (start: this attempt's ordinal;
 	// retry: the attempt that just failed).
 	Attempt int `json:"attempt,omitempty"`
@@ -352,11 +369,12 @@ func jobRecords(job *Job) []record {
 	job.mu.Lock()
 	defer job.mu.Unlock()
 	recs := []record{{
-		Type: recSubmit,
-		Job:  job.id,
-		Time: job.created,
-		Spec: &job.spec,
-		Key:  job.idemKey,
+		Type:   recSubmit,
+		Job:    job.id,
+		Time:   job.created,
+		Spec:   &job.spec,
+		Key:    job.idemKey,
+		Tenant: job.tenant,
 	}}
 	if job.attempt > 0 {
 		recs = append(recs, record{Type: recRetry, Job: job.id, Time: job.created, Attempt: job.attempt})

@@ -15,6 +15,7 @@ import (
 
 	"mobic/internal/cache"
 	"mobic/internal/experiment"
+	"mobic/internal/fair"
 	"mobic/internal/obs"
 )
 
@@ -128,6 +129,12 @@ type Config struct {
 	ReplicaFlushEvery time.Duration
 	// ReplicaClient sends replication batches (default: 2 s timeout).
 	ReplicaClient *http.Client
+	// Tenants is the multi-tenant admission policy: per-tenant weights,
+	// priorities, quotas and rate limits, plus the credential mapping
+	// (API keys and X-Mobic-Tenant names). Nil runs the single default
+	// tenant with no per-tenant limits — exactly the pre-multi-tenancy
+	// behavior.
+	Tenants *fair.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +181,9 @@ func (c Config) withDefaults() Config {
 	if c.Runner.Obs == nil {
 		c.Runner.Obs = c.Obs
 	}
+	if c.Tenants == nil {
+		c.Tenants = fair.DefaultRegistry()
+	}
 	return c
 }
 
@@ -184,8 +194,9 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg      Config
 	store    *Store
-	queue    chan *Job
+	queue    *fair.Queue[*Job] // per-tenant WFQ sub-queues (see internal/fair)
 	metrics  *Metrics
+	tset     *obs.TenantSet // per-tenant admitted/shed/queued/running/done families
 	journal  *Journal
 	flights  *cache.Flight // digest -> in-flight leader job (Cache mode)
 	repl     *replicator   // checkpoint streaming to ring successors (Replicate mode)
@@ -224,8 +235,9 @@ func newService(cfg Config) *Service {
 	s := &Service{
 		cfg:        cfg,
 		store:      NewStore(cfg.TTL),
-		queue:      make(chan *Job, cfg.QueueCapacity),
+		queue:      fair.NewQueue[*Job](cfg.Tenants, cfg.QueueCapacity, cfg.Clock),
 		metrics:    NewMetrics(),
+		tset:       obs.NewTenantSet(),
 		flights:    cache.NewFlight(),
 		replicas:   newReplicaStore(0, cfg.Obs),
 		baseCtx:    ctx,
@@ -266,14 +278,13 @@ func Open(cfg Config) (*Service, error) {
 	if err := j.Compact(s.snapshotRecords()); err != nil {
 		return nil, err
 	}
-	// Recovered jobs may exceed the configured queue bound; grow the
-	// channel so they all fit. Submit sheds against cfg.QueueCapacity
-	// (not the channel cap), so backpressure semantics are unchanged.
-	if len(pending) > cap(s.queue) {
-		s.queue = make(chan *Job, len(pending)+cfg.QueueCapacity)
-	}
+	// Recovered jobs re-enter through Requeue, which bypasses quotas and
+	// rate limits (they were admitted once already) and may exceed the
+	// queue bound; Submit still sheds against cfg.QueueCapacity, so
+	// backpressure semantics are unchanged.
 	for _, job := range pending {
-		s.queue <- job
+		s.queue.Requeue(job.tenant, job)
+		s.tenantCounters(job.tenant).Queued.Add(1)
 	}
 	s.recovered = len(pending)
 	return s, nil
@@ -311,8 +322,22 @@ func (s *Service) restore(recs []record) []*Job {
 			}
 			job := rehydrate(rec.Job, *rec.Spec, rec.Key, rec.Time)
 			job.nowFn = s.cfg.Clock
+			job.tenant = s.cfg.Tenants.Canonical(rec.Tenant)
 			jobs[rec.Job] = job
 			order = append(order, job)
+		case recBatch:
+			// One frame admits the whole batch; the CRC framing already
+			// guaranteed we either see all of these entries or none.
+			for _, be := range rec.Batch {
+				if be.Spec == nil || be.Job == "" || jobs[be.Job] != nil {
+					continue
+				}
+				job := rehydrate(be.Job, *be.Spec, "", rec.Time)
+				job.nowFn = s.cfg.Clock
+				job.tenant = s.cfg.Tenants.Canonical(rec.Tenant)
+				jobs[be.Job] = job
+				order = append(order, job)
+			}
 		case recStart, recRetry:
 			if job := jobs[rec.Job]; job != nil {
 				job.attempt = rec.Attempt
@@ -335,7 +360,10 @@ func (s *Service) restore(recs []record) []*Job {
 			continue // expired while the daemon was down; invisible to /metrics
 		}
 		s.metrics.submitted.Add(1)
+		tc := s.tenantCounters(job.tenant)
+		tc.Admitted.Add(1)
 		if done {
+			tc.Done.Add(1)
 			if st, ok := starts[job.id]; ok {
 				job.started = st
 			}
@@ -363,6 +391,7 @@ func (s *Service) restore(recs []record) []*Job {
 			// Crash-looped through its whole budget: quarantine at boot
 			// instead of letting it take the pool down again.
 			s.metrics.poisoned.Add(1)
+			tc.Done.Add(1)
 			job.finish(StatePoisoned, nil,
 				fmt.Sprintf("poisoned at recovery after %d attempts", job.attempt), now)
 			s.store.Put(job)
@@ -428,8 +457,37 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 // into /metrics.
 func (s *Service) Observability() obs.Recorder { return s.cfg.Obs }
 
-// QueueDepth returns the number of jobs waiting for a worker.
-func (s *Service) QueueDepth() int { return len(s.queue) }
+// QueueDepth returns the number of jobs waiting for a worker, summed
+// across every tenant's sub-queue.
+func (s *Service) QueueDepth() int { return s.queue.Len() }
+
+// TenantDepth returns one tenant's queued-job count (canonical name; ""
+// for the default tenant).
+func (s *Service) TenantDepth(tenant string) int {
+	return s.queue.Depth(s.cfg.Tenants.Canonical(tenant))
+}
+
+// TenantMetrics exposes the per-tenant metric families; the HTTP layer
+// appends them to /metrics.
+func (s *Service) TenantMetrics() *obs.TenantSet { return s.tset }
+
+// Tenants exposes the tenant registry (never nil after construction), so
+// HTTP layers can resolve request credentials to canonical tenant names.
+func (s *Service) Tenants() *fair.Registry { return s.cfg.Tenants }
+
+// ResolveTenant maps request credentials (Authorization, X-Mobic-Tenant)
+// to the canonical tenant name SubmitOpts.Tenant expects.
+func (s *Service) ResolveTenant(authorization, tenantHeader string) string {
+	return s.cfg.Tenants.Resolve(authorization, tenantHeader)
+}
+
+// tenantCounters returns the per-tenant counters for a canonical tenant
+// name, keeping the weight gauge in sync with the registry policy.
+func (s *Service) tenantCounters(tenant string) *obs.TenantCounters {
+	tc := s.tset.Tenant(fair.Display(tenant))
+	tc.SetWeight(s.cfg.Tenants.Lookup(tenant).Weight)
+	return tc
+}
 
 // QueueCapacity returns the queue bound.
 func (s *Service) QueueCapacity() int { return s.cfg.QueueCapacity }
@@ -499,8 +557,24 @@ func (s *Service) Start() {
 		done[i] = ch
 		go func() {
 			defer close(ch)
-			for job := range s.queue {
+			for {
+				// Pop applies priority, WFQ order and per-tenant running
+				// caps; it blocks until the queue closes and drains.
+				job, tenant, ok := s.queue.Pop()
+				if !ok {
+					return
+				}
+				tc := s.tenantCounters(tenant)
+				tc.Queued.Add(-1)
+				tc.Running.Add(1)
 				s.runJob(job)
+				tc.Running.Add(-1)
+				s.queue.Release(tenant)
+				// A non-terminal outcome means a retry was scheduled; the
+				// job re-enters Queued when the backoff requeues it.
+				if st, _, _ := job.Snapshot(); st.State.Terminal() {
+					tc.Done.Add(1)
+				}
 			}
 		}()
 	}
@@ -565,6 +639,10 @@ type SubmitOpts struct {
 	// honored with Config.Replicate; a coordinator sets it to the job's
 	// ring successor via the X-Mobic-Replica header.
 	Replica string
+	// Tenant is the canonical tenant name the submission is admitted
+	// under, as returned by ResolveTenant ("" = default tenant). Unknown
+	// names fold per the registry's dynamic policy.
+	Tenant string
 }
 
 // SubmitWith is SubmitKey with the full option set.
@@ -573,11 +651,12 @@ func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed b
 	if err := spec.Validate(); err != nil {
 		return nil, false, err
 	}
+	tenant := s.cfg.Tenants.Canonical(opts.Tenant)
 
 	// The semaphore serializes the closed-check with the enqueue so no
 	// job can slip into the queue after Shutdown closed it; it also makes
 	// idempotency lookups race-free against concurrent retries of the
-	// same key.
+	// same key, and serializes the Admit/Enqueue admission pair.
 	s.submitMu <- struct{}{}
 	defer func() { <-s.submitMu }()
 	if s.closed {
@@ -592,8 +671,9 @@ func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed b
 	if s.cfg.Cache != nil {
 		digest = spec.Digest()
 		// Finished result already cached: serve it as an instantly
-		// terminal job, no queue slot and no simulation.
-		if job, ok := s.completeFromCache(spec, key, digest); ok {
+		// terminal job, no queue slot and no simulation. Cache hits skip
+		// admission on purpose — they consume no queue slot or worker.
+		if job, ok := s.completeFromCache(spec, key, digest, tenant); ok {
 			return job, false, nil
 		}
 		// Identical submission already in flight: attach to the leader.
@@ -603,15 +683,12 @@ func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed b
 			}
 		}
 	}
-	// Every queue producer holds submitMu and the channel never shrinks
-	// below QueueCapacity, so this check guarantees the send below cannot
-	// block.
-	if len(s.queue) >= s.cfg.QueueCapacity {
-		s.metrics.rejected.Add(1)
-		return nil, false, ErrQueueFull
+	if err := s.admit(tenant, 1); err != nil {
+		return nil, false, err
 	}
 	job = newJob(spec, key, s.cfg.Clock())
 	job.nowFn = s.cfg.Clock
+	job.tenant = tenant
 	if s.repl != nil {
 		job.replica = opts.Replica
 	}
@@ -626,19 +703,29 @@ func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed b
 	s.compactMu.RLock()
 	if s.journal != nil {
 		// WAL contract: durable before acknowledged.
-		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: job.created, Spec: &spec, Key: key}); err != nil {
+		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: job.created, Spec: &spec, Key: key, Tenant: tenant}); err != nil {
 			s.compactMu.RUnlock()
 			return nil, false, err
 		}
 	}
 	s.store.Put(job)
 	s.compactMu.RUnlock()
-	s.queue <- job
-	s.metrics.submitted.Add(1)
+	s.enqueue(job)
 	if s.repl != nil {
 		s.repl.begin(job)
 	}
 	return job, false, nil
+}
+
+// enqueue places an admitted job on its tenant's sub-queue and bumps the
+// submission counters. Callers must hold submitMu (or be pre-Start
+// recovery code).
+func (s *Service) enqueue(job *Job) {
+	s.queue.Enqueue(job.tenant, job)
+	s.metrics.submitted.Add(1)
+	tc := s.tenantCounters(job.tenant)
+	tc.Admitted.Add(1)
+	tc.Queued.Add(1)
 }
 
 // completeFromCache serves one submission from the result cache: a job is
@@ -646,7 +733,7 @@ func (s *Service) SubmitWith(spec JobSpec, opts SubmitOpts) (job *Job, existed b
 // any other completed job so it stays queryable across a restart. Callers
 // must hold submitMu. Returns false on a cache miss (or an undecodable
 // entry, which degrades to a miss).
-func (s *Service) completeFromCache(spec JobSpec, key, digest string) (*Job, bool) {
+func (s *Service) completeFromCache(spec JobSpec, key, digest, tenant string) (*Job, bool) {
 	data, ok := s.cfg.Cache.Get(digest)
 	if !ok {
 		return nil, false
@@ -659,9 +746,10 @@ func (s *Service) completeFromCache(spec JobSpec, key, digest string) (*Job, boo
 	job := newJob(spec, key, now)
 	job.nowFn = s.cfg.Clock
 	job.digest = digest
+	job.tenant = tenant
 	s.compactMu.RLock()
 	if s.journal != nil {
-		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: now, Spec: &spec, Key: key}); err != nil {
+		if err := s.journal.Append(record{Type: recSubmit, Job: job.ID(), Time: now, Spec: &spec, Key: key, Tenant: tenant}); err != nil {
 			// The journal is wedged; fall through to the normal submit
 			// path, which surfaces the error to the caller.
 			s.compactMu.RUnlock()
@@ -674,6 +762,12 @@ func (s *Service) completeFromCache(spec JobSpec, key, digest string) (*Job, boo
 	s.compactMu.RUnlock()
 	s.metrics.submitted.Add(1)
 	s.metrics.completed.Add(1)
+	// A cache hit consumes no queue slot or worker, so it bypasses the
+	// admission gate; it still counts toward the tenant's admitted/done
+	// tallies so the fairness-share observables stay truthful.
+	tc := s.tenantCounters(tenant)
+	tc.Admitted.Add(1)
+	tc.Done.Add(1)
 	return job, true
 }
 
@@ -753,13 +847,14 @@ func (s *Service) RestoreWith(id string, spec JobSpec, opts SubmitOpts, cps []ex
 			return prev, true, nil
 		}
 	}
-	if len(s.queue) >= s.cfg.QueueCapacity {
-		s.metrics.rejected.Add(1)
-		return nil, false, ErrQueueFull
+	tenant := s.cfg.Tenants.Canonical(opts.Tenant)
+	if err := s.admit(tenant, 1); err != nil {
+		return nil, false, err
 	}
 	now := s.cfg.Clock()
 	job = rehydrate(id, spec, key, now)
 	job.nowFn = s.cfg.Clock
+	job.tenant = tenant
 	if s.repl != nil {
 		job.replica = opts.Replica
 	}
@@ -772,7 +867,7 @@ func (s *Service) RestoreWith(id string, spec JobSpec, opts SubmitOpts, cps []ex
 	}
 	s.compactMu.RLock()
 	if s.journal != nil {
-		if err := s.journal.Append(record{Type: recSubmit, Job: id, Time: now, Spec: &spec, Key: key}); err != nil {
+		if err := s.journal.Append(record{Type: recSubmit, Job: id, Time: now, Spec: &spec, Key: key, Tenant: tenant}); err != nil {
 			s.compactMu.RUnlock()
 			return nil, false, err
 		}
@@ -783,8 +878,7 @@ func (s *Service) RestoreWith(id string, spec JobSpec, opts SubmitOpts, cps []ex
 	}
 	s.store.Put(job)
 	s.compactMu.RUnlock()
-	s.queue <- job
-	s.metrics.submitted.Add(1)
+	s.enqueue(job)
 	if s.repl != nil {
 		s.repl.begin(job)
 	}
@@ -829,7 +923,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.submitMu <- struct{}{}
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.queue.Close()
 		close(s.draining)
 	}
 	<-s.submitMu
@@ -1036,27 +1130,22 @@ func (s *Service) scheduleRetry(job *Job, attempt int, cause error) {
 		case <-s.draining:
 		case <-s.baseCtx.Done():
 		}
-		for {
-			s.submitMu <- struct{}{}
-			if s.closed {
-				<-s.submitMu
-				s.metrics.canceled.Add(1)
-				job.finish(StateCanceled, nil,
-					fmt.Sprintf("retry %d abandoned by shutdown (last error: %v)", attempt+1, cause), s.cfg.Clock())
-				s.settle(job, nil)
-				return
-			}
-			select {
-			case s.queue <- job:
-				<-s.submitMu
-				return
-			default: // queue momentarily full; yield and try again
-			}
+		s.submitMu <- struct{}{}
+		if s.closed {
 			<-s.submitMu
-			select {
-			case <-time.After(20 * time.Millisecond):
-			case <-s.draining:
-			}
+			s.metrics.canceled.Add(1)
+			job.finish(StateCanceled, nil,
+				fmt.Sprintf("retry %d abandoned by shutdown (last error: %v)", attempt+1, cause), s.cfg.Clock())
+			s.settle(job, nil)
+			s.tenantCounters(job.tenant).Done.Add(1)
+			return
 		}
+		// Requeue bypasses quota and rate admission on purpose: the job
+		// was admitted at submit time and shedding a retry would turn a
+		// transient execution failure into a lost acknowledged job. The
+		// unbounded sub-queue means this never blocks.
+		s.queue.Requeue(job.tenant, job)
+		s.tenantCounters(job.tenant).Queued.Add(1)
+		<-s.submitMu
 	}()
 }

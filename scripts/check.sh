@@ -48,6 +48,12 @@ go test -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz='^FuzzEngineInvariants$' -fuzztime=5s ./internal/cluster
 go test -run='^$' -fuzz='^FuzzTilePartition$' -fuzztime=5s ./internal/spatial
 go test -run='^$' -fuzz='^FuzzChaosSchedule$' -fuzztime=5s ./internal/chaos
+go test -run='^$' -fuzz='^FuzzTenantConfig$' -fuzztime=5s ./internal/fair
+go test -run='^$' -fuzz='^FuzzBatchBody$' -fuzztime=5s ./internal/service
+
+echo "== loadgen fairness smoke (2 tenants at 4:1 weights, embedded service)"
+go run ./cmd/loadgen -tenants heavy:4,light:1 -clients 4 -warmup 500ms \
+    -duration 3s -job-ms 10 -tolerance 0.25
 
 echo "== benchmark smoke + regression gate"
 ./scripts/bench.sh check
