@@ -41,6 +41,9 @@ func run(args []string, out io.Writer) error {
 		compare    = fs.String("compare", "", "comma-separated algorithms to compare on one scenario")
 		tx         = fs.Float64("tx", 250, "transmission range in meters")
 		bi         = fs.Float64("bi", 0, "broadcast interval (0 = default 2 s)")
+		biMin      = fs.Float64("bi-min", 0, "adaptive broadcast interval floor (with -bi-max; 0 = fixed interval)")
+		biMax      = fs.Float64("bi-max", 0, "adaptive broadcast interval ceiling (with -bi-min; 0 = fixed interval)")
+		energyJ    = fs.Float64("energy-j", 0, "per-node battery budget in joules (0 = no energy model)")
 		tp         = fs.Float64("tp", 0, "timeout period (0 = default 3 s)")
 		cci        = fs.Float64("cci", 0, "cluster contention interval (0 = default 4 s)")
 		warmup     = fs.Float64("warmup", 0, "metrics warm-up seconds")
@@ -72,6 +75,9 @@ func run(args []string, out io.Writer) error {
 		Algorithm:          *alg,
 		TxRange:            *tx,
 		BroadcastInterval:  *bi,
+		BIMin:              *biMin,
+		BIMax:              *biMax,
+		EnergyJ:            *energyJ,
 		TimeoutPeriod:      *tp,
 		ContentionInterval: *cci,
 		Warmup:             *warmup,

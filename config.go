@@ -23,6 +23,9 @@ type scenarioFile struct {
 	TxRange            float64      `json:"tx_range"`
 	Mobility           mobilityFile `json:"mobility,omitempty"`
 	BroadcastInterval  float64      `json:"broadcast_interval,omitempty"`
+	BIMin              float64      `json:"bi_min,omitempty"`
+	BIMax              float64      `json:"bi_max,omitempty"`
+	EnergyJ            float64      `json:"energy_j,omitempty"`
 	TimeoutPeriod      float64      `json:"timeout_period,omitempty"`
 	ContentionInterval float64      `json:"contention_interval,omitempty"`
 	Warmup             float64      `json:"warmup,omitempty"`
@@ -59,6 +62,9 @@ func toFile(s Scenario) scenarioFile {
 		Algorithm:          s.Algorithm,
 		TxRange:            s.TxRange,
 		BroadcastInterval:  s.BroadcastInterval,
+		BIMin:              s.BIMin,
+		BIMax:              s.BIMax,
+		EnergyJ:            s.EnergyJ,
 		TimeoutPeriod:      s.TimeoutPeriod,
 		ContentionInterval: s.ContentionInterval,
 		Warmup:             s.Warmup,
@@ -95,6 +101,9 @@ func fromFile(f scenarioFile) Scenario {
 		Algorithm:          f.Algorithm,
 		TxRange:            f.TxRange,
 		BroadcastInterval:  f.BroadcastInterval,
+		BIMin:              f.BIMin,
+		BIMax:              f.BIMax,
+		EnergyJ:            f.EnergyJ,
 		TimeoutPeriod:      f.TimeoutPeriod,
 		ContentionInterval: f.ContentionInterval,
 		Warmup:             f.Warmup,

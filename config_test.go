@@ -16,6 +16,9 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		Algorithm:          "mobic",
 		TxRange:            175,
 		BroadcastInterval:  1.5,
+		BIMin:              0.5,
+		BIMax:              4,
+		EnergyJ:            25,
 		TimeoutPeriod:      4,
 		ContentionInterval: 6,
 		Warmup:             30,

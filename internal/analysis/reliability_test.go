@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestLinkSurvivalBoundaries(t *testing.T) {
+	tests := []struct {
+		name       string
+		t, d, v, R float64
+		want       float64
+	}{
+		{name: "zero time is certain", t: 0, d: 50, v: 5, R: 100, want: 1},
+		{name: "negative time is certain", t: -1, d: 50, v: 5, R: 100, want: 1},
+		{name: "out of range never survives", t: 1, d: 100, v: 5, R: 100, want: 0},
+		{name: "beyond range never survives", t: 1, d: 150, v: 5, R: 100, want: 0},
+		{name: "negative distance is invalid", t: 1, d: -1, v: 5, R: 100, want: 0},
+		{name: "unknown mobility is adversarial", t: 1, d: 50, v: 0, R: 100, want: 0},
+		{name: "zero range never survives", t: 1, d: 0, v: 5, R: 0, want: 0},
+		{name: "past the break time clamps", t: 100, d: 50, v: 5, R: 100, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := LinkSurvival(tt.t, tt.d, tt.v, tt.R); got != tt.want {
+				t.Errorf("LinkSurvival(%g, %g, %g, %g) = %g, want %g",
+					tt.t, tt.d, tt.v, tt.R, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLinkSurvivalLinearDecay(t *testing.T) {
+	// d=50, v=5, R=100: the link breaks after (100-50)/5 = 10 s, so at
+	// t=2.5 exactly 3/4 of the window remains.
+	if got := LinkSurvival(2.5, 50, 5, 100); got != 0.75 {
+		t.Errorf("LinkSurvival(2.5, 50, 5, 100) = %g, want 0.75", got)
+	}
+	// Monotone non-increasing in t, d, and v; non-decreasing in R.
+	base := LinkSurvival(2, 50, 5, 100)
+	if LinkSurvival(3, 50, 5, 100) >= base {
+		t.Error("survival should fall with time")
+	}
+	if LinkSurvival(2, 60, 5, 100) >= base {
+		t.Error("survival should fall with distance")
+	}
+	if LinkSurvival(2, 50, 8, 100) >= base {
+		t.Error("survival should fall with speed")
+	}
+	if LinkSurvival(2, 50, 5, 150) <= base {
+		t.Error("survival should rise with range")
+	}
+}
+
+func TestClusterSurvival(t *testing.T) {
+	if got := ClusterSurvival(5, nil, 5, 100); got != 1 {
+		t.Errorf("lone head = %g, want 1", got)
+	}
+	// Product structure: two identical links square the single-link value.
+	single := LinkSurvival(2.5, 50, 5, 100)
+	pair := ClusterSurvival(2.5, []float64{50, 50}, 5, 100)
+	if math.Abs(pair-single*single) > 1e-12 {
+		t.Errorf("two links = %g, want %g", pair, single*single)
+	}
+	// One dead link kills the cluster regardless of the others.
+	if got := ClusterSurvival(2.5, []float64{10, 100}, 5, 100); got != 0 {
+		t.Errorf("cluster with a dead link = %g, want 0", got)
+	}
+}
+
+func TestReliabilityParamsValidate(t *testing.T) {
+	good := ReliabilityParams{
+		Members: 5, PlacementRadius: 80, Range: 100, Speed: 5,
+		Horizon: 4, Trials: 100, Seed: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*ReliabilityParams)
+	}{
+		{name: "negative members", mutate: func(p *ReliabilityParams) { p.Members = -1 }},
+		{name: "zero range", mutate: func(p *ReliabilityParams) { p.Range = 0 }},
+		{name: "zero placement", mutate: func(p *ReliabilityParams) { p.PlacementRadius = 0 }},
+		{name: "placement beyond range", mutate: func(p *ReliabilityParams) { p.PlacementRadius = 101 }},
+		{name: "zero speed", mutate: func(p *ReliabilityParams) { p.Speed = 0 }},
+		{name: "negative horizon", mutate: func(p *ReliabilityParams) { p.Horizon = -1 }},
+		{name: "zero trials", mutate: func(p *ReliabilityParams) { p.Trials = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := good
+			tt.mutate(&p)
+			if _, err := MonteCarloClusterReliability(p); !errors.Is(err, ErrBadReliability) {
+				t.Errorf("want ErrBadReliability, got %v", err)
+			}
+		})
+	}
+}
+
+func TestMonteCarloDeterminism(t *testing.T) {
+	p := ReliabilityParams{
+		Members: 6, PlacementRadius: 90, Range: 100, Speed: 5,
+		Horizon: 1, Trials: 5000, Seed: 42,
+	}
+	a, err := MonteCarloClusterReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloClusterReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %g vs %g", a, b)
+	}
+	p.Seed = 43
+	c, err := MonteCarloClusterReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Errorf("different seeds produced identical estimate %g (suspicious)", a)
+	}
+}
+
+// TestMonteCarloMatchesClosedForm checks the estimator against the exact
+// single-member expectation. With placement radius A and tv <= R - A the
+// linear decay never clamps, so
+//
+//	E[S] = 1 - t*v * E[1/(R-d)],  E[1/(R-d)] = (2/A^2)(R*ln(R/(R-A)) - A)
+//
+// for d = A*sqrt(u) (uniform by area).
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	const (
+		A, R, v, horizon = 50.0, 100.0, 5.0, 4.0 // t*v = 20 <= R - A
+		trials           = 200000
+	)
+	want := 1 - horizon*v*(2/(A*A))*(R*math.Log(R/(R-A))-A)
+	got, err := MonteCarloClusterReliability(ReliabilityParams{
+		Members: 1, PlacementRadius: A, Range: R, Speed: v,
+		Horizon: horizon, Trials: trials, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("Monte Carlo = %.4f, closed form = %.4f (|diff| > 0.01)", got, want)
+	}
+}
+
+// TestMonteCarloMonotoneInHorizon: at a fixed seed the draw sequence is
+// independent of outcomes, so a longer horizon can only flip trials from
+// surviving to failed — the estimate is exactly non-increasing, not just
+// statistically so.
+func TestMonteCarloMonotoneInHorizon(t *testing.T) {
+	p := ReliabilityParams{
+		Members: 4, PlacementRadius: 80, Range: 100, Speed: 5,
+		Trials: 2000, Seed: 11,
+	}
+	prev := math.Inf(1)
+	for _, h := range []float64{0, 0.5, 1, 2, 4, 8} {
+		p.Horizon = h
+		got, err := MonteCarloClusterReliability(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev {
+			t.Errorf("horizon %g: reliability rose to %g from %g", h, got, prev)
+		}
+		prev = got
+	}
+	// Horizon 0 must be certain survival: every member starts in range.
+	p.Horizon = 0
+	got, err := MonteCarloClusterReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("horizon 0 reliability = %g, want 1", got)
+	}
+}

@@ -1,0 +1,70 @@
+package cbrp
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/energy"
+	"mobic/internal/simnet"
+)
+
+// TestProtocolWithAdaptiveBI: per-node adaptive beacon intervals reshape the
+// neighbor-discovery cadence underneath CBRP; the routing layer must keep
+// discovering and delivering on the floating schedule, and stay
+// deterministic.
+func TestProtocolWithAdaptiveBI(t *testing.T) {
+	adaptive := func(c *simnet.Config) {
+		c.Adaptive = &simnet.AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+	}
+	a := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, adaptive).Stats()
+	if a.DataDelivered == 0 || a.Discoveries == 0 {
+		t.Fatalf("no routing progress under adaptive BI: %+v", a)
+	}
+	if ratio := a.DeliveryRatio(); ratio < 0.3 {
+		t.Errorf("delivery ratio = %.2f under adaptive BI, want a functioning network", ratio)
+	}
+	b := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, adaptive).Stats()
+	if a != b {
+		t.Errorf("adaptive BI broke determinism:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestProtocolWithAdaptiveLowestID: tenure expiry keeps rotating the
+// clusterhead backbone CBRP routes over; route discovery must survive the
+// churned backbone.
+func TestProtocolWithAdaptiveLowestID(t *testing.T) {
+	rotate := func(c *simnet.Config) {
+		c.Algorithm = cluster.AdaptiveLowestID
+	}
+	s := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, rotate).Stats()
+	if s.DataDelivered == 0 || s.Discoveries == 0 {
+		t.Fatalf("no routing progress under adaptive Lowest-ID: %+v", s)
+	}
+	if ratio := s.DeliveryRatio(); ratio < 0.3 {
+		t.Errorf("delivery ratio = %.2f under adaptive Lowest-ID, want a functioning network", ratio)
+	}
+}
+
+// TestProtocolWithEnergyRotation: an energy budget comfortably above the
+// run's drain keeps every node alive, but the election weighting still
+// hands the head role around as batteries diverge. Routing must work over
+// the energy-weighted backbone, and the whole stack — drain accounting
+// included — must stay deterministic.
+func TestProtocolWithEnergyRotation(t *testing.T) {
+	energized := func(c *simnet.Config) {
+		ec := energy.Default()
+		ec.InitialJ = 5
+		c.Energy = &ec
+	}
+	a := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, energized).Stats()
+	if a.DataDelivered == 0 || a.Discoveries == 0 {
+		t.Fatalf("no routing progress under the energy model: %+v", a)
+	}
+	if ratio := a.DeliveryRatio(); ratio < 0.3 {
+		t.Errorf("delivery ratio = %.2f under the energy model, want a functioning network", ratio)
+	}
+	b := runWithProtocol(t, Config{Flows: 8, DataInterval: 5}, energized).Stats()
+	if a != b {
+		t.Errorf("energy model broke determinism:\n%+v\n%+v", a, b)
+	}
+}

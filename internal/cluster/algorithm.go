@@ -26,6 +26,15 @@ const (
 	// 2.2 argues real deployments cannot assume. It exists as an oracle
 	// upper bound for the signal-strength metric.
 	KindOracleMobility
+	// KindAdaptiveID is Lowest-ID with adaptive ID reassignment (Gavalas
+	// et al., arXiv:1109.3997): the effective ID of a node grows by N for
+	// every Algorithm.ReassignRounds consecutive rounds it serves as
+	// clusterhead, so long-serving heads are periodically re-ranked behind
+	// every fresh node and shed the role. The tenure counter resets the
+	// moment the node stops serving. With ReassignRounds <= 0 the weight
+	// degenerates to the plain static ID and the algorithm is bit-identical
+	// to LCC (the differential the harness pins).
+	KindAdaptiveID
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +50,8 @@ func (k WeightKind) String() string {
 		return "custom"
 	case KindOracleMobility:
 		return "oracle-mobility"
+	case KindAdaptiveID:
+		return "adaptive-id"
 	default:
 		return "invalid"
 	}
@@ -63,6 +74,11 @@ type Algorithm struct {
 	// mobility stream before aggregation instead (alternative history
 	// placement). Only meaningful with KindMobility.
 	PairwiseEWMAAlpha float64
+	// ReassignRounds is KindAdaptiveID's re-ranking period: after this
+	// many consecutive rounds of clusterhead service the node's effective
+	// ID is pushed behind every fresh node. <= 0 disables reassignment
+	// (plain Lowest-ID weights). Only meaningful with KindAdaptiveID.
+	ReassignRounds int
 }
 
 // DefaultCCI is the paper's Cluster Contention Interval (Table 1).
@@ -111,15 +127,26 @@ var (
 		Policy:     Policy{LCC: true},
 		WeightKind: KindCustom,
 	}
+
+	// AdaptiveLowestID is LCC running on adaptively reassigned IDs
+	// (arXiv:1109.3997): the default re-ranking period of 30 rounds (60 s
+	// at the Table 1 beacon interval) bounds any node's uninterrupted head
+	// tenure while keeping the election as cheap as plain Lowest-ID.
+	AdaptiveLowestID = Algorithm{
+		Name:           "adaptive-lowest-id",
+		Policy:         Policy{LCC: true},
+		WeightKind:     KindAdaptiveID,
+		ReassignRounds: 30,
+	}
 )
 
 // ErrUnknownAlgorithm is returned by ByName for an unrecognized name.
 var ErrUnknownAlgorithm = errors.New("cluster: unknown algorithm")
 
 // ByName resolves an algorithm by its Name field. Recognized names:
-// "lowest-id", "lcc", "mobic", "max-degree", "dca", plus "mobic-history"
-// (MOBIC with EWMA alpha 0.5) and "mobic-nocci" (MOBIC with CCI disabled,
-// the A1 ablation).
+// "lowest-id", "lcc", "mobic", "max-degree", "dca", "adaptive-lowest-id",
+// plus "mobic-history" (MOBIC with EWMA alpha 0.5) and "mobic-nocci" (MOBIC
+// with CCI disabled, the A1 ablation).
 func ByName(name string) (Algorithm, error) {
 	switch name {
 	case LowestID.Name:
@@ -132,6 +159,8 @@ func ByName(name string) (Algorithm, error) {
 		return MaxConnectivity, nil
 	case DCA.Name:
 		return DCA, nil
+	case AdaptiveLowestID.Name:
+		return AdaptiveLowestID, nil
 	case "mobic-history":
 		a := MOBIC
 		a.Name = "mobic-history"
@@ -161,6 +190,7 @@ func ByName(name string) (Algorithm, error) {
 func Names() []string {
 	return []string{
 		LowestID.Name, LCC.Name, MOBIC.Name, MaxConnectivity.Name, DCA.Name,
+		AdaptiveLowestID.Name,
 		"mobic-history", "mobic-nocci", "mobic-oracle", "mobic-pairhistory",
 	}
 }

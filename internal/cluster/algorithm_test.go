@@ -110,11 +110,13 @@ func TestNamesAllResolvable(t *testing.T) {
 
 func TestWeightKindString(t *testing.T) {
 	pairs := map[WeightKind]string{
-		KindID:        "id",
-		KindMobility:  "mobility",
-		KindDegree:    "degree",
-		KindCustom:    "custom",
-		WeightKind(0): "invalid",
+		KindID:             "id",
+		KindMobility:       "mobility",
+		KindDegree:         "degree",
+		KindCustom:         "custom",
+		KindOracleMobility: "oracle-mobility",
+		KindAdaptiveID:     "adaptive-id",
+		WeightKind(0):      "invalid",
 	}
 	for k, want := range pairs {
 		if k.String() != want {

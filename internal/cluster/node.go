@@ -123,6 +123,16 @@ func (n *Node) Reset(now float64) {
 	n.weight = Weight{Value: 0, ID: n.id}
 }
 
+// Resign voluntarily abdicates to the undecided state (firing the change
+// hooks) while keeping the advertised weight. Rotation policies — adaptive
+// ID reassignment's tenure expiry and the energy model's battery-threshold
+// hand-off — use it to force a head to shed the role even though LCC's own
+// rules would never depose it: under LCC only a rival head can, and a
+// single-cluster topology has none.
+func (n *Node) Resign(now float64) {
+	n.resign(now)
+}
+
 // Step runs one clustering decision round at time now. self is the node's
 // freshly computed weight (aggregate mobility for MOBIC, static ID weight
 // for Lowest-ID variants); neighbors is the hello protocol's current

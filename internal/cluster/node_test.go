@@ -368,3 +368,60 @@ func TestMobicLowMobilityMemberDoesNotTriggerReclustering(t *testing.T) {
 		t.Errorf("reclustering triggered: role=%v head=%d", m.Role(), m.Head())
 	}
 }
+
+func TestResignKeepsWeightAndFiresHooks(t *testing.T) {
+	n := NewNode(5, AdaptiveLowestID.Policy)
+	n.Step(0, idWeight(5), nil)
+	if n.Role() != RoleHead {
+		t.Fatal("setup: isolated node should elect itself")
+	}
+	var roleNow float64
+	var gotRole Role
+	var gotHead int32 = -99
+	n.OnRoleChange(func(now float64, old, new Role) { roleNow, gotRole = now, new })
+	n.OnHeadChange(func(now float64, oldHead, newHead int32) { gotHead = newHead })
+	w := Weight{Value: 105, ID: 5} // tenure-inflated adaptive-ID weight
+	n.SetWeight(w)
+	n.Resign(7)
+	if n.Role() != RoleUndecided || n.Head() != NoHead {
+		t.Errorf("after Resign: role=%v head=%d, want undecided/NoHead", n.Role(), n.Head())
+	}
+	if gotRole != RoleUndecided || roleNow != 7 || gotHead != NoHead {
+		t.Errorf("hooks saw role=%v at t=%g head=%d, want undecided at 7, NoHead",
+			gotRole, roleNow, gotHead)
+	}
+	if n.Weight() != w {
+		t.Errorf("Resign dropped the advertised weight: %v, want %v", n.Weight(), w)
+	}
+	// The abdicated node re-enters the next round like any undecided node.
+	n.Step(8, idWeight(5), nil)
+	if n.Role() != RoleHead {
+		t.Errorf("resigned node cannot re-elect: role=%v", n.Role())
+	}
+}
+
+func TestResetRestoresInitialWeight(t *testing.T) {
+	n := NewNode(5, MOBIC.Policy)
+	n.Step(0, Weight{Value: 3.5, ID: 5}, nil)
+	if n.Role() != RoleHead {
+		t.Fatal("setup: isolated node should elect itself")
+	}
+	n.Reset(4)
+	if n.Role() != RoleUndecided || n.Head() != NoHead {
+		t.Errorf("after Reset: role=%v head=%d, want undecided/NoHead", n.Role(), n.Head())
+	}
+	if n.Weight() != (Weight{Value: 0, ID: 5}) {
+		t.Errorf("Reset kept a stale weight %v, want the paper's M=0 init", n.Weight())
+	}
+}
+
+func TestSetWeightDoesNotRunADecisionRound(t *testing.T) {
+	n := NewNode(5, MOBIC.Policy)
+	n.SetWeight(Weight{Value: 1.25, ID: 5})
+	if n.Weight() != (Weight{Value: 1.25, ID: 5}) {
+		t.Errorf("advertised weight = %v, want {1.25 5}", n.Weight())
+	}
+	if n.Role() != RoleUndecided {
+		t.Errorf("SetWeight elected the node: role=%v", n.Role())
+	}
+}

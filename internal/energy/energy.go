@@ -1,0 +1,165 @@
+// Package energy models per-node batteries for energy-aware clustering
+// (ROADMAP item 3, following the C-MANET exemplars in SNIPPETS.md). The
+// radio layer charges transmit and receive costs per hello byte, an idle
+// drain accrues with simulated time, and the remaining battery *fraction*
+// feeds the clusterhead election: low-energy nodes advertise worse weights,
+// and a head that falls below the rotation threshold takes an extra penalty
+// so a healthier rival can take over. A node whose battery reaches zero is
+// crashed through the simulator's existing churn path — it stops beaconing,
+// its neighbors time it out, and its cluster re-forms around survivors.
+//
+// The model is deliberately linear and deterministic: every cost is a pure
+// function of bytes sent/received and seconds elapsed, so trace digests stay
+// reproducible, and scaling every energy parameter by a common factor leaves
+// the battery-fraction trajectory — and therefore the entire simulation —
+// bit-identical (the scale-invariance oracle the harness pins).
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Defaults. InitialJ follows the C-MANET exemplar's 50 J budget; the radio
+// costs approximate a WaveLAN-class interface (per-byte energy at 1 Mb/s),
+// and the idle draw is kept small enough that a Table 1 run (900 s) does not
+// deplete a default battery on its own.
+const (
+	// DefaultInitialJ is the starting battery in joules.
+	DefaultInitialJ = 50.0
+	// DefaultTxJPerByte is the transmit cost per hello byte in joules.
+	DefaultTxJPerByte = 50e-6
+	// DefaultRxJPerByte is the receive cost per hello byte in joules.
+	DefaultRxJPerByte = 20e-6
+	// DefaultIdleW is the idle drain in watts (joules per simulated second).
+	DefaultIdleW = 0.001
+	// DefaultElectionWeight is the election penalty of an empty battery.
+	DefaultElectionWeight = 2.0
+	// DefaultRotateFrac is the battery fraction below which a serving
+	// clusterhead takes the full rotation penalty.
+	DefaultRotateFrac = 0.25
+	// FractionQuanta is the number of discrete battery levels the election
+	// penalty distinguishes (5% buckets). Quantization is load-bearing, not
+	// cosmetic: batteries drain monotonically, so with a continuous penalty
+	// a node's freshly computed self-weight always looks worse than every
+	// neighbor's slightly stale advertised weight, and a symmetric topology
+	// deadlocks with every node deferring to everyone else forever. Bucketed
+	// penalties make symmetric drain an exact tie (resolved by lowest ID)
+	// while real battery disparities still order the election.
+	FractionQuanta = 20
+)
+
+// Config parameterizes the battery model for one run.
+type Config struct {
+	// InitialJ is every node's starting battery in joules. Must be > 0.
+	InitialJ float64
+	// TxJPerByte is the energy charged per transmitted hello byte.
+	TxJPerByte float64
+	// RxJPerByte is the energy charged per successfully received hello byte.
+	RxJPerByte float64
+	// IdleW is the idle drain in watts, charged for elapsed simulated time.
+	IdleW float64
+	// ElectionWeight scales the election penalty: a node's advertised
+	// weight grows by ElectionWeight * (1 - fraction remaining), with the
+	// fraction quantized to FractionQuanta discrete levels, so a full
+	// battery adds nothing and an empty one adds the full weight. 0
+	// disables energy-weighted election (the battery still drains and
+	// depletion still kills the node).
+	ElectionWeight float64
+	// RotateFrac is the battery fraction below which a node currently
+	// serving as clusterhead takes one extra ElectionWeight of penalty, so
+	// rotation kicks in before outright depletion. Must be in [0, 1].
+	RotateFrac float64
+}
+
+// Default returns the package defaults.
+func Default() Config {
+	return Config{
+		InitialJ:       DefaultInitialJ,
+		TxJPerByte:     DefaultTxJPerByte,
+		RxJPerByte:     DefaultRxJPerByte,
+		IdleW:          DefaultIdleW,
+		ElectionWeight: DefaultElectionWeight,
+		RotateFrac:     DefaultRotateFrac,
+	}
+}
+
+// ErrBadConfig tags every validation failure.
+var ErrBadConfig = errors.New("energy: invalid config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.InitialJ <= 0:
+		return fmt.Errorf("%w: initial battery = %g J", ErrBadConfig, c.InitialJ)
+	case c.TxJPerByte < 0:
+		return fmt.Errorf("%w: tx cost = %g J/byte", ErrBadConfig, c.TxJPerByte)
+	case c.RxJPerByte < 0:
+		return fmt.Errorf("%w: rx cost = %g J/byte", ErrBadConfig, c.RxJPerByte)
+	case c.IdleW < 0:
+		return fmt.Errorf("%w: idle drain = %g W", ErrBadConfig, c.IdleW)
+	case c.ElectionWeight < 0:
+		return fmt.Errorf("%w: election weight = %g", ErrBadConfig, c.ElectionWeight)
+	case c.RotateFrac < 0 || c.RotateFrac > 1:
+		return fmt.Errorf("%w: rotate fraction = %g outside [0, 1]", ErrBadConfig, c.RotateFrac)
+	}
+	return nil
+}
+
+// TxCost is the energy of transmitting one hello of the given size.
+func (c Config) TxCost(bytes int) float64 { return c.TxJPerByte * float64(bytes) }
+
+// RxCost is the energy of receiving one hello of the given size.
+func (c Config) RxCost(bytes int) float64 { return c.RxJPerByte * float64(bytes) }
+
+// IdleCost is the energy of idling for dt simulated seconds.
+func (c Config) IdleCost(dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	return c.IdleW * dt
+}
+
+// Fraction clamps remaining/InitialJ to [0, 1] — the scale-free battery
+// level every election decision is based on.
+func (c Config) Fraction(remaining float64) float64 {
+	if remaining <= 0 {
+		return 0
+	}
+	frac := remaining / c.InitialJ
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// Penalty is the election-weight surcharge for a node with the given
+// remaining battery; head reports whether the node is subject to the
+// rotation surcharge — it currently serves as a clusterhead, or was
+// already rotated out of the role by the battery threshold (the caller
+// keeps that mark, so an exactly-tied battery cannot re-elect the ex-head
+// by lowest ID).
+func (c Config) Penalty(remaining float64, head bool) float64 {
+	if c.ElectionWeight <= 0 {
+		return 0
+	}
+	frac := c.Fraction(remaining)
+	p := c.ElectionWeight * (1 - math.Floor(frac*FractionQuanta)/FractionQuanta)
+	if head && frac < c.RotateFrac {
+		p += c.ElectionWeight
+	}
+	return p
+}
+
+// Scale returns a copy of c with every joule-denominated parameter
+// multiplied by k. Because elections read only the battery fraction, a run
+// under Scale(k) is bit-identical to one under c — the metamorphic
+// scale-invariance oracle pinned by the harness.
+func (c Config) Scale(k float64) Config {
+	c.InitialJ *= k
+	c.TxJPerByte *= k
+	c.RxJPerByte *= k
+	c.IdleW *= k
+	return c
+}

@@ -1,0 +1,138 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero battery", func(c *Config) { c.InitialJ = 0 }},
+		{"negative battery", func(c *Config) { c.InitialJ = -1 }},
+		{"negative tx cost", func(c *Config) { c.TxJPerByte = -1e-6 }},
+		{"negative rx cost", func(c *Config) { c.RxJPerByte = -1e-6 }},
+		{"negative idle", func(c *Config) { c.IdleW = -0.1 }},
+		{"negative election weight", func(c *Config) { c.ElectionWeight = -2 }},
+		{"rotate fraction above 1", func(c *Config) { c.RotateFrac = 1.5 }},
+		{"rotate fraction negative", func(c *Config) { c.RotateFrac = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Default()
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate should reject")
+			}
+		})
+	}
+}
+
+func TestCosts(t *testing.T) {
+	c := Default()
+	if got := c.TxCost(20); got != c.TxJPerByte*20 {
+		t.Errorf("TxCost(20) = %g", got)
+	}
+	if got := c.RxCost(12); got != c.RxJPerByte*12 {
+		t.Errorf("RxCost(12) = %g", got)
+	}
+	if got := c.IdleCost(2); got != c.IdleW*2 {
+		t.Errorf("IdleCost(2) = %g", got)
+	}
+	if got := c.IdleCost(-1); got != 0 {
+		t.Errorf("IdleCost(-1) = %g, want 0 (time never runs backwards)", got)
+	}
+}
+
+func TestFractionClamps(t *testing.T) {
+	c := Default()
+	if got := c.Fraction(c.InitialJ); got != 1 {
+		t.Errorf("full battery fraction = %g", got)
+	}
+	if got := c.Fraction(2 * c.InitialJ); got != 1 {
+		t.Errorf("overfull battery fraction = %g, want clamp to 1", got)
+	}
+	if got := c.Fraction(-3); got != 0 {
+		t.Errorf("depleted battery fraction = %g, want 0", got)
+	}
+	if got := c.Fraction(c.InitialJ / 2); got != 0.5 {
+		t.Errorf("half battery fraction = %g", got)
+	}
+}
+
+func TestPenalty(t *testing.T) {
+	c := Default()
+	if got := c.Penalty(c.InitialJ, false); got != 0 {
+		t.Errorf("full battery penalty = %g, want 0", got)
+	}
+	if got := c.Penalty(0, false); got != c.ElectionWeight {
+		t.Errorf("empty battery penalty = %g, want %g", got, c.ElectionWeight)
+	}
+	// A serving head below the rotation threshold takes one extra
+	// ElectionWeight; a member at the same level does not.
+	low := c.InitialJ * c.RotateFrac / 2
+	member := c.Penalty(low, false)
+	head := c.Penalty(low, true)
+	if head != member+c.ElectionWeight {
+		t.Errorf("rotation surcharge = %g, want %g", head-member, c.ElectionWeight)
+	}
+	// At or above the threshold the head surcharge disappears.
+	at := c.InitialJ * c.RotateFrac
+	if c.Penalty(at, true) != c.Penalty(at, false) {
+		t.Error("rotation surcharge applied at the threshold (want strict <)")
+	}
+	// Disabled election weight silences everything.
+	c.ElectionWeight = 0
+	if got := c.Penalty(0, true); got != 0 {
+		t.Errorf("penalty with ElectionWeight 0 = %g", got)
+	}
+}
+
+// TestPenaltyMonotone pins the shape the election depends on: less battery
+// never yields a smaller penalty.
+func TestPenaltyMonotone(t *testing.T) {
+	c := Default()
+	prev := math.Inf(-1)
+	for r := c.InitialJ; r >= -1; r -= c.InitialJ / 64 {
+		p := c.Penalty(r, true)
+		if p < prev {
+			t.Fatalf("penalty decreased from %g to %g at remaining %g", prev, p, r)
+		}
+		prev = p
+	}
+}
+
+// TestScaleInvariance is the unit-level half of the harness's metamorphic
+// oracle: scaling every joule-denominated knob by k leaves fractions and
+// penalties bit-identical, because both are ratios of scaled quantities.
+func TestScaleInvariance(t *testing.T) {
+	c := Default()
+	for _, k := range []float64{10, 0.25, 1e6} {
+		s := c.Scale(k)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Scale(%g) invalid: %v", k, err)
+		}
+		for _, frac := range []float64{0, 0.1, 0.24999, 0.25, 0.5, 1} {
+			r, rs := frac*c.InitialJ, frac*s.InitialJ
+			if c.Fraction(r) != s.Fraction(rs) {
+				t.Fatalf("k=%g frac=%g: fractions diverge", k, frac)
+			}
+			if c.Penalty(r, true) != s.Penalty(rs, true) {
+				t.Fatalf("k=%g frac=%g: penalties diverge", k, frac)
+			}
+		}
+		// The drained-joules ratio scales with k, so the depletion time of a
+		// fixed beacon schedule is identical.
+		if got, want := s.TxCost(20)/s.InitialJ, c.TxCost(20)/c.InitialJ; math.Abs(got-want) > 1e-15 {
+			t.Fatalf("k=%g: tx drain fraction %g != %g", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEnergyConfig hunts for configurations that pass Validate yet break the
+// invariants the simulator leans on: costs must be non-negative and finite
+// for sane inputs, Fraction must stay inside [0, 1], and the election
+// penalty must be non-negative, bounded by 2x ElectionWeight, and monotone
+// in drained battery. Any violation would leak into election weights — and
+// from there into trace digests — as NaN or order inversions.
+func FuzzEnergyConfig(f *testing.F) {
+	d := Default()
+	f.Add(d.InitialJ, d.TxJPerByte, d.RxJPerByte, d.IdleW, d.ElectionWeight, d.RotateFrac, 0.5)
+	f.Add(1.5, 0.0, 0.0, 0.01, 0.0, 0.0, 0.0)
+	f.Add(1e-12, 1.0, 1.0, 1e6, 100.0, 1.0, 1.0)
+	f.Add(50.0, 50e-6, 20e-6, 0.001, 2.0, 0.25, -3.0)
+	f.Fuzz(func(t *testing.T, initial, tx, rx, idle, elect, rotate, frac float64) {
+		c := Config{
+			InitialJ:       initial,
+			TxJPerByte:     tx,
+			RxJPerByte:     rx,
+			IdleW:          idle,
+			ElectionWeight: elect,
+			RotateFrac:     rotate,
+		}
+		if err := c.Validate(); err != nil {
+			return
+		}
+		// Validate accepted it: every derived quantity must be sane.
+		if !isFinite(c.InitialJ) || !isFinite(c.ElectionWeight) {
+			t.Skip("infinite knobs validate but produce unbounded weights by design")
+		}
+		for _, bytes := range []int{0, 1, 20, 1 << 20} {
+			if v := c.TxCost(bytes); v < 0 || math.IsNaN(v) {
+				t.Fatalf("TxCost(%d) = %g", bytes, v)
+			}
+			if v := c.RxCost(bytes); v < 0 || math.IsNaN(v) {
+				t.Fatalf("RxCost(%d) = %g", bytes, v)
+			}
+		}
+		for _, dt := range []float64{-1, 0, 0.5, 1e9} {
+			if v := c.IdleCost(dt); v < 0 || math.IsNaN(v) {
+				t.Fatalf("IdleCost(%g) = %g", dt, v)
+			}
+		}
+		remaining := frac * c.InitialJ
+		if math.IsNaN(remaining) || math.IsInf(remaining, 0) {
+			return
+		}
+		fr := c.Fraction(remaining)
+		if fr < 0 || fr > 1 || math.IsNaN(fr) {
+			t.Fatalf("Fraction(%g) = %g outside [0, 1]", remaining, fr)
+		}
+		for _, head := range []bool{false, true} {
+			p := c.Penalty(remaining, head)
+			if p < 0 || math.IsNaN(p) {
+				t.Fatalf("Penalty(%g, %v) = %g", remaining, head, p)
+			}
+			if max := 2 * c.ElectionWeight; p > max {
+				t.Fatalf("Penalty(%g, %v) = %g exceeds bound %g", remaining, head, p, max)
+			}
+		}
+		// Monotonicity: strictly less battery never shrinks the penalty.
+		if p1, p2 := c.Penalty(remaining, true), c.Penalty(remaining-c.InitialJ/4, true); p2 < p1 {
+			t.Fatalf("penalty decreased as battery drained: %g -> %g", p1, p2)
+		}
+	})
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -409,6 +409,77 @@ func AdaptiveBIExp(ctx context.Context, r Runner) (*Result, error) {
 	return res, nil
 }
 
+// Policies compares the clustering-policy extensions on the Figure 3
+// workload (A14): plain MOBIC, MOBIC with the hysteresis-banded adaptive
+// broadcast period, adaptive Lowest-ID (tenure-bounded ID reassignment),
+// and energy-weighted MOBIC with battery-threshold head rotation. Stability
+// is the headline metric; the notes carry the head-duty fairness each
+// policy buys, since rotation trades churn for fairness by design.
+func Policies(ctx context.Context, r Runner) (*Result, error) {
+	base := scenario.Base
+	adaptiveBI := func(tx float64) scenario.Params {
+		p := base(tx)
+		p.BIMin, p.BIMax = 0.5, 4
+		p.TP = 6 // outlast the longest adaptive interval
+		return p
+	}
+	energyOn := func(tx float64) scenario.Params {
+		p := base(tx)
+		// 2 J spans the model's whole arc over 900 s: at low Tx (light RX
+		// load) batteries sink past the rotation threshold mid-run, and at
+		// high Tx they exhaust outright — the curve shows rotation hand-offs
+		// first, then the churn collapse of a dying network. A budget that
+		// never crosses RotateFrac (say 12 J) is indistinguishable from
+		// plain MOBIC everywhere.
+		p.EnergyJ = 2
+		return p
+	}
+	type curve struct {
+		name      string
+		alg       cluster.Algorithm
+		paramsFor func(float64) scenario.Params
+	}
+	curves := []curve{
+		{name: "mobic", alg: cluster.MOBIC, paramsFor: base},
+		{name: "mobic-adaptive-bi", alg: cluster.MOBIC, paramsFor: adaptiveBI},
+		{name: "adaptive-lowest-id", alg: cluster.AdaptiveLowestID, paramsFor: base},
+		{name: "mobic-energy", alg: cluster.MOBIC, paramsFor: energyOn},
+	}
+	xs := scenario.TxSweep()
+	var cells []Cell
+	for _, c := range curves {
+		for _, x := range xs {
+			cells = append(cells, Cell{Params: c.paramsFor(x), Algorithm: c.alg})
+		}
+	}
+	cs, err := r.RunCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "policies",
+		Title:  "A14: clustering policies — adaptive period, ID reassignment, energy rotation",
+		XLabel: "transmission range (m)",
+		YLabel: "clusterhead changes / 900 s",
+		X:      xs,
+	}
+	for ci, c := range curves {
+		s := Series{Name: c.name, Y: make([]float64, len(xs)), CI: make([]float64, len(xs))}
+		var fairness float64
+		for xi := range xs {
+			cell := cs[ci*len(xs)+xi]
+			s.Y[xi] = cell.CHChanges
+			s.CI[xi] = cell.CHChangesCI
+			f, _ := projectFairness(cell)
+			fairness += f
+		}
+		res.Series = append(res.Series, s)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s: mean head-duty fairness %.3f across the sweep", c.name, fairness/float64(len(xs))))
+	}
+	return res, nil
+}
+
 // MAC measures the effect of beacon collisions (A13): the same Figure 3
 // sweep with the hello MAC collision model enabled vs disabled.
 func MAC(ctx context.Context, r Runner) (*Result, error) {
@@ -550,6 +621,7 @@ func All() []Descriptor {
 		{ID: "cbrp", Title: "A11: CBRP-lite routing over LCC vs MOBIC clusters", Run: CBRP},
 		{ID: "oracle", Title: "A12: RxPr metric vs GPS-oracle range rates", Run: Oracle},
 		{ID: "mac", Title: "A13: hello MAC collision sensitivity", Run: MAC},
+		{ID: "policies", Title: "A14: clustering policies (adaptive BI, ID reassignment, energy)", Run: Policies},
 		{ID: "fairness", Title: "Head-duty fairness (Jain index)", Run: Fairness},
 		{ID: "failures", Title: "Decapitation: lowest-ID nodes crash mid-run", Run: Failures},
 		{ID: "hierarchy", Title: "Routing-state reduction over the cluster hierarchy", Run: Hierarchy},

@@ -466,3 +466,57 @@ func TestFig3ShapeTrimmed(t *testing.T) {
 		t.Errorf("lcc peak at sweep boundary (index %d): %v", peak, lcc.Y)
 	}
 }
+
+func TestAdaptiveBIExperimentSmall(t *testing.T) {
+	res, err := AdaptiveBIExp(context.Background(), fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "adaptive-bi" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	nx := len(scenario.SpeedSweep())
+	if len(res.X) != nx || len(res.Series) != 3 {
+		t.Fatalf("adaptive-bi shape: %d x, %d series, want %d x 3", len(res.X), len(res.Series), nx)
+	}
+	// Every variant reports its beacon budget — that's the trade the
+	// experiment exists to show.
+	if len(res.Notes) != 3*nx {
+		t.Errorf("adaptive-bi notes = %d, want %d beacon-count notes", len(res.Notes), 3*nx)
+	}
+}
+
+func TestPoliciesExperimentSmall(t *testing.T) {
+	res, err := Policies(context.Background(), fastRunner(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "policies" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	nx := len(scenario.TxSweep())
+	if len(res.X) != nx {
+		t.Fatalf("policies X = %d points, want the Tx sweep (%d)", len(res.X), nx)
+	}
+	want := []string{"mobic", "mobic-adaptive-bi", "adaptive-lowest-id", "mobic-energy"}
+	if len(res.Series) != len(want) {
+		t.Fatalf("policies series = %d, want %d", len(res.Series), len(want))
+	}
+	for i, s := range res.Series {
+		if s.Name != want[i] {
+			t.Errorf("series[%d] = %q, want %q", i, s.Name, want[i])
+		}
+		if len(s.Y) != nx {
+			t.Errorf("series %q has %d points, want %d", s.Name, len(s.Y), nx)
+		}
+	}
+	// One fairness note per policy curve.
+	if len(res.Notes) != len(want) {
+		t.Errorf("policies notes = %d, want one fairness line per curve", len(res.Notes))
+	}
+	for _, n := range res.Notes {
+		if !strings.Contains(n, "head-duty fairness") {
+			t.Errorf("note %q missing the fairness metric", n)
+		}
+	}
+}

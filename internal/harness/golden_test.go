@@ -23,28 +23,26 @@ func computeGoldenDigests(t *testing.T) map[string]Digest {
 		wg  sync.WaitGroup
 		out = make(map[string]Digest)
 	)
-	for _, w := range Workloads() {
-		for _, alg := range Algorithms() {
-			for _, seed := range GoldenSeeds() {
-				w, alg, seed := w, alg, seed
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					cfg, err := w.Config(alg, seed)
-					if err != nil {
-						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
-						return
-					}
-					dig, _, err := DigestRun(cfg)
-					if err != nil {
-						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
-						return
-					}
-					mu.Lock()
-					out[GoldenKey(w.Name, alg.Name, seed)] = dig
-					mu.Unlock()
-				}()
-			}
+	for _, r := range GoldenRuns() {
+		for _, seed := range GoldenSeeds() {
+			w, alg, seed := r.Workload, r.Algorithm, seed
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cfg, err := w.Config(alg, seed)
+				if err != nil {
+					t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+					return
+				}
+				dig, _, err := DigestRun(cfg)
+				if err != nil {
+					t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+					return
+				}
+				mu.Lock()
+				out[GoldenKey(w.Name, alg.Name, seed)] = dig
+				mu.Unlock()
+			}()
 		}
 	}
 	wg.Wait()

@@ -57,6 +57,63 @@ func Algorithms() []cluster.Algorithm {
 // digested at.
 func GoldenSeeds() []uint64 { return []uint64{1, 2} }
 
+// Run is one pinned (workload, algorithm) pair.
+type Run struct {
+	// Workload is the scenario the pair runs on.
+	Workload Workload
+	// Algorithm is the clustering algorithm the pair runs.
+	Algorithm cluster.Algorithm
+}
+
+// PolicyRuns returns the pinned clustering-policy runs, one per policy the
+// engine grew beyond the paper's fixed-parameter protocol:
+//
+//   - policy-adaptive-bi: the Figure 3 base scenario at Tx 100 m with every
+//     node floating its own hello interval in [0.5 s, 4 s] by measured
+//     mobility (MOBIC election on the adaptively timed beacons);
+//   - policy-reassign: the same scenario under adaptive Lowest-ID, whose
+//     heads expire their tenure and re-enter election with a demoted
+//     effective ID;
+//   - policy-energy: the same scenario with a deliberately small 0.5 J
+//     battery budget, so the run exercises the whole energy arc — quantized
+//     election penalties as batteries drain, threshold-triggered head
+//     rotation, and node death through the churn path before the horizon.
+//
+// Each run is digested at every golden seed, so the policies' event streams
+// are pinned exactly like the base algorithm grid.
+func PolicyRuns() []Run {
+	adaptive := scenario.Base(100)
+	adaptive.Duration = PinnedDuration
+	adaptive.BIMin, adaptive.BIMax = 0.5, 4
+
+	reassign := scenario.Base(100)
+	reassign.Duration = PinnedDuration
+
+	drained := scenario.Base(100)
+	drained.Duration = PinnedDuration
+	drained.EnergyJ = 0.5
+
+	return []Run{
+		{Workload{Name: "policy-adaptive-bi", Params: adaptive}, cluster.MOBIC},
+		{Workload{Name: "policy-reassign", Params: reassign}, cluster.AdaptiveLowestID},
+		{Workload{Name: "policy-energy", Params: drained}, cluster.MOBIC},
+	}
+}
+
+// GoldenRuns enumerates every pinned (workload, algorithm) pair: the base
+// workload × algorithm grid plus the clustering-policy runs. The golden and
+// tiled-equivalence suites iterate exactly this list, so a policy added here
+// is automatically pinned sequentially and proven tile-schedule independent.
+func GoldenRuns() []Run {
+	var runs []Run
+	for _, w := range Workloads() {
+		for _, alg := range Algorithms() {
+			runs = append(runs, Run{Workload: w, Algorithm: alg})
+		}
+	}
+	return append(runs, PolicyRuns()...)
+}
+
 // GoldenKey names one golden digest entry.
 func GoldenKey(workload, algorithm string, seed uint64) string {
 	return fmt.Sprintf("%s/%s/seed%d", workload, algorithm, seed)

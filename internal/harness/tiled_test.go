@@ -32,30 +32,28 @@ func digestAllTiled(t *testing.T, tiles, offset int) map[string]Digest {
 		wg  sync.WaitGroup
 		out = make(map[string]Digest)
 	)
-	for _, w := range Workloads() {
-		for _, alg := range Algorithms() {
-			for _, seed := range GoldenSeeds() {
-				w, alg, seed := w, alg, seed
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					cfg, err := w.Config(alg, seed)
-					if err != nil {
-						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
-						return
-					}
-					cfg.Tiles = tiles
-					cfg.TileOffsetCells = offset
-					dig, _, err := DigestRun(cfg)
-					if err != nil {
-						t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
-						return
-					}
-					mu.Lock()
-					out[GoldenKey(w.Name, alg.Name, seed)] = dig
-					mu.Unlock()
-				}()
-			}
+	for _, r := range GoldenRuns() {
+		for _, seed := range GoldenSeeds() {
+			w, alg, seed := r.Workload, r.Algorithm, seed
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cfg, err := w.Config(alg, seed)
+				if err != nil {
+					t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+					return
+				}
+				cfg.Tiles = tiles
+				cfg.TileOffsetCells = offset
+				dig, _, err := DigestRun(cfg)
+				if err != nil {
+					t.Errorf("%s/%s: %v", w.Name, alg.Name, err)
+					return
+				}
+				mu.Lock()
+				out[GoldenKey(w.Name, alg.Name, seed)] = dig
+				mu.Unlock()
+			}()
 		}
 	}
 	wg.Wait()
@@ -82,8 +80,9 @@ func compareToGolden(t *testing.T, want, got map[string]Digest, label string) {
 	}
 }
 
-// TestTiledGoldenEquivalence is the PR's headline proof: all 18 golden
-// scenarios, run on the tiled-parallel scheduler at Tiles = 2, 4 and
+// TestTiledGoldenEquivalence is the PR's headline proof: every golden
+// scenario — the base algorithm grid and the clustering-policy runs alike —
+// run on the tiled-parallel scheduler at Tiles = 2, 4 and
 // GOMAXPROCS, produce SHA-256 trace digests bit-identical to the committed
 // sequential goldens. Together with TestGoldenDigests (Tiles = 1 vs the same
 // file) this closes the 1-tile == N-tile equivalence the conservative

@@ -1,0 +1,140 @@
+package hier
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/scenario"
+	"mobic/internal/simnet"
+)
+
+// policyAffiliations runs the scenario to completion and derives the
+// hierarchy inputs from the final clustering state: each live node's
+// affiliation is its clusterhead, undecided and dead nodes are NoCluster
+// singletons.
+func policyAffiliations(t *testing.T, p scenario.Params, alg cluster.Algorithm) (*simnet.Network, []int32) {
+	t.Helper()
+	cfg, err := p.Config(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := simnet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	aff := make([]int32, cfg.N)
+	for i, st := range net.Snapshot() {
+		aff[i] = st.Head
+		if st.Down || st.Head < 0 {
+			aff[i] = NoCluster
+		}
+	}
+	return net, aff
+}
+
+// checkOverlay builds the cluster graph over the final topology and asserts
+// the structural invariants every clustering must hand the hierarchy layer:
+// the build succeeds, clusters exist, and the two-level routing state is
+// smaller than flat routing.
+func checkOverlay(t *testing.T, net *simnet.Network, aff []int32) *ClusterGraph {
+	t.Helper()
+	cg, err := Build(net.Topology(), aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Clusters() == 0 {
+		t.Fatal("no clusters in final state")
+	}
+	flat, hier := cg.RoutingState()
+	if hier >= flat {
+		t.Errorf("hierarchy routing state %d not below flat %d", hier, flat)
+	}
+	return cg
+}
+
+// TestOverlayWithAdaptiveBI: the hierarchy layer consumes whatever
+// clustering the adaptive broadcast period produces — per-node beacon
+// intervals change election timing, not the structural contract.
+func TestOverlayWithAdaptiveBI(t *testing.T) {
+	p := scenario.Base(100)
+	p.Duration = 300
+	p.Seed = 3
+	p.BIMin, p.BIMax = 0.5, 4
+	net, aff := policyAffiliations(t, p, cluster.MOBIC)
+	checkOverlay(t, net, aff)
+}
+
+// TestOverlayWithAdaptiveLowestID: tenure expiry keeps reassigning the head
+// role, so the overlay is built from whatever the rotation left standing;
+// its heads must still be exactly the nodes reporting RoleHead.
+func TestOverlayWithAdaptiveLowestID(t *testing.T) {
+	p := scenario.Base(100)
+	p.Duration = 300
+	p.Seed = 3
+	net, aff := policyAffiliations(t, p, cluster.AdaptiveLowestID)
+	checkOverlay(t, net, aff)
+
+	// A snapshot can catch rotation mid-flight: an expired head resigns and
+	// may even rejoin elsewhere as a member before its former members hear
+	// the news, so a few affiliations legally point at a non-head for up to
+	// a beacon-plus-timeout window. What distinguishes bounded staleness
+	// from a broken protocol is the proportion: the overwhelming majority
+	// of members must be anchored on a node that is actually serving as
+	// head right now.
+	role := make(map[int32]cluster.Role)
+	for _, st := range net.Snapshot() {
+		role[st.ID] = st.Role
+	}
+	members, stale := 0, 0
+	for id, head := range aff {
+		if head == NoCluster || int32(id) == head {
+			continue
+		}
+		members++
+		if role[head] != cluster.RoleHead {
+			stale++
+		}
+	}
+	if members == 0 {
+		t.Fatal("no affiliated members in final state")
+	}
+	t.Logf("%d members, %d anchored on a mid-rotation ex-head", members, stale)
+	if float64(stale) > 0.2*float64(members) {
+		t.Errorf("%d of %d members anchored on non-heads; rotation staleness should be a bounded transient",
+			stale, members)
+	}
+}
+
+// TestOverlayWithEnergyDeaths: a deliberately tiny battery budget kills
+// nodes before the horizon. The overlay must still build — dead nodes fall
+// out as NoCluster singletons rather than corrupting live clusters, and no
+// live member may remain affiliated to a dead head.
+func TestOverlayWithEnergyDeaths(t *testing.T) {
+	p := scenario.Base(100)
+	p.Duration = 300
+	p.Seed = 3
+	p.EnergyJ = 0.5
+	net, aff := policyAffiliations(t, p, cluster.MOBIC)
+	if net.EnergyDepleted() == 0 {
+		t.Fatal("expected battery deaths with a 0.5 J budget over 300 s")
+	}
+	checkOverlay(t, net, aff)
+
+	down := make(map[int32]bool)
+	for _, st := range net.Snapshot() {
+		if st.Down {
+			down[st.ID] = true
+		}
+	}
+	for id, head := range aff {
+		if head == NoCluster || int32(id) == head {
+			continue
+		}
+		if down[head] {
+			t.Errorf("live node %d still affiliated to dead head %d", id, head)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"mobic/internal/cluster"
+	"mobic/internal/energy"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
 	"mobic/internal/simnet"
@@ -29,6 +30,14 @@ const (
 	DefaultCCI = 4.0
 	// DefaultDuration is the simulation time S in seconds.
 	DefaultDuration = 900.0
+	// DefaultAdaptiveMRef is the mobility scale of the adaptive broadcast
+	// period: at aggregate mobility 4 (a firmly mobile neighborhood on the
+	// paper's dB scale) the interval sits halfway between BIMin and BIMax.
+	DefaultAdaptiveMRef = 4.0
+	// DefaultAdaptiveHysteresis is the adaptive period's relaxation band:
+	// the interval only grows once the target clears the current value by
+	// 25%, so mobility flutter does not thrash the beacon schedule.
+	DefaultAdaptiveHysteresis = 0.25
 )
 
 // TxSweep is the transmission-range sweep of Figures 3-5 (Table 1: 10-250 m).
@@ -60,6 +69,20 @@ type Params struct {
 	Seed uint64
 	// Warmup excludes early events from metrics (0 counts everything).
 	Warmup float64
+	// BIMin and BIMax, when both > 0, enable the adaptive broadcast period:
+	// each node's hello interval floats in [BIMin, BIMax] with its own
+	// aggregate mobility (high mobility tightens toward BIMin) behind a 25%
+	// relaxation hysteresis band. BIMin == BIMax pins every node to that
+	// fixed interval — the schedule is identical to a non-adaptive run at
+	// the same BI, the metamorphic fixed point the harness digests. Both 0
+	// (the default) keeps the fixed Table 1 interval BI.
+	BIMin, BIMax float64
+	// EnergyJ, when > 0, enables the battery model with this initial budget
+	// in joules per node and the package defaults for radio costs and
+	// election weighting: draining batteries worsen election weights, heads
+	// under the rotation threshold hand the role off, and depleted nodes
+	// die through the churn path. 0 (the default) disables the model.
+	EnergyJ float64
 }
 
 // Base returns Table 1's default parameter set for the 670x670 scenario
@@ -111,6 +134,14 @@ func (p Params) Validate() error {
 		return fmt.Errorf("scenario: tx range = %g", p.TxRange)
 	case p.Duration <= 0:
 		return fmt.Errorf("scenario: duration = %g", p.Duration)
+	case p.BIMin < 0 || p.BIMax < 0:
+		return fmt.Errorf("scenario: adaptive BI bounds [%g, %g] must be >= 0", p.BIMin, p.BIMax)
+	case (p.BIMin > 0) != (p.BIMax > 0):
+		return fmt.Errorf("scenario: adaptive BI needs both bounds, got [%g, %g]", p.BIMin, p.BIMax)
+	case p.BIMin > p.BIMax:
+		return fmt.Errorf("scenario: adaptive BI bounds inverted [%g, %g]", p.BIMin, p.BIMax)
+	case p.EnergyJ < 0:
+		return fmt.Errorf("scenario: energy budget = %g J", p.EnergyJ)
 	}
 	return nil
 }
@@ -126,7 +157,7 @@ func (p Params) Config(alg cluster.Algorithm) (simnet.Config, error) {
 		alg.Policy.CCI = p.CCI
 	}
 	area := geom.Square(p.Side)
-	return simnet.Config{
+	cfg := simnet.Config{
 		N:                 p.N,
 		Area:              area,
 		Duration:          p.Duration,
@@ -137,7 +168,21 @@ func (p Params) Config(alg cluster.Algorithm) (simnet.Config, error) {
 		BroadcastInterval: p.BI,
 		TimeoutPeriod:     p.TP,
 		Warmup:            p.Warmup,
-	}, nil
+	}
+	if p.BIMin > 0 {
+		cfg.Adaptive = &simnet.AdaptiveBI{
+			Min:        p.BIMin,
+			Max:        p.BIMax,
+			MRef:       DefaultAdaptiveMRef,
+			Hysteresis: DefaultAdaptiveHysteresis,
+		}
+	}
+	if p.EnergyJ > 0 {
+		ec := energy.Default()
+		ec.InitialJ = p.EnergyJ
+		cfg.Energy = &ec
+	}
+	return cfg, nil
 }
 
 // Table1Row is one row of the paper's Table 1, for echo/verification output.

@@ -54,6 +54,11 @@ func TestValidate(t *testing.T) {
 		{name: "negative pause", mutate: func(p *Params) { p.Pause = -1 }},
 		{name: "zero range", mutate: func(p *Params) { p.TxRange = 0 }},
 		{name: "zero duration", mutate: func(p *Params) { p.Duration = 0 }},
+		{name: "negative BI floor", mutate: func(p *Params) { p.BIMin = -1; p.BIMax = 2 }},
+		{name: "BI floor without ceiling", mutate: func(p *Params) { p.BIMin = 1 }},
+		{name: "BI ceiling without floor", mutate: func(p *Params) { p.BIMax = 4 }},
+		{name: "inverted BI bounds", mutate: func(p *Params) { p.BIMin = 4; p.BIMax = 1 }},
+		{name: "negative energy", mutate: func(p *Params) { p.EnergyJ = -5 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -104,6 +109,40 @@ func TestConfigCCIOverride(t *testing.T) {
 	}
 	if cfgLCC.Algorithm.Policy.CCI != 0 {
 		t.Errorf("LCC CCI = %v, want 0", cfgLCC.Algorithm.Policy.CCI)
+	}
+}
+
+func TestConfigPolicyMaterialization(t *testing.T) {
+	p := Base(150)
+	cfg, err := p.Config(cluster.MOBIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Adaptive != nil || cfg.Energy != nil {
+		t.Errorf("default params must not enable policies, got adaptive=%v energy=%v",
+			cfg.Adaptive, cfg.Energy)
+	}
+
+	p.BIMin, p.BIMax = 0.5, 4
+	p.EnergyJ = 12
+	cfg, err = p.Config(cluster.MOBIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.Adaptive
+	if a == nil || a.Min != 0.5 || a.Max != 4 {
+		t.Fatalf("adaptive BI = %+v, want bounds [0.5, 4]", a)
+	}
+	if a.MRef != DefaultAdaptiveMRef || a.Hysteresis != DefaultAdaptiveHysteresis {
+		t.Errorf("adaptive defaults = %+v, want MRef %g, hysteresis %g",
+			a, DefaultAdaptiveMRef, DefaultAdaptiveHysteresis)
+	}
+	e := cfg.Energy
+	if e == nil || e.InitialJ != 12 {
+		t.Fatalf("energy = %+v, want InitialJ 12", e)
+	}
+	if err := e.Validate(); err != nil {
+		t.Errorf("materialized energy config invalid: %v", err)
 	}
 }
 

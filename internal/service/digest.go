@@ -11,8 +11,9 @@ import (
 // specDigestVersion heads the hashed payload; bump it whenever the
 // canonical form changes, so old cache entries can never be served for a
 // semantically different spec. v2 added the Tiles field (tiled-parallel
-// scheduler knob): every v1 cache entry misses cleanly under v2 keys.
-const specDigestVersion = "mobicspec2\n"
+// scheduler knob); v3 added the clustering-policy scenario fields (bi_min,
+// bi_max, energy_j): every v1/v2 cache entry misses cleanly under v3 keys.
+const specDigestVersion = "mobicspec3\n"
 
 // canonicalSpec is the normalized image of a JobSpec that Digest hashes.
 // It is a distinct struct — not JobSpec itself — so the wire format of
@@ -47,6 +48,9 @@ type canonicalSweep struct {
 	CCI        float64   `json:"cci"`
 	Duration   float64   `json:"scenario_duration"`
 	Warmup     float64   `json:"warmup"`
+	BIMin      float64   `json:"bi_min"`
+	BIMax      float64   `json:"bi_max"`
+	EnergyJ    float64   `json:"energy_j"`
 	Algorithms []string  `json:"algorithms"`
 	TxRanges   []float64 `json:"tx_ranges"`
 }
@@ -75,7 +79,7 @@ type canonicalSweep struct {
 // wall-clock budget changes whether a result is produced, never which one.
 func (s JobSpec) canonical() canonicalSpec {
 	c := canonicalSpec{
-		V:          2,
+		V:          3,
 		Experiment: s.Experiment,
 		Seeds:      s.Seeds,
 		BaseSeed:   s.BaseSeed,
@@ -101,6 +105,9 @@ func (s JobSpec) canonical() canonicalSpec {
 		CCI:      p.CCI,
 		Duration: p.Duration,
 		Warmup:   p.Warmup,
+		BIMin:    p.BIMin,
+		BIMax:    p.BIMax,
+		EnergyJ:  p.EnergyJ,
 	}
 	cs.Algorithms = make([]string, len(s.Sweep.Algorithms))
 	for i, name := range s.Sweep.Algorithms {

@@ -47,6 +47,7 @@ var goldenSpecs = []struct{ name, spec string }{
 	{"sweep-two-algorithms", `{"sweep":{"scenario":{"n":50},"algorithms":["mobic","lowest-id"],"tx_ranges":[50,100,150]},"seeds":3}`},
 	{"sweep-include-raw", `{"sweep":{"scenario":{"n":50},"algorithms":["lcc"]},"include_raw":true,"duration":120}`},
 	{"experiment-fig3-tiled", `{"experiment":"fig3","tiles":8}`},
+	{"sweep-policies", `{"sweep":{"scenario":{"bi_min":0.5,"bi_max":4,"energy_j":12},"algorithms":["adaptive-lowest-id","mobic"]}}`},
 }
 
 func TestSpecDigestGolden(t *testing.T) {
@@ -92,22 +93,31 @@ func TestSpecDigestGolden(t *testing.T) {
 	}
 }
 
-// TestSpecDigestVersionMiss pins the cache-migration behavior of the
-// mobicspec1 -> mobicspec2 version bump (the Tiles field): the digests the
-// v1 canonicalization produced — frozen here from the v1 golden file — must
-// never come out of the current Digest, so every v1 cache entry misses
-// cleanly instead of being served for (or colliding with) a v2 spec.
+// TestSpecDigestVersionMiss pins the cache-migration behavior of the digest
+// version bumps (mobicspec1 -> 2 added Tiles; 2 -> 3 added the clustering
+// policy fields): the digests the old canonicalizations produced — frozen
+// here from their golden files — must never come out of the current Digest,
+// so every stale cache entry misses cleanly instead of being served for (or
+// colliding with) a current spec.
 func TestSpecDigestVersionMiss(t *testing.T) {
-	v1 := []struct{ spec, digest string }{
+	old := []struct{ spec, digest string }{
+		// mobicspec1
 		{`{"experiment":"fig3"}`, "93537cc3133e2072b37fd0416bd73c7b819b5edd56fffbf74d7db284e5226e40"},
 		{`{"experiment":"fig3","seeds":5,"base_seed":7}`, "552fe14783939e8e3d95b00ec98d0d3140aa9f0aef009446dce3a5674765e595"},
 		{`{"sweep":{"scenario":{},"algorithms":["mobic"]}}`, "6b1c1628b66985b2c52112f5ee36afec9f76690efcb2adef8ffaaf86981ef870"},
 		{`{"sweep":{"scenario":{"n":50},"algorithms":["mobic","lowest-id"],"tx_ranges":[50,100,150]},"seeds":3}`, "f23a729a632304ff1b827963ad3beca653cf23236a645151bf2b63f2096da8be"},
 		{`{"sweep":{"scenario":{"n":50},"algorithms":["lcc"]},"include_raw":true,"duration":120}`, "d2662e04887415b345b277e74b98469fd43123cb42e4b7e51d46277f72c754ac"},
+		// mobicspec2
+		{`{"experiment":"fig3"}`, "fe411e4c7bc95078ab455b7dda859b755030a2819c531813c1ace07fa0ab809d"},
+		{`{"experiment":"fig3","seeds":5,"base_seed":7}`, "8f6b0ec67e5c95a6927edb21552d553cef066c90d707ecd1c0ab841c8486a9f2"},
+		{`{"sweep":{"scenario":{},"algorithms":["mobic"]}}`, "aaef1dd4bbf5987ae849551c3e1440eee8cfb0d3b00c3805603f669de3084fe6"},
+		{`{"sweep":{"scenario":{"n":50},"algorithms":["mobic","lowest-id"],"tx_ranges":[50,100,150]},"seeds":3}`, "5f30ef95f915d185bf96264fee292b882a7b3c8e004e735bdfbae7318e42fb37"},
+		{`{"sweep":{"scenario":{"n":50},"algorithms":["lcc"]},"include_raw":true,"duration":120}`, "17ed57bedda0c4abd078a24d0024499628b54982f0e9ef51216fe5732da32367"},
+		{`{"experiment":"fig3","tiles":8}`, "0fae8080218c4d0edf5f6863d359255df1c2f27fc177dc52725a369192a3218a"},
 	}
-	for _, c := range v1 {
+	for _, c := range old {
 		if got := mustSpec(t, c.spec).Digest(); got == c.digest {
-			t.Errorf("spec %s still digests to its mobicspec1 value %s; stale cache entries would be served", c.spec, c.digest)
+			t.Errorf("spec %s still digests to its stale value %s; old cache entries would be served", c.spec, c.digest)
 		}
 	}
 }
@@ -231,6 +241,7 @@ func FuzzSpecDigest(f *testing.F) {
 				N: p.N, Side: p.Side, MaxSpeed: p.MaxSpeed, Pause: p.Pause,
 				TxRange: p.TxRange, BI: p.BI, TP: p.TP, CCI: p.CCI,
 				Duration: p.Duration, Warmup: p.Warmup,
+				BIMin: p.BIMin, BIMax: p.BIMax, EnergyJ: p.EnergyJ,
 			}
 			if len(sw.TxRanges) == 0 {
 				sw.TxRanges = []float64{p.TxRange}

@@ -93,6 +93,12 @@ type ScenarioSpec struct {
 	CCI      float64 `json:"cci,omitempty"`
 	Duration float64 `json:"duration,omitempty"`
 	Warmup   float64 `json:"warmup,omitempty"`
+	// BIMin and BIMax enable the per-node adaptive broadcast period (both
+	// must be set together; see scenario.Params).
+	BIMin float64 `json:"bi_min,omitempty"`
+	BIMax float64 `json:"bi_max,omitempty"`
+	// EnergyJ enables the battery model with this initial budget in joules.
+	EnergyJ float64 `json:"energy_j,omitempty"`
 }
 
 // params materializes the spec over Table 1 defaults.
@@ -127,6 +133,15 @@ func (s ScenarioSpec) params() scenario.Params {
 	}
 	if s.Warmup > 0 {
 		p.Warmup = s.Warmup
+	}
+	if s.BIMin > 0 {
+		p.BIMin = s.BIMin
+	}
+	if s.BIMax > 0 {
+		p.BIMax = s.BIMax
+	}
+	if s.EnergyJ > 0 {
+		p.EnergyJ = s.EnergyJ
 	}
 	return p
 }

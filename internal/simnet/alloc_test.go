@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mobic/internal/cluster"
+	"mobic/internal/energy"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
 	"mobic/internal/obs"
@@ -13,6 +14,12 @@ import (
 // recorder installed, converges it, and returns the allocations per
 // steady-state beacon interval.
 func steadyStateAllocs(t *testing.T, rec obs.Recorder) float64 {
+	return steadyStateAllocsMut(t, rec, nil)
+}
+
+// steadyStateAllocsMut is steadyStateAllocs with a config mutator applied
+// before the network is built, so policy variants reuse the same gate.
+func steadyStateAllocsMut(t *testing.T, rec obs.Recorder, mutate func(*Config)) float64 {
 	t.Helper()
 	area := geom.Square(670)
 	cfg := Config{
@@ -25,6 +32,9 @@ func steadyStateAllocs(t *testing.T, rec obs.Recorder) float64 {
 		TxRange:         250,
 		HelloCollisions: true,
 		Obs:             rec,
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	net, err := New(cfg)
 	if err != nil {
@@ -56,6 +66,28 @@ func TestSteadyStateTickAllocs(t *testing.T) {
 	}
 	if allocs := steadyStateAllocs(t, nil); allocs > 0 {
 		t.Errorf("steady-state beacon interval allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSteadyStateTickAllocsWithPolicies re-runs the gate with the adaptive
+// broadcast period and the energy model enabled: per-beacon interval
+// adaptation, drain accounting and the election penalty all live on the hot
+// path and must ride the preallocated per-node arrays — enabling the
+// policies cannot cost a single steady-state allocation. The battery budget
+// is far above the horizon's drain so the run measures the policies'
+// bookkeeping, not death churn.
+func TestSteadyStateTickAllocsWithPolicies(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under the race detector")
+	}
+	allocs := steadyStateAllocsMut(t, nil, func(cfg *Config) {
+		cfg.Adaptive = &AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+		ec := energy.Default()
+		ec.InitialJ = 1e6
+		cfg.Energy = &ec
+	})
+	if allocs > 0 {
+		t.Errorf("policy-enabled beacon interval allocates %.1f objects, want 0", allocs)
 	}
 }
 

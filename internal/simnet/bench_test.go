@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mobic/internal/cluster"
+	"mobic/internal/energy"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
 	"mobic/internal/obs"
@@ -25,6 +26,12 @@ func benchNetwork(b *testing.B, collisions bool) *Network {
 
 // benchNetworkObs is benchNetwork with a recorder installed.
 func benchNetworkObs(b *testing.B, collisions bool, rec obs.Recorder) *Network {
+	return benchNetworkMut(b, collisions, rec, nil)
+}
+
+// benchNetworkMut is benchNetworkObs with a config mutator applied before the
+// network is built, so policy variants measure the same scenario.
+func benchNetworkMut(b *testing.B, collisions bool, rec obs.Recorder, mutate func(*Config)) *Network {
 	b.Helper()
 	area := geom.Square(670)
 	cfg := Config{
@@ -38,6 +45,9 @@ func benchNetworkObs(b *testing.B, collisions bool, rec obs.Recorder) *Network {
 		SampleInterval:  5,
 		HelloCollisions: collisions,
 		Obs:             rec,
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	net, err := New(cfg)
 	if err != nil {
@@ -62,6 +72,22 @@ func BenchmarkBroadcastDelivery(b *testing.B) {
 // applyHello path from the airtime deferral machinery.
 func BenchmarkBroadcastDeliveryNoMAC(b *testing.B) {
 	runBeaconIntervals(b, false)
+}
+
+// BenchmarkAdaptiveBI is BenchmarkBroadcastDelivery with the clustering
+// policies enabled: every node floats its own hello interval (adaptive BI)
+// and carries a battery whose drain accounting and election penalty ride the
+// same hot loop. The budget is far above the horizon's drain, so the number
+// measures the policies' steady-state bookkeeping — and allocs/op is gated at
+// 0 alongside the baseline, pinning that enabling the policies does not cost
+// the zero-alloc tick.
+func BenchmarkAdaptiveBI(b *testing.B) {
+	runBeaconIntervalsMut(b, true, nil, func(cfg *Config) {
+		cfg.Adaptive = &AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+		ec := energy.Default()
+		ec.InitialJ = 1e6
+		cfg.Energy = &ec
+	})
 }
 
 // BenchmarkInstrumentedBroadcastDelivery is BenchmarkBroadcastDelivery with
@@ -156,8 +182,14 @@ func runBeaconIntervals(b *testing.B, collisions bool) {
 
 // runBeaconIntervalsObs is runBeaconIntervals with a recorder installed.
 func runBeaconIntervalsObs(b *testing.B, collisions bool, rec obs.Recorder) {
+	runBeaconIntervalsMut(b, collisions, rec, nil)
+}
+
+// runBeaconIntervalsMut is runBeaconIntervalsObs with a config mutator, so
+// policy-enabled variants advance the same amount of simulated time per op.
+func runBeaconIntervalsMut(b *testing.B, collisions bool, rec obs.Recorder, mutate func(*Config)) {
 	b.Helper()
-	net := benchNetworkObs(b, collisions, rec)
+	net := benchNetworkMut(b, collisions, rec, mutate)
 	interval := net.cfg.BroadcastInterval
 	var fired uint64
 	b.ReportAllocs()
@@ -166,7 +198,7 @@ func runBeaconIntervalsObs(b *testing.B, collisions bool, rec obs.Recorder) {
 		if net.sched.Now()+interval > benchDuration-1 {
 			b.StopTimer()
 			fired += net.sched.Fired()
-			net = benchNetworkObs(b, collisions, rec)
+			net = benchNetworkMut(b, collisions, rec, mutate)
 			b.StartTimer()
 		}
 		net.sched.RunUntil(net.sched.Now() + interval)

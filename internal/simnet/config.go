@@ -9,9 +9,11 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mobic/internal/channel"
 	"mobic/internal/cluster"
+	"mobic/internal/energy"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
 	"mobic/internal/obs"
@@ -29,14 +31,22 @@ const (
 	DefaultSampleInterval = 5.0
 )
 
-// AdaptiveBI configures the Section 5 "mobility adaptive update intervals"
-// extension: a node's next hello interval shrinks as its aggregate mobility
-// grows:
+// AdaptiveBI configures the adaptive broadcast period policy (the paper's
+// Section 5 sketch, concretized per Gavalas et al., arXiv:1109.3987): a
+// node's target hello interval shrinks as its aggregate mobility grows:
 //
-//	interval = Max - (Max-Min) * M/(M+MRef)
+//	target = Max - (Max-Min) * M/(M+MRef)
 //
 // so a stationary node beacons every Max seconds and a highly mobile one
-// approaches Min.
+// approaches Min. On top of the target, each node keeps a current interval
+// with one-sided hysteresis: tightening (target below current) is applied
+// immediately — a node that just started moving must beacon faster now —
+// but relaxing is deferred until the target clears current by the relative
+// Hysteresis band, so a node whose mobility flutters around a threshold
+// does not thrash between periods. The whole policy is a pure function of
+// per-node state, so runs stay bit-reproducible; with Min == Max every
+// target collapses to the fixed interval and the schedule is identical to a
+// non-adaptive run (the metamorphic fixed point the harness pins).
 type AdaptiveBI struct {
 	// Min is the shortest allowed interval in seconds.
 	Min float64
@@ -44,9 +54,14 @@ type AdaptiveBI struct {
 	Max float64
 	// MRef is the mobility scale: at M = MRef the interval is halfway.
 	MRef float64
+	// Hysteresis is the relative band for relaxing the interval: the
+	// current interval only grows once the target exceeds it by this
+	// fraction (0.25 = 25%). 0 tracks the target exactly, reproducing the
+	// band-free policy bit for bit. Must be >= 0.
+	Hysteresis float64
 }
 
-// Interval returns the beacon interval for aggregate mobility m.
+// Interval returns the target beacon interval for aggregate mobility m.
 func (a AdaptiveBI) Interval(m float64) float64 {
 	if m < 0 {
 		m = 0
@@ -55,12 +70,37 @@ func (a AdaptiveBI) Interval(m float64) float64 {
 	return a.Max - (a.Max-a.Min)*frac
 }
 
+// Next advances the hysteresis state machine: cur is the node's current
+// interval (0 on the first beacon and after a crash), m its fresh aggregate
+// mobility. It returns the interval to schedule the next beacon at.
+func (a AdaptiveBI) Next(cur, m float64) float64 {
+	target := a.Interval(m)
+	switch {
+	case cur == 0:
+		return target // first beacon: adopt the target outright
+	case target < cur:
+		return target // tighten immediately under rising mobility
+	case target >= cur*(1+a.Hysteresis):
+		return target // relax only once clear of the band
+	default:
+		return cur // inside the band: hold
+	}
+}
+
 func (a AdaptiveBI) validate() error {
+	for _, v := range [...]float64{a.Min, a.Max, a.MRef, a.Hysteresis} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("simnet: adaptive BI parameters must be finite, got %+v", a)
+		}
+	}
 	if a.Min <= 0 || a.Max < a.Min {
 		return fmt.Errorf("simnet: adaptive BI needs 0 < Min <= Max, got [%g, %g]", a.Min, a.Max)
 	}
 	if a.MRef <= 0 {
 		return fmt.Errorf("simnet: adaptive BI needs MRef > 0, got %g", a.MRef)
+	}
+	if a.Hysteresis < 0 {
+		return fmt.Errorf("simnet: adaptive BI needs Hysteresis >= 0, got %g", a.Hysteresis)
 	}
 	return nil
 }
@@ -137,6 +177,14 @@ type Config struct {
 	CustomWeights []float64
 	// Adaptive enables the adaptive hello interval extension (A4).
 	Adaptive *AdaptiveBI
+	// Energy enables the per-node battery model: TX/RX costs per hello
+	// byte and an idle drain are charged at the radio layer, the remaining
+	// battery fraction penalizes the node's election weight (with extra
+	// rotation pressure on low-battery heads), and a node whose battery
+	// reaches zero is crashed through the same churn path as a scheduled
+	// failure — permanently, since batteries do not recharge. Nil disables
+	// the model entirely and is bit-identical to the pre-energy engine.
+	Energy *energy.Config
 	// Apps are protocols running on top of the clustered network (e.g.
 	// the CBRP-lite routing protocol). Started when the network is built.
 	Apps []App
@@ -281,6 +329,11 @@ func (cfg Config) validate() error {
 	}
 	if cfg.Adaptive != nil {
 		if err := cfg.Adaptive.validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Energy != nil {
+		if err := cfg.Energy.Validate(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,58 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAdaptiveBI drives the hysteresis policy with arbitrary configurations
+// and mobility samples and checks the invariants every caller depends on:
+// the returned interval stays inside [Min, Max], a zero hysteresis band is
+// exactly the band-free policy, rising mobility never relaxes the interval,
+// and the policy is idempotent (feeding its own output back with the same
+// mobility changes nothing — the fixed point the scheduler converges to).
+func FuzzAdaptiveBI(f *testing.F) {
+	f.Add(0.5, 4.0, 4.0, 0.25, 0.0, 3.0)
+	f.Add(0.5, 4.0, 4.0, 0.0, 2.0, 12.0)
+	f.Add(1.0, 1.0, 8.0, 0.5, 1.0, 0.0)
+	f.Add(0.1, 60.0, 0.01, 3.0, 59.0, 1e9)
+	f.Fuzz(func(t *testing.T, min, max, mref, hyst, cur, m float64) {
+		a := AdaptiveBI{Min: min, Max: max, MRef: mref, Hysteresis: hyst}
+		if err := a.validate(); err != nil {
+			t.Skip()
+		}
+		if !isFiniteF(cur) || !isFiniteF(m) {
+			t.Skip()
+		}
+		// cur is engine state: 0 (first beacon / post-crash) or a previous
+		// Next output, which is always inside [Min, Max].
+		if cur != 0 && (cur < a.Min || cur > a.Max) {
+			t.Skip()
+		}
+		next := a.Next(cur, m)
+		if next < a.Min || next > a.Max || math.IsNaN(next) {
+			t.Fatalf("Next(%g, %g) = %g escaped [%g, %g]", cur, m, next, a.Min, a.Max)
+		}
+		if a.Hysteresis == 0 && next != a.Interval(m) {
+			t.Fatalf("zero hysteresis: Next(%g, %g) = %g, want target %g",
+				cur, m, next, a.Interval(m))
+		}
+		// Idempotence: the returned interval is a fixed point under the
+		// same mobility sample.
+		if again := a.Next(next, m); again != next {
+			t.Fatalf("not a fixed point: Next(%g, %g) = %g, then %g", cur, m, next, again)
+		}
+		// Monotone tightening: more mobility never yields a longer interval
+		// from the same state (relaxation can be held, tightening cannot).
+		if m2 := m + 1; isFiniteF(m2) {
+			if faster := a.Next(cur, m2); faster > next {
+				t.Fatalf("rising mobility relaxed the interval: M=%g -> %g, M=%g -> %g",
+					m, next, m2, faster)
+			}
+		}
+	})
+}
+
+func isFiniteF(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}

@@ -92,3 +92,29 @@ func (n *Network) RunUntil(t float64) {
 
 // Config returns the (defaults-applied) configuration of the network.
 func (n *Network) Config() Config { return n.cfg }
+
+// BatteryFraction returns node id's remaining battery as a fraction of its
+// initial charge, or 1 when the energy model is disabled. Tests and the
+// hierarchical-clustering layer use it to reason about energy-aware head
+// placement without reaching into the drain accounting.
+func (n *Network) BatteryFraction(id int32) float64 {
+	if n.batteryJ == nil {
+		return 1
+	}
+	return n.cfg.Energy.Fraction(n.batteryJ[id])
+}
+
+// EnergyDepleted returns the number of nodes that have died of battery
+// exhaustion so far.
+func (n *Network) EnergyDepleted() int { return n.depleted }
+
+// CurrentInterval returns node id's current adaptive beacon interval, or the
+// fixed broadcast interval when the adaptive policy is disabled. A node that
+// has not beaconed yet reports the fixed interval too (the adaptive state
+// initializes on the first beacon).
+func (n *Network) CurrentInterval(id int32) float64 {
+	if n.curBI == nil || n.curBI[id] == 0 {
+		return n.cfg.BroadcastInterval
+	}
+	return n.curBI[id]
+}

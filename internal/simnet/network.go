@@ -86,6 +86,23 @@ type Network struct {
 	lastM     []float64
 	tickCount []int32
 	customW   []float64
+	// Per-node policy state, allocated only when the policy is enabled so
+	// the baseline tick touches nothing new. curBI is the adaptive
+	// broadcast policy's current interval (0 = uninitialized, adopt the
+	// target); batteryJ and lastDrain carry the energy model's remaining
+	// joules and the time idle drain was last charged; rotated marks nodes
+	// already forced out of the head role by the battery threshold, so the
+	// rotation surcharge sticks (batteries only drain, the node stays below
+	// the threshold) and the hand-off fires at most once per node;
+	// headRounds counts consecutive clusterhead rounds for adaptive ID
+	// reassignment.
+	curBI      []float64
+	batteryJ   []float64
+	lastDrain  []float64
+	rotated    []bool
+	headRounds []int32
+	// depleted counts nodes killed by battery exhaustion.
+	depleted int
 	// tiled is the conservative-parallel window scheduler; nil when the
 	// run is sequential (Tiles <= 1 or a brute-force propagation model).
 	tiled *tiledRun
@@ -194,6 +211,20 @@ func New(cfg Config) (*Network, error) {
 	n.lastM = make([]float64, cfg.N)
 	n.tickCount = make([]int32, cfg.N)
 	n.customW = weights
+	if cfg.Adaptive != nil {
+		n.curBI = make([]float64, cfg.N)
+	}
+	if cfg.Energy != nil {
+		n.batteryJ = make([]float64, cfg.N)
+		n.lastDrain = make([]float64, cfg.N)
+		n.rotated = make([]bool, cfg.N)
+		for i := range n.batteryJ {
+			n.batteryJ[i] = cfg.Energy.InitialJ
+		}
+	}
+	if cfg.Algorithm.WeightKind == cluster.KindAdaptiveID {
+		n.headRounds = make([]int32, cfg.N)
+	}
 	if cfg.HelloCollisions {
 		n.beaconJitter = streams.Named("beacon-jitter")
 	}
@@ -298,6 +329,12 @@ func (n *Network) crash(rn *runtimeNode, now float64) {
 	}
 	rn.pendingRx = rn.pendingRx[:0]
 	n.lastM[rn.id] = 0
+	if n.curBI != nil {
+		n.curBI[rn.id] = 0 // a recovered node re-adopts the target interval
+	}
+	if n.headRounds != nil {
+		n.headRounds[rn.id] = 0 // head tenure does not survive a crash
+	}
 	n.emit(trace.Event{T: now, Kind: trace.KindTimeout, Node: rn.id, Other: -1, Value: -1})
 }
 
@@ -309,6 +346,9 @@ func (n *Network) recover(rn *runtimeNode, now float64) {
 	}
 	n.down[rn.id] = false
 	n.tickCount[rn.id] = 0 // listen-only first beacon again
+	if n.lastDrain != nil {
+		n.lastDrain[rn.id] = now // a crashed radio drew nothing while down
+	}
 	// Rescheduling the persistent event moves any still-queued stale beacon
 	// to now instead of starting a second, doubled beacon chain.
 	if err := n.sched.Reschedule(rn.tickEv, now); err != nil {
@@ -348,6 +388,9 @@ type Result struct {
 	FinalHeads int
 	// EventsFired is the number of simulator events executed.
 	EventsFired uint64
+	// EnergyDepleted is the number of nodes that died of battery
+	// exhaustion during the run (0 unless Config.Energy was set).
+	EnergyDepleted int
 }
 
 // Run executes the simulation to completion and returns the metrics.
@@ -404,11 +447,12 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	return &Result{
-		Metrics:     n.rec.Snapshot(),
-		Algorithm:   n.cfg.Algorithm.Name,
-		Seed:        n.cfg.Seed,
-		FinalHeads:  heads,
-		EventsFired: n.sched.Fired(),
+		Metrics:        n.rec.Snapshot(),
+		Algorithm:      n.cfg.Algorithm.Name,
+		Seed:           n.cfg.Seed,
+		FinalHeads:     heads,
+		EventsFired:    n.sched.Fired(),
+		EnergyDepleted: n.depleted,
 	}, nil
 }
 
@@ -424,6 +468,19 @@ func (n *Network) RunContext(ctx context.Context) (*Result, error) {
 func (n *Network) tick(rn *runtimeNode, now float64) {
 	if n.down[rn.id] {
 		return // crashed: the beacon chain stops until recovery
+	}
+	// Charge the idle drain accrued since the last accounting point and
+	// kill the node if its battery is spent. Death reuses the crash path —
+	// neighbors time the node out, its cluster re-forms — and is permanent:
+	// batteries do not recharge, so no recovery is scheduled.
+	if n.batteryJ != nil {
+		n.batteryJ[rn.id] -= n.cfg.Energy.IdleCost(now - n.lastDrain[rn.id])
+		n.lastDrain[rn.id] = now
+		if n.batteryJ[rn.id] <= 0 {
+			n.depleted++
+			n.crash(rn, now)
+			return
+		}
 	}
 	// Purge neighbors that missed their beacons (Table 1: TP).
 	tp := n.cfg.TimeoutPeriod
@@ -450,6 +507,7 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	n.idBuf = ids
 
 	n.lastM[rn.id] = rn.tracker.Aggregate()
+	wasHead := rn.cnode.Role() == cluster.RoleHead
 	weight := n.weightOf(rn, live)
 
 	// The first tick is listen-only: the node has had no chance to hear
@@ -474,11 +532,56 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 	}
 	n.tickCount[rn.id]++
 
+	// Rotation policies. LCC never deposes a head unless a rival head walks
+	// into range, so both rotation mechanisms must force the hand-off from
+	// outside the clustering rules: the node resigns, and the weight it
+	// advertises in this round's beacon (recomputed below) carries the
+	// penalty that keeps it from winning the vacated role straight back.
+	resigned := false
+
+	// Adaptive ID reassignment's tenure counter: one consecutive round of
+	// head service per beacon. Completing ReassignRounds of service expires
+	// the tenure — the node resigns and its effective ID (headRounds/rr*N)
+	// jumps behind every fresh node. The counter holds while undecided so
+	// the bumped ID stays advertised through re-election, and resets only
+	// once the node has joined a new head as a member.
+	if n.headRounds != nil {
+		switch rn.cnode.Role() {
+		case cluster.RoleHead:
+			n.headRounds[rn.id]++
+			if rr := int32(n.cfg.Algorithm.ReassignRounds); rr > 0 && n.headRounds[rn.id]%rr == 0 {
+				resigned = true
+			}
+		case cluster.RoleMember:
+			n.headRounds[rn.id] = 0
+		}
+	}
+
+	// Energy rotation: a head whose battery falls under the rotation
+	// threshold hands the role off once, after at least one full round of
+	// service — wasHead gates out a node elected this very Step, which
+	// would otherwise resign in the same tick with zero tenure whenever
+	// the whole cluster is already below the threshold. The rotated mark
+	// is permanent — batteries only drain — and keeps the election
+	// surcharge applied, so an exactly-tied battery cannot re-elect the
+	// ex-head by lowest ID.
+	if e := n.cfg.Energy; e != nil && e.ElectionWeight > 0 && e.RotateFrac > 0 &&
+		!n.rotated[rn.id] && wasHead && rn.cnode.Role() == cluster.RoleHead &&
+		e.Fraction(n.batteryJ[rn.id]) < e.RotateFrac {
+		n.rotated[rn.id] = true
+		resigned = true
+	}
+	if resigned {
+		rn.cnode.Resign(now)
+		rn.cnode.SetWeight(n.weightOf(rn, live))
+	}
+
 	n.broadcast(rn, now)
 
 	interval := n.cfg.BroadcastInterval
-	if n.cfg.Adaptive != nil {
-		interval = n.cfg.Adaptive.Interval(n.lastM[rn.id])
+	if a := n.cfg.Adaptive; a != nil {
+		interval = a.Next(n.curBI[rn.id], n.lastM[rn.id])
+		n.curBI[rn.id] = interval
 	}
 	if n.beaconJitter != nil {
 		// Per-beacon phase jitter (±10%) so fixed schedules cannot
@@ -496,9 +599,10 @@ func (n *Network) tick(rn *runtimeNode, now float64) {
 // weight kind. neighborIDs is the node's current neighbor-id list in
 // ascending order (tick's post-purge survivors).
 func (n *Network) weightOf(rn *runtimeNode, neighborIDs []int32) cluster.Weight {
+	var w cluster.Weight
 	switch n.cfg.Algorithm.WeightKind {
 	case cluster.KindID:
-		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
+		w = cluster.Weight{Value: float64(rn.id), ID: rn.id}
 	case cluster.KindMobility:
 		value := n.lastM[rn.id]
 		if c := n.cfg.CombinedDegreeWeight; c > 0 {
@@ -508,16 +612,35 @@ func (n *Network) weightOf(rn *runtimeNode, neighborIDs []int32) cluster.Weight 
 			}
 			value += c * float64(dev)
 		}
-		return cluster.Weight{Value: value, ID: rn.id}
+		w = cluster.Weight{Value: value, ID: rn.id}
 	case cluster.KindDegree:
-		return cluster.Weight{Value: -float64(len(rn.table)), ID: rn.id}
+		w = cluster.Weight{Value: -float64(len(rn.table)), ID: rn.id}
 	case cluster.KindCustom:
-		return cluster.Weight{Value: n.customW[rn.id], ID: rn.id}
+		w = cluster.Weight{Value: n.customW[rn.id], ID: rn.id}
 	case cluster.KindOracleMobility:
-		return cluster.Weight{Value: n.oracleMobility(rn, neighborIDs), ID: rn.id}
+		w = cluster.Weight{Value: n.oracleMobility(rn, neighborIDs), ID: rn.id}
+	case cluster.KindAdaptiveID:
+		// Adaptive ID reassignment: every completed ReassignRounds of
+		// uninterrupted head service pushes the effective ID behind all N
+		// fresh nodes. Both terms are exact small integers in float64, so
+		// the ordering is deterministic across platforms.
+		value := float64(rn.id)
+		if rr := n.cfg.Algorithm.ReassignRounds; rr > 0 {
+			value += float64(n.headRounds[rn.id]/int32(rr)) * float64(n.cfg.N)
+		}
+		w = cluster.Weight{Value: value, ID: rn.id}
 	default:
-		return cluster.Weight{Value: float64(rn.id), ID: rn.id}
+		w = cluster.Weight{Value: float64(rn.id), ID: rn.id}
 	}
+	// Energy-weighted election rides on top of any base weight: a draining
+	// battery worsens the advertised weight, and a head under the rotation
+	// threshold — or a node already rotated out of the role — takes an
+	// extra surcharge so a healthier rival wins the election instead.
+	if e := n.cfg.Energy; e != nil && e.ElectionWeight > 0 {
+		surcharge := rn.cnode.Role() == cluster.RoleHead || n.rotated[rn.id]
+		w.Value += e.Penalty(n.batteryJ[rn.id], surcharge)
+	}
+	return w
 }
 
 // oracleMobility computes the GPS-oracle analog of the aggregate local
@@ -563,8 +686,8 @@ func (n *Network) helloBytes() int {
 	switch n.cfg.Algorithm.WeightKind {
 	case cluster.KindMobility, cluster.KindOracleMobility, cluster.KindCustom:
 		return base + 8 // double-precision weight
-	case cluster.KindDegree:
-		return base + 4 // degree counter
+	case cluster.KindDegree, cluster.KindAdaptiveID:
+		return base + 4 // degree counter / reassignment epoch
 	default:
 		return base
 	}
@@ -578,6 +701,11 @@ func (n *Network) helloBytes() int {
 func (n *Network) broadcast(rn *runtimeNode, now float64) {
 	n.rec.CountBroadcast(n.helloBytes())
 	n.obsRec.Add(obs.NetBeaconsSent, 1)
+	if n.batteryJ != nil {
+		// Transmit cost; depletion is checked at the next tick, matching a
+		// radio that completes the frame its amplifier already started.
+		n.batteryJ[rn.id] -= n.cfg.Energy.TxCost(n.helloBytes())
+	}
 
 	// On the tiled scheduler, a tile worker usually precomputed this tick's
 	// exact transmit position and threshold-passing receiver set during the
@@ -779,6 +907,9 @@ func (n *Network) endReception(rec *reception, t float64) {
 func (n *Network) applyHello(txID int32, rx *runtimeNode, now, pr float64, adv advertisement) {
 	n.rec.CountDelivery()
 	n.obsRec.Add(obs.NetDeliveries, 1)
+	if n.batteryJ != nil {
+		n.batteryJ[rx.id] -= n.cfg.Energy.RxCost(n.helloBytes())
+	}
 	n.emit(trace.Event{
 		T: now, Kind: trace.KindDeliver, Node: txID, Other: rx.id, Value: pr,
 	})

@@ -1,0 +1,291 @@
+package simnet
+
+import (
+	"testing"
+
+	"mobic/internal/cluster"
+	"mobic/internal/energy"
+	"mobic/internal/geom"
+	"mobic/internal/mobility"
+)
+
+// --- adaptive broadcast period with hysteresis ---
+
+func TestAdaptiveBINextHysteresis(t *testing.T) {
+	a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+	// Uninitialized state adopts the target outright.
+	if got, want := a.Next(0, 0), 4.0; got != want {
+		t.Errorf("first beacon at M=0: %g, want %g", got, want)
+	}
+	// Rising mobility tightens immediately.
+	tight := a.Next(4, 12) // target = 4 - 3.5*12/16 = 1.375
+	if tight != a.Interval(12) {
+		t.Errorf("tighten: %g, want target %g", tight, a.Interval(12))
+	}
+	// A target inside the hysteresis band holds the current interval.
+	cur := 2.0
+	target := a.Interval(4) // 4 - 3.5*0.5 = 2.25, inside [2, 2.5)
+	if target <= cur || target >= cur*1.25 {
+		t.Fatalf("test setup: target %g not inside (%g, %g)", target, cur, cur*1.25)
+	}
+	if got := a.Next(cur, 4); got != cur {
+		t.Errorf("inside band: %g, want hold at %g", got, cur)
+	}
+	// A target past the band relaxes to the target.
+	if got := a.Next(cur, 0); got != 4.0 {
+		t.Errorf("past band: %g, want relax to 4", got)
+	}
+}
+
+func TestAdaptiveBIZeroHysteresisTracksTarget(t *testing.T) {
+	a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 4}
+	for _, m := range []float64{0, 0.1, 2, 4, 100} {
+		for _, cur := range []float64{0, 0.5, 1.7, 4} {
+			if got, want := a.Next(cur, m), a.Interval(m); got != want {
+				t.Fatalf("Next(%g, %g) = %g, want target %g (zero hysteresis must be band-free)",
+					cur, m, got, want)
+			}
+		}
+	}
+}
+
+func TestAdaptiveBIIntervalBounds(t *testing.T) {
+	a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+	cur := 0.0
+	for _, m := range []float64{0, 1, 5, 50, 1e9, -3} {
+		cur = a.Next(cur, m)
+		if cur < a.Min || cur > a.Max {
+			t.Fatalf("interval %g escaped [%g, %g] at M=%g", cur, a.Min, a.Max, m)
+		}
+	}
+}
+
+func TestAdaptiveBIHysteresisValidation(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 100, 1)
+	cfg.Adaptive = &AdaptiveBI{Min: 1, Max: 2, MRef: 4, Hysteresis: -0.1}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative hysteresis should be rejected")
+	}
+}
+
+// TestAdaptiveBIHysteresisReducesFlapping pins the policy's purpose: under
+// identical mobility, the hysteresis band can only reduce (never increase)
+// how often a node's interval changes between consecutive beacons, because
+// every band hold replaces a change with a non-change.
+func TestAdaptiveBIHysteresisReducesFlapping(t *testing.T) {
+	flaps := func(h float64) int {
+		a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: h}
+		// A mobility series fluttering around MRef: the band-free policy
+		// retunes on every sample, the banded one holds through the noise.
+		series := []float64{4, 4.4, 4, 4.6, 3.8, 4.2, 4, 12, 11, 4, 4.3}
+		cur, n := 0.0, 0
+		for _, m := range series {
+			next := a.Next(cur, m)
+			if cur != 0 && next != cur {
+				n++
+			}
+			cur = next
+		}
+		return n
+	}
+	free, banded := flaps(0), flaps(0.25)
+	if banded >= free {
+		t.Errorf("hysteresis did not reduce interval flapping: %d (banded) vs %d (free)", banded, free)
+	}
+}
+
+// --- adaptive Lowest-ID ---
+
+func TestAdaptiveLowestIDRuns(t *testing.T) {
+	res := mustRun(t, waypointConfig(cluster.AdaptiveLowestID, 150, 3))
+	if res.Algorithm != "adaptive-lowest-id" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+	if res.Metrics.CHChanges == 0 {
+		t.Error("expected clusterhead changes in a mobile scenario")
+	}
+}
+
+// TestAdaptiveLowestIDRotatesHeads is the policy's reason to exist: on a
+// static line topology plain LCC elects node 0 once and keeps it forever,
+// while adaptive reassignment forces the long-serving head to shed the role
+// periodically, producing strictly more clusterhead changes and a strictly
+// shorter maximum tenure.
+func TestAdaptiveLowestIDRotatesHeads(t *testing.T) {
+	mk := func(alg cluster.Algorithm) Config {
+		area := geom.Square(300)
+		return Config{
+			N:         8,
+			Area:      area,
+			Duration:  600,
+			Seed:      1,
+			Algorithm: alg,
+			Mobility:  &mobility.Static{Area: area},
+			TxRange:   500, // fully connected: one cluster
+		}
+	}
+	lcc := mustRun(t, mk(cluster.LCC))
+	adaptive := mustRun(t, mk(cluster.AdaptiveLowestID))
+	if lcc.Metrics.CHChanges >= adaptive.Metrics.CHChanges {
+		t.Errorf("adaptive reassignment should force rotation: lcc %d changes, adaptive %d",
+			lcc.Metrics.CHChanges, adaptive.Metrics.CHChanges)
+	}
+	// Fairness: rotation spreads head duty over more nodes.
+	if lcc.Metrics.HeadTimeFairness >= adaptive.Metrics.HeadTimeFairness {
+		t.Errorf("rotation should improve head-time fairness: lcc %g, adaptive %g",
+			lcc.Metrics.HeadTimeFairness, adaptive.Metrics.HeadTimeFairness)
+	}
+}
+
+// --- energy model ---
+
+func energyConfig(tx float64, seed uint64, ec *energy.Config) Config {
+	cfg := waypointConfig(cluster.MOBIC, tx, seed)
+	cfg.Energy = ec
+	return cfg
+}
+
+func TestEnergyDrainsAndKills(t *testing.T) {
+	ec := energy.Default()
+	ec.InitialJ = 1.0 // ~1000 s of idle alone; comms push nodes over earlier
+	ec.IdleW = 0.01   // deaths land mid-run
+	cfg := energyConfig(150, 5, &ec)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyDepleted == 0 {
+		t.Fatal("no node depleted despite a starvation budget")
+	}
+	if res.EnergyDepleted != net.EnergyDepleted() {
+		t.Errorf("Result.EnergyDepleted %d != accessor %d", res.EnergyDepleted, net.EnergyDepleted())
+	}
+	// Depleted nodes are down and report an empty battery; survivors hold a
+	// positive fraction.
+	downs := 0
+	for _, st := range net.Snapshot() {
+		frac := net.BatteryFraction(st.ID)
+		if st.Down {
+			downs++
+			if frac > 0 {
+				t.Errorf("node %d is down but holds %g battery", st.ID, frac)
+			}
+		} else if frac <= 0 {
+			t.Errorf("node %d is alive with battery fraction %g", st.ID, frac)
+		}
+	}
+	if downs != res.EnergyDepleted {
+		t.Errorf("%d nodes down, %d depleted (no failures were scheduled)", downs, res.EnergyDepleted)
+	}
+}
+
+func TestEnergyDisabledReportsFullBattery(t *testing.T) {
+	cfg := waypointConfig(cluster.MOBIC, 100, 1)
+	cfg.Duration = 50
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.BatteryFraction(0); got != 1 {
+		t.Errorf("BatteryFraction without energy model = %g, want 1", got)
+	}
+	if net.EnergyDepleted() != 0 {
+		t.Error("EnergyDepleted without energy model should be 0")
+	}
+}
+
+func TestEnergyConfigValidation(t *testing.T) {
+	ec := energy.Default()
+	ec.InitialJ = 0
+	if _, err := New(energyConfig(100, 1, &ec)); err == nil {
+		t.Error("zero battery should be rejected")
+	}
+}
+
+// TestEnergyDeterminism: the battery model must not perturb determinism —
+// two identical runs remain bit-equal, including the depletion count.
+func TestEnergyDeterminism(t *testing.T) {
+	ec := energy.Default()
+	ec.InitialJ = 1.2
+	ec.IdleW = 0.01
+	a := mustRun(t, energyConfig(150, 9, &ec))
+	ec2 := ec
+	b := mustRun(t, energyConfig(150, 9, &ec2))
+	if *a != *b {
+		t.Errorf("energy runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestEnergyRotationSpreadsHeadDuty: with the election penalty on, head duty
+// is spread across more nodes than with the penalty off (same drain, same
+// deaths possible), measurably via Jain's fairness over head time.
+func TestEnergyRotationSpreadsHeadDuty(t *testing.T) {
+	mk := func(elect float64) *Result {
+		ec := energy.Default()
+		ec.InitialJ = 4.8
+		ec.IdleW = 0.004    // idle+comms drain ~85% over the run: no deaths
+		ec.RotateFrac = 0.5 // crossed mid-run, leaving time for the cascade
+		ec.ElectionWeight = elect
+		area := geom.Square(300)
+		cfg := Config{
+			N:         10,
+			Area:      area,
+			Duration:  600,
+			Seed:      2,
+			Algorithm: cluster.MOBIC,
+			Mobility:  &mobility.Static{Area: area},
+			TxRange:   500,
+			Energy:    &ec,
+		}
+		return mustRun(t, cfg)
+	}
+	off := mk(0)
+	on := mk(5)
+	if off.EnergyDepleted != 0 || on.EnergyDepleted != 0 {
+		t.Fatalf("test setup: unexpected deaths (%d, %d)", off.EnergyDepleted, on.EnergyDepleted)
+	}
+	if on.Metrics.HeadTimeFairness <= off.Metrics.HeadTimeFairness {
+		t.Errorf("energy-weighted election should spread head duty: fairness %g (on) vs %g (off)",
+			on.Metrics.HeadTimeFairness, off.Metrics.HeadTimeFairness)
+	}
+}
+
+// TestCurrentIntervalReporting pins the inspection contract: with the policy
+// disabled every node reports the fixed broadcast interval; with it enabled,
+// nodes report the fixed interval until their first beacon initializes the
+// adaptive state, and a floating interval inside [Min, Max] afterwards.
+func TestCurrentIntervalReporting(t *testing.T) {
+	fixed, err := New(waypointConfig(cluster.MOBIC, 150, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := fixed.Config().BroadcastInterval
+	if got := fixed.CurrentInterval(0); got != bi {
+		t.Errorf("disabled policy: CurrentInterval = %g, want fixed %g", got, bi)
+	}
+
+	cfg := waypointConfig(cluster.MOBIC, 150, 3)
+	a := AdaptiveBI{Min: 0.5, Max: 4, MRef: 4, Hysteresis: 0.25}
+	cfg.Adaptive = &a
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.CurrentInterval(0); got != net.Config().BroadcastInterval {
+		t.Errorf("before any beacon: CurrentInterval = %g, want the fixed interval", got)
+	}
+	// RunUntil clamps to the horizon; running "past" it is the whole run.
+	net.RunUntil(cfg.Duration + 100)
+	for id := int32(0); id < int32(cfg.N); id++ {
+		if got := net.CurrentInterval(id); got < a.Min || got > a.Max {
+			t.Fatalf("node %d interval %g escaped [%g, %g]", id, got, a.Min, a.Max)
+		}
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"mobic/internal/channel"
 	"mobic/internal/cluster"
 	"mobic/internal/core"
+	"mobic/internal/energy"
 	"mobic/internal/geom"
 	"mobic/internal/mobility"
 	"mobic/internal/radio"
+	"mobic/internal/scenario"
 	"mobic/internal/simnet"
 	"mobic/internal/trace"
 )
@@ -71,6 +73,18 @@ type Scenario struct {
 	Mobility MobilitySpec
 	// BroadcastInterval is BI in seconds (default 2).
 	BroadcastInterval float64
+	// BIMin and BIMax, when both set, let every node float its own hello
+	// interval in [BIMin, BIMax] with its aggregate mobility (high mobility
+	// tightens toward BIMin) behind a relaxation hysteresis band; they
+	// override BroadcastInterval. BIMin == BIMax pins that fixed interval.
+	// Both zero (the default) keeps the fixed interval.
+	BIMin, BIMax float64
+	// EnergyJ, when > 0, gives every node a battery with this initial
+	// budget in joules: transmitting, receiving and idling drain it,
+	// draining batteries worsen election weights, heads below the rotation
+	// threshold hand the role off, and depleted nodes die. 0 disables the
+	// energy model.
+	EnergyJ float64
 	// TimeoutPeriod is TP in seconds (default 3).
 	TimeoutPeriod float64
 	// ContentionInterval is CCI in seconds (default 4; only used by
@@ -278,6 +292,18 @@ func (s Scenario) config() (simnet.Config, error) {
 	if s.LossRate < 0 || s.LossRate >= 1 {
 		return simnet.Config{}, fmt.Errorf("%w: loss rate %g outside [0, 1)", ErrBadScenario, s.LossRate)
 	}
+	if s.BIMin < 0 || s.BIMax < 0 {
+		return simnet.Config{}, fmt.Errorf("%w: adaptive BI bounds [%g, %g] must be >= 0", ErrBadScenario, s.BIMin, s.BIMax)
+	}
+	if (s.BIMin > 0) != (s.BIMax > 0) {
+		return simnet.Config{}, fmt.Errorf("%w: adaptive BI needs both bounds, got [%g, %g]", ErrBadScenario, s.BIMin, s.BIMax)
+	}
+	if s.BIMin > s.BIMax {
+		return simnet.Config{}, fmt.Errorf("%w: adaptive BI bounds inverted [%g, %g]", ErrBadScenario, s.BIMin, s.BIMax)
+	}
+	if s.EnergyJ < 0 {
+		return simnet.Config{}, fmt.Errorf("%w: energy budget %g J is negative", ErrBadScenario, s.EnergyJ)
+	}
 
 	alg, err := cluster.ByName(s.Algorithm)
 	if err != nil {
@@ -337,6 +363,19 @@ func (s Scenario) config() (simnet.Config, error) {
 		BroadcastInterval: s.BroadcastInterval,
 		TimeoutPeriod:     s.TimeoutPeriod,
 		Warmup:            s.Warmup,
+	}
+	if s.BIMin > 0 {
+		cfg.Adaptive = &simnet.AdaptiveBI{
+			Min:        s.BIMin,
+			Max:        s.BIMax,
+			MRef:       scenario.DefaultAdaptiveMRef,
+			Hysteresis: scenario.DefaultAdaptiveHysteresis,
+		}
+	}
+	if s.EnergyJ > 0 {
+		ec := energy.Default()
+		ec.InitialJ = s.EnergyJ
+		cfg.Energy = &ec
 	}
 	if s.LossRate > 0 {
 		lm, err := channel.NewUniformLoss(s.LossRate, rand.New(rand.NewPCG(s.Seed, 0x1055)))

@@ -58,6 +58,41 @@ func TestRunRejectsBadLossRate(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadPolicyParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"negative BI floor", func(s *Scenario) { s.BIMin = -1; s.BIMax = 2 }},
+		{"BI floor without ceiling", func(s *Scenario) { s.BIMin = 1 }},
+		{"BI ceiling without floor", func(s *Scenario) { s.BIMax = 4 }},
+		{"inverted BI bounds", func(s *Scenario) { s.BIMin = 4; s.BIMax = 1 }},
+		{"negative energy", func(s *Scenario) { s.EnergyJ = -3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fast(PaperScenario(150))
+			tc.mutate(&s)
+			if _, err := Run(s); err == nil {
+				t.Error("invalid policy parameters should error")
+			}
+		})
+	}
+}
+
+func TestRunWithPoliciesEnabled(t *testing.T) {
+	s := fast(PaperScenario(150))
+	s.BIMin, s.BIMax = 0.5, 4
+	s.EnergyJ = 50
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Broadcasts == 0 || res.Deliveries == 0 {
+		t.Errorf("policy-enabled run produced no traffic: %+v", res)
+	}
+}
+
 func TestRunRejectsBadMobilityModel(t *testing.T) {
 	s := fast(PaperScenario(150))
 	s.Mobility.Model = "teleport"
